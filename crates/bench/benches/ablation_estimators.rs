@@ -1,0 +1,99 @@
+//! **A4** — Estimator comparison: the paper's §3.3 presents two ways to
+//! lower-bound what Eve missed — empirical (pretend terminals are Eve)
+//! and structural (trust the artificial interference). This ablation runs
+//! all four estimators over the same placement sweep and reports the
+//! security/throughput trade:
+//!
+//! * `leave-one-out` — the paper's default; accurate when candidates
+//!   bracket Eve, optimistic in unlucky placements.
+//! * `jamming-aware` — position-based candidates from the interference
+//!   schedule; sound for every single-antenna Eve obeying the
+//!   minimum-distance rule, at a cost in secret length.
+//! * `fixed-fraction` — assume Eve misses ≥ δ of any packet set.
+//! * `2-collusion` — the multi-antenna-hardened empirical estimator.
+
+use thinair_core::{Estimator, Tuning};
+use thinair_testbed::report::csv;
+use thinair_testbed::{sweep_all_placements, Summary, TestbedConfig};
+
+const N: usize = 5;
+
+fn run(name: &str, cfg: TestbedConfig) -> (Summary, Summary, f64) {
+    let results = sweep_all_placements(N, &cfg);
+    let rel: Vec<f64> = results.iter().map(|r| r.reliability).collect();
+    let eff: Vec<f64> = results.iter().map(|r| r.efficiency).collect();
+    let mean_l = results.iter().map(|r| r.l as f64).sum::<f64>() / results.len() as f64;
+    let sr = Summary::of(&rel).unwrap();
+    let se = Summary::of(&eff).unwrap();
+    println!(
+        "{name:>15} {:>8.3} {:>9.3} {:>8.3} {:>9.4} {:>7.1}",
+        sr.min, sr.mean, sr.p50, se.mean, mean_l
+    );
+    (sr, se, mean_l)
+}
+
+fn main() {
+    println!("=== A4: estimator comparison (n = {N}, all placements) ===\n");
+    println!(
+        "{:>15} {:>8} {:>9} {:>8} {:>9} {:>7}",
+        "estimator", "min rel", "mean rel", "p50 rel", "mean eff", "L"
+    );
+    let tuning = Tuning { scale: 0.75, slack: 0 };
+    let base = TestbedConfig::default();
+
+    let (loo_r, loo_e, loo_l) = run(
+        "leave-one-out",
+        TestbedConfig { estimator: Estimator::LeaveOneOut(tuning), ..base.clone() },
+    );
+    // The position-based estimator needs a larger margin: within-cell
+    // jitter lets a receiver partially escape the beams, so "jammed"
+    // packets leak through at a higher rate than inter-terminal
+    // fluctuations (scale 0.65 absorbs it; see jamaware docs).
+    let (ja_r, _ja_e, ja_l) = run(
+        "jamming-aware",
+        TestbedConfig {
+            jamming_aware: true,
+            estimator: Estimator::LeaveOneOut(Tuning { scale: 0.65, slack: 0 }),
+            ..base.clone()
+        },
+    );
+    let (ff_r, _ff_e, ff_l) = run(
+        "fixed-0.2",
+        TestbedConfig {
+            estimator: Estimator::FixedFraction { fraction: 0.2 },
+            ..base.clone()
+        },
+    );
+    let (kc_r, _kc_e, kc_l) = run(
+        "2-collusion",
+        TestbedConfig {
+            estimator: Estimator::KCollusion { k: 2, tuning },
+            ..base.clone()
+        },
+    );
+
+    println!(
+        "\ntrade-off: jamming-aware guarantees min reliability {:.2} (vs {:.2} for \
+         leave-one-out) while extracting {:.1} packets per round (vs {:.1})",
+        ja_r.min, loo_r.min, ja_l, loo_l
+    );
+    assert!(
+        ja_r.min >= loo_r.min,
+        "the position-based estimator must not be less safe than leave-one-out"
+    );
+    assert!(ja_r.min > 0.99, "jamming-aware should be airtight: {}", ja_r.min);
+
+    let rows = vec![
+        vec!["leave-one-out".into(), format!("{:.4}", loo_r.min), format!("{:.4}", loo_r.mean), format!("{:.5}", loo_e.mean), format!("{loo_l:.1}")],
+        vec!["jamming-aware".into(), format!("{:.4}", ja_r.min), format!("{:.4}", ja_r.mean), format!("{:.5}", _ja_e.mean), format!("{ja_l:.1}")],
+        vec!["fixed-0.2".into(), format!("{:.4}", ff_r.min), format!("{:.4}", ff_r.mean), format!("{:.5}", _ff_e.mean), format!("{ff_l:.1}")],
+        vec!["2-collusion".into(), format!("{:.4}", kc_r.min), format!("{:.4}", kc_r.mean), format!("{:.5}", _kc_e.mean), format!("{kc_l:.1}")],
+    ];
+    std::fs::create_dir_all("target/paper_results").ok();
+    std::fs::write(
+        "target/paper_results/ablation_estimators.csv",
+        csv(&["estimator", "min_rel", "mean_rel", "mean_eff", "mean_l"], &rows),
+    )
+    .ok();
+    println!("CSV written to target/paper_results/ablation_estimators.csv");
+}

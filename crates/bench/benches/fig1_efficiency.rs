@@ -1,0 +1,154 @@
+//! **Figure 1** — Maximum efficiency of the group algorithm (continuous)
+//! vs the unicast algorithm (dashed) as a function of the erasure
+//! probability, for n ∈ {2, 3, 6, 10, ∞}.
+//!
+//! Reproduced two ways:
+//! 1. analytically, from the fluid-limit model in `thinair-model`
+//!    (the paper's own figure is analytic, "under simplifying
+//!    assumptions");
+//! 2. by end-to-end simulation of both algorithms over iid erasure
+//!    channels with the oracle estimator ("Alice guesses exactly"),
+//!    counting only Alice's payload bits in the denominator to match the
+//!    figure's definition of efficiency.
+//!
+//! Output: the two series per n (analytic + simulated), an ASCII
+//! rendering of the figure, and CSV at target/paper_results/fig1.csv.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thinair_core::estimate::Estimator;
+use thinair_core::round::{run_group_round, RoundConfig, XSchedule};
+use thinair_core::unicast::run_unicast_round;
+use thinair_model::{group_max_efficiency, unicast_efficiency};
+use thinair_netsim::IidMedium;
+use thinair_testbed::report::{csv, AsciiPlot};
+
+const N_PACKETS: usize = 120;
+const PAYLOAD: usize = 100;
+const SEEDS: u64 = 5;
+
+/// Payload-denominated efficiency of one simulated group round.
+fn sim_group(n: usize, p: f64, seed: u64) -> f64 {
+    let cfg = RoundConfig {
+        schedule: XSchedule::CoordinatorOnly(N_PACKETS),
+        payload_len: PAYLOAD,
+        estimator: Estimator::Oracle { eve_known: Default::default() },
+        ..RoundConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A);
+    let medium = IidMedium::symmetric(n + 1, p, seed);
+    let out = run_group_round(medium, n, 0, &cfg, &mut rng).expect("round failed");
+    // Figure-1 denominator: Alice's payload-bearing packets only
+    // (N x-packets + (M − L) z-packets).
+    let denom = (N_PACKETS + out.m - out.l) as f64;
+    out.l as f64 / denom
+}
+
+/// Payload-denominated efficiency of one simulated unicast round.
+fn sim_unicast(n: usize, p: f64, seed: u64) -> f64 {
+    let cfg = RoundConfig {
+        schedule: XSchedule::CoordinatorOnly(N_PACKETS),
+        payload_len: PAYLOAD,
+        estimator: Estimator::Oracle { eve_known: Default::default() },
+        ..RoundConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0C1);
+    let medium = IidMedium::symmetric(n + 1, p, seed);
+    let out = run_unicast_round(medium, n, 0, &cfg, &mut rng).expect("round failed");
+    // Denominator: N x-packets + (n−2) padded copies of the L-packet
+    // secret.
+    let denom = N_PACKETS as f64 + (n.saturating_sub(2) * out.l) as f64;
+    out.l as f64 / denom
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn main() {
+    let ns = [2usize, 3, 6, 10];
+    let n_inf_proxy = 40usize; // "n = ∞" curve, analytic only
+    let analytic_grid: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let sim_grid: Vec<f64> = (1..=9).map(|i| i as f64 * 0.1).collect();
+
+    println!("=== Figure 1: maximum efficiency vs erasure probability ===\n");
+    println!("Analytic (fluid-limit model; the paper's own curves are analytic):");
+    println!("{:>5} {:>6} {:>10} {:>10}", "n", "p", "group", "unicast");
+    let mut csv_rows = Vec::new();
+    for &n in ns.iter().chain(std::iter::once(&n_inf_proxy)) {
+        for &p in &analytic_grid {
+            let g = group_max_efficiency(n, p);
+            let u = unicast_efficiency(n, p);
+            if (p * 20.0).round() as i32 % 4 == 0 {
+                let label = if n == n_inf_proxy { "inf".to_string() } else { n.to_string() };
+                println!("{label:>5} {p:>6.2} {g:>10.4} {u:>10.4}");
+            }
+            csv_rows.push(vec![
+                "analytic".to_string(),
+                n.to_string(),
+                format!("{p:.2}"),
+                format!("{g:.5}"),
+                format!("{u:.5}"),
+            ]);
+        }
+    }
+
+    println!("\nSimulated (oracle estimator, iid channels, N = {N_PACKETS}, {SEEDS} seeds):");
+    println!("{:>5} {:>6} {:>10} {:>10}", "n", "p", "group", "unicast");
+    for &n in &ns {
+        for &p in &sim_grid {
+            let g = mean((0..SEEDS).map(|s| sim_group(n, p, s * 31 + 1)));
+            let u = mean((0..SEEDS).map(|s| sim_unicast(n, p, s * 31 + 1)));
+            println!("{n:>5} {p:>6.2} {g:>10.4} {u:>10.4}");
+            csv_rows.push(vec![
+                "simulated".to_string(),
+                n.to_string(),
+                format!("{p:.2}"),
+                format!("{g:.5}"),
+                format!("{u:.5}"),
+            ]);
+        }
+    }
+
+    // ASCII rendering of the analytic figure.
+    println!("\nEfficiency vs erasure probability (g = group, u = unicast):");
+    for &n in ns.iter().chain(std::iter::once(&n_inf_proxy)) {
+        let mut plot = AsciiPlot::new(57, 13, 0.0, 0.26);
+        let gpts: Vec<(f64, f64)> =
+            analytic_grid.iter().map(|&p| (p, group_max_efficiency(n, p))).collect();
+        let upts: Vec<(f64, f64)> =
+            analytic_grid.iter().map(|&p| (p, unicast_efficiency(n, p))).collect();
+        plot.series(&upts, 'u');
+        plot.series(&gpts, 'g');
+        let label = if n == n_inf_proxy { "inf (40)".to_string() } else { n.to_string() };
+        println!("n = {label}:");
+        print!("{}", plot.render());
+    }
+
+    // Shape checks the paper's figure implies.
+    let p = 0.5;
+    println!("Shape checks at p = 0.5:");
+    let mut prev = f64::INFINITY;
+    for &n in &ns {
+        let g = group_max_efficiency(n, p);
+        let u = unicast_efficiency(n, p);
+        println!(
+            "  n={n:<3} group {g:.4} unicast {u:.4}  (group/unicast = {:.2}x)",
+            g / u
+        );
+        assert!(g >= u - 1e-9, "group must dominate unicast");
+        assert!(g <= prev + 1e-9, "group efficiency must decrease with n");
+        prev = g;
+    }
+    let g_inf = group_max_efficiency(n_inf_proxy, p);
+    let u_inf = unicast_efficiency(n_inf_proxy, p);
+    println!("  n=inf group {g_inf:.4} unicast {u_inf:.4}");
+    assert!(u_inf < 0.03, "unicast must collapse as n grows");
+    assert!(g_inf > 2.0 * u_inf, "group must stay clearly ahead at large n");
+
+    let out = csv(&["source", "n", "p", "group_eff", "unicast_eff"], &csv_rows);
+    std::fs::create_dir_all("target/paper_results").ok();
+    std::fs::write("target/paper_results/fig1.csv", out).ok();
+    println!("\nCSV written to target/paper_results/fig1.csv");
+}

@@ -1,0 +1,79 @@
+//! **T1** — The §4 headline: "For n = 8 terminals, we achieve minimum
+//! efficiency 0.038; given that the terminals transmit at rate 1 Mbps,
+//! this efficiency yields 38 secret Kbps."
+//!
+//! Efficiency here is the paper's full metric: shared secret bits divided
+//! by *every* bit the terminals transmitted during the experiment —
+//! x-packets, reception reports, plan announcements, z-fountain packets,
+//! retransmissions and acknowledgments alike. One row per n, aggregated
+//! over all placements.
+
+use thinair_testbed::report::csv;
+use thinair_testbed::{sweep_all_placements, Summary, TestbedConfig};
+
+/// The paper's transmission rate, for the kbps conversion.
+const RATE_BPS: f64 = 1_000_000.0;
+
+fn main() {
+    let cfg = TestbedConfig::default();
+    println!("=== T1: secret-generation efficiency and rate ===");
+    println!(
+        "(efficiency = secret bits / ALL transmitted bits; {} x-packets/terminal)\n",
+        cfg.x_per_terminal
+    );
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "n", "min eff", "mean eff", "p50 eff", "min kbps", "mean kbps"
+    );
+    let mut rows = Vec::new();
+    let mut n8 = None;
+    for n in 3..=8usize {
+        let results = sweep_all_placements(n, &cfg);
+        let eff: Vec<f64> = results.iter().map(|r| r.efficiency).collect();
+        let s = Summary::of(&eff).expect("non-empty");
+        println!(
+            "{n:>3} {:>10.4} {:>10.4} {:>10.4} {:>12.1} {:>12.1}",
+            s.min,
+            s.mean,
+            s.p50,
+            s.min * RATE_BPS / 1000.0,
+            s.mean * RATE_BPS / 1000.0
+        );
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.5}", s.min),
+            format!("{:.5}", s.mean),
+            format!("{:.5}", s.p50),
+        ]);
+        if n == 8 {
+            n8 = Some(s);
+        }
+    }
+    let n8 = n8.expect("n=8 ran");
+    println!("\npaper (n = 8): min efficiency 0.038 -> 38 secret kbps at 1 Mbps");
+    println!(
+        "measured (n = 8): min efficiency {:.4} -> {:.1} secret kbps at 1 Mbps",
+        n8.min,
+        n8.min * RATE_BPS / 1000.0
+    );
+    println!(
+        "(simulated overheads are counted fully — fragmentation headers, \
+         per-fragment retransmissions and block-ACKs — so the absolute level \
+         sits below the paper's; the order of magnitude and the shape across \
+         n are the reproduction targets)"
+    );
+    // Shape checks: positive secret rate at every n.
+    assert!(n8.min > 0.0, "n=8 worst case must still produce a secret");
+    assert!(
+        n8.min * RATE_BPS / 1000.0 >= 1.0,
+        "n=8 should generate thousands of secret bits per second"
+    );
+
+    std::fs::create_dir_all("target/paper_results").ok();
+    std::fs::write(
+        "target/paper_results/headline.csv",
+        csv(&["n", "min_eff", "mean_eff", "p50_eff"], &rows),
+    )
+    .ok();
+    println!("\nCSV written to target/paper_results/headline.csv");
+}

@@ -1,0 +1,35 @@
+//! Calibration sweep over conservatism/radio knobs.
+use thinair_core::{Estimator, Tuning};
+use thinair_testbed::{enumerate_placements, run_experiment, Summary, TestbedConfig};
+
+fn probe(tag: &str, cfg: &TestbedConfig) {
+    for n in [3usize, 6, 8] {
+        let placements = enumerate_placements(n);
+        let step = (placements.len() / 40).max(1);
+        let results: Vec<_> = placements
+            .iter()
+            .step_by(step)
+            .map(|p| run_experiment(cfg, p).expect("experiment"))
+            .collect();
+        let rel: Vec<f64> = results.iter().map(|r| r.reliability).collect();
+        let eff: Vec<f64> = results.iter().map(|r| r.efficiency).collect();
+        let l: Vec<f64> = results.iter().map(|r| r.l as f64).collect();
+        let (sr, se, sl) = (Summary::of(&rel).unwrap(), Summary::of(&eff).unwrap(), Summary::of(&l).unwrap());
+        println!(
+            "[{tag}] n={n}: rel min {:.2} p05 {:.2} mean {:.2} p50 {:.2} | eff min {:.4} mean {:.4} | L {:.1}",
+            sr.min, sr.p05, sr.mean, sr.p50, se.min, se.mean, sl.mean
+        );
+    }
+}
+
+fn main() {
+    let base = TestbedConfig::default();
+    for scale in [0.75] {
+        let cfg = TestbedConfig {
+            estimator: Estimator::LeaveOneOut(Tuning { scale, slack: 0 }),
+            ..base.clone()
+        };
+        probe(&format!("scale {scale}"), &cfg);
+    }
+
+}

@@ -1,0 +1,89 @@
+//! Protocol-level errors.
+
+use thinair_netsim::ReliableError;
+
+/// Everything that can go wrong while running a protocol round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The reliable-broadcast layer gave up (a terminal is unreachable);
+    /// the round cannot complete because the paper's protocol assumes
+    /// reliable control-plane delivery.
+    Reliable(ReliableError),
+    /// Alice could not find coefficient matrices satisfying the
+    /// decodability checks within the redraw budget (astronomically
+    /// unlikely; indicates a caller passing degenerate parameters).
+    ConstructionFailed(&'static str),
+    /// A terminal failed to reconstruct the y/s-packets it is entitled to.
+    /// This is a protocol invariant violation, never expected in
+    /// operation.
+    DecodeFailed {
+        /// Which terminal failed.
+        terminal: usize,
+        /// What it was decoding.
+        what: &'static str,
+    },
+    /// A wire message failed to parse.
+    Wire(crate::wire::WireError),
+    /// A message failed authentication (active-adversary defence).
+    BadAuthentication {
+        /// Claimed sender of the rejected message.
+        claimed_sender: usize,
+    },
+    /// Parameters out of range (e.g., zero packets).
+    BadConfig(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Reliable(e) => write!(f, "reliable broadcast failed: {e}"),
+            ProtocolError::ConstructionFailed(what) => {
+                write!(f, "coefficient construction failed: {what}")
+            }
+            ProtocolError::DecodeFailed { terminal, what } => {
+                write!(f, "terminal {terminal} failed to decode {what}")
+            }
+            ProtocolError::Wire(e) => write!(f, "wire format error: {e}"),
+            ProtocolError::BadAuthentication { claimed_sender } => {
+                write!(f, "message claiming sender {claimed_sender} failed authentication")
+            }
+            ProtocolError::BadConfig(what) => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ReliableError> for ProtocolError {
+    fn from(e: ReliableError) -> Self {
+        ProtocolError::Reliable(e)
+    }
+}
+
+impl From<crate::wire::WireError> for ProtocolError {
+    fn from(e: crate::wire::WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ProtocolError::DecodeFailed { terminal: 3, what: "y-packets" };
+        assert!(e.to_string().contains("terminal 3"));
+        let e = ProtocolError::BadConfig("zero packets");
+        assert!(e.to_string().contains("zero packets"));
+        let e = ProtocolError::BadAuthentication { claimed_sender: 2 };
+        assert!(e.to_string().contains("sender 2"));
+    }
+
+    #[test]
+    fn from_reliable_error() {
+        let r = ReliableError::Unreachable { missing: vec![1], attempts: 3 };
+        let e: ProtocolError = r.clone().into();
+        assert_eq!(e, ProtocolError::Reliable(r));
+    }
+}

@@ -1,0 +1,426 @@
+//! Lower-bounding what Eve is missing (paper §3.3).
+//!
+//! The terminals cannot observe Eve's receptions, yet Alice must decide how
+//! many secret packets (`M_i`) each pairwise relationship can support. The
+//! paper proposes estimating Eve's erasures *empirically from the
+//! terminals' own reports*: "we can pretend that each terminal `T_j` is
+//! Eve" — and, against stronger adversaries, that each *set* of `k`
+//! terminals jointly is Eve. This module implements those estimators plus
+//! two more:
+//!
+//! * [`Estimator::LeaveOneOut`] — the paper's main §3.3 idea. Candidate
+//!   Eves are the individual terminals.
+//! * [`Estimator::KCollusion`] — "to secure against an adversary that has
+//!   as many antennas as k terminals, we can pretend that each set of k
+//!   terminals together are Eve".
+//! * [`Estimator::FixedFraction`] — trust the artificial-interference
+//!   guarantee: Eve misses at least a fraction δ of any packet set,
+//!   independently of position ("especially crafted interference that
+//!   causes Eve to miss some minimum fraction of the packets").
+//! * [`Estimator::Oracle`] — ground truth, for the Figure 1 "favorable
+//!   assumptions" runs and for tests.
+//!
+//! Each estimator is exposed to the construction as a set of [`EveView`]s:
+//! per-packet *miss capacities* that the y-row builder must respect via a
+//! Hall-condition/matching argument (see `crate::construct`). A view may
+//! *concede* rows whose support lies entirely inside the candidate's known
+//! set: an eavesdropper standing exactly at a member terminal's position
+//! can decode whatever that member decodes, and no group-secret protocol
+//! can defend against an adversary who hears everything a legitimate
+//! member hears. (This is the group-secret generalization of the paper's
+//! rule of excluding the pair `{Alice, T_i}` from the candidate set.)
+
+use std::collections::BTreeSet;
+
+/// Conservatism knobs shared by the report-driven estimators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tuning {
+    /// Multiplier applied to the raw estimate (≤ 1.0 is conservative).
+    pub scale: f64,
+    /// Packets subtracted from the scaled estimate (absolute safety
+    /// margin; also hardens the construction against the ~2⁻⁸ per-minor
+    /// failure probability of random GF(2⁸) coefficients).
+    pub slack: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning { scale: 1.0, slack: 0 }
+    }
+}
+
+impl Tuning {
+    fn apply(&self, raw: usize) -> usize {
+        ((raw as f64 * self.scale).floor() as usize).saturating_sub(self.slack)
+    }
+}
+
+/// One hypothesis about Eve, expressed as packet miss-capacities for the
+/// Hall/matching check.
+#[derive(Clone, Debug)]
+pub struct EveView {
+    /// `miss_capacity[j]` — how many "units" of secrecy packet `j` can
+    /// supply under this hypothesis. 0 means Eve is assumed to know packet
+    /// `j`.
+    pub miss_capacity: Vec<u32>,
+    /// Units of capacity each y-row must absorb (1 for candidate-set
+    /// views; larger for fractional views).
+    pub row_demand: u32,
+    /// When `Some(k)`, rows whose support is contained in `k` are exempt
+    /// from this view (the candidate is a legitimate decoder of the row).
+    pub concede: Option<BTreeSet<usize>>,
+}
+
+/// How Alice bounds the number of packets Eve missed.
+#[derive(Clone, Debug)]
+pub enum Estimator {
+    /// Pretend every single terminal is Eve (paper §3.3).
+    LeaveOneOut(Tuning),
+    /// Pretend every k-subset of terminals jointly is Eve (multi-antenna
+    /// adversary, paper §3.3 last paragraph).
+    KCollusion {
+        /// Number of colluding terminal positions.
+        k: usize,
+        /// Conservatism knobs.
+        tuning: Tuning,
+    },
+    /// Assume interference guarantees Eve misses ≥ `fraction` of any
+    /// packet set.
+    FixedFraction {
+        /// Guaranteed missing fraction, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Ground truth: the actual set of x-packets Eve received.
+    Oracle {
+        /// Eve's true received set.
+        eve_known: BTreeSet<usize>,
+    },
+    /// Externally supplied candidate Eve reception sets — e.g. the
+    /// *jamming-aware* estimator built by `thinair-testbed`: the terminals
+    /// operate the interferers, so for every position Eve could occupy
+    /// (≥ the minimum distance from each terminal, paper §4) they can
+    /// compute exactly which packets the rotation schedule denied her.
+    /// Unlike terminal-report candidates these are not group members, so
+    /// no row is conceded: a row fully inside a candidate's possible
+    /// knowledge is simply rejected.
+    Custom {
+        /// Label for reports.
+        label: String,
+        /// One hypothetical Eve reception set per candidate position.
+        candidates: Vec<BTreeSet<usize>>,
+        /// Conservatism knobs.
+        tuning: Tuning,
+    },
+}
+
+/// Granularity used to express fractional capacities as integers.
+pub const FRACTION_SCALE: u32 = 16;
+
+impl Estimator {
+    /// The conservatism knobs this estimator was configured with
+    /// (estimators without knobs report the neutral tuning).
+    pub fn tuning(&self) -> Tuning {
+        match self {
+            Estimator::LeaveOneOut(t) => *t,
+            Estimator::KCollusion { tuning, .. } => *tuning,
+            Estimator::FixedFraction { .. } | Estimator::Oracle { .. } => Tuning::default(),
+            Estimator::Custom { tuning, .. } => *tuning,
+        }
+    }
+
+    /// A short human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Estimator::LeaveOneOut(_) => "leave-one-out".into(),
+            Estimator::KCollusion { k, .. } => format!("{k}-collusion"),
+            Estimator::FixedFraction { fraction } => format!("fixed-fraction({fraction})"),
+            Estimator::Oracle { .. } => "oracle".into(),
+            Estimator::Custom { label, .. } => label.clone(),
+        }
+    }
+
+    /// The views the construction must satisfy. `known_sets[i]` is the set
+    /// of x-packets terminal `i` knows (own + received); `n_packets` the
+    /// size of the x-pool.
+    pub fn views(&self, known_sets: &[BTreeSet<usize>], n_packets: usize) -> Vec<EveView> {
+        match self {
+            Estimator::LeaveOneOut(_) => known_sets
+                .iter()
+                .map(|k| candidate_view(k, n_packets))
+                .collect(),
+            Estimator::KCollusion { k, .. } => {
+                let n = known_sets.len();
+                let k = (*k).min(n);
+                let mut views = Vec::new();
+                for mask in 1u32..(1 << n) {
+                    if mask.count_ones() as usize != k {
+                        continue;
+                    }
+                    let mut union = BTreeSet::new();
+                    for (i, ks) in known_sets.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            union.extend(ks.iter().copied());
+                        }
+                    }
+                    views.push(candidate_view(&union, n_packets));
+                }
+                views
+            }
+            Estimator::FixedFraction { fraction } => {
+                assert!((0.0..=1.0).contains(fraction), "fraction out of range");
+                let cap = (fraction * FRACTION_SCALE as f64).floor() as u32;
+                vec![EveView {
+                    miss_capacity: vec![cap; n_packets],
+                    row_demand: FRACTION_SCALE,
+                    concede: None,
+                }]
+            }
+            Estimator::Oracle { eve_known } => {
+                let mut cap = vec![1u32; n_packets];
+                for &j in eve_known {
+                    if j < n_packets {
+                        cap[j] = 0;
+                    }
+                }
+                vec![EveView { miss_capacity: cap, row_demand: 1, concede: None }]
+            }
+            Estimator::Custom { candidates, .. } => candidates
+                .iter()
+                .map(|cand| {
+                    let mut cap = vec![1u32; n_packets];
+                    for &j in cand {
+                        if j < n_packets {
+                            cap[j] = 0;
+                        }
+                    }
+                    // No concession: these candidates are adversary
+                    // positions, not trusted members.
+                    EveView { miss_capacity: cap, row_demand: 1, concede: None }
+                })
+                .collect(),
+        }
+    }
+
+    /// The paper's pairwise sizing: a lower bound on how many packets of
+    /// `shared` (the packets Alice shares with terminal `i`) Eve missed.
+    /// `coordinator` and `terminal` are excluded from the candidate pool.
+    pub fn pair_budget(
+        &self,
+        shared: &BTreeSet<usize>,
+        known_sets: &[BTreeSet<usize>],
+        coordinator: usize,
+        terminal: usize,
+    ) -> usize {
+        match self {
+            Estimator::LeaveOneOut(tuning) => {
+                let raw = known_sets
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != coordinator && *j != terminal)
+                    .map(|(_, k)| shared.difference(k).count())
+                    .min();
+                match raw {
+                    Some(r) => tuning.apply(r),
+                    None => 0, // no third terminal to impersonate Eve
+                }
+            }
+            Estimator::KCollusion { k, tuning } => {
+                let candidates: Vec<usize> = (0..known_sets.len())
+                    .filter(|&j| j != coordinator && j != terminal)
+                    .collect();
+                if candidates.len() < *k || *k == 0 {
+                    return 0;
+                }
+                let mut best = usize::MAX;
+                // All k-subsets of the candidate terminals.
+                let m = candidates.len();
+                for mask in 1u32..(1 << m) {
+                    if mask.count_ones() as usize != *k {
+                        continue;
+                    }
+                    let mut union = BTreeSet::new();
+                    for (bit, &cand) in candidates.iter().enumerate() {
+                        if mask & (1 << bit) != 0 {
+                            union.extend(known_sets[cand].iter().copied());
+                        }
+                    }
+                    best = best.min(shared.difference(&union).count());
+                }
+                tuning.apply(best)
+            }
+            Estimator::FixedFraction { fraction } => {
+                (shared.len() as f64 * fraction).floor() as usize
+            }
+            Estimator::Oracle { eve_known } => shared.difference(eve_known).count(),
+            Estimator::Custom { candidates, tuning, .. } => {
+                let raw = candidates
+                    .iter()
+                    .map(|cand| shared.difference(cand).count())
+                    .min();
+                match raw {
+                    Some(r) => tuning.apply(r),
+                    None => 0,
+                }
+            }
+        }
+    }
+}
+
+fn candidate_view(known: &BTreeSet<usize>, n_packets: usize) -> EveView {
+    let mut cap = vec![1u32; n_packets];
+    for &j in known {
+        if j < n_packets {
+            cap[j] = 0;
+        }
+    }
+    EveView { miss_capacity: cap, row_demand: 1, concede: Some(known.clone()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn leave_one_out_matches_paper_example_logic() {
+        // Terminals: 0 = Alice (knows everything she sent: 0..10),
+        // 1 = Bob (received evens), 2 = Calvin (received 0,1,2,3).
+        let known = vec![set(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]), set(&[0, 2, 4, 6, 8]), set(&[0, 1, 2, 3])];
+        let est = Estimator::LeaveOneOut(Tuning::default());
+        // Bob's budget: candidates = {Calvin}. |R_bob \ K_calvin| = |{4,6,8}| = 3.
+        let shared_bob = set(&[0, 2, 4, 6, 8]);
+        assert_eq!(est.pair_budget(&shared_bob, &known, 0, 1), 3);
+        // Calvin's budget: candidates = {Bob}. |{0,1,2,3} \ {0,2,4,6,8}| = |{1,3}| = 2.
+        let shared_calvin = set(&[0, 1, 2, 3]);
+        assert_eq!(est.pair_budget(&shared_calvin, &known, 0, 2), 2);
+    }
+
+    #[test]
+    fn leave_one_out_no_candidates_is_zero() {
+        // n = 2: nobody left to impersonate Eve.
+        let known = vec![set(&[0, 1, 2]), set(&[0, 1])];
+        let est = Estimator::LeaveOneOut(Tuning::default());
+        assert_eq!(est.pair_budget(&set(&[0, 1]), &known, 0, 1), 0);
+    }
+
+    #[test]
+    fn tuning_scale_and_slack() {
+        let t = Tuning { scale: 0.5, slack: 1 };
+        assert_eq!(t.apply(10), 4); // floor(5) - 1
+        assert_eq!(t.apply(1), 0);
+        assert_eq!(t.apply(0), 0);
+    }
+
+    #[test]
+    fn k_collusion_is_more_conservative() {
+        // Four terminals; candidate unions shrink the budget.
+        let known = vec![
+            set(&(0..12).collect::<Vec<_>>()), // Alice
+            set(&[0, 1, 2, 3, 4, 5]),          // target
+            set(&[0, 1, 2]),
+            set(&[3, 4]),
+        ];
+        let shared = set(&[0, 1, 2, 3, 4, 5]);
+        let est1 = Estimator::LeaveOneOut(Tuning::default());
+        let est2 = Estimator::KCollusion { k: 2, tuning: Tuning::default() };
+        let b1 = est1.pair_budget(&shared, &known, 0, 1);
+        let b2 = est2.pair_budget(&shared, &known, 0, 1);
+        // k=1: min(|shared\{0,1,2}|, |shared\{3,4}|) = min(3, 4) = 3.
+        assert_eq!(b1, 3);
+        // k=2: union {0,1,2,3,4} leaves only {5}.
+        assert_eq!(b2, 1);
+        assert!(b2 <= b1);
+    }
+
+    #[test]
+    fn k_collusion_insufficient_candidates() {
+        let known = vec![set(&[0, 1]), set(&[0]), set(&[1])];
+        let est = Estimator::KCollusion { k: 2, tuning: Tuning::default() };
+        // Only one candidate (terminal 2) after excluding the pair.
+        assert_eq!(est.pair_budget(&set(&[0]), &known, 0, 1), 0);
+    }
+
+    #[test]
+    fn fixed_fraction_budget() {
+        let est = Estimator::FixedFraction { fraction: 0.25 };
+        assert_eq!(est.pair_budget(&set(&[0, 1, 2, 3, 4, 5, 6, 7]), &[], 0, 1), 2);
+        assert_eq!(est.pair_budget(&set(&[0]), &[], 0, 1), 0);
+    }
+
+    #[test]
+    fn oracle_budget_is_exact() {
+        let est = Estimator::Oracle { eve_known: set(&[0, 2, 4]) };
+        assert_eq!(est.pair_budget(&set(&[0, 1, 2, 3]), &[], 0, 1), 2); // {1, 3}
+    }
+
+    #[test]
+    fn views_shapes() {
+        let known = vec![set(&[0, 1]), set(&[2, 3])];
+        let loo = Estimator::LeaveOneOut(Tuning::default());
+        let views = loo.views(&known, 5);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].miss_capacity, vec![0, 0, 1, 1, 1]);
+        assert_eq!(views[0].concede, Some(set(&[0, 1])));
+        assert_eq!(views[0].row_demand, 1);
+
+        let oracle = Estimator::Oracle { eve_known: set(&[4]) };
+        let views = oracle.views(&known, 5);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].miss_capacity, vec![1, 1, 1, 1, 0]);
+        assert_eq!(views[0].concede, None);
+
+        let ff = Estimator::FixedFraction { fraction: 0.5 };
+        let views = ff.views(&known, 3);
+        assert_eq!(views[0].row_demand, FRACTION_SCALE);
+        assert_eq!(views[0].miss_capacity, vec![8, 8, 8]);
+
+        let kc = Estimator::KCollusion { k: 2, tuning: Tuning::default() };
+        let views = kc.views(&known, 5);
+        assert_eq!(views.len(), 1); // C(2,2) = 1
+        assert_eq!(views[0].miss_capacity, vec![0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn custom_estimator_views_and_budget() {
+        let candidates = vec![set(&[0, 1]), set(&[2, 3])];
+        let est = Estimator::Custom {
+            label: "positions".into(),
+            candidates,
+            tuning: Tuning::default(),
+        };
+        let views = est.views(&[], 5);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].miss_capacity, vec![0, 0, 1, 1, 1]);
+        assert_eq!(views[0].concede, None, "position candidates never concede");
+        // Budget: min over candidates of what each would have missed.
+        let shared = set(&[0, 2, 4]);
+        // Candidate {0,1} misses {2,4} = 2; candidate {2,3} misses {0,4} = 2.
+        assert_eq!(est.pair_budget(&shared, &[], 0, 1), 2);
+        assert_eq!(est.name(), "positions");
+    }
+
+    #[test]
+    fn custom_estimator_without_candidates_is_useless() {
+        let est = Estimator::Custom {
+            label: "empty".into(),
+            candidates: vec![],
+            tuning: Tuning::default(),
+        };
+        assert_eq!(est.pair_budget(&set(&[0, 1]), &[], 0, 1), 0);
+        assert!(est.views(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Estimator::LeaveOneOut(Tuning::default()).name(), "leave-one-out");
+        assert_eq!(
+            Estimator::KCollusion { k: 2, tuning: Tuning::default() }.name(),
+            "2-collusion"
+        );
+        assert!(Estimator::FixedFraction { fraction: 0.3 }.name().contains("0.3"));
+        assert_eq!(Estimator::Oracle { eve_known: set(&[]) }.name(), "oracle");
+    }
+}

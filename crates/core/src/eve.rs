@@ -1,0 +1,189 @@
+//! Ground-truth eavesdropper accounting.
+//!
+//! In the paper's experiments Eve is a real router whose receptions are
+//! logged and compared against the generated secret; *reliability* `r`
+//! means Eve guesses each secret bit with probability `2^{-r}`. In the
+//! simulator we can compute this exactly: everything Eve ever learns is
+//! linear in the x-packet pool —
+//!
+//! * the x-packets her channel delivered (unit coefficient rows),
+//! * every reliably-broadcast payload, which the paper conservatively
+//!   assumes she receives: z-packet contents (`C·W` rows) and, in the
+//!   unicast baseline, the padded secret deliveries,
+//!
+//! so her knowledge is a subspace of `GF(256)^N` and the secret's residual
+//! uncertainty is a rank difference. [`EveLedger`] maintains the subspace
+//! incrementally; [`EveLedger::reliability`] returns `r` = (number of
+//! secret packets still uniform given Eve's view) / L ∈ [0, 1] — 1 is
+//! perfect secrecy, 0 means Eve can reconstruct everything.
+//!
+//! A multi-antenna Eve (§6's "biggest challenge") is simply a ledger fed
+//! by several receiver positions: the union of their deliveries.
+
+use std::collections::BTreeSet;
+
+use thinair_gf::{Gf256, Matrix, RowEchelon};
+
+/// Eve's accumulated knowledge about one round's x-pool.
+#[derive(Clone, Debug)]
+pub struct EveLedger {
+    n_packets: usize,
+    received: BTreeSet<usize>,
+    basis: RowEchelon,
+}
+
+impl EveLedger {
+    /// An empty ledger over an `n_packets`-wide pool.
+    pub fn new(n_packets: usize) -> Self {
+        EveLedger { n_packets, received: BTreeSet::new(), basis: RowEchelon::new(n_packets) }
+    }
+
+    /// Width of the pool.
+    pub fn n_packets(&self) -> usize {
+        self.n_packets
+    }
+
+    /// Records that Eve received x-packet `j` (any antenna).
+    pub fn note_x(&mut self, j: usize) {
+        assert!(j < self.n_packets, "packet index out of range");
+        if self.received.insert(j) {
+            let mut row = vec![Gf256::ZERO; self.n_packets];
+            row[j] = Gf256::ONE;
+            self.basis.insert(&row);
+        }
+    }
+
+    /// Records a published linear combination (dense coefficients over the
+    /// pool) whose *contents* Eve knows — e.g. a z-packet.
+    pub fn note_public_row(&mut self, coeffs: &[Gf256]) {
+        self.basis.insert(coeffs);
+    }
+
+    /// Convenience: record every row of a matrix as public knowledge.
+    pub fn note_public_matrix(&mut self, m: &Matrix) {
+        self.basis.insert_matrix(m);
+    }
+
+    /// The x-packets Eve received directly.
+    pub fn received(&self) -> &BTreeSet<usize> {
+        &self.received
+    }
+
+    /// Dimension of Eve's knowledge subspace.
+    pub fn knowledge_rank(&self) -> usize {
+        self.basis.rank()
+    }
+
+    /// How many of the secret's packets remain jointly uniform given
+    /// Eve's view: `rank([K; S]) − rank(K)`.
+    pub fn secret_dims(&self, secret_rows: &Matrix) -> usize {
+        self.basis.rank_increase(secret_rows)
+    }
+
+    /// The paper's reliability metric for a secret of `l` packets
+    /// described by `secret_rows` (`l×N`): 1.0 = Eve knows nothing,
+    /// 0.0 = Eve can reconstruct the whole secret. Returns 1.0 for an
+    /// empty secret (nothing to leak).
+    pub fn reliability(&self, secret_rows: &Matrix) -> f64 {
+        let l = secret_rows.rows();
+        if l == 0 {
+            return 1.0;
+        }
+        self.secret_dims(secret_rows) as f64 / l as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_matrix(n: usize, idxs: &[usize]) -> Matrix {
+        let mut m = Matrix::zero(0, n);
+        for &i in idxs {
+            let mut row = vec![Gf256::ZERO; n];
+            row[i] = Gf256::ONE;
+            m.push_row(&row);
+        }
+        m
+    }
+
+    #[test]
+    fn fresh_ledger_knows_nothing() {
+        let e = EveLedger::new(8);
+        assert_eq!(e.knowledge_rank(), 0);
+        let secret = unit_matrix(8, &[0, 1]);
+        assert_eq!(e.reliability(&secret), 1.0);
+        assert_eq!(e.secret_dims(&secret), 2);
+    }
+
+    #[test]
+    fn received_packets_leak_their_dimension() {
+        let mut e = EveLedger::new(8);
+        e.note_x(0);
+        e.note_x(3);
+        e.note_x(3); // duplicate is idempotent
+        assert_eq!(e.knowledge_rank(), 2);
+        assert_eq!(e.received().len(), 2);
+        // Secret = packets {0, 5}: Eve knows packet 0 → half the secret.
+        let secret = unit_matrix(8, &[0, 5]);
+        assert_eq!(e.secret_dims(&secret), 1);
+        assert!((e.reliability(&secret) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn public_rows_combine_with_received_packets() {
+        let mut e = EveLedger::new(4);
+        e.note_x(0);
+        // Public row x0 + x1: combined with x0, Eve derives x1.
+        let mut row = vec![Gf256::ZERO; 4];
+        row[0] = Gf256::ONE;
+        row[1] = Gf256::ONE;
+        e.note_public_row(&row);
+        let secret = unit_matrix(4, &[1]);
+        assert_eq!(e.reliability(&secret), 0.0);
+        // x2 remains unknown.
+        let secret2 = unit_matrix(4, &[2]);
+        assert_eq!(e.reliability(&secret2), 1.0);
+    }
+
+    #[test]
+    fn empty_secret_is_trivially_reliable() {
+        let e = EveLedger::new(4);
+        assert_eq!(e.reliability(&Matrix::zero(0, 4)), 1.0);
+    }
+
+    #[test]
+    fn partial_reliability_matches_paper_semantics() {
+        // The paper's example: r = 0.2 means Eve can guess each secret bit
+        // with probability 2^{-0.2}. In rank terms: 1/5 of the secret's
+        // packets stay uniform.
+        let mut e = EveLedger::new(10);
+        for j in 0..8 {
+            e.note_x(j);
+        }
+        let secret = unit_matrix(10, &[0, 1, 2, 3, 8]); // 4 of 5 known
+        assert!((e.reliability(&secret) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_packet_rejected() {
+        let mut e = EveLedger::new(2);
+        e.note_x(5);
+    }
+
+    #[test]
+    fn multi_antenna_union_semantics() {
+        // Two antennas = two delivery sets, one ledger.
+        let mut e = EveLedger::new(6);
+        for j in [0usize, 1] {
+            e.note_x(j); // antenna 1
+        }
+        for j in [1usize, 2, 3] {
+            e.note_x(j); // antenna 2
+        }
+        assert_eq!(e.received().len(), 4);
+        let secret = unit_matrix(6, &[3, 4]);
+        assert!((e.reliability(&secret) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! The secret-agreement protocol of *"Creating Shared Secrets out of Thin
+//! Air"* (Safaka, Fragouli, Argyraki, Diggavi — HotNets 2012).
+//!
+//! `n` terminals attached to the same broadcast wireless network generate
+//! a *group secret* that an eavesdropper, Eve, cannot reconstruct — with
+//! security resting on Eve's limited network presence (the packets her
+//! receiver missed), not on computational hardness.
+//!
+//! # Protocol shape
+//!
+//! 1. **Phase 1 — pairwise secrets** ([`phase1`], [`construct`]):
+//!    terminals broadcast random x-packets over the lossy channel; every
+//!    terminal reports which ones it received; the coordinator ("Alice")
+//!    sizes each pairwise secret with an [`estimate::Estimator`] and
+//!    announces MDS-coded y-packet *identities* (never contents).
+//! 2. **Phase 2 — group secret** ([`phase2`]): the coordinator publishes
+//!    `M − L` z-packets (contents included) so every terminal can
+//!    reconstruct all `M` y-packets, then announces the identities of `L`
+//!    s-packets — the group secret — which every terminal computes
+//!    locally.
+//!
+//! The crate also contains the *unicast baseline* the paper compares
+//! against ([`unicast`]), ground-truth eavesdropper accounting and the
+//! reliability metric ([`eve`]), multi-round sessions with role rotation
+//! and key derivation ([`session`]), and the bootstrap-secret
+//! authentication layer against active adversaries ([`auth`]).
+//!
+//! # Example
+//!
+//! ```
+//! use thinair_core::round::{run_group_round, RoundConfig, XSchedule};
+//! use thinair_core::estimate::{Estimator, Tuning};
+//! use thinair_netsim::IidMedium;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! // 4 terminals + Eve on iid erasure channels with p = 0.5.
+//! let medium = IidMedium::symmetric(5, 0.5, 7);
+//! let cfg = RoundConfig {
+//!     schedule: XSchedule::CoordinatorOnly(60),
+//!     estimator: Estimator::LeaveOneOut(Tuning::default()),
+//!     ..RoundConfig::default()
+//! };
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let outcome = run_group_round(medium, 4, 0, &cfg, &mut rng).unwrap();
+//! assert!(outcome.all_terminals_agree());
+//! println!(
+//!     "L = {} packets, efficiency {:.3}, reliability {:.2}",
+//!     outcome.l,
+//!     outcome.efficiency(),
+//!     outcome.reliability()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod construct;
+pub mod error;
+pub mod estimate;
+pub mod eve;
+pub mod kdf;
+pub mod packet;
+pub mod pairwise;
+pub mod phase1;
+pub mod phase2;
+pub mod round;
+pub mod session;
+pub mod transport;
+pub mod unicast;
+pub mod wire;
+
+pub use construct::{build_block_plan, build_plan, Plan};
+pub use error::ProtocolError;
+pub use pairwise::{run_pairwise_round, PairwiseOutcome};
+pub use estimate::{Estimator, Tuning};
+pub use eve::EveLedger;
+pub use round::{run_group_round, Construction, RoundConfig, RoundOutcome, XSchedule};
+pub use session::{Session, SessionRound};
+pub use unicast::{run_unicast_round, UnicastOutcome};

@@ -1,0 +1,76 @@
+//! Packet payloads and identities.
+//!
+//! Terminals exchange fixed-size payloads ("100-byte packets at 1 Mbps" in
+//! the paper's deployment). A payload is a vector of GF(2^8) symbols —
+//! one symbol per byte — so all coding operations act symbol-wise across
+//! the payload.
+
+use rand::Rng;
+use thinair_gf::Gf256;
+
+/// Payload size used throughout the paper's experiments: 100 bytes, i.e.
+/// 800 bits ("each packet consists of 800 bits").
+pub const PACKET_LEN: usize = 100;
+
+/// Payload size in bits.
+pub const PACKET_BITS: u64 = (PACKET_LEN * 8) as u64;
+
+/// A packet payload: `PACKET_LEN` field symbols (but the protocol code is
+/// generic over the actual length; only the defaults use 100 bytes).
+pub type Payload = Vec<Gf256>;
+
+/// Index of an x-packet within a round (dense, assigned in transmission
+/// order).
+pub type XId = usize;
+
+/// Draws a uniformly random payload of the given length.
+pub fn random_payload(len: usize, rng: &mut impl Rng) -> Payload {
+    (0..len).map(|_| Gf256(rng.gen())).collect()
+}
+
+/// XORs two payloads elementwise (GF(2^8) addition), returning a new one.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn xor_payloads(a: &Payload, b: &Payload) -> Payload {
+    assert_eq!(a.len(), b.len(), "payload length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(PACKET_LEN, 100);
+        assert_eq!(PACKET_BITS, 800);
+    }
+
+    #[test]
+    fn random_payload_has_right_length_and_varies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_payload(PACKET_LEN, &mut rng);
+        let b = random_payload(PACKET_LEN, &mut rng);
+        assert_eq!(a.len(), PACKET_LEN);
+        assert_ne!(a, b, "two random payloads should differ");
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_payload(10, &mut rng);
+        let b = random_payload(10, &mut rng);
+        let c = xor_payloads(&a, &b);
+        assert_eq!(xor_payloads(&c, &b), a);
+        assert_eq!(xor_payloads(&c, &a), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_rejects_mismatched() {
+        let _ = xor_payloads(&vec![Gf256(1)], &vec![Gf256(1), Gf256(2)]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Standalone pairwise secrets (paper §3.1, without phase 2).
+//!
+//! Some applications only need Alice to share a secret with each terminal
+//! *individually* — e.g. per-link encryption keys — in which case phase
+//! 2's redistribution is unnecessary and the full per-pair budget `m_i`
+//! (not `min_i m_i`) is extractable for every pair. This module runs
+//! phase 1, sizes each pair with the estimator, and extracts each
+//! pairwise secret with a Cauchy privacy amplifier over the pair's shared
+//! packets — exactly the example of §3.1, at scale.
+//!
+//! The per-pair secrets are *individually* uniform given Eve's assumed
+//! knowledge. Unlike the group construction nothing is ever published
+//! about their contents (there are no z-packets), so no joint Hall
+//! condition is needed: leaking information about `y^{(i)}` to terminal
+//! `j` is not a concern — both are trusted — and Eve sees only the
+//! coefficient announcements.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use thinair_gf::{Gf256, Matrix};
+use thinair_mds::cauchy_matrix;
+use thinair_netsim::stats::TxClass;
+use thinair_netsim::{Medium, TxStats};
+
+use crate::error::ProtocolError;
+use crate::estimate::Estimator;
+use crate::eve::EveLedger;
+use crate::packet::Payload;
+use crate::phase1::{run_phase1, Phase1Config, XPool};
+use crate::round::{RoundConfig, XSchedule};
+use crate::transport::reliable_message;
+use crate::wire::Message;
+
+/// The outcome of a pairwise-secrets round.
+#[derive(Clone, Debug)]
+pub struct PairwiseOutcome {
+    /// Per terminal: the secret it now shares with the coordinator
+    /// (empty for the coordinator's own slot and for pairs with budget
+    /// 0).
+    pub secrets: Vec<Vec<Payload>>,
+    /// Per terminal: the secret's coefficient rows in x-space.
+    pub secret_rows: Vec<Matrix>,
+    /// The x-pool.
+    pub pool: XPool,
+    /// Bit ledger.
+    pub stats: TxStats,
+    /// Ground-truth Eve.
+    pub eve: EveLedger,
+}
+
+impl PairwiseOutcome {
+    /// The paper's reliability for the pair (coordinator, `terminal`).
+    pub fn reliability(&self, terminal: usize) -> f64 {
+        self.eve.reliability(&self.secret_rows[terminal])
+    }
+
+    /// Total secret bits across all pairs.
+    pub fn secret_bits(&self) -> u64 {
+        self.secrets
+            .iter()
+            .map(|s| s.iter().map(|p| (p.len() * 8) as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Efficiency across all pairs (total pairwise secret bits over all
+    /// transmitted bits).
+    pub fn efficiency(&self) -> f64 {
+        let total = self.stats.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.secret_bits() as f64 / total as f64
+        }
+    }
+}
+
+/// Runs phase 1 and extracts one pairwise secret per terminal.
+pub fn run_pairwise_round(
+    mut medium: impl Medium,
+    n_terminals: usize,
+    coordinator: usize,
+    cfg: &RoundConfig,
+    rng: &mut impl Rng,
+) -> Result<PairwiseOutcome, ProtocolError> {
+    let x_per_terminal = match &cfg.schedule {
+        XSchedule::CoordinatorOnly(n) => {
+            let mut v = vec![0; n_terminals];
+            v[coordinator] = *n;
+            v
+        }
+        XSchedule::Uniform(per) => vec![*per; n_terminals],
+        XSchedule::Explicit(v) => v.clone(),
+    };
+    let n_packets: usize = x_per_terminal.iter().sum();
+    let mut stats = TxStats::new(medium.node_count());
+    let mut eve = EveLedger::new(n_packets);
+    let p1 = Phase1Config {
+        x_per_terminal,
+        payload_len: cfg.payload_len,
+        max_attempts: cfg.max_attempts,
+    };
+    let pool = run_phase1(
+        &mut medium,
+        &mut stats,
+        &mut eve,
+        &p1,
+        n_terminals,
+        coordinator,
+        rng,
+    )?;
+
+    let estimator = match &cfg.estimator {
+        Estimator::Oracle { .. } => Estimator::Oracle { eve_known: eve.received().clone() },
+        other => other.clone(),
+    };
+
+    let mut secrets = vec![Vec::new(); n_terminals];
+    let mut secret_rows = vec![Matrix::zero(0, n_packets); n_terminals];
+    for i in 0..n_terminals {
+        if i == coordinator {
+            continue;
+        }
+        let shared: Vec<usize> = pool.known[coordinator]
+            .intersection(&pool.known[i])
+            .copied()
+            .collect();
+        let shared_set: BTreeSet<usize> = shared.iter().copied().collect();
+        let budget = estimator
+            .pair_budget(&shared_set, &pool.known, coordinator, i)
+            .min(shared.len());
+        if budget == 0 {
+            continue;
+        }
+        // Cauchy privacy amplification over the shared set (§3.1): the
+        // outputs stay uniform as long as Eve misses >= budget of the
+        // inputs, whichever ones they are.
+        let ext = cauchy_matrix(budget, shared.len()).map_err(|_| {
+            ProtocolError::ConstructionFailed("pairwise extractor exceeds field size")
+        })?;
+        let mut rows = Matrix::zero(0, n_packets);
+        for r in 0..budget {
+            let mut row = vec![Gf256::ZERO; n_packets];
+            for (c_idx, &j) in shared.iter().enumerate() {
+                row[j] = ext[(r, c_idx)];
+            }
+            rows.push_row(&row);
+        }
+        let shared_payloads: Vec<Payload> =
+            shared.iter().map(|&j| pool.payloads[j].clone()).collect();
+        secrets[i] = ext.mul_payloads(&shared_payloads);
+        secret_rows[i] = rows;
+    }
+
+    // The announcement per pair compresses to (seed, sizes) exactly like
+    // the group plan: the extractor is canonical given the reports.
+    let targets: Vec<usize> = (0..n_terminals).filter(|&t| t != coordinator).collect();
+    let msg = Message::PlanAnnounce { seed: 0, m: 0, l: 0 };
+    reliable_message(
+        &mut medium,
+        &mut stats,
+        coordinator,
+        msg.bits(),
+        &targets,
+        TxClass::Control,
+        cfg.max_attempts,
+    )?;
+
+    Ok(PairwiseOutcome { secrets, secret_rows, pool, stats, eve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thinair_netsim::IidMedium;
+
+    fn cfg(n: usize) -> RoundConfig {
+        RoundConfig {
+            schedule: XSchedule::CoordinatorOnly(n),
+            payload_len: 16,
+            estimator: Estimator::Oracle { eve_known: Default::default() },
+            ..RoundConfig::default()
+        }
+    }
+
+    #[test]
+    fn pairwise_secrets_are_individually_perfect_with_oracle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let medium = IidMedium::symmetric(5, 0.5, 3);
+        let out = run_pairwise_round(medium, 4, 0, &cfg(50), &mut rng).unwrap();
+        let mut nonempty = 0;
+        for i in 1..4 {
+            if !out.secrets[i].is_empty() {
+                nonempty += 1;
+                assert_eq!(out.reliability(i), 1.0, "pair (0,{i}) leaked");
+            }
+        }
+        assert!(nonempty >= 2, "expected most pairs to produce secrets");
+        assert!(out.efficiency() > 0.0);
+    }
+
+    #[test]
+    fn pairwise_budgets_exceed_group_budget() {
+        // The whole point of the standalone mode: per-pair secrets are not
+        // capped by the weakest pair.
+        let mut rng = StdRng::seed_from_u64(7);
+        // Terminal 3's channel is much worse than 1's and 2's.
+        let mut m = vec![vec![0.4; 5]; 5];
+        for row in m.iter_mut() {
+            row[3] = 0.9;
+        }
+        let medium = IidMedium::from_matrix(m, 11);
+        let out = run_pairwise_round(medium, 4, 0, &cfg(60), &mut rng).unwrap();
+        let strong = out.secrets[1].len().max(out.secrets[2].len());
+        let weak = out.secrets[3].len();
+        assert!(
+            strong > weak,
+            "strong pairs ({strong}) should beat the weak pair ({weak})"
+        );
+    }
+
+    #[test]
+    fn coordinator_slot_is_empty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let medium = IidMedium::symmetric(4, 0.5, 9);
+        let out = run_pairwise_round(medium, 3, 1, &cfg(30), &mut rng).unwrap();
+        assert!(out.secrets[1].is_empty());
+        assert_eq!(out.secret_rows[1].rows(), 0);
+    }
+
+    #[test]
+    fn secret_rows_match_secret_values() {
+        // The announced coefficient rows applied to the ground-truth pool
+        // must reproduce the extracted payloads.
+        let mut rng = StdRng::seed_from_u64(5);
+        let medium = IidMedium::symmetric(4, 0.4, 13);
+        let out = run_pairwise_round(medium, 3, 0, &cfg(40), &mut rng).unwrap();
+        for i in 1..3 {
+            if out.secrets[i].is_empty() {
+                continue;
+            }
+            let recomputed = out.secret_rows[i].mul_payloads(&out.pool.payloads);
+            assert_eq!(recomputed, out.secrets[i], "pair (0,{i})");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Phase 1, steps 1–2: x-packet broadcast and reception reports.
+//!
+//! Each participating terminal broadcasts its share of random x-packets
+//! (plain, unacknowledged broadcasts — erasures are the point), then every
+//! non-coordinator terminal *reliably* broadcasts a bitmap of what it
+//! received. Transmissions from different terminals are interleaved
+//! round-robin so that one round spreads across the interference-rotation
+//! patterns, like the paper's time-slotted experiments.
+//!
+//! The paper's baseline has only Alice transmitting (step 1: "Alice
+//! transmits N packets"); §3.2's *avoiding the worst case* makes "the
+//! terminals take turns in playing Alice's role". Both are expressed by
+//! the per-terminal packet counts in [`Phase1Config::x_per_terminal`].
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use thinair_netsim::{Medium, TxStats};
+use thinair_netsim::stats::TxClass;
+
+use crate::error::ProtocolError;
+use crate::eve::EveLedger;
+use crate::packet::{random_payload, Payload};
+use crate::wire::{bitmap_from_received, payload_to_bytes, Message};
+
+/// Phase-1 parameters.
+#[derive(Clone, Debug)]
+pub struct Phase1Config {
+    /// How many x-packets each terminal contributes (index = terminal).
+    pub x_per_terminal: Vec<usize>,
+    /// Payload length in symbols (the paper: 100).
+    pub payload_len: usize,
+    /// Retransmission budget for each reliable broadcast.
+    pub max_attempts: u32,
+}
+
+/// The shared state after phase 1: who knows which packet.
+#[derive(Clone, Debug)]
+pub struct XPool {
+    /// Total packets broadcast.
+    pub n_packets: usize,
+    /// Payload length in symbols.
+    pub payload_len: usize,
+    /// Ground-truth payloads, indexed by packet id.
+    pub payloads: Vec<Payload>,
+    /// Which terminal generated each packet.
+    pub owner: Vec<usize>,
+    /// `known[i]`: packets terminal `i` knows (generated + received).
+    pub known: Vec<BTreeSet<usize>>,
+}
+
+/// Runs phase 1 over the given medium.
+///
+/// Terminals occupy medium nodes `0..n_terminals`; any further nodes are
+/// treated as Eve antennas and their x-packet deliveries are recorded into
+/// `eve`. Reception reports are counted against `stats` and, per the
+/// paper's conservative assumption, contribute nothing to Eve's *linear*
+/// knowledge (they carry no payload content).
+pub fn run_phase1(
+    mut medium: impl Medium,
+    stats: &mut TxStats,
+    eve: &mut EveLedger,
+    cfg: &Phase1Config,
+    n_terminals: usize,
+    coordinator: usize,
+    rng: &mut impl Rng,
+) -> Result<XPool, ProtocolError> {
+    if n_terminals < 2 {
+        return Err(ProtocolError::BadConfig("need at least two terminals"));
+    }
+    if cfg.x_per_terminal.len() != n_terminals {
+        return Err(ProtocolError::BadConfig("x_per_terminal length must equal n_terminals"));
+    }
+    let n_packets: usize = cfg.x_per_terminal.iter().sum();
+    if n_packets == 0 {
+        return Err(ProtocolError::BadConfig("no x-packets scheduled"));
+    }
+    if eve.n_packets() != n_packets {
+        return Err(ProtocolError::BadConfig("eve ledger sized for a different pool"));
+    }
+
+    let mut payloads = Vec::with_capacity(n_packets);
+    let mut owner = Vec::with_capacity(n_packets);
+    let mut known: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_terminals];
+    let eve_nodes: Vec<usize> = (n_terminals..medium.node_count()).collect();
+
+    // Interleaved broadcast: round-robin over terminals with remaining
+    // packets so the interference schedule rotates across everyone's
+    // transmissions.
+    let mut remaining = cfg.x_per_terminal.clone();
+    let mut id = 0usize;
+    while remaining.iter().any(|&r| r > 0) {
+        for t in 0..n_terminals {
+            if remaining[t] == 0 {
+                continue;
+            }
+            remaining[t] -= 1;
+            let payload = random_payload(cfg.payload_len, rng);
+            let msg = Message::XPacket {
+                id: id as u16,
+                owner: t as u8,
+                payload: payload_to_bytes(&payload),
+            };
+            let bits = msg.bits();
+            let delivery = medium.transmit(t, bits);
+            stats.record(t, TxClass::Data, bits);
+            known[t].insert(id); // the owner knows its own packet
+            for rx in 0..n_terminals {
+                if delivery.got(rx) {
+                    known[rx].insert(id);
+                }
+            }
+            for &antenna in &eve_nodes {
+                if delivery.got(antenna) {
+                    eve.note_x(id);
+                }
+            }
+            payloads.push(payload);
+            owner.push(t);
+            id += 1;
+        }
+    }
+
+    // Reception reports: every terminal reliably broadcasts what it
+    // received (its *received* set; owners are implicit in packet ids).
+    // The coordinator reports too, so that every terminal can reproduce
+    // the coordinator's plan deterministically from the reports plus the
+    // announced seed (see `crate::phase2`).
+    let _ = coordinator;
+    for t in 0..n_terminals {
+        let received = known[t].iter().copied().filter(|&j| owner[j] != t);
+        let msg = Message::ReceptionReport {
+            terminal: t as u8,
+            n_packets: n_packets as u16,
+            bitmap: bitmap_from_received(n_packets, received),
+        };
+        let targets: Vec<usize> = (0..n_terminals).filter(|&x| x != t).collect();
+        crate::transport::reliable_message(
+            &mut medium,
+            stats,
+            t,
+            msg.bits(),
+            &targets,
+            TxClass::Control,
+            cfg.max_attempts,
+        )?;
+    }
+
+    Ok(XPool { n_packets, payload_len: cfg.payload_len, payloads, owner, known })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thinair_netsim::IidMedium;
+
+    fn cfg(x: Vec<usize>) -> Phase1Config {
+        Phase1Config { x_per_terminal: x, payload_len: 10, max_attempts: 1000 }
+    }
+
+    #[test]
+    fn lossless_channel_everyone_knows_everything() {
+        let mut medium = IidMedium::symmetric(4, 0.0, 1); // 3 terminals + Eve
+        let mut stats = TxStats::new(4);
+        let mut eve = EveLedger::new(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = run_phase1(
+            &mut medium,
+            &mut stats,
+            &mut eve,
+            &cfg(vec![4, 4, 4]),
+            3,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(pool.n_packets, 12);
+        for i in 0..3 {
+            assert_eq!(pool.known[i].len(), 12, "terminal {i}");
+        }
+        assert_eq!(eve.received().len(), 12);
+        // 12 data transmissions + 2 reports (terminals 1, 2).
+        assert_eq!(stats.class_total(TxClass::Data) > 0, true);
+        assert!(stats.class_total(TxClass::Control) > 0);
+    }
+
+    #[test]
+    fn owners_always_know_their_own_packets() {
+        // Fully dead channel: nobody receives anything, but owners still
+        // know what they generated... though reports can't go through, so
+        // phase 1 must fail on the reliable broadcast.
+        let mut medium = IidMedium::symmetric(3, 1.0, 3);
+        let mut stats = TxStats::new(3);
+        let mut eve = EveLedger::new(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = run_phase1(
+            &mut medium,
+            &mut stats,
+            &mut eve,
+            &cfg(vec![2, 2]),
+            2,
+            0,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::Reliable(_)));
+    }
+
+    #[test]
+    fn erasures_produce_partial_knowledge() {
+        let mut medium = IidMedium::symmetric(3, 0.5, 5); // 2 terminals + Eve
+        let mut stats = TxStats::new(3);
+        let mut eve = EveLedger::new(40);
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool = run_phase1(
+            &mut medium,
+            &mut stats,
+            &mut eve,
+            &cfg(vec![40, 0]),
+            2,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        let bob = &pool.known[1];
+        assert!(bob.len() > 5 && bob.len() < 35, "bob knows {}", bob.len());
+        assert!(eve.received().len() > 5 && eve.received().len() < 35);
+        // Alice knows all her own packets.
+        assert_eq!(pool.known[0].len(), 40);
+    }
+
+    #[test]
+    fn interleaving_covers_all_owners() {
+        let mut medium = IidMedium::symmetric(3, 0.0, 7);
+        let mut stats = TxStats::new(3);
+        let mut eve = EveLedger::new(6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pool = run_phase1(
+            &mut medium,
+            &mut stats,
+            &mut eve,
+            &cfg(vec![2, 4]),
+            2,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(pool.owner, vec![0, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut medium = IidMedium::symmetric(3, 0.0, 1);
+        let mut stats = TxStats::new(3);
+        let mut eve = EveLedger::new(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            run_phase1(&mut medium, &mut stats, &mut eve, &cfg(vec![0, 0]), 2, 0, &mut rng),
+            Err(ProtocolError::BadConfig(_))
+        ));
+        assert!(matches!(
+            run_phase1(&mut medium, &mut stats, &mut eve, &cfg(vec![1]), 2, 0, &mut rng),
+            Err(ProtocolError::BadConfig(_))
+        ));
+    }
+}

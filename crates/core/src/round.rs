@@ -1,0 +1,321 @@
+//! One full protocol round: phase 1 → construction → phase 2 → metrics.
+
+use rand::Rng;
+use thinair_gf::Matrix;
+use thinair_netsim::{Medium, TxStats};
+
+use crate::construct::{build_block_plan, build_plan, Plan, PlanParams};
+use crate::error::ProtocolError;
+use crate::estimate::{Estimator, Tuning};
+use crate::eve::EveLedger;
+use crate::packet::{Payload, PACKET_LEN};
+use crate::phase1::{run_phase1, Phase1Config, XPool};
+use crate::phase2::run_phase2;
+
+/// Which terminals transmit x-packets in phase 1.
+#[derive(Clone, Debug)]
+pub enum XSchedule {
+    /// Only the coordinator transmits `n` packets (the paper's baseline
+    /// description, and Figure 1's setting).
+    CoordinatorOnly(usize),
+    /// Every terminal transmits `per_terminal` packets (the paper's §3.2
+    /// "terminals take turns playing Alice's role" mitigation).
+    Uniform(usize),
+    /// Explicit per-terminal counts.
+    Explicit(Vec<usize>),
+}
+
+impl XSchedule {
+    fn resolve(&self, n_terminals: usize, coordinator: usize) -> Vec<usize> {
+        match self {
+            XSchedule::CoordinatorOnly(n) => {
+                let mut v = vec![0; n_terminals];
+                v[coordinator] = *n;
+                v
+            }
+            XSchedule::Uniform(per) => vec![*per; n_terminals],
+            XSchedule::Explicit(v) => v.clone(),
+        }
+    }
+}
+
+/// Which y-construction to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Construction {
+    /// The support-sharing, Hall-checked construction (the default).
+    Aligned,
+    /// The naive per-terminal-block construction (§3.1 warning; ablation).
+    NaiveBlocks,
+}
+
+/// Full configuration of a protocol round.
+#[derive(Clone, Debug)]
+pub struct RoundConfig {
+    /// Phase-1 transmission schedule.
+    pub schedule: XSchedule,
+    /// Payload length in symbols (default: the paper's 100 bytes).
+    pub payload_len: usize,
+    /// Eve-erasure estimator.
+    pub estimator: Estimator,
+    /// y-construction variant.
+    pub construction: Construction,
+    /// Greedy-construction tunables (row cap, support floor, slack).
+    pub plan_params: PlanParams,
+    /// Retransmission budget per reliable broadcast.
+    pub max_attempts: u32,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        RoundConfig {
+            schedule: XSchedule::CoordinatorOnly(60),
+            payload_len: PACKET_LEN,
+            estimator: Estimator::LeaveOneOut(Tuning::default()),
+            construction: Construction::Aligned,
+            plan_params: PlanParams::default(),
+            max_attempts: 1_000_000,
+        }
+    }
+}
+
+/// Everything a round produced, for both applications (the secret) and
+/// evaluation (metrics and ground truth).
+#[derive(Clone, Debug)]
+pub struct RoundOutcome {
+    /// Group-secret length in packets (`L`); 0 when no secret was
+    /// possible.
+    pub l: usize,
+    /// Number of y-packets (`M`).
+    pub m: usize,
+    /// The group secret as derived by each terminal.
+    pub secrets: Vec<Vec<Payload>>,
+    /// The x-pool (ground truth, for analysis).
+    pub pool: XPool,
+    /// The construction used.
+    pub plan: Plan,
+    /// Exact bit ledger for the round.
+    pub stats: TxStats,
+    /// Eve's ground-truth knowledge state at the end of the round.
+    pub eve: EveLedger,
+}
+
+impl RoundOutcome {
+    /// True iff every terminal derived the identical secret.
+    pub fn all_terminals_agree(&self) -> bool {
+        self.secrets.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The group secret (coordinator's copy); empty when `l == 0`.
+    pub fn secret(&self) -> &[Payload] {
+        &self.secrets[self.plan.coordinator]
+    }
+
+    /// Secret size in bits.
+    pub fn secret_bits(&self) -> u64 {
+        (self.l * self.pool.payload_len * 8) as u64
+    }
+
+    /// The paper's efficiency metric: secret bits over *all* transmitted
+    /// bits.
+    pub fn efficiency(&self) -> f64 {
+        let total = self.stats.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.secret_bits() as f64 / total as f64
+        }
+    }
+
+    /// The paper's reliability metric `r ∈ [0, 1]` (1 = Eve knows
+    /// nothing). Empty secrets count as reliability 1.
+    pub fn reliability(&self) -> f64 {
+        self.eve.reliability(&self.secret_rows_x())
+    }
+
+    /// Group-secret coefficient rows in x-space.
+    pub fn secret_rows_x(&self) -> Matrix {
+        self.plan.secret_rows_x()
+    }
+}
+
+/// Runs one full group-secret round.
+///
+/// The medium's nodes `0..n_terminals` are the terminals; all remaining
+/// nodes are Eve antennas (at least one is required for the reliability
+/// ground truth; use a dummy far-away node if no adversary is modelled).
+pub fn run_group_round(
+    mut medium: impl Medium,
+    n_terminals: usize,
+    coordinator: usize,
+    cfg: &RoundConfig,
+    rng: &mut impl Rng,
+) -> Result<RoundOutcome, ProtocolError> {
+    let x_per_terminal = cfg.schedule.resolve(n_terminals, coordinator);
+    let n_packets: usize = x_per_terminal.iter().sum();
+    let mut stats = TxStats::new(medium.node_count());
+    let mut eve = EveLedger::new(n_packets);
+    let p1 = Phase1Config {
+        x_per_terminal,
+        payload_len: cfg.payload_len,
+        max_attempts: cfg.max_attempts,
+    };
+    let pool = run_phase1(
+        &mut medium,
+        &mut stats,
+        &mut eve,
+        &p1,
+        n_terminals,
+        coordinator,
+        rng,
+    )?;
+
+    // The oracle estimator needs Eve's true reception set.
+    let estimator = match &cfg.estimator {
+        Estimator::Oracle { .. } => Estimator::Oracle { eve_known: eve.received().clone() },
+        other => other.clone(),
+    };
+
+    let plan = match cfg.construction {
+        Construction::Aligned => {
+            build_plan(&pool.known, coordinator, n_packets, &estimator, rng, cfg.plan_params)?
+        }
+        Construction::NaiveBlocks => build_block_plan(
+            &pool.known,
+            coordinator,
+            n_packets,
+            &estimator,
+            rng,
+            cfg.plan_params.max_rows,
+        )?,
+    };
+
+    if plan.l == 0 {
+        return Ok(RoundOutcome {
+            l: 0,
+            m: 0,
+            secrets: vec![Vec::new(); n_terminals],
+            pool,
+            plan,
+            stats,
+            eve,
+        });
+    }
+
+    let out = run_phase2(&mut medium, &mut stats, &mut eve, &plan, &pool, cfg.max_attempts)?;
+    debug_assert!(out.all_agree(), "terminals derived different secrets");
+    Ok(RoundOutcome {
+        l: plan.l,
+        m: plan.m(),
+        secrets: out.secrets,
+        pool,
+        plan,
+        stats,
+        eve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thinair_netsim::IidMedium;
+
+    fn oracle_cfg(n: usize) -> RoundConfig {
+        RoundConfig {
+            schedule: XSchedule::CoordinatorOnly(n),
+            payload_len: 20,
+            estimator: Estimator::Oracle { eve_known: Default::default() },
+            ..RoundConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_group_round() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let medium = IidMedium::symmetric(5, 0.4, 9); // 4 terminals + Eve
+        let out = run_group_round(medium, 4, 0, &oracle_cfg(50), &mut rng).unwrap();
+        assert!(out.l > 0, "expected a secret at p=0.4");
+        assert!(out.all_terminals_agree());
+        assert_eq!(out.secret().len(), out.l);
+        assert!((out.reliability() - 1.0).abs() < 1e-12);
+        let eff = out.efficiency();
+        assert!(eff > 0.0 && eff < 1.0, "efficiency {eff}");
+    }
+
+    #[test]
+    fn rotation_schedule_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let medium = IidMedium::symmetric(4, 0.35, 11);
+        let cfg = RoundConfig {
+            schedule: XSchedule::Uniform(15),
+            payload_len: 12,
+            estimator: Estimator::Oracle { eve_known: Default::default() },
+            ..RoundConfig::default()
+        };
+        let out = run_group_round(medium, 3, 1, &cfg, &mut rng).unwrap();
+        assert_eq!(out.pool.n_packets, 45);
+        if out.l > 0 {
+            assert!(out.all_terminals_agree());
+            assert!((out.reliability() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_round_measures_reliability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let medium = IidMedium::symmetric(6, 0.5, 13); // 5 terminals + Eve
+        let cfg = RoundConfig {
+            schedule: XSchedule::CoordinatorOnly(60),
+            payload_len: 16,
+            estimator: Estimator::LeaveOneOut(Tuning::default()),
+            ..RoundConfig::default()
+        };
+        let out = run_group_round(medium, 5, 0, &cfg, &mut rng).unwrap();
+        let r = out.reliability();
+        assert!((0.0..=1.0).contains(&r), "reliability {r}");
+        // With 5 terminals and iid channels the estimate is usually sound.
+        if out.l > 0 {
+            assert!(out.all_terminals_agree());
+        }
+    }
+
+    #[test]
+    fn naive_blocks_round_runs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let medium = IidMedium::symmetric(4, 0.5, 17);
+        let cfg = RoundConfig {
+            construction: Construction::NaiveBlocks,
+            schedule: XSchedule::CoordinatorOnly(40),
+            payload_len: 8,
+            estimator: Estimator::Oracle { eve_known: Default::default() },
+            ..RoundConfig::default()
+        };
+        let out = run_group_round(medium, 3, 0, &cfg, &mut rng).unwrap();
+        if out.l > 0 {
+            assert!(out.all_terminals_agree());
+        }
+    }
+
+    #[test]
+    fn zero_budget_round_degrades_gracefully() {
+        // Perfect channel: Eve hears everything; oracle says budget 0.
+        let mut rng = StdRng::seed_from_u64(5);
+        let medium = IidMedium::symmetric(4, 0.0, 19);
+        let out = run_group_round(medium, 3, 0, &oracle_cfg(20), &mut rng).unwrap();
+        assert_eq!(out.l, 0);
+        assert_eq!(out.efficiency(), 0.0);
+        assert_eq!(out.reliability(), 1.0); // nothing to leak
+        assert!(out.secret().is_empty());
+    }
+
+    #[test]
+    fn schedule_resolution() {
+        assert_eq!(XSchedule::CoordinatorOnly(7).resolve(3, 1), vec![0, 7, 0]);
+        assert_eq!(XSchedule::Uniform(4).resolve(3, 0), vec![4, 4, 4]);
+        assert_eq!(
+            XSchedule::Explicit(vec![1, 2, 3]).resolve(3, 0),
+            vec![1, 2, 3]
+        );
+    }
+}

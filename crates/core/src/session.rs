@@ -1,0 +1,221 @@
+//! Multi-round sessions: role rotation and the secret pool.
+//!
+//! One protocol round yields `L` secret packets. A *session* chains
+//! rounds, rotating the coordinator ("we make the terminals take turns in
+//! playing Alice's role", §3.2 — the coordinator rotation complements the
+//! intra-round x-schedule rotation), accumulating the secrets into a pool,
+//! and deriving fixed-size keys from the pool on demand (the intro's
+//! "continuously refresh the key used to encrypt their communication").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thinair_netsim::Medium;
+
+use crate::error::ProtocolError;
+use crate::kdf::derive_key;
+use crate::round::{run_group_round, RoundConfig, RoundOutcome};
+use crate::wire::payload_to_bytes;
+
+/// A running multi-round session over a medium.
+pub struct Session<M> {
+    medium: M,
+    n_terminals: usize,
+    cfg: RoundConfig,
+    rng: StdRng,
+    /// Serialized secret packets accumulated across rounds.
+    pool: Vec<u8>,
+    rounds_run: usize,
+    secret_bits_total: u64,
+    bits_transmitted_total: u64,
+}
+
+/// Summary of a completed round within a session.
+#[derive(Clone, Debug)]
+pub struct SessionRound {
+    /// Which terminal coordinated.
+    pub coordinator: usize,
+    /// The full round outcome.
+    pub outcome: RoundOutcome,
+}
+
+impl SessionRound {
+    /// True iff every terminal derived the identical secret.
+    pub fn all_terminals_agree(&self) -> bool {
+        self.outcome.all_terminals_agree()
+    }
+}
+
+impl<M: Medium> Session<M> {
+    /// Creates a session for `n_terminals` terminals over `medium` (extra
+    /// medium nodes are Eve antennas).
+    pub fn new(n_terminals: usize, cfg: RoundConfig, medium: M, seed: u64) -> Self {
+        Session {
+            medium,
+            n_terminals,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            pool: Vec::new(),
+            rounds_run: 0,
+            secret_bits_total: 0,
+            bits_transmitted_total: 0,
+        }
+    }
+
+    /// Number of rounds completed.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Total secret bits accumulated.
+    pub fn secret_bits(&self) -> u64 {
+        self.secret_bits_total
+    }
+
+    /// Session-wide efficiency so far.
+    pub fn efficiency(&self) -> f64 {
+        if self.bits_transmitted_total == 0 {
+            0.0
+        } else {
+            self.secret_bits_total as f64 / self.bits_transmitted_total as f64
+        }
+    }
+
+    /// Runs one round with an explicit coordinator.
+    pub fn run_round(&mut self, coordinator: usize) -> Result<SessionRound, ProtocolError> {
+        let outcome = run_group_round(
+            &mut self.medium,
+            self.n_terminals,
+            coordinator,
+            &self.cfg,
+            &mut self.rng,
+        )?;
+        self.rounds_run += 1;
+        self.secret_bits_total += outcome.secret_bits();
+        self.bits_transmitted_total += outcome.stats.total();
+        for pkt in outcome.secret() {
+            self.pool.extend(payload_to_bytes(pkt));
+        }
+        Ok(SessionRound { coordinator, outcome })
+    }
+
+    /// Runs one round with the rotating coordinator
+    /// (`round_number mod n`).
+    pub fn run_next(&mut self) -> Result<SessionRound, ProtocolError> {
+        let coordinator = self.rounds_run % self.n_terminals;
+        self.run_round(coordinator)
+    }
+
+    /// Runs a full rotation (every terminal coordinates once) and returns
+    /// the outcomes.
+    pub fn run_rotation(&mut self) -> Result<Vec<SessionRound>, ProtocolError> {
+        (0..self.n_terminals).map(|_| self.run_next()).collect()
+    }
+
+    /// Derives a labelled 32-byte key from the accumulated pool.
+    ///
+    /// Returns `None` while the pool is empty (no secret generated yet —
+    /// the caller should fall back to the bootstrap secret).
+    pub fn derive_key(&self, label: &str) -> Option<[u8; 32]> {
+        if self.pool.is_empty() {
+            None
+        } else {
+            Some(derive_key(&self.pool, label))
+        }
+    }
+
+    /// Bytes of raw secret material currently pooled.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Consumes up to `n` bytes of pool material as a one-time pad,
+    /// removing them from the pool (one-time pads must never be reused).
+    pub fn take_pad(&mut self, n: usize) -> Option<Vec<u8>> {
+        if self.pool.len() < n {
+            return None;
+        }
+        let pad = self.pool.drain(..n).collect();
+        Some(pad)
+    }
+
+    /// Access to the underlying medium (e.g. to inspect trace wrappers).
+    pub fn medium(&self) -> &M {
+        &self.medium
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Estimator;
+    use crate::round::XSchedule;
+    use thinair_netsim::IidMedium;
+
+    fn session(n: usize, p: f64, seed: u64) -> Session<IidMedium> {
+        let cfg = RoundConfig {
+            schedule: XSchedule::CoordinatorOnly(40),
+            payload_len: 16,
+            estimator: Estimator::Oracle { eve_known: Default::default() },
+            ..RoundConfig::default()
+        };
+        Session::new(n, cfg, IidMedium::symmetric(n + 1, p, seed), seed ^ 0x5A5A)
+    }
+
+    #[test]
+    fn rounds_accumulate_pool() {
+        let mut s = session(3, 0.4, 1);
+        let r1 = s.run_next().unwrap();
+        assert_eq!(r1.coordinator, 0);
+        let r2 = s.run_next().unwrap();
+        assert_eq!(r2.coordinator, 1);
+        assert_eq!(s.rounds_run(), 2);
+        let expected_bytes = (r1.outcome.l + r2.outcome.l) * 16;
+        assert_eq!(s.pool_len(), expected_bytes);
+    }
+
+    #[test]
+    fn rotation_visits_every_coordinator() {
+        let mut s = session(4, 0.4, 2);
+        let rounds = s.run_rotation().unwrap();
+        let coords: Vec<usize> = rounds.iter().map(|r| r.coordinator).collect();
+        assert_eq!(coords, vec![0, 1, 2, 3]);
+        for r in &rounds {
+            assert!(r.all_terminals_agree());
+        }
+    }
+
+    #[test]
+    fn key_derivation_requires_material() {
+        let mut s = session(3, 0.4, 3);
+        assert!(s.derive_key("enc").is_none());
+        s.run_next().unwrap();
+        if s.pool_len() > 0 {
+            let k1 = s.derive_key("enc").unwrap();
+            let k2 = s.derive_key("enc").unwrap();
+            assert_eq!(k1, k2);
+            assert_ne!(k1, s.derive_key("mac").unwrap());
+        }
+    }
+
+    #[test]
+    fn take_pad_consumes_material() {
+        let mut s = session(3, 0.5, 4);
+        while s.pool_len() < 8 {
+            s.run_next().unwrap();
+        }
+        let before = s.pool_len();
+        let pad = s.take_pad(8).unwrap();
+        assert_eq!(pad.len(), 8);
+        assert_eq!(s.pool_len(), before - 8);
+        assert!(s.take_pad(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn efficiency_accumulates() {
+        let mut s = session(3, 0.5, 5);
+        s.run_rotation().unwrap();
+        let e = s.efficiency();
+        assert!(e > 0.0 && e < 1.0, "session efficiency {e}");
+        assert!(s.secret_bits() > 0);
+    }
+}

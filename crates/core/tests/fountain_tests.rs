@@ -1,0 +1,93 @@
+//! Targeted tests for the phase-2 fountain reconciliation under adverse
+//! channels, and for failure injection (the guides' drop/corrupt knobs)
+//! through the whole protocol stack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thinair_core::round::{run_group_round, RoundConfig, XSchedule};
+use thinair_core::{Estimator, ProtocolError};
+use thinair_netsim::{FaultyMedium, IidMedium};
+
+fn oracle_cfg(n: usize) -> RoundConfig {
+    RoundConfig {
+        schedule: XSchedule::CoordinatorOnly(n),
+        payload_len: 16,
+        estimator: Estimator::Oracle { eve_known: Default::default() },
+        ..RoundConfig::default()
+    }
+}
+
+#[test]
+fn fountain_survives_heavy_loss() {
+    // 70% loss on every link: reconciliation must still converge (the
+    // fountain just sends more combos) and all terminals must agree.
+    let mut rng = StdRng::seed_from_u64(1);
+    let medium = IidMedium::symmetric(5, 0.7, 3);
+    let out = run_group_round(medium, 4, 0, &oracle_cfg(80), &mut rng).unwrap();
+    if out.l > 0 {
+        assert!(out.all_terminals_agree());
+        assert_eq!(out.reliability(), 1.0);
+    }
+}
+
+#[test]
+fn fountain_under_injected_faults() {
+    // Extra 30% drop + 10% corruption (FCS failures) injected on top of a
+    // clean channel: the protocol must still complete and agree.
+    let mut rng = StdRng::seed_from_u64(2);
+    let inner = IidMedium::symmetric(5, 0.2, 7);
+    let medium = FaultyMedium::new(inner, 0.3, 0.1, 11);
+    let out = run_group_round(medium, 4, 0, &oracle_cfg(60), &mut rng).unwrap();
+    if out.l > 0 {
+        assert!(out.all_terminals_agree());
+        assert_eq!(out.reliability(), 1.0, "oracle estimator stays airtight under faults");
+    }
+}
+
+#[test]
+fn asymmetric_channels_still_converge() {
+    // One terminal with a terrible downlink: the fountain endgame is
+    // driven by it, but the round must finish and agree.
+    let n = 4;
+    let mut m = vec![vec![0.3; n + 1]; n + 1];
+    for row in m.iter_mut() {
+        row[2] = 0.85; // terminal 2 hears almost nothing
+    }
+    let medium = IidMedium::from_matrix(m, 13);
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = run_group_round(medium, n, 0, &oracle_cfg(60), &mut rng).unwrap();
+    if out.l > 0 {
+        assert!(out.all_terminals_agree());
+    }
+}
+
+#[test]
+fn attempt_budget_exhaustion_reports_cleanly() {
+    // A terminal that can never receive makes phase 1's reliable reports
+    // impossible; the round must fail with a Reliable error, not hang or
+    // panic.
+    let n = 3;
+    let mut m = vec![vec![0.0; n + 1]; n + 1];
+    for row in m.iter_mut() {
+        row[1] = 1.0; // nobody can reach terminal 1
+    }
+    let medium = IidMedium::from_matrix(m, 17);
+    let mut rng = StdRng::seed_from_u64(4);
+    let cfg = RoundConfig { max_attempts: 50, ..oracle_cfg(20) };
+    let err = run_group_round(medium, n, 0, &cfg, &mut rng).unwrap_err();
+    assert!(matches!(err, ProtocolError::Reliable(_)), "{err:?}");
+}
+
+#[test]
+fn payload_length_is_respected_end_to_end() {
+    for payload_len in [1usize, 7, 100, 255] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = RoundConfig { payload_len, ..oracle_cfg(30) };
+        let medium = IidMedium::symmetric(4, 0.5, 23);
+        let out = run_group_round(medium, 3, 0, &cfg, &mut rng).unwrap();
+        for pkt in out.secret() {
+            assert_eq!(pkt.len(), payload_len);
+        }
+        assert_eq!(out.secret_bits(), (out.l * payload_len * 8) as u64);
+    }
+}

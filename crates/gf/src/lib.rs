@@ -1,0 +1,39 @@
+//! Finite-field arithmetic and dense linear algebra over GF(2^8).
+//!
+//! This crate is the numeric substrate of the `thinair` workspace. The
+//! secret-agreement protocol of Safaka et al. (HotNets'12) manipulates
+//! packets as vectors of GF(2^8) symbols and reasons about secrecy in terms
+//! of ranks of coefficient matrices over that field:
+//!
+//! * the *y/z/s constructions* of the protocol are matrix products over
+//!   GF(2^8) (see `thinair-mds` and `thinair-core`),
+//! * a terminal decodes missing packets by solving a linear system
+//!   ([`Matrix::solve`]),
+//! * the evaluation metric *reliability* is a rank difference of stacked
+//!   systems ([`linalg::rank_increase`]).
+//!
+//! The field is represented by [`Gf256`], a transparent wrapper over `u8`
+//! using the `0x11D` reduction polynomial (the conventional Reed–Solomon
+//! polynomial; `x^8 + x^4 + x^3 + x^2 + 1`) with generator `2`. All tables
+//! are computed at compile time, so arithmetic is branch-free table lookups.
+//!
+//! Everything here is `no_std`-shaped in spirit (no I/O, no global state)
+//! but uses `alloc`-style `Vec` freely: the protocol runs on hosts, not
+//! microcontrollers, and the guides this workspace follows (smoltcp/tokio)
+//! only demand predictable, allocation-conscious behaviour in hot paths —
+//! matrices are allocated once and mutated in place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+pub mod linalg;
+pub mod matrix;
+pub mod poly;
+pub mod vector;
+
+pub use gf256::Gf256;
+pub use linalg::{rank, rank_increase, RowEchelon};
+pub use matrix::Matrix;
+pub use poly::Poly;
+pub use vector::{add_assign_scaled, dot, scale_in_place};

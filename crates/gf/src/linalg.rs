@@ -1,0 +1,252 @@
+//! Rank bookkeeping utilities.
+//!
+//! The protocol's secrecy accounting asks one question over and over:
+//! *given everything Eve already knows (a set of coefficient rows), how
+//! many of these candidate secret rows are independent of that knowledge?*
+//! [`RowEchelon`] maintains an incremental echelon basis so that rows can
+//! be fed in one at a time (as Eve overhears packets) and rank queries stay
+//! cheap; [`rank_increase`] is the one-shot form used by the evaluation
+//! metrics.
+
+use crate::gf256::Gf256;
+use crate::matrix::Matrix;
+use crate::vector::{add_assign_scaled, scale_in_place};
+
+/// Rank of a matrix (convenience free function).
+pub fn rank(m: &Matrix) -> usize {
+    m.rank()
+}
+
+/// How many extra dimensions `extra` spans beyond `base`:
+/// `rank([base; extra]) - rank(base)`.
+///
+/// This is exactly the paper's reliability numerator: with `base` = Eve's
+/// knowledge rows and `extra` = the secret's coefficient rows, the result
+/// is the number of secret packets that remain uniformly distributed given
+/// Eve's view.
+pub fn rank_increase(base: &Matrix, extra: &Matrix) -> usize {
+    if extra.rows() == 0 {
+        return 0;
+    }
+    if base.rows() == 0 {
+        return extra.rank();
+    }
+    let stacked = base.vstack(extra);
+    stacked.rank() - base.rank()
+}
+
+/// An incremental row-echelon basis over GF(2^8).
+///
+/// Rows are inserted with [`RowEchelon::insert`]; the structure keeps a
+/// reduced set of basis rows with strictly increasing pivot columns.
+/// Insertion is `O(rank * width)`.
+///
+/// ```
+/// use thinair_gf::{Gf256, RowEchelon};
+///
+/// let mut re = RowEchelon::new(3);
+/// assert!(re.insert(&[Gf256(1), Gf256(2), Gf256(3)]));
+/// // 2x the same row: linearly dependent, rank unchanged.
+/// assert!(!re.insert(&[Gf256(2), Gf256(4), Gf256(6)]));
+/// assert_eq!(re.rank(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RowEchelon {
+    /// Basis rows, sorted by pivot column; each row's pivot entry is 1.
+    rows: Vec<Vec<Gf256>>,
+    /// Pivot column of each basis row (parallel to `rows`).
+    pivots: Vec<usize>,
+    width: usize,
+}
+
+impl RowEchelon {
+    /// An empty basis for rows of the given width.
+    pub fn new(width: usize) -> Self {
+        RowEchelon { rows: Vec::new(), pivots: Vec::new(), width }
+    }
+
+    /// Width of the rows this basis accepts.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current rank (number of independent rows inserted so far).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Reduces `row` against the basis in place; afterwards `row` is either
+    /// all-zero (it was dependent) or has its leading coefficient at a
+    /// column no basis row uses.
+    fn reduce(&self, row: &mut [Gf256]) {
+        for (basis, &p) in self.rows.iter().zip(self.pivots.iter()) {
+            let c = row[p];
+            if !c.is_zero() {
+                add_assign_scaled(row, basis, c);
+            }
+        }
+    }
+
+    /// Returns true iff `row` is in the span of the inserted rows.
+    pub fn contains(&self, row: &[Gf256]) -> bool {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        let mut r = row.to_vec();
+        self.reduce(&mut r);
+        r.iter().all(|x| x.is_zero())
+    }
+
+    /// Inserts a row. Returns `true` when the row increased the rank,
+    /// `false` when it was already in the span.
+    pub fn insert(&mut self, row: &[Gf256]) -> bool {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        let mut r = row.to_vec();
+        self.reduce(&mut r);
+        let Some(pivot) = r.iter().position(|x| !x.is_zero()) else {
+            return false;
+        };
+        let inv = r[pivot].inv();
+        scale_in_place(&mut r, inv);
+        // Back-substitute into existing basis rows to keep them reduced.
+        for basis in self.rows.iter_mut() {
+            let c = basis[pivot];
+            if !c.is_zero() {
+                add_assign_scaled(basis, &r, c);
+            }
+        }
+        // Keep pivot order sorted.
+        let pos = self.pivots.partition_point(|&p| p < pivot);
+        self.pivots.insert(pos, pivot);
+        self.rows.insert(pos, r);
+        true
+    }
+
+    /// Inserts every row of a matrix; returns how many increased the rank.
+    pub fn insert_matrix(&mut self, m: &Matrix) -> usize {
+        m.rows_iter().filter(|row| self.insert(row)).count()
+    }
+
+    /// How many of the rows of `m` are jointly independent of the current
+    /// span: `rank(self ∪ m) - rank(self)`. Does not modify the basis.
+    pub fn rank_increase(&self, m: &Matrix) -> usize {
+        let mut probe = self.clone();
+        probe.insert_matrix(m)
+    }
+
+    /// The basis rows as a matrix (for interoperating with [`Matrix`]).
+    pub fn to_matrix(&self) -> Matrix {
+        let mut m = Matrix::zero(0, self.width);
+        for row in &self.rows {
+            m.push_row(row);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(width: usize, i: usize) -> Vec<Gf256> {
+        let mut v = vec![Gf256::ZERO; width];
+        v[i] = Gf256::ONE;
+        v
+    }
+
+    #[test]
+    fn insert_units_gives_full_rank() {
+        let mut re = RowEchelon::new(4);
+        for i in 0..4 {
+            assert!(re.insert(&unit(4, i)));
+        }
+        assert_eq!(re.rank(), 4);
+        // Any further row is dependent.
+        let mut rng = StdRng::seed_from_u64(5);
+        let row: Vec<Gf256> = (0..4).map(|_| Gf256(rng.gen())).collect();
+        assert!(!re.insert(&row));
+    }
+
+    #[test]
+    fn dependent_row_rejected() {
+        let mut re = RowEchelon::new(3);
+        let a = vec![Gf256(1), Gf256(2), Gf256(3)];
+        let b = vec![Gf256(2), Gf256(4), Gf256(6)]; // 2 * a
+        assert!(re.insert(&a));
+        assert!(!re.insert(&b));
+        assert_eq!(re.rank(), 1);
+    }
+
+    #[test]
+    fn contains_matches_insert_result() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut re = RowEchelon::new(6);
+        let mut inserted: Vec<Vec<Gf256>> = Vec::new();
+        for _ in 0..3 {
+            let row: Vec<Gf256> = (0..6).map(|_| Gf256(rng.gen())).collect();
+            re.insert(&row);
+            inserted.push(row);
+        }
+        // Random combinations of inserted rows must be contained.
+        for _ in 0..10 {
+            let mut combo = vec![Gf256::ZERO; 6];
+            for row in &inserted {
+                add_assign_scaled(&mut combo, row, Gf256(rng.gen()));
+            }
+            assert!(re.contains(&combo));
+        }
+    }
+
+    #[test]
+    fn rank_matches_matrix_rank() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..20 {
+            let rows = rng.gen_range(1..8);
+            let cols = rng.gen_range(1..8);
+            let m = Matrix::random(rows, cols, &mut rng);
+            let mut re = RowEchelon::new(cols);
+            re.insert_matrix(&m);
+            assert_eq!(re.rank(), m.rank(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn rank_increase_consistency() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let cols = rng.gen_range(2..8);
+            let a = Matrix::random(rng.gen_range(1..6), cols, &mut rng);
+            let b = Matrix::random(rng.gen_range(1..6), cols, &mut rng);
+            let expect = a.vstack(&b).rank() - a.rank();
+            assert_eq!(rank_increase(&a, &b), expect);
+            let mut re = RowEchelon::new(cols);
+            re.insert_matrix(&a);
+            assert_eq!(re.rank_increase(&b), expect);
+            // rank_increase is non-mutating.
+            assert_eq!(re.rank(), a.rank());
+        }
+    }
+
+    #[test]
+    fn rank_increase_empty_cases() {
+        let a = Matrix::identity(3);
+        let empty = Matrix::zero(0, 3);
+        assert_eq!(rank_increase(&a, &empty), 0);
+        assert_eq!(rank_increase(&empty, &a), 3);
+    }
+
+    #[test]
+    fn to_matrix_spans_the_same_space() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let m = Matrix::random(5, 7, &mut rng);
+        let mut re = RowEchelon::new(7);
+        re.insert_matrix(&m);
+        let basis = re.to_matrix();
+        assert_eq!(basis.rank(), m.rank());
+        // Every original row is in the span of the basis.
+        for row in m.rows_iter() {
+            assert!(re.contains(row));
+        }
+        assert_eq!(rank_increase(&basis, &m), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Vector kernels over GF(2^8).
+//!
+//! These are the inner loops of everything else in the workspace: packet
+//! payloads are `&[Gf256]`, and encoding/decoding is built from `dot`,
+//! `scale_in_place` and `add_assign_scaled` (the classic "axpy").
+
+use crate::gf256::{Gf256, EXP, LOG};
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics when the lengths differ.
+#[inline]
+pub fn dot(a: &[Gf256], b: &[Gf256]) -> Gf256 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x.0 != 0 && y.0 != 0 {
+            acc ^= EXP[LOG[x.0 as usize] as usize + LOG[y.0 as usize] as usize];
+        }
+    }
+    Gf256(acc)
+}
+
+/// Multiplies every element of `v` by the scalar `c` in place.
+#[inline]
+pub fn scale_in_place(v: &mut [Gf256], c: Gf256) {
+    if c == Gf256::ONE {
+        return;
+    }
+    if c.is_zero() {
+        v.fill(Gf256::ZERO);
+        return;
+    }
+    let lc = LOG[c.0 as usize] as usize;
+    for x in v.iter_mut() {
+        if x.0 != 0 {
+            x.0 = EXP[LOG[x.0 as usize] as usize + lc];
+        }
+    }
+}
+
+/// `dst += c * src` elementwise (the GF(2^8) "axpy" kernel).
+///
+/// # Panics
+/// Panics when the lengths differ.
+#[inline]
+pub fn add_assign_scaled(dst: &mut [Gf256], src: &[Gf256], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "axpy of mismatched lengths");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf256::ONE {
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            d.0 ^= s.0;
+        }
+        return;
+    }
+    let lc = LOG[c.0 as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        if s.0 != 0 {
+            d.0 ^= EXP[LOG[s.0 as usize] as usize + lc];
+        }
+    }
+}
+
+/// Converts a byte slice into a `Gf256` vector (copying).
+pub fn from_bytes(bytes: &[u8]) -> Vec<Gf256> {
+    bytes.iter().copied().map(Gf256).collect()
+}
+
+/// Converts a `Gf256` slice into bytes (copying).
+pub fn to_bytes(v: &[Gf256]) -> Vec<u8> {
+    v.iter().map(|x| x.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(bytes: &[u8]) -> Vec<Gf256> {
+        from_bytes(bytes)
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let a = v(&[1, 2, 3]);
+        let b = v(&[4, 5, 6]);
+        let expect = Gf256(1) * Gf256(4) + Gf256(2) * Gf256(5) + Gf256(3) * Gf256(6);
+        assert_eq!(dot(&a, &b), expect);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), Gf256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&v(&[1]), &v(&[1, 2]));
+    }
+
+    #[test]
+    fn scale_by_zero_one_and_general() {
+        let mut a = v(&[1, 2, 0, 0xFF]);
+        scale_in_place(&mut a, Gf256::ONE);
+        assert_eq!(a, v(&[1, 2, 0, 0xFF]));
+
+        let mut b = a.clone();
+        scale_in_place(&mut b, Gf256(3));
+        for (orig, scaled) in a.iter().zip(b.iter()) {
+            assert_eq!(*orig * Gf256(3), *scaled);
+        }
+
+        scale_in_place(&mut b, Gf256::ZERO);
+        assert!(b.iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn axpy_matches_scalar_ops() {
+        let src = v(&[9, 0, 7, 0x80]);
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = v(&[1, 2, 3, 4]);
+            add_assign_scaled(&mut dst, &src, Gf256(c));
+            for (i, d) in dst.iter().enumerate() {
+                let expect = Gf256([1, 2, 3, 4][i]) + src[i] * Gf256(c);
+                assert_eq!(*d, expect, "c={c:#x} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let bytes = [0u8, 1, 2, 254, 255];
+        assert_eq!(to_bytes(&from_bytes(&bytes)), bytes.to_vec());
+    }
+}

@@ -1,0 +1,42 @@
+//! Maximum Distance Separable (MDS) code constructions over GF(2^8).
+//!
+//! The HotNets'12 protocol derives its y-, z- and s-packets from "a
+//! well-defined construction ... based on Maximum Distance Separable (MDS)
+//! codes" (§3.2 of the paper, details deferred to the technical report).
+//! This crate provides those constructions:
+//!
+//! * [`cauchy`] — Cauchy matrices, which are *superregular*: **every**
+//!   square submatrix is invertible. This is the strongest property one can
+//!   ask of a coefficient matrix and it is exactly what the protocol needs
+//!   in two places:
+//!   - privacy amplification: an `m x k` Cauchy matrix applied to `k`
+//!     shared packets yields `m` outputs that remain jointly uniform as
+//!     long as the adversary misses at least `m` of the inputs;
+//!   - reconciliation: the z-packets let every terminal solve for its
+//!     missing y-packets because the relevant column submatrix is
+//!     invertible.
+//! * [`vandermonde`] — Vandermonde matrices (generators of Reed–Solomon
+//!   codes); any `k` *columns* of a `k x n` Vandermonde generator are
+//!   independent, which is the classical MDS property.
+//! * [`rs`] — a systematic Reed–Solomon erasure code built on the above
+//!   (encode `k` data packets into `n`, recover from any `k` survivors).
+//!   The protocol itself does not retransmit via RS, but the reliable
+//!   broadcast layer in `thinair-netsim` can, and the code doubles as an
+//!   exhaustive test vehicle for the matrix machinery.
+//! * [`extractor`] — the privacy-amplification primitive packaged for
+//!   direct use (and reused by `thinair-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cauchy;
+pub mod extractor;
+pub mod rs;
+pub mod superregular;
+pub mod vandermonde;
+
+pub use cauchy::{cauchy_matrix, CauchyError};
+pub use extractor::Extractor;
+pub use rs::ReedSolomon;
+pub use superregular::{is_mds_generator, is_superregular};
+pub use vandermonde::vandermonde_matrix;

@@ -1,0 +1,265 @@
+//! A systematic Reed–Solomon erasure code over GF(2^8).
+//!
+//! `ReedSolomon::new(k, n)` encodes `k` data packets into `n` coded packets
+//! such that *any* `k` of them suffice to reconstruct the data (the MDS
+//! property). The first `k` coded packets are the data packets themselves
+//! (systematic form), so the common no-loss case costs nothing to decode.
+//!
+//! Construction: start from the `k x n` generator whose columns are
+//! evaluations of the message polynomial (a Vandermonde matrix), then
+//! normalize the leading `k x k` block to the identity by multiplying with
+//! its inverse on the left. Row operations preserve the code (same row
+//! space), hence the MDS property.
+
+use std::fmt;
+
+use crate::vandermonde::vandermonde_matrix;
+use thinair_gf::{Gf256, Matrix};
+
+/// Errors from Reed–Solomon construction or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Parameters violate `0 < k <= n <= 256`.
+    BadParameters {
+        /// Data packet count requested.
+        k: usize,
+        /// Coded packet count requested.
+        n: usize,
+    },
+    /// Fewer than `k` distinct shares were provided to `decode`.
+    NotEnoughShares {
+        /// Shares provided.
+        got: usize,
+        /// Shares required.
+        need: usize,
+    },
+    /// A share index was out of range or repeated.
+    BadShareIndex(usize),
+    /// Shares had inconsistent payload lengths.
+    RaggedShares,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::BadParameters { k, n } => {
+                write!(f, "invalid RS parameters k={k}, n={n} (need 0 < k <= n <= 256)")
+            }
+            RsError::NotEnoughShares { got, need } => {
+                write!(f, "need {need} shares to decode, got {got}")
+            }
+            RsError::BadShareIndex(i) => write!(f, "share index {i} out of range or repeated"),
+            RsError::RaggedShares => write!(f, "shares have inconsistent lengths"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic `[n, k]` Reed–Solomon erasure code.
+///
+/// ```
+/// use thinair_mds::ReedSolomon;
+/// use thinair_gf::Gf256;
+///
+/// let rs = ReedSolomon::new(2, 4).unwrap();
+/// let data = vec![vec![Gf256(1), Gf256(2)], vec![Gf256(3), Gf256(4)]];
+/// let coded = rs.encode(&data);
+/// // Lose the two systematic shares; recover from the parity.
+/// let survivors = vec![(2, coded[2].clone()), (3, coded[3].clone())];
+/// assert_eq!(rs.decode(&survivors).unwrap(), data);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+    /// `k x n` systematic generator: `[I_k | P]`.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds the `[n, k]` systematic code.
+    pub fn new(k: usize, n: usize) -> Result<Self, RsError> {
+        if k == 0 || k > n || n > 256 {
+            return Err(RsError::BadParameters { k, n });
+        }
+        let v = vandermonde_matrix(k, n);
+        let lead = v.select_columns(&(0..k).collect::<Vec<_>>());
+        let inv = lead
+            .inverse()
+            .expect("leading Vandermonde block with distinct nodes is invertible");
+        let generator = &inv * &v;
+        Ok(ReedSolomon { k, n, generator })
+    }
+
+    /// Data packet count.
+    pub fn data_shares(&self) -> usize {
+        self.k
+    }
+
+    /// Total coded packet count.
+    pub fn total_shares(&self) -> usize {
+        self.n
+    }
+
+    /// The systematic generator matrix (`k x n`, leading identity).
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// Encodes `k` data packets into `n` coded packets. Packets are symbol
+    /// vectors of equal length.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != k` or payload lengths are ragged.
+    pub fn encode(&self, data: &[Vec<Gf256>]) -> Vec<Vec<Gf256>> {
+        assert_eq!(data.len(), self.k, "encode expects exactly k data packets");
+        // generator^T-style application: coded[j] = sum_i G[i][j] * data[i].
+        self.generator.transpose().mul_payloads(data)
+    }
+
+    /// Decodes from any `k` (or more) shares, given as `(index, payload)`.
+    ///
+    /// Extra shares beyond `k` are ignored (the first `k` valid ones are
+    /// used). Returns the `k` data packets.
+    pub fn decode(&self, shares: &[(usize, Vec<Gf256>)]) -> Result<Vec<Vec<Gf256>>, RsError> {
+        if shares.len() < self.k {
+            return Err(RsError::NotEnoughShares { got: shares.len(), need: self.k });
+        }
+        let plen = shares[0].1.len();
+        if shares.iter().any(|(_, p)| p.len() != plen) {
+            return Err(RsError::RaggedShares);
+        }
+        let mut seen = vec![false; self.n];
+        let mut use_shares: Vec<&(usize, Vec<Gf256>)> = Vec::with_capacity(self.k);
+        for s in shares {
+            if s.0 >= self.n || seen[s.0] {
+                return Err(RsError::BadShareIndex(s.0));
+            }
+            seen[s.0] = true;
+            if use_shares.len() < self.k {
+                use_shares.push(s);
+            }
+        }
+        // Fast path: all k systematic shares present among the chosen ones?
+        if use_shares.iter().all(|(i, _)| *i < self.k) {
+            let mut data = vec![Vec::new(); self.k];
+            for (i, p) in &use_shares {
+                data[*i] = p.clone();
+            }
+            return Ok(data);
+        }
+        // General path: solve G_cols^T * data = shares.
+        let cols: Vec<usize> = use_shares.iter().map(|(i, _)| *i).collect();
+        let coeff = self.generator.select_columns(&cols).transpose(); // k x k
+        let rhs: Vec<Vec<Gf256>> = use_shares.iter().map(|(_, p)| p.clone()).collect();
+        let data = coeff
+            .solve_payloads(&rhs)
+            .expect("any k columns of an MDS generator are independent");
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(k: usize, plen: usize, rng: &mut StdRng) -> Vec<Vec<Gf256>> {
+        (0..k).map(|_| (0..plen).map(|_| Gf256(rng.gen())).collect()).collect()
+    }
+
+    #[test]
+    fn systematic_prefix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rs = ReedSolomon::new(3, 7).unwrap();
+        let data = random_data(3, 10, &mut rng);
+        let coded = rs.encode(&data);
+        assert_eq!(coded.len(), 7);
+        assert_eq!(&coded[..3], &data[..]);
+    }
+
+    #[test]
+    fn decode_from_any_k() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rs = ReedSolomon::new(4, 8).unwrap();
+        let data = random_data(4, 16, &mut rng);
+        let coded = rs.encode(&data);
+        // Try a spread of survivor subsets including all-parity.
+        for subset in [
+            vec![0usize, 1, 2, 3],
+            vec![4, 5, 6, 7],
+            vec![0, 2, 5, 7],
+            vec![3, 4, 5, 6],
+            vec![1, 3, 4, 7],
+        ] {
+            let shares: Vec<(usize, Vec<Gf256>)> =
+                subset.iter().map(|&i| (i, coded[i].clone())).collect();
+            assert_eq!(rs.decode(&shares).unwrap(), data, "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn decode_uses_first_k_of_extra_shares() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rs = ReedSolomon::new(2, 5).unwrap();
+        let data = random_data(2, 4, &mut rng);
+        let coded = rs.encode(&data);
+        let shares: Vec<(usize, Vec<Gf256>)> =
+            (0..5).map(|i| (i, coded[i].clone())).collect();
+        assert_eq!(rs.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            ReedSolomon::new(0, 4),
+            Err(RsError::BadParameters { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::new(5, 4),
+            Err(RsError::BadParameters { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::new(4, 300),
+            Err(RsError::BadParameters { .. })
+        ));
+
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        assert!(matches!(
+            rs.decode(&[(0, vec![Gf256(1)])]),
+            Err(RsError::NotEnoughShares { got: 1, need: 3 })
+        ));
+        let p = vec![Gf256(1)];
+        assert!(matches!(
+            rs.decode(&[(0, p.clone()), (0, p.clone()), (1, p.clone())]),
+            Err(RsError::BadShareIndex(0))
+        ));
+        assert!(matches!(
+            rs.decode(&[(9, p.clone()), (1, p.clone()), (2, p.clone())]),
+            Err(RsError::BadShareIndex(9))
+        ));
+        assert!(matches!(
+            rs.decode(&[(0, vec![Gf256(1)]), (1, vec![Gf256(1), Gf256(2)]), (2, vec![Gf256(1)])]),
+            Err(RsError::RaggedShares)
+        ));
+    }
+
+    #[test]
+    fn k_equals_n_is_identity_code() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rs = ReedSolomon::new(4, 4).unwrap();
+        let data = random_data(4, 8, &mut rng);
+        assert_eq!(rs.encode(&data), data);
+    }
+
+    #[test]
+    fn empty_payloads_are_fine() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = vec![vec![], vec![]];
+        let coded = rs.encode(&data);
+        let shares: Vec<(usize, Vec<Gf256>)> = vec![(2, coded[2].clone()), (3, coded[3].clone())];
+        assert_eq!(rs.decode(&shares).unwrap(), data);
+    }
+}

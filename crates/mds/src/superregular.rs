@@ -1,0 +1,208 @@
+//! Structural property checks for coefficient matrices.
+//!
+//! The protocol's security argument leans on two matrix properties; these
+//! checkers verify them by sampling (exact checks are exponential in the
+//! matrix size). They exist for tests, for the runtime re-draw logic in
+//! `thinair-core::construct` (which verifies the *specific* submatrices it
+//! needs, exactly), and for documentation-by-executable-spec.
+
+use rand::Rng;
+use thinair_gf::Matrix;
+
+/// Checks (by exhaustive enumeration up to `max_exhaustive` squares, then
+/// random sampling) that every square submatrix of `m` is invertible.
+///
+/// Returns `false` as soon as a singular square submatrix is found. A
+/// `true` result means no counterexample was found within the budget: for
+/// Cauchy matrices this is a proof-backed property, for random matrices it
+/// is evidence only.
+pub fn is_superregular(m: &Matrix, samples: usize, rng: &mut impl Rng) -> bool {
+    let max_k = m.rows().min(m.cols());
+    // 1x1 exhaustively: superregular matrices have no zero entries.
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            if m[(i, j)].is_zero() {
+                return false;
+            }
+        }
+    }
+    // Random square submatrices of every size.
+    for _ in 0..samples {
+        let k = rng.gen_range(1..=max_k);
+        let rows = sample_subset(m.rows(), k, rng);
+        let cols = sample_subset(m.cols(), k, rng);
+        if m.select_rows(&rows).select_columns(&cols).rank() < k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks the classical MDS generator property: every set of `m.rows()`
+/// columns of `m` is linearly independent. Exhaustive when the number of
+/// column subsets is at most `exhaustive_limit`, sampled otherwise.
+pub fn is_mds_generator(m: &Matrix, samples: usize, rng: &mut impl Rng) -> bool {
+    let k = m.rows();
+    if k > m.cols() {
+        return false;
+    }
+    let n_subsets = binomial(m.cols(), k);
+    if n_subsets <= samples as u128 {
+        // Exhaustive enumeration of column subsets.
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            if m.select_columns(&subset).rank() < k {
+                return false;
+            }
+            if !next_subset(&mut subset, m.cols()) {
+                break;
+            }
+        }
+        true
+    } else {
+        (0..samples).all(|_| {
+            let cols = sample_subset(m.cols(), k, rng);
+            m.select_columns(&cols).rank() == k
+        })
+    }
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > 1 << 60 {
+            return u128::MAX; // saturate; caller only compares magnitudes
+        }
+    }
+    acc
+}
+
+/// Advances `subset` (sorted, distinct, drawn from `0..n`) to the next
+/// combination in lexicographic order; returns false when exhausted.
+fn next_subset(subset: &mut [usize], n: usize) -> bool {
+    let k = subset.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if subset[i] < n - (k - i) {
+            subset[i] += 1;
+            for j in i + 1..k {
+                subset[j] = subset[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Uniformly samples `k` distinct indices out of `0..n`, sorted.
+fn sample_subset(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    debug_assert!(k <= n);
+    // Floyd's algorithm: k iterations, no O(n) shuffle.
+    let mut chosen = Vec::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cauchy::cauchy_matrix;
+    use crate::vandermonde::vandermonde_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thinair_gf::{Gf256, Matrix};
+
+    #[test]
+    fn cauchy_is_superregular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = cauchy_matrix(8, 12).unwrap();
+        assert!(is_superregular(&c, 500, &mut rng));
+    }
+
+    #[test]
+    fn vandermonde_is_mds_generator() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = vandermonde_matrix(5, 12);
+        assert!(is_mds_generator(&v, 1000, &mut rng));
+    }
+
+    #[test]
+    fn vandermonde_is_not_superregular_in_general() {
+        // Row 0 is all ones and point 0 gives a zero in row 1: the 1x1
+        // submatrix at (1, 0) is singular.
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = vandermonde_matrix(3, 6);
+        assert!(!is_superregular(&v, 50, &mut rng));
+    }
+
+    #[test]
+    fn zero_matrix_fails_both() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = Matrix::zero(3, 5);
+        assert!(!is_superregular(&z, 10, &mut rng));
+        assert!(!is_mds_generator(&z, 10, &mut rng));
+    }
+
+    #[test]
+    fn wide_identity_fails_mds() {
+        // [I | 0] has a dependent column set containing the zero column.
+        let mut m = Matrix::identity(3);
+        m = Matrix::from_fn(3, 5, |r, c| if c < 3 { m[(r, c)] } else { Gf256::ZERO });
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!is_mds_generator(&m, 100, &mut rng));
+    }
+
+    #[test]
+    fn taller_than_wide_is_never_mds_generator() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = Matrix::identity(4).select_columns(&[0, 1]);
+        assert!(!is_mds_generator(&m, 10, &mut rng));
+    }
+
+    #[test]
+    fn subset_iterator_is_exhaustive() {
+        let mut subset = vec![0, 1];
+        let mut seen = vec![subset.clone()];
+        while next_subset(&mut subset, 4) {
+            seen.push(subset.clone());
+        }
+        assert_eq!(seen, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+    }
+
+    #[test]
+    fn sample_subset_is_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let s = sample_subset(10, 4, &mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 10));
+        }
+        // k == n returns everything.
+        assert_eq!(sample_subset(5, 5, &mut rng), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(8, 4), 70);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Vandermonde matrices over GF(2^8).
+//!
+//! The `k x n` Vandermonde matrix over distinct evaluation points
+//! `a_0..a_{n-1}`,
+//!
+//! ```text
+//! V[i][j] = a_j ^ i
+//! ```
+//!
+//! is the generator of the `[n, k]` Reed–Solomon code: codeword symbol `j`
+//! is the evaluation of the degree-`< k` message polynomial at `a_j`. Any
+//! `k` columns form a square Vandermonde matrix with distinct nodes, hence
+//! invertible — the MDS property. (Unlike Cauchy matrices, *rectangular
+//! sub*-matrices of a Vandermonde matrix are not guaranteed invertible; the
+//! protocol uses Cauchy where superregularity matters and Vandermonde where
+//! the classical any-k-columns property suffices.)
+
+use thinair_gf::{Gf256, Matrix};
+
+/// Builds the `k x n` Vandermonde matrix over the evaluation points
+/// `0, 1, .., n-1` (as field elements).
+///
+/// # Panics
+/// Panics when `n > 256` (points must be distinct field elements).
+pub fn vandermonde_matrix(k: usize, n: usize) -> Matrix {
+    assert!(n <= 256, "at most 256 distinct evaluation points in GF(256)");
+    let points: Vec<Gf256> = (0..n).map(|j| Gf256(j as u8)).collect();
+    vandermonde_from_points(k, &points)
+}
+
+/// Builds the `k x n` Vandermonde matrix over explicit evaluation points.
+///
+/// # Panics
+/// Panics when points repeat.
+pub fn vandermonde_from_points(k: usize, points: &[Gf256]) -> Matrix {
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            assert!(a != b, "duplicate evaluation point {a}");
+        }
+    }
+    Matrix::from_fn(k, points.len(), |i, j| points[j].pow(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_entries() {
+        let v = vandermonde_matrix(3, 5);
+        assert_eq!((v.rows(), v.cols()), (3, 5));
+        for j in 0..5 {
+            assert_eq!(v[(0, j)], Gf256::ONE); // x^0
+            assert_eq!(v[(1, j)], Gf256(j as u8)); // x^1
+            assert_eq!(v[(2, j)], Gf256(j as u8) * Gf256(j as u8));
+        }
+    }
+
+    #[test]
+    fn any_k_columns_invertible() {
+        let k = 4;
+        let v = vandermonde_matrix(k, 8);
+        // All C(8,4) column subsets.
+        let mut subsets = Vec::new();
+        for a in 0..8 {
+            for b in a + 1..8 {
+                for c in b + 1..8 {
+                    for d in c + 1..8 {
+                        subsets.push(vec![a, b, c, d]);
+                    }
+                }
+            }
+        }
+        assert_eq!(subsets.len(), 70);
+        for s in subsets {
+            assert_eq!(v.select_columns(&s).rank(), k, "columns {s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate evaluation point")]
+    fn duplicate_points_panic() {
+        let _ = vandermonde_from_points(2, &[Gf256(1), Gf256(1)]);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let v = vandermonde_matrix(1, 3);
+        assert_eq!(v.rank(), 1);
+        let v = vandermonde_matrix(3, 3);
+        assert_eq!(v.rank(), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the MDS constructions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thinair_mds::{cauchy_matrix, vandermonde_matrix, Extractor, ReedSolomon};
+use thinair_gf::Gf256;
+
+proptest! {
+    /// Any square submatrix of a Cauchy matrix is invertible.
+    #[test]
+    fn cauchy_superregular(
+        (rows, cols, seed) in (1usize..=10, 1usize..=10, any::<u64>())
+    ) {
+        let c = cauchy_matrix(rows, cols).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = rng.gen_range(1..=rows.min(cols));
+        let mut ridx: Vec<usize> = (0..rows).collect();
+        let mut cidx: Vec<usize> = (0..cols).collect();
+        for i in (1..ridx.len()).rev() {
+            ridx.swap(i, rng.gen_range(0..=i));
+        }
+        for i in (1..cidx.len()).rev() {
+            cidx.swap(i, rng.gen_range(0..=i));
+        }
+        let sub = c.select_rows(&ridx[..k]).select_columns(&cidx[..k]);
+        prop_assert_eq!(sub.rank(), k);
+    }
+
+    /// RS: encode, erase any n-k shares, decode, get the data back.
+    #[test]
+    fn rs_round_trip(
+        (k, extra, plen, seed) in (1usize..=8, 0usize..=6, 1usize..=32, any::<u64>())
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<Vec<Gf256>> =
+            (0..k).map(|_| (0..plen).map(|_| Gf256(rng.gen())).collect()).collect();
+        let coded = rs.encode(&data);
+        // Pick a random k-subset of survivors.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            idx.swap(i, rng.gen_range(0..=i));
+        }
+        let shares: Vec<(usize, Vec<Gf256>)> =
+            idx[..k].iter().map(|&i| (i, coded[i].clone())).collect();
+        prop_assert_eq!(rs.decode(&shares).unwrap(), data);
+    }
+
+    /// RS encoding is linear: encode(a + b) == encode(a) + encode(b).
+    #[test]
+    fn rs_linear(
+        (k, plen, seed) in (1usize..=6, 1usize..=16, any::<u64>())
+    ) {
+        let n = k + 3;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mk = |rng: &mut StdRng| -> Vec<Vec<Gf256>> {
+            (0..k).map(|_| (0..plen).map(|_| Gf256(rng.gen())).collect()).collect()
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let sum: Vec<Vec<Gf256>> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.iter().zip(y.iter()).map(|(&p, &q)| p + q).collect())
+            .collect();
+        let ca = rs.encode(&a);
+        let cb = rs.encode(&b);
+        let csum = rs.encode(&sum);
+        for j in 0..n {
+            for s in 0..plen {
+                prop_assert_eq!(csum[j][s], ca[j][s] + cb[j][s]);
+            }
+        }
+    }
+
+    /// The extractor keeps exactly min(m, k - |known|) outputs secret, for
+    /// any adversary knowledge set.
+    #[test]
+    fn extractor_secrecy_exact(
+        (m, k, seed) in (1usize..=6, 1usize..=12, any::<u64>())
+    ) {
+        prop_assume!(m <= k);
+        let e = Extractor::new(m, k).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let know_count = rng.gen_range(0..=k);
+        let mut idx: Vec<usize> = (0..k).collect();
+        for i in (1..k.max(1)).rev() {
+            idx.swap(i, rng.gen_range(0..=i));
+        }
+        let known = &idx[..know_count];
+        let expect = m.min(k - know_count);
+        prop_assert_eq!(e.secrecy_given(known), expect);
+    }
+
+    /// Vandermonde generators are MDS: random k-column subsets invertible.
+    #[test]
+    fn vandermonde_mds(
+        (k, n, seed) in (1usize..=8, 1usize..=16, any::<u64>())
+    ) {
+        prop_assume!(k <= n);
+        let v = vandermonde_matrix(k, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n.max(1)).rev() {
+            idx.swap(i, rng.gen_range(0..=i));
+        }
+        let mut cols = idx[..k].to_vec();
+        cols.sort_unstable();
+        prop_assert_eq!(v.select_columns(&cols).rank(), k);
+    }
+}

@@ -1,0 +1,272 @@
+//! The fluid-limit efficiency computations. See the crate docs for the
+//! derivation.
+
+/// Binomial coefficient as `f64` (exact for the sizes used here).
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Expected pairwise budget as a fraction of `N`: the fraction of
+/// x-packets a given terminal receives and Eve misses, `p(1−p)`.
+pub fn pairwise_budget_fraction(p: f64) -> f64 {
+    p * (1.0 - p)
+}
+
+/// Unicast-algorithm efficiency for `n` terminals at erasure probability
+/// `p`: the group secret is one pairwise secret (`m = p(1−p)` per packet
+/// transmitted), delivered to the other `n−2` terminals as padded copies.
+///
+/// `efficiency = m / (1 + (n−2)·m)`.
+pub fn unicast_efficiency(n: usize, p: f64) -> f64 {
+    assert!(n >= 2, "need at least two terminals");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    let m = pairwise_budget_fraction(p);
+    if m == 0.0 {
+        return 0.0;
+    }
+    m / (1.0 + (n as f64 - 2.0) * m)
+}
+
+/// The greedy fluid allocation behind one group-efficiency evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupOperatingPoint {
+    /// Target per-terminal secret fraction `L` (of `N`).
+    pub l: f64,
+    /// Total y-row fraction `M` (of `N`).
+    pub m: f64,
+    /// Rows allocated per level (index `g−1` = rows at level `g`, summed
+    /// over all `C(n−1, g)` subsets).
+    pub rows_per_level: Vec<f64>,
+    /// Whether the target `L` was fully covered within the Hall caps.
+    pub feasible: bool,
+}
+
+/// `P(Binomial(k, 1−p) ≥ g)` — the mass of packets received by at least
+/// `g` of `k` terminals.
+fn at_least(k: usize, p: f64, g: usize) -> f64 {
+    (g..=k)
+        .map(|j| binomial(k, j) * (1.0 - p).powi(j as i32) * p.powi((k - j) as i32))
+        .sum()
+}
+
+/// Greedy minimum-cost coverage for a target per-terminal secret fraction
+/// `l`, for `n` terminals at erasure probability `p`.
+///
+/// Fills levels from the deepest (`g = n−1`) outward; at each level the
+/// allocation is limited by every nested Hall cap
+/// `Σ_{levels ≥ g} rows ≤ p·P(received by ≥ g terminals)` for all `g` at
+/// or below the levels already used.
+pub fn group_efficiency_at(n: usize, p: f64, l: f64) -> GroupOperatingPoint {
+    assert!(n >= 2, "need at least two terminals");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    let t = n - 1; // non-coordinator terminals
+    let mut rows_per_level = vec![0.0; t];
+    let mut covered = 0.0f64; // per-terminal coverage achieved
+    let mut total_rows = 0.0f64;
+    // Cumulative row mass at levels >= g is constrained by cap(g); track
+    // total from the top so each new level sees the binding constraint.
+    for g in (1..=t).rev() {
+        if covered >= l - 1e-15 {
+            break;
+        }
+        // Per-terminal coverage of one unit of row mass at level g:
+        // a row at level g serves g of the t terminals -> g/t each on
+        // average under symmetric allocation.
+        let coverage_per_row = g as f64 / t as f64;
+        let need_rows = (l - covered) / coverage_per_row;
+        // Hall caps: the binding one for mass placed at level >= g.
+        let cap_here = p * at_least(t, p, g) - total_rows;
+        let take = need_rows.min(cap_here.max(0.0));
+        rows_per_level[g - 1] = take;
+        total_rows += take;
+        covered += take * coverage_per_row;
+    }
+    GroupOperatingPoint {
+        l: covered.min(l),
+        m: total_rows,
+        rows_per_level,
+        feasible: covered >= l - 1e-12,
+    }
+}
+
+/// Maximum group-algorithm efficiency for `n` terminals at erasure
+/// probability `p`: maximizes `L / (1 + M(L) − L)` over the target `L`
+/// (grid + local refinement; the objective is unimodal in `L`).
+pub fn group_max_efficiency(n: usize, p: f64) -> f64 {
+    let m_max = pairwise_budget_fraction(p);
+    if m_max <= 0.0 {
+        return 0.0;
+    }
+    let eff = |l: f64| -> f64 {
+        let op = group_efficiency_at(n, p, l);
+        let achieved = op.l;
+        if achieved <= 0.0 {
+            0.0
+        } else {
+            achieved / (1.0 + op.m - achieved)
+        }
+    };
+    // Coarse grid, then golden-section refinement around the best cell.
+    let grid = 64;
+    let mut best_l = 0.0;
+    let mut best = 0.0;
+    for i in 1..=grid {
+        let l = m_max * i as f64 / grid as f64;
+        let e = eff(l);
+        if e > best {
+            best = e;
+            best_l = l;
+        }
+    }
+    let mut lo = (best_l - m_max / grid as f64).max(0.0);
+    let mut hi = (best_l + m_max / grid as f64).min(m_max);
+    for _ in 0..40 {
+        let a = lo + (hi - lo) / 3.0;
+        let b = hi - (hi - lo) / 3.0;
+        if eff(a) < eff(b) {
+            lo = a;
+        } else {
+            hi = b;
+        }
+    }
+    best.max(eff((lo + hi) / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(9, 4), 126.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn at_least_is_a_survival_function() {
+        let k = 7;
+        let p = 0.4;
+        assert!((at_least(k, p, 0) - 1.0).abs() < 1e-12);
+        let mut prev = 1.0;
+        for g in 1..=k {
+            let v = at_least(k, p, g);
+            assert!(v <= prev + 1e-12);
+            assert!(v >= 0.0);
+            prev = v;
+        }
+        // P(>= k) = (1-p)^k.
+        assert!((at_least(k, p, k) - (1.0f64 - p).powi(k as i32)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n2_group_equals_unicast_equals_p_one_minus_p() {
+        for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let g = group_max_efficiency(2, p);
+            let u = unicast_efficiency(2, p);
+            let expect = p * (1.0 - p);
+            assert!((g - expect).abs() < 1e-6, "group {g} vs {expect} at p={p}");
+            assert!((u - expect).abs() < 1e-12, "unicast {u} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn peak_at_half_is_one_quarter_for_n2() {
+        assert!((group_max_efficiency(2, 0.5) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn n3_peak_matches_hand_derivation() {
+        // Hand-computed in the crate docs: at p = 0.5, k2 = 1/8, k1 = 1/4
+        // total, M = 3/8, L = 1/4, eff = 0.25/1.125 = 2/9.
+        let e = group_max_efficiency(3, 0.5);
+        assert!((e - 2.0 / 9.0).abs() < 5e-3, "got {e}");
+    }
+
+    #[test]
+    fn group_beats_unicast_and_gap_grows_with_n() {
+        let p = 0.5;
+        let mut prev_gap = 0.0;
+        for n in [3, 6, 10] {
+            let g = group_max_efficiency(n, p);
+            let u = unicast_efficiency(n, p);
+            assert!(g >= u - 1e-9, "n={n}: group {g} < unicast {u}");
+            let gap = g / u;
+            assert!(gap >= prev_gap, "relative gap must grow with n");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn group_efficiency_decreases_with_n() {
+        let p = 0.5;
+        let mut prev = f64::INFINITY;
+        for n in [2, 3, 6, 10, 20] {
+            let e = group_max_efficiency(n, p);
+            assert!(e <= prev + 1e-9, "n={n}: {e} > {prev}");
+            assert!(e > 0.0);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn unicast_collapses_with_n_group_does_not() {
+        let p = 0.5;
+        let u40 = unicast_efficiency(40, p);
+        let g40 = group_max_efficiency(40, p);
+        assert!(u40 < 0.03, "unicast at n=40: {u40}");
+        assert!(g40 > 3.0 * u40, "group {g40} should dwarf unicast {u40}");
+        assert!(g40 > 0.05, "group must stay useful: {g40}");
+    }
+
+    #[test]
+    fn efficiency_vanishes_at_extremes() {
+        for n in [2, 6] {
+            assert_eq!(group_max_efficiency(n, 0.0), 0.0);
+            assert_eq!(group_max_efficiency(n, 1.0), 0.0);
+            assert_eq!(unicast_efficiency(n, 0.0), 0.0);
+            assert_eq!(unicast_efficiency(n, 1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn curves_are_bell_shaped() {
+        // Efficiency rises from p=0.05 to near the peak then falls; probe
+        // coarse shape.
+        for n in [3usize, 6, 10] {
+            let low = group_max_efficiency(n, 0.05);
+            let mid = group_max_efficiency(n, 0.5);
+            let high = group_max_efficiency(n, 0.95);
+            assert!(mid > low, "n={n}");
+            assert!(mid > high, "n={n}");
+        }
+    }
+
+    #[test]
+    fn operating_point_reports_feasibility() {
+        // Demanding more than the budget allows must be flagged.
+        let op = group_efficiency_at(3, 0.5, 0.9);
+        assert!(!op.feasible);
+        assert!(op.l < 0.9);
+        let op = group_efficiency_at(3, 0.5, 0.01);
+        assert!(op.feasible);
+        assert!((op.l - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_levels_preferred() {
+        // At moderate p the deepest level must be used first.
+        let op = group_efficiency_at(4, 0.5, 0.05);
+        assert!(op.rows_per_level[2] > 0.0, "{:?}", op);
+        // Tiny targets never touch level 1 before exhausting level 3.
+        assert_eq!(op.rows_per_level[0], 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the Figure-1 efficiency model.
+
+use proptest::prelude::*;
+use thinair_model::{
+    group_efficiency_at, group_max_efficiency, pairwise_budget_fraction, unicast_efficiency,
+};
+
+proptest! {
+    #[test]
+    fn efficiencies_are_probability_like(n in 2usize..20, p in 0.0f64..1.0) {
+        let g = group_max_efficiency(n, p);
+        let u = unicast_efficiency(n, p);
+        prop_assert!((0.0..=1.0).contains(&g));
+        prop_assert!((0.0..=1.0).contains(&u));
+        // Nothing beats the n=2 theoretical ceiling of 1/4.
+        prop_assert!(g <= 0.25 + 1e-9);
+        prop_assert!(u <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn group_dominates_unicast(n in 2usize..16, p in 0.05f64..0.95) {
+        prop_assert!(
+            group_max_efficiency(n, p) >= unicast_efficiency(n, p) - 1e-9,
+            "phase 2 must never be worse than unicasting"
+        );
+    }
+
+    #[test]
+    fn group_efficiency_monotone_in_n(p in 0.1f64..0.9, n in 2usize..12) {
+        let now = group_max_efficiency(n, p);
+        let bigger = group_max_efficiency(n + 1, p);
+        prop_assert!(bigger <= now + 1e-6, "n={n} p={p}: {bigger} > {now}");
+    }
+
+    #[test]
+    fn budget_fraction_symmetry(p in 0.0f64..1.0) {
+        // p(1-p) is symmetric about 1/2 and peaks there.
+        let m = pairwise_budget_fraction(p);
+        let m_sym = pairwise_budget_fraction(1.0 - p);
+        prop_assert!((m - m_sym).abs() < 1e-12);
+        prop_assert!(m <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn operating_point_is_consistent(n in 2usize..10, p in 0.05f64..0.95, frac in 0.0f64..1.0) {
+        let l_target = pairwise_budget_fraction(p) * frac;
+        let op = group_efficiency_at(n, p, l_target);
+        // Achieved L never exceeds the target and M covers it.
+        prop_assert!(op.l <= l_target + 1e-12);
+        prop_assert!(op.m + 1e-12 >= op.l, "need at least L rows");
+        prop_assert!(op.rows_per_level.iter().all(|&k| k >= 0.0));
+        let total: f64 = op.rows_per_level.iter().sum();
+        prop_assert!((total - op.m).abs() < 1e-9);
+        if op.feasible {
+            prop_assert!((op.l - l_target).abs() < 1e-9);
+        }
+    }
+}

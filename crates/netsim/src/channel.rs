@@ -1,0 +1,282 @@
+//! The geometric broadcast medium: positions + path loss + fading +
+//! interference → per-packet delivery outcomes.
+//!
+//! [`GeoMedium`] is the simulator's stand-in for the paper's physical
+//! radio room. For every transmission it computes, per receiver,
+//!
+//! ```text
+//! SINR = S / (N + I)
+//!   S = tx power − path loss(link) − shadowing(link) + fading(packet)
+//!   N = thermal noise floor
+//!   I = Σ active jamming beams at the receiver (+ its own fading)
+//! ```
+//!
+//! and erases the packet with probability `PER(SINR, bits)`. Shadowing is
+//! frozen per (unordered) link at construction — the room is static —
+//! while fading re-rolls every packet, which is what makes erasures
+//! probabilistic rather than purely geometric.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fading::Fading;
+use crate::geom::{dbm_to_mw, mw_to_dbm, Point};
+use crate::interference::InterferenceSchedule;
+use crate::medium::{Delivery, Medium, NodeId};
+use crate::pathloss::PathLoss;
+use crate::per::PerModel;
+
+/// Everything needed to instantiate a [`GeoMedium`].
+#[derive(Clone, Debug)]
+pub struct GeoMediumConfig {
+    /// Node positions (terminals first, eavesdropper by convention last).
+    pub positions: Vec<Point>,
+    /// Transmit power of every node, dBm (paper: 3 dBm).
+    pub tx_power_dbm: f64,
+    /// Thermal noise floor, dBm (≈ −94 dBm for a 20 MHz 802.11 receiver
+    /// with a 7 dB noise figure).
+    pub noise_floor_dbm: f64,
+    /// Large-scale propagation model.
+    pub pathloss: PathLoss,
+    /// Per-packet small-scale fading.
+    pub fading: Fading,
+    /// SINR → PER curve.
+    pub per_model: PerModel,
+    /// Jamming beams and their rotation schedule.
+    pub interference: InterferenceSchedule,
+    /// RNG seed; two media with equal configs and seeds behave
+    /// identically.
+    pub seed: u64,
+}
+
+impl GeoMediumConfig {
+    /// A reasonable default configuration for the given node positions:
+    /// paper-faithful radio constants and no interference.
+    pub fn new(positions: Vec<Point>) -> Self {
+        GeoMediumConfig {
+            positions,
+            tx_power_dbm: 3.0,
+            noise_floor_dbm: -94.0,
+            pathloss: PathLoss::default(),
+            fading: Fading::Rayleigh,
+            per_model: PerModel::BpskBer,
+            interference: InterferenceSchedule::off(),
+            seed: 0,
+        }
+    }
+}
+
+/// The geometric broadcast medium. See the module docs.
+#[derive(Clone, Debug)]
+pub struct GeoMedium {
+    cfg: GeoMediumConfig,
+    /// Frozen shadowing per unordered node pair, dB; indexed `i * n + j`.
+    shadowing_db: Vec<f64>,
+    rng: StdRng,
+    /// Packet counter; drives the interference rotation.
+    t: u64,
+}
+
+impl GeoMedium {
+    /// Builds the medium, drawing the frozen per-link shadowing from the
+    /// config seed.
+    pub fn new(cfg: GeoMediumConfig) -> Self {
+        let n = cfg.positions.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut shadowing_db = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let s = cfg.pathloss.draw_shadowing_db(&mut rng);
+                shadowing_db[i * n + j] = s;
+                shadowing_db[j * n + i] = s; // links are reciprocal
+            }
+        }
+        GeoMedium { cfg, shadowing_db, rng, t: 0 }
+    }
+
+    /// Access to the configuration (positions etc.).
+    pub fn config(&self) -> &GeoMediumConfig {
+        &self.cfg
+    }
+
+    /// Mean (pre-fading) SINR in dB on the link `tx → rx` at packet
+    /// counter `t`. Exposed for tests and calibration tooling.
+    pub fn mean_sinr_db(&self, tx: NodeId, rx: NodeId, t: u64) -> f64 {
+        let n = self.cfg.positions.len();
+        let d = self.cfg.positions[tx].distance(&self.cfg.positions[rx]);
+        let signal_dbm = self.cfg.tx_power_dbm
+            - self.cfg.pathloss.median_loss_db(d)
+            - self.shadowing_db[tx * n + rx];
+        let interf_dbm =
+            self.cfg.interference.power_at(&self.cfg.positions[rx], t, &self.cfg.pathloss);
+        let denom_mw = dbm_to_mw(self.cfg.noise_floor_dbm)
+            + if interf_dbm.is_finite() { dbm_to_mw(interf_dbm) } else { 0.0 };
+        signal_dbm - mw_to_dbm(denom_mw)
+    }
+
+    fn deliver_one(&mut self, tx: NodeId, rx: NodeId, bits: u64) -> bool {
+        let n = self.cfg.positions.len();
+        let d = self.cfg.positions[tx].distance(&self.cfg.positions[rx]);
+        let signal_dbm = self.cfg.tx_power_dbm
+            - self.cfg.pathloss.median_loss_db(d)
+            - self.shadowing_db[tx * n + rx]
+            + self.cfg.fading.draw_db(&mut self.rng);
+        let interf_dbm = self
+            .cfg
+            .interference
+            .power_at(&self.cfg.positions[rx], self.t, &self.cfg.pathloss);
+        let denom_mw = dbm_to_mw(self.cfg.noise_floor_dbm)
+            + if interf_dbm.is_finite() {
+                dbm_to_mw(interf_dbm + self.cfg.fading.draw_db(&mut self.rng))
+            } else {
+                0.0
+            };
+        let sinr_db = signal_dbm - mw_to_dbm(denom_mw);
+        let per = self.cfg.per_model.per(sinr_db, bits);
+        self.rng.gen::<f64>() >= per
+    }
+}
+
+impl Medium for GeoMedium {
+    fn node_count(&self) -> usize {
+        self.cfg.positions.len()
+    }
+
+    fn transmit(&mut self, tx: NodeId, bits: u64) -> Delivery {
+        assert!(tx < self.node_count(), "unknown transmitter {tx}");
+        let n = self.node_count();
+        let mut received = vec![false; n];
+        for rx in 0..n {
+            if rx != tx {
+                received[rx] = self.deliver_one(tx, rx, bits);
+            }
+        }
+        self.t += 1;
+        Delivery::new(received)
+    }
+
+    fn tick(&mut self) {
+        // Jump to the start of the next interference pattern, so protocol
+        // phases can align with pattern boundaries like the paper's time
+        // slots.
+        let ppp = self.cfg.interference.packets_per_pattern.max(1);
+        self.t = (self.t / ppp + 1) * ppp;
+    }
+
+    fn now(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::{Beam, Pattern};
+
+    fn two_node_cfg(dist: f64) -> GeoMediumConfig {
+        GeoMediumConfig::new(vec![Point::new(0.0, 0.0), Point::new(dist, 0.0)])
+    }
+
+    #[test]
+    fn clean_short_link_delivers_nearly_everything() {
+        let mut cfg = two_node_cfg(2.0);
+        cfg.pathloss.shadowing_sigma_db = 0.0;
+        cfg.seed = 1;
+        let mut m = GeoMedium::new(cfg);
+        let delivered = (0..1000).filter(|_| m.transmit(0, 800).got(1)).count();
+        assert!(delivered > 950, "delivered {delivered}/1000");
+    }
+
+    #[test]
+    fn jammed_receiver_loses_most_packets() {
+        let mut cfg = two_node_cfg(2.0);
+        cfg.pathloss.shadowing_sigma_db = 0.0;
+        cfg.seed = 2;
+        // Aim a strong beam straight at the receiver.
+        cfg.interference = InterferenceSchedule {
+            beams: vec![Beam {
+                origin: Point::new(2.0, -2.0),
+                azimuth_deg: 90.0,
+                beamwidth_deg: 22.0,
+                eirp_dbm: 10.0,
+            }],
+            patterns: vec![Pattern { active: vec![0] }],
+            packets_per_pattern: 1,
+        };
+        let mut m = GeoMedium::new(cfg);
+        let delivered = (0..1000).filter(|_| m.transmit(0, 800).got(1)).count();
+        assert!(delivered < 300, "delivered {delivered}/1000 under jamming");
+    }
+
+    #[test]
+    fn self_reception_is_false_and_counter_advances() {
+        let mut m = GeoMedium::new(two_node_cfg(1.0));
+        let d = m.transmit(0, 800);
+        assert!(!d.got(0));
+        assert_eq!(m.now(), 1);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let mk = || {
+            let mut cfg = two_node_cfg(3.0);
+            cfg.seed = 42;
+            GeoMedium::new(cfg)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.transmit(0, 800), b.transmit(0, 800));
+        }
+    }
+
+    #[test]
+    fn tick_aligns_to_pattern_boundary() {
+        let mut cfg = two_node_cfg(1.0);
+        cfg.interference = InterferenceSchedule {
+            beams: vec![],
+            patterns: vec![Pattern::default(), Pattern::default()],
+            packets_per_pattern: 10,
+        };
+        let mut m = GeoMedium::new(cfg);
+        m.transmit(0, 8);
+        m.transmit(0, 8);
+        assert_eq!(m.now(), 2);
+        m.tick();
+        assert_eq!(m.now(), 10);
+        m.tick();
+        assert_eq!(m.now(), 20);
+    }
+
+    #[test]
+    fn mean_sinr_reflects_interference_rotation() {
+        let mut cfg = two_node_cfg(2.0);
+        cfg.pathloss.shadowing_sigma_db = 0.0;
+        cfg.interference = InterferenceSchedule {
+            beams: vec![Beam {
+                origin: Point::new(2.0, -2.0),
+                azimuth_deg: 90.0,
+                beamwidth_deg: 22.0,
+                eirp_dbm: 10.0,
+            }],
+            patterns: vec![Pattern { active: vec![0] }, Pattern { active: vec![] }],
+            packets_per_pattern: 5,
+        };
+        let m = GeoMedium::new(cfg);
+        let jammed = m.mean_sinr_db(0, 1, 0);
+        let clear = m.mean_sinr_db(0, 1, 5);
+        assert!(clear - jammed > 20.0, "jammed {jammed} dB vs clear {clear} dB");
+    }
+
+    #[test]
+    fn longer_links_have_lower_sinr() {
+        // Shadowing sigma 0 so the comparison is exact.
+        let mut cfg_near = two_node_cfg(1.0);
+        cfg_near.pathloss.shadowing_sigma_db = 0.0;
+        let mut cfg_far = two_node_cfg(3.5);
+        cfg_far.pathloss.shadowing_sigma_db = 0.0;
+        let near = GeoMedium::new(cfg_near);
+        let far = GeoMedium::new(cfg_far);
+        assert!(near.mean_sinr_db(0, 1, 0) > far.mean_sinr_db(0, 1, 0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Small-scale fading: per-packet power variation.
+//!
+//! Indoor multipath makes the instantaneous received power of each packet
+//! fluctuate around the large-scale mean. We model Rayleigh fading: the
+//! power multiplier is exponentially distributed with unit mean
+//! (`h = -ln(U)` for uniform `U`), optionally mixed with a line-of-sight
+//! component (a crude Rician approximation) since the paper's nodes are
+//! "positioned within line of sight of each other".
+//!
+//! Fading is what turns the deterministic geometry into *probabilistic*
+//! erasures: a node whose SINR sits near the decoder threshold receives
+//! some packets and misses others, which is exactly the raw material the
+//! protocol distils secrets from.
+
+use rand::Rng;
+
+/// Per-packet fading model.
+#[derive(Clone, Copy, Debug)]
+pub enum Fading {
+    /// No fading: the multiplier is always 1 (0 dB).
+    None,
+    /// Rayleigh fading: exponential power multiplier, unit mean.
+    Rayleigh,
+    /// Rician-like fading: fraction `k_factor/(k_factor+1)` of the power is
+    /// a steady line-of-sight ray, the rest Rayleigh. `k_factor = 0`
+    /// degenerates to Rayleigh; large `k_factor` approaches no fading.
+    Rician {
+        /// Ratio of line-of-sight power to scattered power (linear).
+        k_factor: f64,
+    },
+}
+
+impl Fading {
+    /// Draws the power multiplier (linear, unit mean) for one packet.
+    pub fn draw_linear(&self, rng: &mut impl Rng) -> f64 {
+        match self {
+            Fading::None => 1.0,
+            Fading::Rayleigh => exponential_unit_mean(rng),
+            Fading::Rician { k_factor } => {
+                let k = k_factor.max(0.0);
+                let los = k / (k + 1.0);
+                let scattered = 1.0 / (k + 1.0);
+                los + scattered * exponential_unit_mean(rng)
+            }
+        }
+    }
+
+    /// Same multiplier expressed in dB.
+    pub fn draw_db(&self, rng: &mut impl Rng) -> f64 {
+        10.0 * self.draw_linear(rng).log10()
+    }
+}
+
+fn exponential_unit_mean(rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Fading::None.draw_linear(&mut rng), 1.0);
+        assert_eq!(Fading::None.draw_db(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn rayleigh_has_unit_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| Fading::Rayleigh.draw_linear(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn rayleigh_deep_fade_probability() {
+        // P(h < 0.1) = 1 - exp(-0.1) ≈ 0.095.
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let deep = (0..n)
+            .filter(|_| Fading::Rayleigh.draw_linear(&mut rng) < 0.1)
+            .count();
+        let frac = deep as f64 / n as f64;
+        assert!((frac - 0.0952).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn rician_reduces_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let var = |fading: Fading, rng: &mut StdRng| {
+            let samples: Vec<f64> = (0..n).map(|_| fading.draw_linear(rng)).collect();
+            let m = samples.iter().sum::<f64>() / n as f64;
+            samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / n as f64
+        };
+        let v_rayleigh = var(Fading::Rayleigh, &mut rng);
+        let v_rician = var(Fading::Rician { k_factor: 5.0 }, &mut rng);
+        assert!(v_rician < v_rayleigh / 2.0, "{v_rician} vs {v_rayleigh}");
+    }
+
+    #[test]
+    fn rician_preserves_unit_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let f = Fading::Rician { k_factor: 3.0 };
+        let mean: f64 = (0..n).map(|_| f.draw_linear(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn rician_k_zero_is_rayleigh_shaped() {
+        // Just check it still has unit mean and allows deep fades.
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = Fading::Rician { k_factor: 0.0 };
+        let n = 50_000;
+        let deep = (0..n).filter(|_| f.draw_linear(&mut rng) < 0.1).count();
+        assert!(deep > 0);
+    }
+}

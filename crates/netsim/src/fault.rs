@@ -1,0 +1,142 @@
+//! Fault injection on top of any medium.
+//!
+//! Mirrors the `--drop-chance` / `--corrupt-chance` knobs that the
+//! networking guides (smoltcp's examples) recommend every stack expose:
+//! a wrapper that degrades an inner [`Medium`] so tests can exercise
+//! adverse conditions without touching the physical model. Corrupted
+//! packets are counted separately but treated as erasures — a real 802.11
+//! receiver drops frames whose FCS fails, so above the MAC a corruption
+//! *is* a loss.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::medium::{Delivery, Medium, NodeId};
+
+/// A [`Medium`] wrapper that injects extra packet loss.
+#[derive(Clone, Debug)]
+pub struct FaultyMedium<M> {
+    inner: M,
+    /// Extra probability that a delivered packet is dropped anyway.
+    pub drop_chance: f64,
+    /// Extra probability that a delivered packet is corrupted (FCS fails →
+    /// counted in `corrupted`, delivered as lost).
+    pub corrupt_chance: f64,
+    rng: StdRng,
+    /// Number of deliveries suppressed by `drop_chance`.
+    pub dropped: u64,
+    /// Number of deliveries suppressed by `corrupt_chance`.
+    pub corrupted: u64,
+}
+
+impl<M: Medium> FaultyMedium<M> {
+    /// Wraps `inner` with the given fault probabilities.
+    ///
+    /// # Panics
+    /// Panics when a probability is outside `[0, 1]`.
+    pub fn new(inner: M, drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance), "drop_chance out of range");
+        assert!((0.0..=1.0).contains(&corrupt_chance), "corrupt_chance out of range");
+        FaultyMedium {
+            inner,
+            drop_chance,
+            corrupt_chance,
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The wrapped medium, mutably.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+}
+
+impl<M: Medium> Medium for FaultyMedium<M> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn transmit(&mut self, tx: NodeId, bits: u64) -> Delivery {
+        let mut d = self.inner.transmit(tx, bits);
+        for got in d.received.iter_mut() {
+            if *got {
+                let roll: f64 = self.rng.gen();
+                if roll < self.drop_chance {
+                    *got = false;
+                    self.dropped += 1;
+                } else if roll < self.drop_chance + self.corrupt_chance {
+                    *got = false;
+                    self.corrupted += 1;
+                }
+            }
+        }
+        d
+    }
+
+    fn tick(&mut self) {
+        self.inner.tick()
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iid::IidMedium;
+
+    #[test]
+    fn zero_faults_is_transparent() {
+        let mut plain = IidMedium::symmetric(3, 0.2, 5);
+        let mut wrapped = FaultyMedium::new(IidMedium::symmetric(3, 0.2, 5), 0.0, 0.0, 9);
+        for _ in 0..200 {
+            assert_eq!(plain.transmit(0, 8), wrapped.transmit(0, 8));
+        }
+        assert_eq!(wrapped.dropped, 0);
+        assert_eq!(wrapped.corrupted, 0);
+    }
+
+    #[test]
+    fn drop_chance_thins_deliveries() {
+        let mut m = FaultyMedium::new(IidMedium::symmetric(2, 0.0, 1), 0.5, 0.0, 2);
+        let n = 10_000;
+        let got = (0..n).filter(|_| m.transmit(0, 8).got(1)).count();
+        let rate = got as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+        assert_eq!(m.dropped + got as u64, n as u64);
+        assert_eq!(m.corrupted, 0);
+    }
+
+    #[test]
+    fn corruption_counted_separately() {
+        let mut m = FaultyMedium::new(IidMedium::symmetric(2, 0.0, 1), 0.0, 0.3, 3);
+        let n = 10_000;
+        let got = (0..n).filter(|_| m.transmit(0, 8).got(1)).count();
+        assert_eq!(m.corrupted + got as u64, n as u64);
+        assert!(m.corrupted > 2_000, "corrupted {}", m.corrupted);
+        assert_eq!(m.dropped, 0);
+    }
+
+    #[test]
+    fn total_loss_blocks_everything() {
+        let mut m = FaultyMedium::new(IidMedium::symmetric(2, 0.0, 1), 1.0, 0.0, 4);
+        for _ in 0..50 {
+            assert!(!m.transmit(0, 8).got(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_chance_rejected() {
+        let _ = FaultyMedium::new(IidMedium::symmetric(2, 0.0, 1), -0.1, 0.0, 0);
+    }
+}

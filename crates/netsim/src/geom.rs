@@ -1,0 +1,120 @@
+//! 2D geometry and decibel arithmetic.
+
+/// A point in the plane, in metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate (metres).
+    pub x: f64,
+    /// y coordinate (metres).
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Azimuth (degrees in `[-180, 180]`, measured counter-clockwise from
+    /// the +x axis) of the direction from `self` towards `other`.
+    pub fn azimuth_to(&self, other: &Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x).to_degrees()
+    }
+}
+
+/// Converts a power in milliwatts to dBm.
+///
+/// # Panics
+/// Panics when `mw` is not strictly positive.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive to express in dBm");
+    10.0 * mw.log10()
+}
+
+/// Converts a power in dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Sums powers expressed in dBm, returning dBm (i.e., converts to linear,
+/// adds, converts back). An empty slice yields negative infinity (no
+/// power).
+pub fn sum_dbm(powers: &[f64]) -> f64 {
+    if powers.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    mw_to_dbm(powers.iter().map(|&p| dbm_to_mw(p)).sum())
+}
+
+/// Normalizes an angle difference to `[-180, 180]` degrees.
+pub fn angle_diff_deg(a: f64, b: f64) -> f64 {
+    let mut d = (a - b) % 360.0;
+    if d > 180.0 {
+        d -= 360.0;
+    }
+    if d < -180.0 {
+        d += 360.0;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn azimuth_cardinal_directions() {
+        let o = Point::new(0.0, 0.0);
+        assert!((o.azimuth_to(&Point::new(1.0, 0.0)) - 0.0).abs() < 1e-9);
+        assert!((o.azimuth_to(&Point::new(0.0, 1.0)) - 90.0).abs() < 1e-9);
+        assert!((o.azimuth_to(&Point::new(-1.0, 0.0)).abs() - 180.0).abs() < 1e-9);
+        assert!((o.azimuth_to(&Point::new(0.0, -1.0)) + 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        for dbm in [-100.0, -30.0, 0.0, 3.0, 20.0] {
+            let back = mw_to_dbm(dbm_to_mw(dbm));
+            assert!((back - dbm).abs() < 1e-9, "{dbm}");
+        }
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(3.0) - 1.9952623).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_dbm_of_equal_powers_adds_3db() {
+        let s = sum_dbm(&[-50.0, -50.0]);
+        assert!((s - (-50.0 + 10.0 * 2f64.log10())).abs() < 1e-9);
+        assert_eq!(sum_dbm(&[]), f64::NEG_INFINITY);
+        // A dominant term swamps a tiny one.
+        let s = sum_dbm(&[-30.0, -90.0]);
+        assert!((s + 30.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn angle_diff_wraps() {
+        assert!((angle_diff_deg(170.0, -170.0) - (-20.0)).abs() < 1e-9);
+        assert!((angle_diff_deg(-170.0, 170.0) - 20.0).abs() < 1e-9);
+        assert!((angle_diff_deg(10.0, 350.0) - 20.0).abs() < 1e-9);
+        assert!(angle_diff_deg(90.0, 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_power_has_no_dbm() {
+        let _ = mw_to_dbm(0.0);
+    }
+}

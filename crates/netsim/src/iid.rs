@@ -1,0 +1,168 @@
+//! The idealized independent-erasure medium.
+//!
+//! Figure 1 of the paper compares algorithm efficiencies "under simplifying
+//! assumptions: ... the packet erasure probability between Alice and each
+//! terminal, as well as Alice and Eve, is the same". [`IidMedium`] is that
+//! abstraction: every ordered link `tx → rx` drops each packet
+//! independently with a fixed probability, with no geometry, fading or
+//! interference involved.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::medium::{Delivery, Medium, NodeId};
+
+/// A broadcast medium whose links are independent packet-erasure channels.
+#[derive(Clone, Debug)]
+pub struct IidMedium {
+    /// `erasure[tx][rx]`: probability that a packet from `tx` is lost at
+    /// `rx`.
+    erasure: Vec<Vec<f64>>,
+    rng: StdRng,
+    t: u64,
+}
+
+impl IidMedium {
+    /// All links share the same erasure probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn symmetric(nodes: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "erasure probability out of range");
+        IidMedium {
+            erasure: vec![vec![p; nodes]; nodes],
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+
+    /// Fully general per-link erasure probabilities.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square or probabilities are out of
+    /// range.
+    pub fn from_matrix(erasure: Vec<Vec<f64>>, seed: u64) -> Self {
+        let n = erasure.len();
+        assert!(erasure.iter().all(|row| row.len() == n), "erasure matrix must be square");
+        assert!(
+            erasure.iter().flatten().all(|p| (0.0..=1.0).contains(p)),
+            "erasure probability out of range"
+        );
+        IidMedium { erasure, rng: StdRng::seed_from_u64(seed), t: 0 }
+    }
+
+    /// The configured erasure probability of the link `tx → rx`.
+    pub fn erasure_prob(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.erasure[tx][rx]
+    }
+}
+
+impl Medium for IidMedium {
+    fn node_count(&self) -> usize {
+        self.erasure.len()
+    }
+
+    fn transmit(&mut self, tx: NodeId, _bits: u64) -> Delivery {
+        assert!(tx < self.node_count(), "unknown transmitter {tx}");
+        let n = self.node_count();
+        let mut received = vec![false; n];
+        for (rx, slot) in received.iter_mut().enumerate() {
+            if rx != tx {
+                *slot = self.rng.gen::<f64>() >= self.erasure[tx][rx];
+            }
+        }
+        self.t += 1;
+        Delivery::new(received)
+    }
+
+    fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    fn now(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erasure_rate_matches_configuration() {
+        let mut m = IidMedium::symmetric(3, 0.3, 7);
+        let n = 20_000;
+        let mut got = [0usize; 3];
+        for _ in 0..n {
+            let d = m.transmit(0, 800);
+            for rx in 1..3 {
+                if d.got(rx) {
+                    got[rx] += 1;
+                }
+            }
+        }
+        for rx in 1..3 {
+            let rate = got[rx] as f64 / n as f64;
+            assert!((rate - 0.7).abs() < 0.02, "rx {rx} receive rate {rate}");
+        }
+    }
+
+    #[test]
+    fn p_zero_and_one_are_deterministic() {
+        let mut lossless = IidMedium::symmetric(2, 0.0, 1);
+        let mut dead = IidMedium::symmetric(2, 1.0, 1);
+        for _ in 0..100 {
+            assert!(lossless.transmit(0, 8).got(1));
+            assert!(!dead.transmit(0, 8).got(1));
+        }
+    }
+
+    #[test]
+    fn per_link_probabilities() {
+        // Link 0->1 perfect, 0->2 dead.
+        let m = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let mut m = IidMedium::from_matrix(m, 3);
+        for _ in 0..50 {
+            let d = m.transmit(0, 8);
+            assert!(d.got(1));
+            assert!(!d.got(2));
+        }
+    }
+
+    #[test]
+    fn independence_across_receivers() {
+        // With p = 0.5 the four (got1, got2) outcomes should each appear
+        // about a quarter of the time.
+        let mut m = IidMedium::symmetric(3, 0.5, 11);
+        let n = 40_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let d = m.transmit(0, 8);
+            let idx = (d.got(1) as usize) << 1 | d.got(2) as usize;
+            counts[idx] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let frac = *c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.02, "outcome {i} frequency {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        let _ = IidMedium::symmetric(2, 1.5, 0);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let mut a = IidMedium::symmetric(4, 0.4, 123);
+        let mut b = IidMedium::symmetric(4, 0.4, 123);
+        for tx in [0usize, 1, 2, 3, 0, 2] {
+            assert_eq!(a.transmit(tx, 8), b.transmit(tx, 8));
+        }
+    }
+}

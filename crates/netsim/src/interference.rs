@@ -1,0 +1,195 @@
+//! Artificial interference: directional jamming beams and their rotation
+//! schedule.
+//!
+//! The paper (§4) surrounds the 3×3-cell testbed with 6 WARP nodes carrying
+//! two directional antennas each (22° 3-dB beamwidth) and activates them so
+//! that "at any point in time, one pair of antennas creates noise along a
+//! row, while another pair creates noise along a column", rotating through
+//! all 9 (row, column) patterns during an experiment. The goal (§3.3) is to
+//! guarantee that Eve — wherever she stands — misses some minimum fraction
+//! of packets *independently of natural channel conditions*.
+//!
+//! A [`Beam`] is a cone: a receiver is inside if its azimuth from the beam
+//! origin deviates from the boresight by less than half the beamwidth.
+//! In-beam receivers get the full effective radiated power attenuated by
+//! path loss; out-of-beam receivers get a side-lobe level 20 dB down
+//! (typical front-to-side ratio for a small patch array like WARP's).
+
+use crate::geom::{angle_diff_deg, Point};
+use crate::pathloss::PathLoss;
+
+/// Side-lobe suppression applied outside the main cone, dB.
+pub const SIDE_LOBE_SUPPRESSION_DB: f64 = 20.0;
+
+/// One directional jamming antenna.
+#[derive(Clone, Copy, Debug)]
+pub struct Beam {
+    /// Antenna position.
+    pub origin: Point,
+    /// Boresight azimuth, degrees CCW from +x.
+    pub azimuth_deg: f64,
+    /// Full 3-dB beamwidth, degrees (the paper's WARP antennas: 22°).
+    pub beamwidth_deg: f64,
+    /// Effective radiated power along the boresight, dBm.
+    pub eirp_dbm: f64,
+}
+
+impl Beam {
+    /// Whether `p` lies inside the main cone.
+    pub fn covers(&self, p: &Point) -> bool {
+        let az = self.origin.azimuth_to(p);
+        angle_diff_deg(az, self.azimuth_deg).abs() <= self.beamwidth_deg / 2.0
+    }
+
+    /// Interference power delivered to a receiver at `p` (dBm), before
+    /// fading.
+    pub fn power_at(&self, p: &Point, pl: &PathLoss) -> f64 {
+        let base = self.eirp_dbm - pl.median_loss_db(self.origin.distance(p));
+        if self.covers(p) {
+            base
+        } else {
+            base - SIDE_LOBE_SUPPRESSION_DB
+        }
+    }
+}
+
+/// A set of simultaneously active beams.
+#[derive(Clone, Debug, Default)]
+pub struct Pattern {
+    /// Indices into the interferer bank.
+    pub active: Vec<usize>,
+}
+
+/// A bank of beams plus a rotation schedule over activation patterns.
+///
+/// The schedule advances every `packets_per_pattern` transmissions so that
+/// one protocol round cycles through every pattern, like the paper's
+/// time-slotted experiments.
+#[derive(Clone, Debug)]
+pub struct InterferenceSchedule {
+    /// All antennas that exist in the arena.
+    pub beams: Vec<Beam>,
+    /// Activation patterns, rotated in order.
+    pub patterns: Vec<Pattern>,
+    /// How many packet transmissions each pattern stays active for.
+    pub packets_per_pattern: u64,
+}
+
+impl InterferenceSchedule {
+    /// A schedule with no interference at all (the "interferers off"
+    /// ablation).
+    pub fn off() -> Self {
+        InterferenceSchedule {
+            beams: Vec::new(),
+            patterns: vec![Pattern::default()],
+            packets_per_pattern: 1,
+        }
+    }
+
+    /// Number of distinct patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Which pattern is active at packet counter `t`.
+    pub fn pattern_at(&self, t: u64) -> &Pattern {
+        let idx = (t / self.packets_per_pattern) as usize % self.patterns.len().max(1);
+        &self.patterns[idx]
+    }
+
+    /// Total interference power (dBm) arriving at `p` at packet counter
+    /// `t`, before fading; `NEG_INFINITY` when nothing is active.
+    pub fn power_at(&self, p: &Point, t: u64, pl: &PathLoss) -> f64 {
+        let pattern = self.pattern_at(t);
+        let powers: Vec<f64> = pattern
+            .active
+            .iter()
+            .map(|&i| self.beams[i].power_at(p, pl))
+            .collect();
+        crate::geom::sum_dbm(&powers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beam_east(origin: Point) -> Beam {
+        Beam { origin, azimuth_deg: 0.0, beamwidth_deg: 22.0, eirp_dbm: 10.0 }
+    }
+
+    #[test]
+    fn cone_membership() {
+        let b = beam_east(Point::new(0.0, 0.0));
+        assert!(b.covers(&Point::new(5.0, 0.0)));
+        // 11° off boresight at unit distance: tan(11°) ≈ 0.194.
+        assert!(b.covers(&Point::new(1.0, 0.19)));
+        assert!(!b.covers(&Point::new(1.0, 0.25)));
+        // Behind the antenna: definitely out.
+        assert!(!b.covers(&Point::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn side_lobe_is_20db_down() {
+        let b = beam_east(Point::new(0.0, 0.0));
+        let pl = PathLoss { shadowing_sigma_db: 0.0, ..PathLoss::default() };
+        let inside = b.power_at(&Point::new(2.0, 0.0), &pl);
+        let outside = b.power_at(&Point::new(0.0, 2.0), &pl);
+        assert!((inside - outside - SIDE_LOBE_SUPPRESSION_DB).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_decays_with_distance() {
+        let b = beam_east(Point::new(0.0, 0.0));
+        let pl = PathLoss::default();
+        let near = b.power_at(&Point::new(1.0, 0.0), &pl);
+        let far = b.power_at(&Point::new(3.0, 0.0), &pl);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn schedule_rotation() {
+        let beams = vec![beam_east(Point::new(0.0, 0.0)), beam_east(Point::new(0.0, 1.0))];
+        let sched = InterferenceSchedule {
+            beams,
+            patterns: vec![
+                Pattern { active: vec![0] },
+                Pattern { active: vec![1] },
+                Pattern { active: vec![] },
+            ],
+            packets_per_pattern: 10,
+        };
+        assert_eq!(sched.pattern_at(0).active, vec![0]);
+        assert_eq!(sched.pattern_at(9).active, vec![0]);
+        assert_eq!(sched.pattern_at(10).active, vec![1]);
+        assert_eq!(sched.pattern_at(25).active, Vec::<usize>::new());
+        // Wraps around.
+        assert_eq!(sched.pattern_at(30).active, vec![0]);
+    }
+
+    #[test]
+    fn off_schedule_has_no_power() {
+        let sched = InterferenceSchedule::off();
+        let pl = PathLoss::default();
+        assert_eq!(
+            sched.power_at(&Point::new(1.0, 1.0), 0, &pl),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn two_active_beams_sum() {
+        let b0 = beam_east(Point::new(0.0, 0.0));
+        let b1 = beam_east(Point::new(0.0, 0.0));
+        let sched = InterferenceSchedule {
+            beams: vec![b0, b1],
+            patterns: vec![Pattern { active: vec![0, 1] }],
+            packets_per_pattern: 1,
+        };
+        let pl = PathLoss { shadowing_sigma_db: 0.0, ..PathLoss::default() };
+        let p = Point::new(2.0, 0.0);
+        let single = b0.power_at(&p, &pl);
+        let both = sched.power_at(&p, 0, &pl);
+        assert!((both - single - 10.0 * 2f64.log10()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! A slotted broadcast wireless network simulator.
+//!
+//! This crate replaces the physical testbed of the HotNets'12 paper
+//! ("Creating Shared Secrets out of Thin Air"): Asus WL-500gP routers
+//! running 802.11g at 1 Mbps in a 14 m² room, jammed by WARP boards with
+//! 22° directional antennas. The secret-agreement protocol in
+//! `thinair-core` consumes exactly two things from the radio environment —
+//! *which nodes received which packet* and *how many bits went over the
+//! air* — so the simulator's contract is the small [`Medium`] trait, and
+//! everything else here exists to produce physically plausible erasure
+//! patterns:
+//!
+//! * [`geom`] — 2D positions and dB arithmetic.
+//! * [`pathloss`] — log-distance path loss with per-link log-normal
+//!   shadowing (frozen per link: the testbed is static, which is precisely
+//!   why the paper's approach differs from channel-reciprocity schemes).
+//! * [`fading`] — per-packet Rayleigh fading (small-scale variation).
+//! * [`per`] — SINR → packet-error-rate curves (BPSK/DSSS BER-based, or a
+//!   logistic/step approximation).
+//! * [`interference`] — directional jamming beams, the 3-rows × 3-columns
+//!   pattern set, and the rotation schedule of §4.
+//! * [`channel`] — [`channel::GeoMedium`], the geometric medium tying the
+//!   above together.
+//! * [`iid`] — [`iid::IidMedium`], the idealized independent-erasure medium
+//!   used for Figure 1 ("the packet erasure probability between Alice and
+//!   each terminal, as well as Alice and Eve, is the same").
+//! * [`fault`] — fault-injection wrapper (extra drop probability, FCS
+//!   corruption), in the spirit of the fault-injection knobs the Rust
+//!   networking guides recommend for every example.
+//! * [`reliable`] — reliable broadcast (ACK + retransmission) with exact
+//!   bit accounting, the primitive the paper writes as "reliably
+//!   broadcasts".
+//! * [`stats`] — per-node transmitted-bit counters (the efficiency
+//!   denominator).
+//! * [`trace`] — a bounded event log for debugging experiments.
+//!
+//! The simulator is deliberately synchronous and deterministic: every run
+//! is a pure function of its configuration and RNG seed. (The tokio guide
+//! this workspace follows is explicit that CPU-bound simulation does not
+//! want an async runtime.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod fading;
+pub mod fault;
+pub mod geom;
+pub mod iid;
+pub mod interference;
+pub mod medium;
+pub mod pathloss;
+pub mod per;
+pub mod reliable;
+pub mod stats;
+pub mod trace;
+
+pub use channel::{GeoMedium, GeoMediumConfig};
+pub use trace::TracedMedium;
+pub use fault::FaultyMedium;
+pub use geom::Point;
+pub use iid::IidMedium;
+pub use medium::{Delivery, Medium, NodeId};
+pub use reliable::{reliable_broadcast, ReliableError, ReliableOutcome, ACK_BITS};
+pub use stats::TxStats;

@@ -1,0 +1,90 @@
+//! The broadcast-medium abstraction consumed by the protocol.
+//!
+//! Terminals and Eve are identified by dense indices. The protocol only
+//! ever asks the medium one question: *if node `tx` transmits one packet of
+//! `bits` bits now, who receives it?* Everything the paper measures
+//! (erasure patterns, efficiency denominators) derives from the answers.
+
+/// Index of a node attached to the medium. Terminals occupy `0..n`; by
+/// convention in this workspace the eavesdropper is the last node.
+pub type NodeId = usize;
+
+/// The outcome of a single packet transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// `received[i]` is true iff node `i` decoded the packet. The
+    /// transmitter's own entry is always `false` (a half-duplex radio does
+    /// not hear itself).
+    pub received: Vec<bool>,
+}
+
+impl Delivery {
+    /// Convenience constructor.
+    pub fn new(received: Vec<bool>) -> Self {
+        Delivery { received }
+    }
+
+    /// Whether node `i` received the packet.
+    pub fn got(&self, i: NodeId) -> bool {
+        self.received.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of receivers that got the packet.
+    pub fn count(&self) -> usize {
+        self.received.iter().filter(|&&r| r).count()
+    }
+}
+
+/// A broadcast wireless medium: one transmission reaches a random subset of
+/// the other nodes.
+///
+/// Implementations must be deterministic given their construction seed so
+/// that experiments are reproducible.
+pub trait Medium {
+    /// Total number of nodes attached (terminals + eavesdropper).
+    fn node_count(&self) -> usize;
+
+    /// Transmit a single packet of `bits` bits from `tx`; returns who
+    /// received it. Advances the medium's internal packet clock (e.g. for
+    /// interference rotation).
+    fn transmit(&mut self, tx: NodeId, bits: u64) -> Delivery;
+
+    /// Advances the medium to the next time slot without transmitting
+    /// (e.g. to force an interference-pattern change between protocol
+    /// phases).
+    fn tick(&mut self);
+
+    /// The current slot counter (implementation-defined granularity);
+    /// exposed for traces and tests.
+    fn now(&self) -> u64;
+}
+
+/// Blanket impl so `&mut M` can be passed where `impl Medium` is expected.
+impl<M: Medium + ?Sized> Medium for &mut M {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn transmit(&mut self, tx: NodeId, bits: u64) -> Delivery {
+        (**self).transmit(tx, bits)
+    }
+    fn tick(&mut self) {
+        (**self).tick()
+    }
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_accessors() {
+        let d = Delivery::new(vec![false, true, true, false]);
+        assert!(!d.got(0));
+        assert!(d.got(1));
+        assert!(!d.got(9)); // out of range is "not received"
+        assert_eq!(d.count(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Large-scale propagation: log-distance path loss with log-normal
+//! shadowing.
+//!
+//! Received power for a link of length `d` metres:
+//!
+//! ```text
+//! P_rx(dBm) = P_tx + G - PL(d0) - 10·n·log10(d/d0) - X_sigma(link)
+//! ```
+//!
+//! where `PL(d0)` is the free-space loss at the reference distance
+//! (1 m at 2.472 GHz ≈ 40.3 dB), `n` the path-loss exponent (≈ 2 for the
+//! paper's line-of-sight room), and `X_sigma` a zero-mean Gaussian in dB
+//! drawn **once per ordered link** and frozen: the testbed is static, so
+//! shadowing is a property of the geometry, not of time. (This matters for
+//! fidelity: the paper contrasts itself with key-extraction schemes that
+//! need channel *variation*; our large-scale channel must therefore not
+//! vary.)
+
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+
+/// Free-space path loss at 1 m for 2.472 GHz (dB):
+/// `20·log10(4π·d·f/c)` with d = 1 m.
+pub const FSPL_1M_2472MHZ_DB: f64 = 40.32;
+
+/// Parameters of the log-distance path-loss model.
+#[derive(Clone, Copy, Debug)]
+pub struct PathLoss {
+    /// Path-loss exponent (2.0 = free space; indoor LOS ≈ 1.8–2.2).
+    pub exponent: f64,
+    /// Reference loss at 1 m, dB.
+    pub ref_loss_db: f64,
+    /// Standard deviation of per-link log-normal shadowing, dB.
+    pub shadowing_sigma_db: f64,
+    /// Below this distance the loss is clamped to the reference loss
+    /// (avoids the model diverging to -inf loss at d -> 0).
+    pub min_distance_m: f64,
+}
+
+impl Default for PathLoss {
+    fn default() -> Self {
+        PathLoss {
+            exponent: 2.0,
+            ref_loss_db: FSPL_1M_2472MHZ_DB,
+            shadowing_sigma_db: 3.0,
+            min_distance_m: 0.1,
+        }
+    }
+}
+
+impl PathLoss {
+    /// Deterministic (median) path loss in dB for a link of `d` metres.
+    pub fn median_loss_db(&self, d: f64) -> f64 {
+        let d = d.max(self.min_distance_m);
+        self.ref_loss_db + 10.0 * self.exponent * (d / 1.0).log10()
+    }
+
+    /// Draws the frozen shadowing term for one link, in dB.
+    pub fn draw_shadowing_db(&self, rng: &mut impl Rng) -> f64 {
+        self.shadowing_sigma_db * sample_standard_normal(rng)
+    }
+}
+
+/// Minimal normal sampling (Box–Muller) so we do not need an extra
+/// dependency: `rand` provides uniforms; the pair trick gives exact
+/// standard normals.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal sample via Box–Muller (uses two uniforms).
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+        // Guard against log(0).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+pub use rand_distr_normal::sample_standard_normal as standard_normal;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_loss_at_one_metre() {
+        let pl = PathLoss::default();
+        assert!((pl.median_loss_db(1.0) - FSPL_1M_2472MHZ_DB).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_increases_with_distance() {
+        let pl = PathLoss::default();
+        let mut prev = pl.median_loss_db(0.5);
+        for d in [1.0, 2.0, 3.742, 10.0] {
+            let l = pl.median_loss_db(d);
+            assert!(l >= prev, "loss must be monotone at d={d}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn exponent_two_means_6db_per_doubling() {
+        let pl = PathLoss { exponent: 2.0, ..PathLoss::default() };
+        let l1 = pl.median_loss_db(1.0);
+        let l2 = pl.median_loss_db(2.0);
+        assert!((l2 - l1 - 20.0 * 2f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_distances_clamped() {
+        let pl = PathLoss::default();
+        assert_eq!(pl.median_loss_db(0.0), pl.median_loss_db(pl.min_distance_m));
+    }
+
+    #[test]
+    fn testbed_link_budget_sanity() {
+        // Across the full diagonal of the paper's room (≈ 5.3 m) at 3 dBm:
+        // the received power must sit far above the ~-94 dBm noise floor —
+        // the paper's terminals are all in line of sight and naturally
+        // lose almost nothing, which is why artificial interference is
+        // needed at all.
+        let pl = PathLoss::default();
+        let rx_dbm = 3.0 - pl.median_loss_db(5.3);
+        assert!(rx_dbm > -60.0, "got {rx_dbm} dBm");
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let pl = PathLoss { shadowing_sigma_db: 4.0, ..PathLoss::default() };
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| pl.draw_shadowing_db(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.15, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn standard_normal_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mut within_1sigma = 0;
+        for _ in 0..n {
+            if standard_normal(&mut rng).abs() < 1.0 {
+                within_1sigma += 1;
+            }
+        }
+        let frac = within_1sigma as f64 / n as f64;
+        assert!((frac - 0.6827).abs() < 0.02, "P(|Z|<1) = {frac}");
+    }
+}

@@ -1,0 +1,169 @@
+//! A bounded event log for medium activity.
+//!
+//! [`TracedMedium`] wraps any [`Medium`] and records every transmission —
+//! who sent, how many bits, who received — in a ring buffer, in the spirit
+//! of the packet-dump (`--pcap`) facilities the networking guides attach
+//! to their examples. Experiments use it to debug surprising erasure
+//! patterns without perturbing determinism (the wrapper consumes no
+//! randomness).
+
+use std::collections::VecDeque;
+
+use crate::medium::{Delivery, Medium, NodeId};
+
+/// One recorded transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Medium time when the packet was sent.
+    pub at: u64,
+    /// Transmitter.
+    pub tx: NodeId,
+    /// Payload size in bits.
+    pub bits: u64,
+    /// Delivery flags per node.
+    pub received: Vec<bool>,
+}
+
+/// A [`Medium`] wrapper that records transmissions into a bounded ring.
+#[derive(Clone, Debug)]
+pub struct TracedMedium<M> {
+    inner: M,
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events ever recorded (including evicted ones).
+    pub recorded: u64,
+}
+
+impl<M: Medium> TracedMedium<M> {
+    /// Wraps `inner`, keeping at most `capacity` most-recent events.
+    pub fn new(inner: M, capacity: usize) -> Self {
+        TracedMedium { inner, events: VecDeque::new(), capacity, recorded: 0 }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Renders a compact textual dump (one line per event):
+    /// `t=3 tx=0 bits=800 -> 1,2`.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let rx: Vec<String> = e
+                .received
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| r)
+                .map(|(i, _)| i.to_string())
+                .collect();
+            out.push_str(&format!(
+                "t={} tx={} bits={} -> {}\n",
+                e.at,
+                e.tx,
+                e.bits,
+                if rx.is_empty() { "(nobody)".to_string() } else { rx.join(",") }
+            ));
+        }
+        out
+    }
+}
+
+impl<M: Medium> Medium for TracedMedium<M> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn transmit(&mut self, tx: NodeId, bits: u64) -> Delivery {
+        let at = self.inner.now();
+        let d = self.inner.transmit(tx, bits);
+        if self.capacity > 0 {
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+            }
+            self.events.push_back(TraceEvent { at, tx, bits, received: d.received.clone() });
+        }
+        self.recorded += 1;
+        d
+    }
+
+    fn tick(&mut self) {
+        self.inner.tick()
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iid::IidMedium;
+
+    #[test]
+    fn records_events_in_order() {
+        let mut m = TracedMedium::new(IidMedium::symmetric(3, 0.0, 1), 16);
+        m.transmit(0, 800);
+        m.transmit(1, 64);
+        let evs: Vec<&TraceEvent> = m.events().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].tx, evs[0].bits), (0, 800));
+        assert_eq!((evs[1].tx, evs[1].bits), (1, 64));
+        assert!(evs[0].received[1] && evs[0].received[2]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut m = TracedMedium::new(IidMedium::symmetric(2, 0.0, 1), 2);
+        for i in 0..5 {
+            m.transmit(0, i + 1);
+        }
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.recorded, 5);
+        let bits: Vec<u64> = m.events().map(|e| e.bits).collect();
+        assert_eq!(bits, vec![4, 5]);
+    }
+
+    #[test]
+    fn transparent_to_inner_behaviour() {
+        let mut plain = IidMedium::symmetric(3, 0.5, 77);
+        let mut traced = TracedMedium::new(IidMedium::symmetric(3, 0.5, 77), 8);
+        for _ in 0..100 {
+            assert_eq!(plain.transmit(0, 8), traced.transmit(0, 8));
+        }
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let mut m = TracedMedium::new(IidMedium::symmetric(2, 0.0, 1), 4);
+        m.transmit(0, 800);
+        let text = m.dump();
+        assert!(text.contains("tx=0"));
+        assert!(text.contains("bits=800"));
+        assert!(text.contains("-> 1"));
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let mut m = TracedMedium::new(IidMedium::symmetric(2, 0.0, 1), 0);
+        m.transmit(0, 8);
+        assert!(m.is_empty());
+        assert_eq!(m.recorded, 1);
+    }
+}

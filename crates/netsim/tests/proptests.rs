@@ -1,0 +1,149 @@
+//! Property-based tests for the wireless simulator.
+
+use proptest::prelude::*;
+use thinair_netsim::channel::{GeoMedium, GeoMediumConfig};
+use thinair_netsim::geom::{angle_diff_deg, dbm_to_mw, mw_to_dbm, sum_dbm, Point};
+use thinair_netsim::interference::{Beam, InterferenceSchedule, Pattern};
+use thinair_netsim::pathloss::PathLoss;
+use thinair_netsim::per::PerModel;
+use thinair_netsim::{FaultyMedium, IidMedium, Medium};
+
+proptest! {
+    #[test]
+    fn dbm_mw_round_trip(dbm in -120.0f64..30.0) {
+        let back = mw_to_dbm(dbm_to_mw(dbm));
+        prop_assert!((back - dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_sum_dominates_components(a in -90.0f64..0.0, b in -90.0f64..0.0) {
+        let s = sum_dbm(&[a, b]);
+        prop_assert!(s >= a.max(b) - 1e-9);
+        prop_assert!(s <= a.max(b) + 3.0101); // at most +3 dB over the max
+    }
+
+    #[test]
+    fn angle_diff_is_antisymmetric_and_bounded(a in -720.0f64..720.0, b in -720.0f64..720.0) {
+        let d = angle_diff_deg(a, b);
+        prop_assert!((-180.0..=180.0).contains(&d));
+        let r = angle_diff_deg(b, a);
+        // Antisymmetric modulo the ±180 boundary.
+        prop_assert!((d + r).abs() < 1e-9 || (d + r).abs() - 360.0 < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_a_metric(
+        (x1, y1, x2, y2, x3, y3) in (
+            -10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0,
+            -10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0,
+        )
+    ) {
+        let a = Point::new(x1, y1);
+        let b = Point::new(x2, y2);
+        let c = Point::new(x3, y3);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        prop_assert!(a.distance(&a) == 0.0);
+    }
+
+    #[test]
+    fn path_loss_is_monotone(d1 in 0.1f64..50.0, d2 in 0.1f64..50.0) {
+        let pl = PathLoss::default();
+        if d1 <= d2 {
+            prop_assert!(pl.median_loss_db(d1) <= pl.median_loss_db(d2) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_is_a_probability_and_monotone(
+        sinr in -30.0f64..40.0,
+        bits in 1u64..4000,
+    ) {
+        for model in [
+            PerModel::BpskBer,
+            PerModel::Logistic { threshold_db: 6.0, width_db: 1.5 },
+            PerModel::Step { threshold_db: 6.0 },
+        ] {
+            let p = model.per(sinr, bits);
+            prop_assert!((0.0..=1.0).contains(&p));
+            // Higher SINR never hurts.
+            let p_better = model.per(sinr + 5.0, bits);
+            prop_assert!(p_better <= p + 1e-12);
+        }
+    }
+
+    #[test]
+    fn iid_medium_delivery_shape(
+        nodes in 2usize..8,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+        tx in 0usize..8,
+    ) {
+        let tx = tx % nodes;
+        let mut m = IidMedium::symmetric(nodes, p, seed);
+        let d = m.transmit(tx, 800);
+        prop_assert_eq!(d.received.len(), nodes);
+        prop_assert!(!d.got(tx), "no self-reception");
+        prop_assert_eq!(m.now(), 1);
+    }
+
+    #[test]
+    fn faulty_wrapper_never_creates_deliveries(
+        p in 0.0f64..1.0,
+        drop in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut plain = IidMedium::symmetric(3, p, seed);
+        let mut faulty =
+            FaultyMedium::new(IidMedium::symmetric(3, p, seed), drop, 0.0, seed ^ 1);
+        for _ in 0..50 {
+            let a = plain.transmit(0, 8);
+            let b = faulty.transmit(0, 8);
+            for i in 0..3 {
+                // The wrapper can only remove deliveries, never add them.
+                prop_assert!(!b.got(i) || a.got(i));
+            }
+        }
+    }
+
+    #[test]
+    fn geo_medium_is_deterministic(seed in any::<u64>(), d in 0.5f64..5.0) {
+        let mk = || {
+            let mut cfg = GeoMediumConfig::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(d, 0.0),
+                Point::new(0.0, d),
+            ]);
+            cfg.seed = seed;
+            GeoMedium::new(cfg)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for tx in [0usize, 1, 2, 0, 1] {
+            prop_assert_eq!(a.transmit(tx, 800), b.transmit(tx, 800));
+        }
+    }
+
+    #[test]
+    fn interference_rotation_is_periodic(
+        ppp in 1u64..20,
+        t in 0u64..10_000,
+    ) {
+        let beams = vec![Beam {
+            origin: Point::new(0.0, 0.0),
+            azimuth_deg: 0.0,
+            beamwidth_deg: 22.0,
+            eirp_dbm: 10.0,
+        }];
+        let sched = InterferenceSchedule {
+            beams,
+            patterns: (0..9).map(|i| Pattern { active: vec![i % 1] }).collect(),
+            packets_per_pattern: ppp,
+        };
+        let period = 9 * ppp;
+        prop_assert_eq!(
+            sched.pattern_at(t).active.clone(),
+            sched.pattern_at(t + period).active.clone()
+        );
+    }
+}

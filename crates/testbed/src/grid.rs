@@ -1,0 +1,106 @@
+//! The 14 m² arena and its 3×3 logical cells.
+
+use thinair_netsim::Point;
+
+/// Side of the square arena in metres (`√14` — "a square area of 14 m²").
+pub const SIDE_M: f64 = 3.7416573867739413;
+
+/// Cells per side of the logical grid.
+pub const CELLS_PER_SIDE: usize = 3;
+
+/// Total logical cells.
+pub const NUM_CELLS: usize = CELLS_PER_SIDE * CELLS_PER_SIDE;
+
+/// Side of one logical cell in metres.
+pub const CELL_SIDE_M: f64 = SIDE_M / CELLS_PER_SIDE as f64;
+
+/// Diagonal of one logical cell — the paper's minimum node separation
+/// ("this minimum distance is 1.75 m (the diagonal of a logical cell)").
+pub fn cell_diagonal_m() -> f64 {
+    CELL_SIDE_M * std::f64::consts::SQRT_2
+}
+
+/// Row (0 = bottom) of a cell index (row-major).
+pub const fn cell_row(cell: usize) -> usize {
+    cell / CELLS_PER_SIDE
+}
+
+/// Column (0 = left) of a cell index.
+pub const fn cell_col(cell: usize) -> usize {
+    cell % CELLS_PER_SIDE
+}
+
+/// The centre of a logical cell; nodes are placed at cell centres.
+///
+/// # Panics
+/// Panics when `cell >= NUM_CELLS`.
+pub fn cell_center(cell: usize) -> Point {
+    assert!(cell < NUM_CELLS, "cell index out of range");
+    Point::new(
+        (cell_col(cell) as f64 + 0.5) * CELL_SIDE_M,
+        (cell_row(cell) as f64 + 0.5) * CELL_SIDE_M,
+    )
+}
+
+/// The y-coordinate of the centre line of grid row `r`.
+pub fn row_center_y(r: usize) -> f64 {
+    (r as f64 + 0.5) * CELL_SIDE_M
+}
+
+/// The x-coordinate of the centre line of grid column `c`.
+pub fn col_center_x(c: usize) -> f64 {
+    (c as f64 + 0.5) * CELL_SIDE_M
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_is_fourteen_square_metres() {
+        assert!((SIDE_M * SIDE_M - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_diagonal_matches_paper() {
+        // The paper rounds to 1.75 m.
+        assert!((cell_diagonal_m() - 1.75).abs() < 0.02, "{}", cell_diagonal_m());
+    }
+
+    #[test]
+    fn cell_centers_are_inside_and_distinct() {
+        let mut centers = Vec::new();
+        for c in 0..NUM_CELLS {
+            let p = cell_center(c);
+            assert!(p.x > 0.0 && p.x < SIDE_M);
+            assert!(p.y > 0.0 && p.y < SIDE_M);
+            centers.push(p);
+        }
+        for i in 0..NUM_CELLS {
+            for j in i + 1..NUM_CELLS {
+                assert!(centers[i].distance(&centers[j]) > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn row_col_decomposition() {
+        assert_eq!((cell_row(0), cell_col(0)), (0, 0));
+        assert_eq!((cell_row(5), cell_col(5)), (1, 2));
+        assert_eq!((cell_row(8), cell_col(8)), (2, 2));
+    }
+
+    #[test]
+    fn diagonal_neighbours_respect_min_distance() {
+        // Cells diagonal to each other are exactly one cell diagonal
+        // apart.
+        let d = cell_center(0).distance(&cell_center(4));
+        assert!((d - cell_diagonal_m()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cell_panics() {
+        let _ = cell_center(9);
+    }
+}

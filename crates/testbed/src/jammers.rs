@@ -1,0 +1,158 @@
+//! The WARP interferer bank: 12 directional antennas, 9 rotation
+//! patterns.
+//!
+//! Six WARP nodes carry two antennas each. We arrange them so that every
+//! grid row has a pair of antennas firing along it from both ends, and
+//! every grid column likewise from top and bottom (12 antennas total). A
+//! *pattern* activates one row pair plus one column pair ("one pair of
+//! antennas creates noise along a row, while another pair creates noise
+//! along a column"), giving the 3 × 3 = 9 patterns the paper rotates
+//! through per experiment.
+
+use thinair_netsim::interference::{Beam, InterferenceSchedule, Pattern};
+
+use crate::grid::{col_center_x, row_center_y, CELLS_PER_SIDE, SIDE_M};
+
+/// Default effective radiated power of a jamming antenna (dBm). Chosen so
+/// that an in-beam receiver's SINR falls well below the 802.11b 1 Mbps
+/// decoding threshold while out-of-beam receivers (side lobes, 20 dB
+/// down) stay mostly decodable — the regime the paper's deployment
+/// achieves by construction.
+pub const DEFAULT_JAMMER_EIRP_DBM: f64 = 10.0;
+
+/// Beamwidth of the WARP directional antennas ("narrow 3-dB 22-degree
+/// beam").
+pub const BEAMWIDTH_DEG: f64 = 22.0;
+
+/// How far outside the arena edge the antennas sit (metres).
+const STANDOFF_M: f64 = 0.3;
+
+/// Builds the 12-antenna bank and the 9-pattern rotation schedule.
+///
+/// Beams `2r` / `2r + 1` fire along row `r` (east / west); beams
+/// `6 + 2c` / `6 + 2c + 1` fire along column `c` (north / south).
+/// Pattern `k` (row-major: `r = k / 3`, `c = k % 3`) activates row `r`'s
+/// pair and column `c`'s pair, and stays active for
+/// `packets_per_pattern` transmissions.
+pub fn paper_interference(eirp_dbm: f64, packets_per_pattern: u64) -> InterferenceSchedule {
+    let mut beams = Vec::with_capacity(12);
+    // Row pairs.
+    for r in 0..CELLS_PER_SIDE {
+        let y = row_center_y(r);
+        beams.push(Beam {
+            origin: thinair_netsim::Point::new(-STANDOFF_M, y),
+            azimuth_deg: 0.0,
+            beamwidth_deg: BEAMWIDTH_DEG,
+            eirp_dbm,
+        });
+        beams.push(Beam {
+            origin: thinair_netsim::Point::new(SIDE_M + STANDOFF_M, y),
+            azimuth_deg: 180.0,
+            beamwidth_deg: BEAMWIDTH_DEG,
+            eirp_dbm,
+        });
+    }
+    // Column pairs.
+    for c in 0..CELLS_PER_SIDE {
+        let x = col_center_x(c);
+        beams.push(Beam {
+            origin: thinair_netsim::Point::new(x, -STANDOFF_M),
+            azimuth_deg: 90.0,
+            beamwidth_deg: BEAMWIDTH_DEG,
+            eirp_dbm,
+        });
+        beams.push(Beam {
+            origin: thinair_netsim::Point::new(x, SIDE_M + STANDOFF_M),
+            azimuth_deg: 270.0,
+            beamwidth_deg: BEAMWIDTH_DEG,
+            eirp_dbm,
+        });
+    }
+    let patterns = (0..9)
+        .map(|k| {
+            let r = k / 3;
+            let c = k % 3;
+            Pattern { active: vec![2 * r, 2 * r + 1, 6 + 2 * c, 6 + 2 * c + 1] }
+        })
+        .collect();
+    InterferenceSchedule { beams, patterns, packets_per_pattern }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::cell_center;
+    use thinair_netsim::pathloss::PathLoss;
+
+    #[test]
+    fn twelve_antennas_nine_patterns() {
+        let s = paper_interference(DEFAULT_JAMMER_EIRP_DBM, 10);
+        assert_eq!(s.beams.len(), 12);
+        assert_eq!(s.patterns.len(), 9);
+        for p in &s.patterns {
+            assert_eq!(p.active.len(), 4, "one row pair + one column pair");
+        }
+    }
+
+    #[test]
+    fn every_beam_index_is_used() {
+        let s = paper_interference(DEFAULT_JAMMER_EIRP_DBM, 1);
+        let mut used = vec![false; 12];
+        for p in &s.patterns {
+            for &b in &p.active {
+                used[b] = true;
+            }
+        }
+        assert!(used.iter().all(|&u| u), "{used:?}");
+    }
+
+    #[test]
+    fn row_beams_cover_their_rows_cell_centres() {
+        let s = paper_interference(DEFAULT_JAMMER_EIRP_DBM, 1);
+        for r in 0..3 {
+            for c in 0..3 {
+                let cell = r * 3 + c;
+                let p = cell_center(cell);
+                assert!(
+                    s.beams[2 * r].covers(&p) || s.beams[2 * r + 1].covers(&p),
+                    "row {r} beams must cover cell {cell}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jammed_cells_receive_much_more_interference() {
+        let s = paper_interference(DEFAULT_JAMMER_EIRP_DBM, 1);
+        let pl = PathLoss { shadowing_sigma_db: 0.0, ..PathLoss::default() };
+        // Pattern 0 jams row 0 and column 0. Cell 0 (row 0, col 0) is in
+        // both; cell 4 (centre) is in neither.
+        let jammed = s.power_at(&cell_center(0), 0, &pl);
+        let clear = s.power_at(&cell_center(4), 0, &pl);
+        assert!(
+            jammed - clear > 15.0,
+            "jammed {jammed} dBm vs clear {clear} dBm"
+        );
+    }
+
+    #[test]
+    fn rotation_covers_every_cell() {
+        // Every cell must be jammed in exactly 5 of 9 patterns (its row: 3
+        // patterns; its column: 3; overlap 1).
+        let s = paper_interference(DEFAULT_JAMMER_EIRP_DBM, 1);
+        let pl = PathLoss { shadowing_sigma_db: 0.0, ..PathLoss::default() };
+        for cell in 0..9 {
+            let p = cell_center(cell);
+            let mut jammed_patterns = 0;
+            for k in 0..9u64 {
+                let power = s.power_at(&p, k, &pl);
+                // "Jammed" = in some active beam's main lobe: power well
+                // above the side-lobe floor.
+                if power > -40.0 {
+                    jammed_patterns += 1;
+                }
+            }
+            assert_eq!(jammed_patterns, 5, "cell {cell}");
+        }
+    }
+}

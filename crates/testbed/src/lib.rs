@@ -1,0 +1,42 @@
+//! The paper's §4 deployment, reproduced in simulation.
+//!
+//! "We set up a small indoor wireless testbed that covers a square area of
+//! 14 m². We deployed n = 8 terminals and one adversary. ... We divide the
+//! testbed area in 9 logical cells, place Eve in one of them, and the
+//! terminals in various positions around her, but not in the same cell.
+//! ... To generate interference, we use 6 WARP nodes, each with two
+//! directional antennas, each with a narrow 3-dB 22-degree beam. ... we
+//! turn them on and off, such that, at any point in time, one pair of
+//! antennas creates noise along a row, while another pair creates noise
+//! along a column."
+//!
+//! * [`grid`] — the √14 m × √14 m arena and its 3×3 logical cells
+//!   (diagonal ≈ 1.75 m, the paper's minimum-distance rule).
+//! * [`jammers`] — the 12 directional antennas (6 WARP nodes × 2) on the
+//!   perimeter and the 9-pattern (row, column) rotation schedule.
+//! * [`placement`] — exhaustive enumeration of node placements ("one such
+//!   experiment for each possible positioning of n terminals and Eve").
+//! * [`experiment`] — one experiment = one protocol round on a
+//!   [`thinair_netsim::GeoMedium`] built from a placement.
+//! * [`sweep`] — run every placement (in parallel) and aggregate.
+//! * [`stats`] — min / mean / percentile summaries matching Figure 2's
+//!   markers.
+//! * [`report`] — CSV and ASCII-plot emitters for the bench harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod grid;
+pub mod jamaware;
+pub mod jammers;
+pub mod placement;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+pub use experiment::{run_experiment, ExperimentResult, TestbedConfig};
+pub use jamaware::jamming_aware_estimator;
+pub use placement::{enumerate_placements, Placement};
+pub use stats::Summary;
+pub use sweep::sweep_all_placements;

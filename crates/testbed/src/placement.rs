@@ -1,0 +1,113 @@
+//! Placement enumeration.
+//!
+//! "When we refer to an 'experiment,' we mean that we place n terminals
+//! and Eve on our testbed area, such that each cell is occupied by at most
+//! one node, and we run one round of our protocol. We run one such
+//! experiment for each possible positioning of n terminals and Eve."
+//!
+//! Terminals are interchangeable (the protocol rotates roles), so a
+//! placement is a set of `n` cells for the terminals plus one distinct
+//! cell for Eve: `C(9, n) · (9 − n)` placements for each `n`.
+
+use crate::grid::NUM_CELLS;
+
+/// One positioning of the terminals and Eve on the 3×3 grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Cells occupied by terminals (sorted, distinct).
+    pub terminal_cells: Vec<usize>,
+    /// Eve's cell (distinct from all terminal cells).
+    pub eve_cell: usize,
+}
+
+/// Enumerates every placement of `n` terminals plus Eve.
+///
+/// # Panics
+/// Panics unless `1 <= n <= 8` (Eve needs a free cell).
+pub fn enumerate_placements(n: usize) -> Vec<Placement> {
+    assert!((1..NUM_CELLS).contains(&n), "need 1..=8 terminals");
+    let mut out = Vec::new();
+    // All n-subsets of the 9 cells, bitmask-style.
+    for mask in 0u32..(1 << NUM_CELLS) {
+        if mask.count_ones() as usize != n {
+            continue;
+        }
+        let cells: Vec<usize> = (0..NUM_CELLS).filter(|&c| mask & (1 << c) != 0).collect();
+        for eve in 0..NUM_CELLS {
+            if mask & (1 << eve) == 0 {
+                out.push(Placement { terminal_cells: cells.clone(), eve_cell: eve });
+            }
+        }
+    }
+    out
+}
+
+/// Number of placements for `n` terminals: `C(9, n) · (9 − n)`.
+pub fn placement_count(n: usize) -> usize {
+    fn binom(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut acc = 1usize;
+        for i in 0..k {
+            acc = acc * (n - i) / (i + 1);
+        }
+        acc
+    }
+    binom(NUM_CELLS, n) * (NUM_CELLS - n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        for n in 1..=8 {
+            let placements = enumerate_placements(n);
+            assert_eq!(placements.len(), placement_count(n), "n={n}");
+        }
+        // Known values.
+        assert_eq!(placement_count(8), 9); // C(9,8)*1
+        assert_eq!(placement_count(3), 504); // 84 * 6
+        assert_eq!(placement_count(6), 252); // 84 * 3
+    }
+
+    #[test]
+    fn no_cell_shared() {
+        for p in enumerate_placements(4) {
+            assert!(!p.terminal_cells.contains(&p.eve_cell));
+            let mut cells = p.terminal_cells.clone();
+            cells.dedup();
+            assert_eq!(cells.len(), 4);
+        }
+    }
+
+    #[test]
+    fn placements_are_distinct() {
+        let ps = enumerate_placements(7);
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i], ps[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_house_has_nine_eve_rotations() {
+        let ps = enumerate_placements(8);
+        assert_eq!(ps.len(), 9);
+        // Each placement leaves exactly the Eve cell free.
+        for p in &ps {
+            assert_eq!(p.terminal_cells.len(), 8);
+            assert!((0..9).all(|c| p.terminal_cells.contains(&c) || c == p.eve_cell));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn nine_terminals_rejected() {
+        let _ = enumerate_placements(9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Output helpers for the bench harness: CSV rows and ASCII plots.
+
+use std::fmt::Write as _;
+
+/// Renders a CSV table: header plus one row per record.
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// A simple ASCII scatter/line plot for terminal output: one labelled
+/// series over an x grid. Values are clamped into `[y_min, y_max]`.
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    y_min: f64,
+    y_max: f64,
+    grid: Vec<Vec<char>>,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot canvas.
+    pub fn new(width: usize, height: usize, y_min: f64, y_max: f64) -> Self {
+        assert!(width >= 2 && height >= 2, "plot too small");
+        assert!(y_max > y_min, "empty y range");
+        AsciiPlot { width, height, y_min, y_max, grid: vec![vec![' '; width]; height] }
+    }
+
+    /// Plots a series of `(x_fraction, y)` points (x_fraction in `[0,1]`)
+    /// with the given marker character.
+    pub fn series(&mut self, points: &[(f64, f64)], marker: char) {
+        for &(xf, y) in points {
+            let x = ((xf.clamp(0.0, 1.0)) * (self.width - 1) as f64).round() as usize;
+            let yf = ((y.clamp(self.y_min, self.y_max) - self.y_min)
+                / (self.y_max - self.y_min))
+                .clamp(0.0, 1.0);
+            let row = self.height - 1 - (yf * (self.height - 1) as f64).round() as usize;
+            self.grid[row][x] = marker;
+        }
+    }
+
+    /// Renders the canvas with a y-axis.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, row) in self.grid.iter().enumerate() {
+            let y = self.y_max
+                - (self.y_max - self.y_min) * i as f64 / (self.height - 1) as f64;
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{y:7.3} |{line}");
+        }
+        let _ = writeln!(out, "        +{}", "-".repeat(self.width));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let text = csv(
+            &["n", "min", "mean"],
+            &[
+                vec!["3".into(), "0.2".into(), "0.9".into()],
+                vec!["8".into(), "1.0".into(), "1.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "n,min,mean");
+        assert_eq!(lines[2], "8,1.0,1.0");
+    }
+
+    #[test]
+    fn plot_places_markers() {
+        let mut p = AsciiPlot::new(21, 11, 0.0, 1.0);
+        p.series(&[(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)], '*');
+        let text = p.render();
+        assert_eq!(text.matches('*').count(), 3);
+        // Top-right corner holds the (1.0, 1.0) marker.
+        let first_line = text.lines().next().unwrap();
+        assert!(first_line.ends_with('*'));
+    }
+
+    #[test]
+    fn plot_clamps_out_of_range() {
+        let mut p = AsciiPlot::new(10, 5, 0.0, 1.0);
+        p.series(&[(2.0, 7.0), (-1.0, -3.0)], 'x');
+        let text = p.render();
+        assert_eq!(text.matches('x').count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty y range")]
+    fn bad_range_panics() {
+        let _ = AsciiPlot::new(10, 5, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Summary statistics matching Figure 2's markers.
+//!
+//! For each `n` the paper reports, across all placements: the minimum
+//! (diamonds), the average (circles), "the minimum reliability achieved
+//! during 95% of the experiments" (triangles — i.e. the 5th percentile)
+//! and "during 50% of the experiments" (squares — the median).
+
+/// Summary of a sample of measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 5th percentile — the "95% of experiments achieve at least this"
+    /// marker.
+    pub p05: f64,
+    /// Median — the "50% of experiments achieve at least this" marker.
+    pub p50: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+        let count = sorted.len();
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sorted.iter().sum::<f64>() / count as f64,
+            p05: quantile(&sorted, 0.05),
+            p50: quantile(&sorted, 0.50),
+        })
+    }
+}
+
+/// Lower empirical quantile of an already-sorted sample: the largest value
+/// `v` such that at least `(1 − q)` of the sample is `≥ v` — the paper's
+/// "minimum achieved during (1 − q) of the experiments".
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let idx = ((sorted.len() as f64 - 1.0) * q).floor() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::of(&[1.0; 10]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.p05, 1.0);
+        assert_eq!(s.p50, 1.0);
+        assert_eq!(s.count, 10);
+    }
+
+    #[test]
+    fn summary_orders_correctly() {
+        // min <= p05 <= p50 <= mean-ish <= max
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1.0);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+        assert!(s.min <= s.p05 && s.p05 <= s.p50);
+        assert!((s.p05 - 0.04).abs() < 0.02);
+        assert!((s.p50 - 0.49).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[0.7]).unwrap();
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.p05, 0.7);
+        assert_eq!(s.p50, 0.7);
+    }
+
+    #[test]
+    fn quantile_is_conservative_low() {
+        let sorted = vec![0.0, 0.5, 1.0];
+        assert_eq!(quantile(&sorted, 0.0), 0.0);
+        assert_eq!(quantile(&sorted, 0.5), 0.5);
+        assert_eq!(quantile(&sorted, 1.0), 1.0);
+        // Between points: floor (lower value).
+        assert_eq!(quantile(&sorted, 0.4), 0.0);
+    }
+
+    #[test]
+    fn figure2_semantics() {
+        // 9 perfect experiments and one disaster: min exposes the
+        // disaster, p50 stays perfect — the paper's exact reading.
+        let mut samples = vec![1.0; 9];
+        samples.push(0.2);
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.min, 0.2);
+        assert_eq!(s.p50, 1.0);
+        assert!(s.mean > 0.9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Parallel placement sweeps.
+//!
+//! Figure 2 needs every placement of `n` terminals and Eve (up to 630
+//! experiments per `n`); experiments are independent, so they fan out
+//! over worker threads with `crossbeam`'s scoped threads (the workspace's
+//! one concession to parallelism — the protocol itself is synchronous).
+
+use crossbeam::thread;
+
+use crate::experiment::{run_experiment, ExperimentResult, TestbedConfig};
+use crate::placement::{enumerate_placements, Placement};
+
+/// Runs `run_experiment` on every placement of `n` terminals, in
+/// parallel. Results are returned in placement-enumeration order.
+///
+/// # Panics
+/// Panics when an experiment fails (reliable broadcast exhaustion etc. —
+/// with the default attempt budgets this indicates a configuration error,
+/// not bad luck).
+pub fn sweep_all_placements(n: usize, cfg: &TestbedConfig) -> Vec<ExperimentResult> {
+    let placements = enumerate_placements(n);
+    sweep_placements(&placements, cfg)
+}
+
+/// Runs the given placements in parallel (chunked over available
+/// parallelism).
+pub fn sweep_placements(
+    placements: &[Placement],
+    cfg: &TestbedConfig,
+) -> Vec<ExperimentResult> {
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let chunk = placements.len().div_ceil(workers).max(1);
+    let mut results: Vec<Option<ExperimentResult>> = vec![None; placements.len()];
+    thread::scope(|s| {
+        for (slot_chunk, placement_chunk) in
+            results.chunks_mut(chunk).zip(placements.chunks(chunk))
+        {
+            s.spawn(move |_| {
+                for (slot, placement) in slot_chunk.iter_mut().zip(placement_chunk.iter()) {
+                    *slot = Some(
+                        run_experiment(cfg, placement)
+                            .expect("experiment failed; configuration error"),
+                    );
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> TestbedConfig {
+        TestbedConfig {
+            x_per_terminal: 9,
+            payload_len: 10,
+            seed: 3,
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_returns_one_result_per_placement() {
+        let placements = enumerate_placements(7); // 72 placements
+        let results = sweep_placements(&placements[..8], &tiny_cfg());
+        assert_eq!(results.len(), 8);
+        for (r, p) in results.iter().zip(placements.iter()) {
+            assert_eq!(&r.placement, p);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let placements = enumerate_placements(8);
+        let cfg = tiny_cfg();
+        let parallel = sweep_placements(&placements, &cfg);
+        let serial: Vec<_> = placements
+            .iter()
+            .map(|p| run_experiment(&cfg, p).unwrap())
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,46 @@
+//! `thinair` — group secret agreement from wireless packet erasures.
+//!
+//! A full reproduction of *"Creating Shared Secrets out of Thin Air"*
+//! (Safaka, Fragouli, Argyraki, Diggavi — HotNets 2012): a protocol that
+//! lets `n` terminals on a shared broadcast wireless network agree on a
+//! secret that an eavesdropper cannot reconstruct, with security resting on
+//! the adversary's limited *network presence* instead of computational
+//! hardness.
+//!
+//! This crate is a facade: it re-exports the workspace members so that
+//! applications (and the `examples/` directory) can depend on a single
+//! crate.
+//!
+//! * [`gf`] — GF(2^8) arithmetic and linear algebra.
+//! * [`mds`] — MDS codes: Cauchy/Vandermonde matrices, Reed–Solomon.
+//! * [`netsim`] — the slotted broadcast wireless simulator.
+//! * [`protocol`] — the secret-agreement protocol itself.
+//! * [`model`] — closed-form efficiency analytics (Figure 1).
+//! * [`testbed`] — the paper's §4 deployment and experiment sweeps.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use thinair::protocol::{Estimator, RoundConfig, Session, XSchedule};
+//! use thinair::netsim::IidMedium;
+//!
+//! // Three terminals and Eve on iid erasure channels.
+//! let medium = IidMedium::symmetric(4, 0.5, 42);
+//! let cfg = RoundConfig {
+//!     schedule: XSchedule::CoordinatorOnly(40),
+//!     estimator: Estimator::Oracle { eve_known: Default::default() },
+//!     ..RoundConfig::default()
+//! };
+//! let mut session = Session::new(3, cfg, medium, 7);
+//! let round = session.run_round(0).expect("round should complete");
+//! assert!(round.all_terminals_agree());
+//! ```
+
+pub use thinair_core as protocol;
+pub use thinair_gf as gf;
+pub use thinair_mds as mds;
+pub use thinair_model as model;
+pub use thinair_netsim as netsim;
+pub use thinair_testbed as testbed;

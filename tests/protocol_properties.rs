@@ -1,0 +1,151 @@
+//! Property-based tests of the protocol's core invariants, end to end.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use thinair::gf::{rank_increase, Gf256, Matrix};
+use thinair::protocol::construct::{build_plan, PlanParams};
+use thinair::protocol::round::{run_group_round, RoundConfig, XSchedule};
+use thinair::protocol::{Estimator, Tuning};
+use thinair::netsim::IidMedium;
+
+fn eve_knowledge(plan: &thinair::protocol::Plan, eve: &BTreeSet<usize>) -> Matrix {
+    let mut k = Matrix::zero(0, plan.n_packets);
+    for &j in eve {
+        let mut row = vec![Gf256::ZERO; plan.n_packets];
+        row[j] = Gf256::ONE;
+        k.push_row(&row);
+    }
+    k.vstack(&plan.z_rows_x())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: with ground-truth knowledge of Eve's
+    /// receptions, the constructed secret is *always* perfectly secret —
+    /// whatever the reception patterns.
+    #[test]
+    fn oracle_plans_never_leak(
+        seed in any::<u64>(),
+        n_terminals in 2usize..6,
+        n_packets in 8usize..40,
+        density in 0.3f64..0.9,
+        eve_density in 0.1f64..0.9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut known: Vec<BTreeSet<usize>> = Vec::new();
+        known.push((0..n_packets).collect()); // coordinator knows all
+        for _ in 1..n_terminals {
+            known.push((0..n_packets).filter(|_| rng.gen_bool(density)).collect());
+        }
+        let eve: BTreeSet<usize> =
+            (0..n_packets).filter(|_| rng.gen_bool(eve_density)).collect();
+        let est = Estimator::Oracle { eve_known: eve.clone() };
+        let plan = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams::exact())
+            .unwrap();
+        if plan.l > 0 {
+            let dims = rank_increase(&eve_knowledge(&plan, &eve), &plan.secret_rows_x());
+            prop_assert_eq!(dims, plan.l, "oracle plan leaked");
+        }
+    }
+
+    /// Agreement: every terminal always derives the identical secret,
+    /// under any medium conditions the round survives.
+    #[test]
+    fn all_terminals_always_agree(
+        seed in any::<u64>(),
+        n_terminals in 2usize..6,
+        p in 0.05f64..0.8,
+    ) {
+        let cfg = RoundConfig {
+            schedule: XSchedule::CoordinatorOnly(30),
+            payload_len: 12,
+            estimator: Estimator::Oracle { eve_known: Default::default() },
+            ..RoundConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let medium = IidMedium::symmetric(n_terminals + 1, p, seed ^ 0xA5A5);
+        let out = run_group_round(medium, n_terminals, 0, &cfg, &mut rng).unwrap();
+        prop_assert!(out.all_terminals_agree());
+        // Reliability is a probability-like quantity.
+        let r = out.reliability();
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Secret bits and efficiency are consistent.
+        prop_assert_eq!(out.secret_bits(), (out.l * 12 * 8) as u64);
+        if out.l > 0 {
+            prop_assert!(out.efficiency() > 0.0);
+        }
+    }
+
+    /// The leave-one-out estimator may err, but the *measured* secrecy
+    /// must never exceed L (sanity of the accounting itself), and the
+    /// plan must respect every terminal's decodability.
+    #[test]
+    fn accounting_and_decodability_are_consistent(
+        seed in any::<u64>(),
+        n_terminals in 3usize..6,
+        p in 0.2f64..0.7,
+    ) {
+        let cfg = RoundConfig {
+            schedule: XSchedule::Uniform(10),
+            payload_len: 8,
+            estimator: Estimator::LeaveOneOut(Tuning::default()),
+            ..RoundConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let medium = IidMedium::symmetric(n_terminals + 1, p, seed ^ 0x3C3C);
+        let out = run_group_round(medium, n_terminals, 0, &cfg, &mut rng).unwrap();
+        let plan = &out.plan;
+        prop_assert!(plan.l <= plan.m());
+        for t in 0..n_terminals {
+            for &r in &plan.decodable[t] {
+                // A decodable row's support lies inside the terminal's
+                // known set.
+                for j in &plan.rows[r].support {
+                    prop_assert!(
+                        t == plan.coordinator || out.pool.known[t].contains(j),
+                        "row {r} not actually decodable by terminal {t}"
+                    );
+                }
+            }
+        }
+        let dims = out.eve.secret_dims(&out.secret_rows_x());
+        prop_assert!(dims <= plan.l);
+    }
+
+    /// Rows never exceed the x-pool dimension and all supports are valid
+    /// packet indices.
+    #[test]
+    fn plan_shape_invariants(
+        seed in any::<u64>(),
+        n_packets in 6usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let known: Vec<BTreeSet<usize>> = vec![
+            (0..n_packets).collect(),
+            (0..n_packets).filter(|_| rng.gen_bool(0.6)).collect(),
+            (0..n_packets).filter(|_| rng.gen_bool(0.6)).collect(),
+        ];
+        let est = Estimator::Oracle {
+            eve_known: (0..n_packets).filter(|_| rng.gen_bool(0.4)).collect(),
+        };
+        let plan = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams::exact())
+            .unwrap();
+        prop_assert!(plan.m() <= n_packets, "more rows than pool dimensions");
+        prop_assert_eq!(plan.w.rows(), plan.m());
+        prop_assert_eq!(plan.w.cols(), n_packets);
+        if plan.m() > 0 {
+            prop_assert_eq!(plan.w.rank(), plan.m(), "y-rows must be independent");
+        }
+        for row in &plan.rows {
+            prop_assert!(row.support.iter().all(|&j| j < n_packets));
+            prop_assert_eq!(row.support.len(), row.coeffs.len());
+            prop_assert!(row.support.windows(2).all(|w| w[0] < w[1]), "support sorted");
+        }
+        prop_assert_eq!(plan.c_mat.rows() + plan.d_mat.rows(), plan.m());
+    }
+}
