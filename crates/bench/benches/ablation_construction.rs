@@ -21,8 +21,7 @@ fn run(n: usize, construction: Construction) -> (Summary, f64) {
     };
     let results = sweep_all_placements(n, &cfg);
     let rel: Vec<f64> = results.iter().map(|r| r.reliability).collect();
-    let leak_rate = results.iter().filter(|r| r.l > 0 && r.reliability < 1.0).count()
-        as f64
+    let leak_rate = results.iter().filter(|r| r.l > 0 && r.reliability < 1.0).count() as f64
         / results.iter().filter(|r| r.l > 0).count().max(1) as f64;
     (Summary::of(&rel).expect("non-empty"), leak_rate)
 }

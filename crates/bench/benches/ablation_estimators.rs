@@ -59,17 +59,11 @@ fn main() {
     );
     let (ff_r, _ff_e, ff_l) = run(
         "fixed-0.2",
-        TestbedConfig {
-            estimator: Estimator::FixedFraction { fraction: 0.2 },
-            ..base.clone()
-        },
+        TestbedConfig { estimator: Estimator::FixedFraction { fraction: 0.2 }, ..base.clone() },
     );
     let (kc_r, _kc_e, kc_l) = run(
         "2-collusion",
-        TestbedConfig {
-            estimator: Estimator::KCollusion { k: 2, tuning },
-            ..base.clone()
-        },
+        TestbedConfig { estimator: Estimator::KCollusion { k: 2, tuning }, ..base.clone() },
     );
 
     println!(
@@ -84,10 +78,34 @@ fn main() {
     assert!(ja_r.min > 0.99, "jamming-aware should be airtight: {}", ja_r.min);
 
     let rows = vec![
-        vec!["leave-one-out".into(), format!("{:.4}", loo_r.min), format!("{:.4}", loo_r.mean), format!("{:.5}", loo_e.mean), format!("{loo_l:.1}")],
-        vec!["jamming-aware".into(), format!("{:.4}", ja_r.min), format!("{:.4}", ja_r.mean), format!("{:.5}", _ja_e.mean), format!("{ja_l:.1}")],
-        vec!["fixed-0.2".into(), format!("{:.4}", ff_r.min), format!("{:.4}", ff_r.mean), format!("{:.5}", _ff_e.mean), format!("{ff_l:.1}")],
-        vec!["2-collusion".into(), format!("{:.4}", kc_r.min), format!("{:.4}", kc_r.mean), format!("{:.5}", _kc_e.mean), format!("{kc_l:.1}")],
+        vec![
+            "leave-one-out".into(),
+            format!("{:.4}", loo_r.min),
+            format!("{:.4}", loo_r.mean),
+            format!("{:.5}", loo_e.mean),
+            format!("{loo_l:.1}"),
+        ],
+        vec![
+            "jamming-aware".into(),
+            format!("{:.4}", ja_r.min),
+            format!("{:.4}", ja_r.mean),
+            format!("{:.5}", _ja_e.mean),
+            format!("{ja_l:.1}"),
+        ],
+        vec![
+            "fixed-0.2".into(),
+            format!("{:.4}", ff_r.min),
+            format!("{:.4}", ff_r.mean),
+            format!("{:.5}", _ff_e.mean),
+            format!("{ff_l:.1}"),
+        ],
+        vec![
+            "2-collusion".into(),
+            format!("{:.4}", kc_r.min),
+            format!("{:.4}", kc_r.mean),
+            format!("{:.5}", _kc_e.mean),
+            format!("{kc_l:.1}"),
+        ],
     ];
     std::fs::create_dir_all("target/paper_results").ok();
     std::fs::write(

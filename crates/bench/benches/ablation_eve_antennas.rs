@@ -37,13 +37,10 @@ fn run(k_antennas: usize, estimator: Estimator) -> (Summary, f64) {
             extra_eve_cells: extra,
             ..TestbedConfig::default()
         };
-        results.push(
-            thinair_testbed::run_experiment(&cfg, p).expect("experiment"),
-        );
+        results.push(thinair_testbed::run_experiment(&cfg, p).expect("experiment"));
     }
     let rel: Vec<f64> = results.iter().map(|r| r.reliability).collect();
-    let mean_l =
-        results.iter().map(|r| r.l as f64).sum::<f64>() / results.len() as f64;
+    let mean_l = results.iter().map(|r| r.l as f64).sum::<f64>() / results.len() as f64;
     (Summary::of(&rel).expect("non-empty"), mean_l)
 }
 
@@ -72,10 +69,7 @@ fn main() {
         ]);
         loo_by_k.push(s);
         if k >= 2 {
-            let kc = Estimator::KCollusion {
-                k,
-                tuning: Tuning { scale: 0.75, slack: 0 },
-            };
+            let kc = Estimator::KCollusion { k, tuning: Tuning { scale: 0.75, slack: 0 } };
             let (s, l) = run(k, kc);
             println!(
                 "{k:>9} {:>16} {:>8.3} {:>9.3} {:>8.3} {:>7.1}",

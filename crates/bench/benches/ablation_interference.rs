@@ -28,12 +28,7 @@ fn run(jammer_eirp_dbm: Option<f64>) -> Outcome {
     let mean_l = results.iter().map(|r| r.l as f64).sum::<f64>() / results.len() as f64;
     let zero_l_pct =
         results.iter().filter(|r| r.l == 0).count() as f64 / results.len() as f64 * 100.0;
-    Outcome {
-        rel: Summary::of(&rel).unwrap(),
-        eff: Summary::of(&eff).unwrap(),
-        mean_l,
-        zero_l_pct,
-    }
+    Outcome { rel: Summary::of(&rel).unwrap(), eff: Summary::of(&eff).unwrap(), mean_l, zero_l_pct }
 }
 
 fn main() {
@@ -45,12 +40,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut on_mean_l = 0.0;
     let mut off_mean_l = 0.0;
-    for (name, eirp) in [
-        ("off", None),
-        ("0 dBm", Some(0.0)),
-        ("10 dBm", Some(10.0)),
-        ("20 dBm", Some(20.0)),
-    ] {
+    for (name, eirp) in
+        [("off", None), ("0 dBm", Some(0.0)), ("10 dBm", Some(10.0)), ("20 dBm", Some(20.0))]
+    {
         let o = run(eirp);
         println!(
             "{name:>12} {:>8.3} {:>9.3} {:>9.4} {:>9.4} {:>7.1} {:>8.1}%",
@@ -76,18 +68,12 @@ fn main() {
          {on_mean_l:.1} with the paper's jammers — the interference is what \
          creates the erasures the secret is distilled from"
     );
-    assert!(
-        on_mean_l > off_mean_l,
-        "interference must increase the extractable secret"
-    );
+    assert!(on_mean_l > off_mean_l, "interference must increase the extractable secret");
 
     std::fs::create_dir_all("target/paper_results").ok();
     std::fs::write(
         "target/paper_results/ablation_interference.csv",
-        csv(
-            &["jammers", "min_rel", "mean_rel", "mean_eff", "mean_l", "zero_l_pct"],
-            &rows,
-        ),
+        csv(&["jammers", "min_rel", "mean_rel", "mean_eff", "mean_l", "zero_l_pct"], &rows),
     )
     .ok();
     println!("CSV written to target/paper_results/ablation_interference.csv");

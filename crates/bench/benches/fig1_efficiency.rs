@@ -133,10 +133,7 @@ fn main() {
     for &n in &ns {
         let g = group_max_efficiency(n, p);
         let u = unicast_efficiency(n, p);
-        println!(
-            "  n={n:<3} group {g:.4} unicast {u:.4}  (group/unicast = {:.2}x)",
-            g / u
-        );
+        println!("  n={n:<3} group {g:.4} unicast {u:.4}  (group/unicast = {:.2}x)", g / u);
         assert!(g >= u - 1e-9, "group must dominate unicast");
         assert!(g <= prev + 1e-9, "group efficiency must decrease with n");
         prev = g;

@@ -71,14 +71,8 @@ fn main() {
     // T2: the §4 worst-case claims.
     println!("\n=== T2: paper claims vs measured ===");
     println!("{:<44} {:>10} {:>10}", "claim", "paper", "measured");
-    println!(
-        "{:<44} {:>10} {:>10.3}",
-        "min reliability, n = 8", "1.0", min_by_n[&8]
-    );
-    println!(
-        "{:<44} {:>10} {:>10.3}",
-        "min reliability, n = 6", "0.2", min_by_n[&6]
-    );
+    println!("{:<44} {:>10} {:>10.3}", "min reliability, n = 8", "1.0", min_by_n[&8]);
+    println!("{:<44} {:>10} {:>10.3}", "min reliability, n = 6", "0.2", min_by_n[&6]);
     for n in 3..=8 {
         println!(
             "{:<44} {:>10} {:>10.3}",
@@ -108,11 +102,7 @@ fn main() {
         "n=8 should be (near-)perfect in the worst placement: {}",
         min_by_n[&8]
     );
-    assert!(
-        p50_by_n[&6] > 0.99,
-        "median reliability must stay 1 (n=6: {})",
-        p50_by_n[&6]
-    );
+    assert!(p50_by_n[&6] > 0.99, "median reliability must stay 1 (n=6: {})", p50_by_n[&6]);
 
     let out = csv(&["n", "min", "p05", "mean", "p50", "placements"], &csv_rows);
     std::fs::create_dir_all("target/paper_results").ok();

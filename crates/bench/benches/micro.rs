@@ -38,30 +38,20 @@ fn bench_gf_kernels(c: &mut Criterion) {
 fn bench_matrix(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let m64 = Matrix::random(64, 64, &mut rng);
-    c.bench_function("matrix/rank_64x64", |bench| {
-        bench.iter(|| black_box(&m64).rank())
-    });
-    c.bench_function("matrix/inverse_64x64", |bench| {
-        bench.iter(|| black_box(&m64).inverse())
-    });
+    c.bench_function("matrix/rank_64x64", |bench| bench.iter(|| black_box(&m64).rank()));
+    c.bench_function("matrix/inverse_64x64", |bench| bench.iter(|| black_box(&m64).inverse()));
     let m128 = Matrix::random(120, 160, &mut rng);
-    c.bench_function("matrix/rank_120x160", |bench| {
-        bench.iter(|| black_box(&m128).rank())
-    });
+    c.bench_function("matrix/rank_120x160", |bench| bench.iter(|| black_box(&m128).rank()));
 }
 
 fn bench_rs(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let rs = ReedSolomon::new(16, 24).unwrap();
-    let data: Vec<Vec<Gf256>> = (0..16)
-        .map(|_| (0..100).map(|_| Gf256(rng.gen())).collect())
-        .collect();
+    let data: Vec<Vec<Gf256>> =
+        (0..16).map(|_| (0..100).map(|_| Gf256(rng.gen())).collect()).collect();
     let coded = rs.encode(&data);
-    c.bench_function("rs/encode_16_24_100B", |bench| {
-        bench.iter(|| rs.encode(black_box(&data)))
-    });
-    let shares: Vec<(usize, Vec<Gf256>)> =
-        (8..24).map(|i| (i, coded[i].clone())).collect();
+    c.bench_function("rs/encode_16_24_100B", |bench| bench.iter(|| rs.encode(black_box(&data))));
+    let shares: Vec<(usize, Vec<Gf256>)> = (8..24).map(|i| (i, coded[i].clone())).collect();
     c.bench_function("rs/decode_all_parity", |bench| {
         bench.iter(|| rs.decode(black_box(&shares)).unwrap())
     });
@@ -83,15 +73,8 @@ fn bench_construction(c: &mut Criterion) {
     c.bench_function("construct/build_plan_n6_120pkts", |bench| {
         bench.iter(|| {
             let mut r = StdRng::seed_from_u64(7);
-            build_plan(
-                black_box(&known),
-                0,
-                n_packets,
-                &est,
-                &mut r,
-                PlanParams::default(),
-            )
-            .unwrap()
+            build_plan(black_box(&known), 0, n_packets, &est, &mut r, PlanParams::default())
+                .unwrap()
         })
     });
 }

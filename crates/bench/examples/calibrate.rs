@@ -14,7 +14,8 @@ fn probe(tag: &str, cfg: &TestbedConfig) {
         let rel: Vec<f64> = results.iter().map(|r| r.reliability).collect();
         let eff: Vec<f64> = results.iter().map(|r| r.efficiency).collect();
         let l: Vec<f64> = results.iter().map(|r| r.l as f64).collect();
-        let (sr, se, sl) = (Summary::of(&rel).unwrap(), Summary::of(&eff).unwrap(), Summary::of(&l).unwrap());
+        let (sr, se, sl) =
+            (Summary::of(&rel).unwrap(), Summary::of(&eff).unwrap(), Summary::of(&l).unwrap());
         println!(
             "[{tag}] n={n}: rel min {:.2} p05 {:.2} mean {:.2} p50 {:.2} | eff min {:.4} mean {:.4} | L {:.1}",
             sr.min, sr.p05, sr.mean, sr.p50, se.min, se.mean, sl.mean
@@ -24,12 +25,13 @@ fn probe(tag: &str, cfg: &TestbedConfig) {
 
 fn main() {
     let base = TestbedConfig::default();
-    for scale in [0.75] {
+    // Widen this list to sweep candidate conservatism scales.
+    let scales = [0.75];
+    for &scale in scales.iter() {
         let cfg = TestbedConfig {
             estimator: Estimator::LeaveOneOut(Tuning { scale, slack: 0 }),
             ..base.clone()
         };
         probe(&format!("scale {scale}"), &cfg);
     }
-
 }

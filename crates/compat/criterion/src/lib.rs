@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark a configured number of iterations and
+//! prints mean wall-clock time per iteration. No statistics, plots, or
+//! regression baselines — the workspace uses this for smoke-level latency
+//! numbers; publication-grade measurement would need the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on: the
+/// stand-in always runs setup outside the timed section).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps how long one benchmark may run.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up / calibration pass with one iteration.
+        let mut calib = Bencher { iters: 1, total: Duration::ZERO };
+        f(&mut calib);
+        let per_iter = calib.total.max(Duration::from_nanos(1));
+        // Fit the configured sample count into the measurement budget.
+        let fit = (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = (self.sample_size as u64).min(fit.max(1));
+        let mut b = Bencher { iters, total: Duration::ZERO };
+        f(&mut b);
+        let mean = b.total.as_nanos() as f64 / iters as f64;
+        println!("bench {id:<40} {:>12.0} ns/iter ({} iters)", mean, iters);
+        self
+    }
+
+    /// Compatibility no-op (the stand-in has no CLI filtering).
+    pub fn final_summary(&self) {}
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().sample_size(3).bench_function("t", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls >= 3, "calls {calls}");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        Criterion::default().sample_size(4).bench_function("t", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 4, "setups {setups}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's API design). A child-thread panic propagates as a panic
+//! from `scope` itself rather than as an `Err` — the workspace's only
+//! caller immediately `.expect()`s the result, so the observable
+//! behaviour is identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+
+    /// A scope handle passed to [`scope`]'s closure and to spawned
+    /// children.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it
+        /// can spawn further children), like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawned threads can be
+    /// created; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        thread::scope(|s| {
+            for (slot, chunk) in sums.iter_mut().zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

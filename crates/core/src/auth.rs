@@ -49,7 +49,11 @@ impl Authenticator {
     ///
     /// Returns the inner message, or an error when the tag is wrong (an
     /// impersonation attempt) or the envelope is malformed.
-    pub fn open(&self, envelope: &Message, claimed_sender: usize) -> Result<Message, ProtocolError> {
+    pub fn open(
+        &self,
+        envelope: &Message,
+        claimed_sender: usize,
+    ) -> Result<Message, ProtocolError> {
         let Message::Authenticated { inner, tag } = envelope else {
             return Err(ProtocolError::Wire(WireError::BadLength));
         };

@@ -209,8 +209,7 @@ impl ViewState {
                 if r2 == r || visited[r2] {
                     continue;
                 }
-                let has_flow =
-                    self.rows[r2].flow.iter().any(|&(pp, u)| pp == p && u > 0);
+                let has_flow = self.rows[r2].flow.iter().any(|&(pp, u)| pp == p && u > 0);
                 if !has_flow {
                     continue;
                 }
@@ -357,10 +356,8 @@ fn support_capacity(support: &[usize], views: &[EveView], scale: f64) -> Option<
                 continue; // conceded: this view does not constrain it
             }
         }
-        let units: u32 = support
-            .iter()
-            .map(|&j| view.miss_capacity.get(j).copied().unwrap_or(0))
-            .sum();
+        let units: u32 =
+            support.iter().map(|&j| view.miss_capacity.get(j).copied().unwrap_or(0)).sum();
         let cap = ((units / view.row_demand) as f64 * scale).floor() as usize;
         best = Some(best.map_or(cap, |b: usize| b.min(cap)));
     }
@@ -453,7 +450,7 @@ pub fn build_plan(
             level.push((tv, decoders));
         }
         // Widest supports first: more Eve-unknown budget per row.
-        level.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        level.sort_by_key(|(support, _)| std::cmp::Reverse(support.len()));
         for (support, decoders) in level {
             // Statistical safety: never allocate more rows on a support
             // than its estimated capacity minus the slack margin.
@@ -489,9 +486,7 @@ pub fn build_plan(
             supports
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| {
-                    i == coordinator || s.iter().all(|j| known_sets[i].contains(j))
-                })
+                .filter(|(_, s)| i == coordinator || s.iter().all(|j| known_sets[i].contains(j)))
                 .map(|(r, _)| r)
                 .collect()
         })
@@ -526,9 +521,7 @@ pub fn build_plan(
         }
     }
     if !ok {
-        return Err(ProtocolError::ConstructionFailed(
-            "could not draw full-rank y coefficients",
-        ));
+        return Err(ProtocolError::ConstructionFailed("could not draw full-rank y coefficients"));
     }
 
     // 6. The phase-2 matrices: an invertible M×M split into C (top M−L)
@@ -537,17 +530,7 @@ pub fn build_plan(
     let c_mat = cd.select_rows(&(0..m - l).collect::<Vec<_>>());
     let d_mat = cd.select_rows(&(m - l..m).collect::<Vec<_>>());
 
-    Ok(Plan {
-        n_packets,
-        coordinator,
-        rows,
-        w,
-        decodable,
-        budgets,
-        l,
-        c_mat,
-        d_mat,
-    })
+    Ok(Plan { n_packets, coordinator, rows, w, decodable, budgets, l, c_mat, d_mat })
 }
 
 /// Checks that the drawn coefficients realize the generic ranks the Hall
@@ -606,10 +589,8 @@ fn build_cd(
         }
         let c = cd.select_rows(&(0..m - l).collect::<Vec<_>>());
         let all_decode = others.iter().all(|&i| {
-            let missing: Vec<usize> =
-                (0..m).filter(|r| !decodable[i].contains(r)).collect();
-            missing.is_empty()
-                || c.select_columns(&missing).rank() == missing.len()
+            let missing: Vec<usize> = (0..m).filter(|r| !decodable[i].contains(r)).collect();
+            missing.is_empty() || c.select_columns(&missing).rank() == missing.len()
         });
         if all_decode {
             return Ok(cd);
@@ -639,14 +620,10 @@ pub fn build_block_plan(
     let mut budgets = vec![0usize; n];
     let mut rows: Vec<YRow> = Vec::new();
     for &i in &others {
-        let shared: Vec<usize> = known_sets[coordinator]
-            .intersection(&known_sets[i])
-            .copied()
-            .collect();
+        let shared: Vec<usize> =
+            known_sets[coordinator].intersection(&known_sets[i]).copied().collect();
         let shared_set: BTreeSet<usize> = shared.iter().copied().collect();
-        let mi = estimator
-            .pair_budget(&shared_set, known_sets, coordinator, i)
-            .min(shared.len());
+        let mi = estimator.pair_budget(&shared_set, known_sets, coordinator, i).min(shared.len());
         budgets[i] = mi;
         if mi == 0 {
             return Ok(Plan::empty(n_packets, coordinator, n));
@@ -655,8 +632,7 @@ pub fn build_block_plan(
             if rows.len() >= max_rows {
                 break;
             }
-            let coeffs: Vec<Gf256> =
-                (0..shared.len()).map(|_| Gf256(rng.gen())).collect();
+            let coeffs: Vec<Gf256> = (0..shared.len()).map(|_| Gf256(rng.gen())).collect();
             rows.push(YRow { support: shared.clone(), coeffs });
         }
     }
@@ -670,8 +646,7 @@ pub fn build_block_plan(
             rows.iter()
                 .enumerate()
                 .filter(|(_, r)| {
-                    i == coordinator
-                        || r.support.iter().all(|j| known_sets[i].contains(j))
+                    i == coordinator || r.support.iter().all(|j| known_sets[i].contains(j))
                 })
                 .map(|(idx, _)| idx)
                 .collect()
@@ -731,14 +706,19 @@ mod tests {
         let eve = set(&[]); // Eve heard nothing
         let est = Estimator::Oracle { eve_known: eve.clone() };
         let mut rng = StdRng::seed_from_u64(1);
-        let plan = build_plan(&known, 0, 6, &est, &mut rng, PlanParams { max_rows: 32, ..PlanParams::exact() }).unwrap();
+        let plan = build_plan(
+            &known,
+            0,
+            6,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 32, ..PlanParams::exact() },
+        )
+        .unwrap();
         assert!(plan.l > 0);
         // Some row must be decodable by both Bob and Calvin.
-        let both: Vec<usize> = plan.decodable[1]
-            .iter()
-            .filter(|r| plan.decodable[2].contains(r))
-            .copied()
-            .collect();
+        let both: Vec<usize> =
+            plan.decodable[1].iter().filter(|r| plan.decodable[2].contains(r)).copied().collect();
         assert!(!both.is_empty(), "expected a shared y-row: {:?}", plan.rows);
         // Perfect secrecy (Eve heard nothing).
         assert_eq!(measured_secret_dims(&plan, &eve), plan.l);
@@ -756,14 +736,19 @@ mod tests {
             // Terminal 0 (Alice) knows everything (she sent it).
             known.push((0..n_packets).collect());
             for _ in 1..n_terminals {
-                known.push(
-                    (0..n_packets).filter(|_| rng.gen_bool(0.6)).collect(),
-                );
+                known.push((0..n_packets).filter(|_| rng.gen_bool(0.6)).collect());
             }
-            let eve: BTreeSet<usize> =
-                (0..n_packets).filter(|_| rng.gen_bool(0.5)).collect();
+            let eve: BTreeSet<usize> = (0..n_packets).filter(|_| rng.gen_bool(0.5)).collect();
             let est = Estimator::Oracle { eve_known: eve.clone() };
-            let plan = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams { max_rows: 64, ..PlanParams::exact() }).unwrap();
+            let plan = build_plan(
+                &known,
+                0,
+                n_packets,
+                &est,
+                &mut rng,
+                PlanParams { max_rows: 64, ..PlanParams::exact() },
+            )
+            .unwrap();
             if plan.l == 0 {
                 continue;
             }
@@ -786,7 +771,15 @@ mod tests {
             set(&[0, 2, 4, 6, 8, 10, 12, 14, 16, 18]),
         ];
         let est = Estimator::LeaveOneOut(Tuning::default());
-        let plan = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams { max_rows: 64, ..PlanParams::exact() }).unwrap();
+        let plan = build_plan(
+            &known,
+            0,
+            n_packets,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 64, ..PlanParams::exact() },
+        )
+        .unwrap();
         assert!(plan.l > 0);
 
         // A weak Eve (heard almost nothing): the construction keeps the
@@ -811,7 +804,15 @@ mod tests {
         let known = vec![set(&[0, 1, 2, 3]), set(&[0, 1, 2])];
         let est = Estimator::Oracle { eve_known: set(&[0, 1, 2, 3]) };
         let mut rng = StdRng::seed_from_u64(3);
-        let plan = build_plan(&known, 0, 4, &est, &mut rng, PlanParams { max_rows: 16, ..PlanParams::exact() }).unwrap();
+        let plan = build_plan(
+            &known,
+            0,
+            4,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 16, ..PlanParams::exact() },
+        )
+        .unwrap();
         assert_eq!(plan.l, 0);
         assert!(plan.rows.is_empty());
     }
@@ -827,12 +828,19 @@ mod tests {
             (0..n_packets).filter(|&j| j < 20).collect(),
         ];
         let est = Estimator::Oracle { eve_known: set(&[0, 3, 6, 9, 12]) };
-        let plan = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams { max_rows: 64, ..PlanParams::exact() }).unwrap();
+        let plan = build_plan(
+            &known,
+            0,
+            n_packets,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 64, ..PlanParams::exact() },
+        )
+        .unwrap();
         assert!(plan.l > 0);
         let m = plan.m();
         for i in 1..4 {
-            let missing: Vec<usize> =
-                (0..m).filter(|r| !plan.decodable[i].contains(r)).collect();
+            let missing: Vec<usize> = (0..m).filter(|r| !plan.decodable[i].contains(r)).collect();
             assert!(missing.len() <= m - plan.l, "terminal {i}");
             if !missing.is_empty() {
                 assert_eq!(
@@ -851,11 +859,7 @@ mod tests {
     fn hall_ledger_respects_unit_capacities() {
         // Two packets of capacity, three rows on the same 2-packet
         // support: third must be rejected.
-        let view = EveView {
-            miss_capacity: vec![1, 1, 0, 0],
-            row_demand: 1,
-            concede: None,
-        };
+        let view = EveView { miss_capacity: vec![1, 1, 0, 0], row_demand: 1, concede: None };
         let mut hall = HallLedger::new(&[view]);
         assert!(hall.try_add(&[0, 1, 2]));
         assert!(hall.try_add(&[0, 1, 3]));
@@ -866,11 +870,7 @@ mod tests {
     fn hall_ledger_uses_augmenting_paths() {
         // Row A fits on packet 0 or 1; row B only on 0. Add A (takes 0),
         // then B must displace A to packet 1.
-        let view = EveView {
-            miss_capacity: vec![1, 1],
-            row_demand: 1,
-            concede: None,
-        };
+        let view = EveView { miss_capacity: vec![1, 1], row_demand: 1, concede: None };
         let mut hall = HallLedger::new(&[view]);
         assert!(hall.try_add(&[0, 1]));
         assert!(hall.try_add(&[0]));
@@ -882,16 +882,9 @@ mod tests {
     fn hall_ledger_concedes_contained_supports() {
         // Candidate view concedes rows inside {0,1}; a second
         // (oracle-like) view provides the actual secrecy evidence.
-        let candidate = EveView {
-            miss_capacity: vec![0, 0, 1],
-            row_demand: 1,
-            concede: Some(set(&[0, 1])),
-        };
-        let oracle = EveView {
-            miss_capacity: vec![1, 1, 1],
-            row_demand: 1,
-            concede: None,
-        };
+        let candidate =
+            EveView { miss_capacity: vec![0, 0, 1], row_demand: 1, concede: Some(set(&[0, 1])) };
+        let oracle = EveView { miss_capacity: vec![1, 1, 1], row_demand: 1, concede: None };
         let mut hall = HallLedger::new(&[candidate, oracle]);
         // Inside the candidate's knowledge: conceded there, matched in the
         // oracle view; consumes oracle capacity only.
@@ -907,16 +900,10 @@ mod tests {
         // Under the estimator's own hypotheses a row inside every
         // candidate's knowledge is compromised: it must not be admitted,
         // however "free" it looks.
-        let v1 = EveView {
-            miss_capacity: vec![0, 0, 1],
-            row_demand: 1,
-            concede: Some(set(&[0, 1])),
-        };
-        let v2 = EveView {
-            miss_capacity: vec![0, 1, 0],
-            row_demand: 1,
-            concede: Some(set(&[0, 1, 2])),
-        };
+        let v1 =
+            EveView { miss_capacity: vec![0, 0, 1], row_demand: 1, concede: Some(set(&[0, 1])) };
+        let v2 =
+            EveView { miss_capacity: vec![0, 1, 0], row_demand: 1, concede: Some(set(&[0, 1, 2])) };
         let mut hall = HallLedger::new(&[v1, v2]);
         assert!(!hall.try_add(&[0, 1]));
         // And an empty view list rejects everything.
@@ -928,11 +915,7 @@ mod tests {
     fn hall_ledger_fractional_demand() {
         // fraction 1/2 with scale 16: each packet supplies 8 units, a row
         // needs 16 → a row needs at least 2 packets of support.
-        let view = EveView {
-            miss_capacity: vec![8, 8, 8, 8],
-            row_demand: 16,
-            concede: None,
-        };
+        let view = EveView { miss_capacity: vec![8, 8, 8, 8], row_demand: 16, concede: None };
         let mut hall = HallLedger::new(&[view]);
         assert!(!hall.try_add(&[0]));
         assert!(hall.try_add(&[0, 1]));
@@ -974,7 +957,15 @@ mod tests {
         let eve: BTreeSet<usize> = (3..n_packets).collect();
         let est = Estimator::Oracle { eve_known: eve.clone() };
 
-        let aligned = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams { max_rows: 64, ..PlanParams::exact() }).unwrap();
+        let aligned = build_plan(
+            &known,
+            0,
+            n_packets,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 64, ..PlanParams::exact() },
+        )
+        .unwrap();
         assert!(aligned.l > 0);
         assert_eq!(measured_secret_dims(&aligned, &eve), aligned.l);
 
@@ -983,11 +974,7 @@ mod tests {
         // 3 terminals × 3 rows = 9 rows but Eve misses only 3 packets:
         // rank(W|U) <= 3 < M, so z-packets leak.
         let dims = measured_secret_dims(&block, &eve);
-        assert!(
-            dims < block.l,
-            "naive construction unexpectedly secret: {dims} of {}",
-            block.l
-        );
+        assert!(dims < block.l, "naive construction unexpectedly secret: {dims} of {}", block.l);
     }
 
     #[test]
@@ -1008,13 +995,18 @@ mod tests {
     fn max_rows_is_respected() {
         let mut rng = StdRng::seed_from_u64(5);
         let n_packets = 40;
-        let known: Vec<BTreeSet<usize>> = vec![
-            (0..n_packets).collect(),
-            (0..30).collect(),
-            (10..40).collect(),
-        ];
+        let known: Vec<BTreeSet<usize>> =
+            vec![(0..n_packets).collect(), (0..30).collect(), (10..40).collect()];
         let est = Estimator::Oracle { eve_known: set(&[]) };
-        let plan = build_plan(&known, 0, n_packets, &est, &mut rng, PlanParams { max_rows: 7, ..PlanParams::exact() }).unwrap();
+        let plan = build_plan(
+            &known,
+            0,
+            n_packets,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 7, ..PlanParams::exact() },
+        )
+        .unwrap();
         assert!(plan.m() <= 7, "m = {}", plan.m());
     }
 

@@ -144,10 +144,9 @@ impl Estimator {
     /// size of the x-pool.
     pub fn views(&self, known_sets: &[BTreeSet<usize>], n_packets: usize) -> Vec<EveView> {
         match self {
-            Estimator::LeaveOneOut(_) => known_sets
-                .iter()
-                .map(|k| candidate_view(k, n_packets))
-                .collect(),
+            Estimator::LeaveOneOut(_) => {
+                known_sets.iter().map(|k| candidate_view(k, n_packets)).collect()
+            }
             Estimator::KCollusion { k, .. } => {
                 let n = known_sets.len();
                 let k = (*k).min(n);
@@ -225,9 +224,8 @@ impl Estimator {
                 }
             }
             Estimator::KCollusion { k, tuning } => {
-                let candidates: Vec<usize> = (0..known_sets.len())
-                    .filter(|&j| j != coordinator && j != terminal)
-                    .collect();
+                let candidates: Vec<usize> =
+                    (0..known_sets.len()).filter(|&j| j != coordinator && j != terminal).collect();
                 if candidates.len() < *k || *k == 0 {
                     return 0;
                 }
@@ -253,10 +251,7 @@ impl Estimator {
             }
             Estimator::Oracle { eve_known } => shared.difference(eve_known).count(),
             Estimator::Custom { candidates, tuning, .. } => {
-                let raw = candidates
-                    .iter()
-                    .map(|cand| shared.difference(cand).count())
-                    .min();
+                let raw = candidates.iter().map(|cand| shared.difference(cand).count()).min();
                 match raw {
                     Some(r) => tuning.apply(r),
                     None => 0,
@@ -288,7 +283,8 @@ mod tests {
     fn leave_one_out_matches_paper_example_logic() {
         // Terminals: 0 = Alice (knows everything she sent: 0..10),
         // 1 = Bob (received evens), 2 = Calvin (received 0,1,2,3).
-        let known = vec![set(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]), set(&[0, 2, 4, 6, 8]), set(&[0, 1, 2, 3])];
+        let known =
+            vec![set(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]), set(&[0, 2, 4, 6, 8]), set(&[0, 1, 2, 3])];
         let est = Estimator::LeaveOneOut(Tuning::default());
         // Bob's budget: candidates = {Calvin}. |R_bob \ K_calvin| = |{4,6,8}| = 3.
         let shared_bob = set(&[0, 2, 4, 6, 8]);
@@ -386,11 +382,8 @@ mod tests {
     #[test]
     fn custom_estimator_views_and_budget() {
         let candidates = vec![set(&[0, 1]), set(&[2, 3])];
-        let est = Estimator::Custom {
-            label: "positions".into(),
-            candidates,
-            tuning: Tuning::default(),
-        };
+        let est =
+            Estimator::Custom { label: "positions".into(), candidates, tuning: Tuning::default() };
         let views = est.views(&[], 5);
         assert_eq!(views.len(), 2);
         assert_eq!(views[0].miss_capacity, vec![0, 0, 1, 1, 1]);
@@ -416,10 +409,7 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(Estimator::LeaveOneOut(Tuning::default()).name(), "leave-one-out");
-        assert_eq!(
-            Estimator::KCollusion { k: 2, tuning: Tuning::default() }.name(),
-            "2-collusion"
-        );
+        assert_eq!(Estimator::KCollusion { k: 2, tuning: Tuning::default() }.name(), "2-collusion");
         assert!(Estimator::FixedFraction { fraction: 0.3 }.name().contains("0.3"));
         assert_eq!(Estimator::Oracle { eve_known: set(&[]) }.name(), "oracle");
     }

@@ -72,9 +72,9 @@ pub mod wire;
 
 pub use construct::{build_block_plan, build_plan, Plan};
 pub use error::ProtocolError;
-pub use pairwise::{run_pairwise_round, PairwiseOutcome};
 pub use estimate::{Estimator, Tuning};
 pub use eve::EveLedger;
+pub use pairwise::{run_pairwise_round, PairwiseOutcome};
 pub use round::{run_group_round, Construction, RoundConfig, RoundOutcome, XSchedule};
 pub use session::{Session, SessionRound};
 pub use unicast::{run_unicast_round, UnicastOutcome};

@@ -57,10 +57,7 @@ impl PairwiseOutcome {
 
     /// Total secret bits across all pairs.
     pub fn secret_bits(&self) -> u64 {
-        self.secrets
-            .iter()
-            .map(|s| s.iter().map(|p| (p.len() * 8) as u64).sum::<u64>())
-            .sum()
+        self.secrets.iter().map(|s| s.iter().map(|p| (p.len() * 8) as u64).sum::<u64>()).sum()
     }
 
     /// Efficiency across all pairs (total pairwise secret bits over all
@@ -100,15 +97,7 @@ pub fn run_pairwise_round(
         payload_len: cfg.payload_len,
         max_attempts: cfg.max_attempts,
     };
-    let pool = run_phase1(
-        &mut medium,
-        &mut stats,
-        &mut eve,
-        &p1,
-        n_terminals,
-        coordinator,
-        rng,
-    )?;
+    let pool = run_phase1(&mut medium, &mut stats, &mut eve, &p1, n_terminals, coordinator, rng)?;
 
     let estimator = match &cfg.estimator {
         Estimator::Oracle { .. } => Estimator::Oracle { eve_known: eve.received().clone() },
@@ -121,14 +110,11 @@ pub fn run_pairwise_round(
         if i == coordinator {
             continue;
         }
-        let shared: Vec<usize> = pool.known[coordinator]
-            .intersection(&pool.known[i])
-            .copied()
-            .collect();
+        let shared: Vec<usize> =
+            pool.known[coordinator].intersection(&pool.known[i]).copied().collect();
         let shared_set: BTreeSet<usize> = shared.iter().copied().collect();
-        let budget = estimator
-            .pair_budget(&shared_set, &pool.known, coordinator, i)
-            .min(shared.len());
+        let budget =
+            estimator.pair_budget(&shared_set, &pool.known, coordinator, i).min(shared.len());
         if budget == 0 {
             continue;
         }
@@ -215,10 +201,7 @@ mod tests {
         let out = run_pairwise_round(medium, 4, 0, &cfg(60), &mut rng).unwrap();
         let strong = out.secrets[1].len().max(out.secrets[2].len());
         let weak = out.secrets[3].len();
-        assert!(
-            strong > weak,
-            "strong pairs ({strong}) should beat the weak pair ({weak})"
-        );
+        assert!(strong > weak, "strong pairs ({strong}) should beat the weak pair ({weak})");
     }
 
     #[test]

@@ -15,8 +15,8 @@
 use std::collections::BTreeSet;
 
 use rand::Rng;
-use thinair_netsim::{Medium, TxStats};
 use thinair_netsim::stats::TxClass;
+use thinair_netsim::{Medium, TxStats};
 
 use crate::error::ProtocolError;
 use crate::eve::EveLedger;
@@ -47,6 +47,25 @@ pub struct XPool {
     pub owner: Vec<usize>,
     /// `known[i]`: packets terminal `i` knows (generated + received).
     pub known: Vec<BTreeSet<usize>>,
+}
+
+/// The deterministic id → owner map of the interleaved x-broadcast: ids
+/// are assigned round-robin over terminals with packets remaining. Every
+/// node of a distributed deployment derives the identical map from the
+/// shared schedule, so x-packet ownership never goes on the air.
+pub fn owner_order(x_per_terminal: &[usize]) -> Vec<usize> {
+    let n_packets: usize = x_per_terminal.iter().sum();
+    let mut owner = Vec::with_capacity(n_packets);
+    let mut remaining = x_per_terminal.to_vec();
+    while remaining.iter().any(|&r| r > 0) {
+        for (t, rem) in remaining.iter_mut().enumerate() {
+            if *rem > 0 {
+                *rem -= 1;
+                owner.push(t);
+            }
+        }
+    }
+    owner
 }
 
 /// Runs phase 1 over the given medium.
@@ -86,39 +105,27 @@ pub fn run_phase1(
 
     // Interleaved broadcast: round-robin over terminals with remaining
     // packets so the interference schedule rotates across everyone's
-    // transmissions.
-    let mut remaining = cfg.x_per_terminal.clone();
-    let mut id = 0usize;
-    while remaining.iter().any(|&r| r > 0) {
-        for t in 0..n_terminals {
-            if remaining[t] == 0 {
-                continue;
+    // transmissions. `owner_order` is the shared id → owner map.
+    for (id, &t) in owner_order(&cfg.x_per_terminal).iter().enumerate() {
+        let payload = random_payload(cfg.payload_len, rng);
+        let msg =
+            Message::XPacket { id: id as u16, owner: t as u8, payload: payload_to_bytes(&payload) };
+        let bits = msg.bits();
+        let delivery = medium.transmit(t, bits);
+        stats.record(t, TxClass::Data, bits);
+        known[t].insert(id); // the owner knows its own packet
+        for (rx, known_rx) in known.iter_mut().enumerate() {
+            if delivery.got(rx) {
+                known_rx.insert(id);
             }
-            remaining[t] -= 1;
-            let payload = random_payload(cfg.payload_len, rng);
-            let msg = Message::XPacket {
-                id: id as u16,
-                owner: t as u8,
-                payload: payload_to_bytes(&payload),
-            };
-            let bits = msg.bits();
-            let delivery = medium.transmit(t, bits);
-            stats.record(t, TxClass::Data, bits);
-            known[t].insert(id); // the owner knows its own packet
-            for rx in 0..n_terminals {
-                if delivery.got(rx) {
-                    known[rx].insert(id);
-                }
-            }
-            for &antenna in &eve_nodes {
-                if delivery.got(antenna) {
-                    eve.note_x(id);
-                }
-            }
-            payloads.push(payload);
-            owner.push(t);
-            id += 1;
         }
+        for &antenna in &eve_nodes {
+            if delivery.got(antenna) {
+                eve.note_x(id);
+            }
+        }
+        payloads.push(payload);
+        owner.push(t);
     }
 
     // Reception reports: every terminal reliably broadcasts what it
@@ -127,8 +134,8 @@ pub fn run_phase1(
     // the coordinator's plan deterministically from the reports plus the
     // announced seed (see `crate::phase2`).
     let _ = coordinator;
-    for t in 0..n_terminals {
-        let received = known[t].iter().copied().filter(|&j| owner[j] != t);
+    for (t, known_t) in known.iter().enumerate() {
+        let received = known_t.iter().copied().filter(|&j| owner[j] != t);
         let msg = Message::ReceptionReport {
             terminal: t as u8,
             n_packets: n_packets as u16,
@@ -166,23 +173,16 @@ mod tests {
         let mut stats = TxStats::new(4);
         let mut eve = EveLedger::new(12);
         let mut rng = StdRng::seed_from_u64(2);
-        let pool = run_phase1(
-            &mut medium,
-            &mut stats,
-            &mut eve,
-            &cfg(vec![4, 4, 4]),
-            3,
-            0,
-            &mut rng,
-        )
-        .unwrap();
+        let pool =
+            run_phase1(&mut medium, &mut stats, &mut eve, &cfg(vec![4, 4, 4]), 3, 0, &mut rng)
+                .unwrap();
         assert_eq!(pool.n_packets, 12);
         for i in 0..3 {
             assert_eq!(pool.known[i].len(), 12, "terminal {i}");
         }
         assert_eq!(eve.received().len(), 12);
         // 12 data transmissions + 2 reports (terminals 1, 2).
-        assert_eq!(stats.class_total(TxClass::Data) > 0, true);
+        assert!(stats.class_total(TxClass::Data) > 0);
         assert!(stats.class_total(TxClass::Control) > 0);
     }
 
@@ -195,16 +195,8 @@ mod tests {
         let mut stats = TxStats::new(3);
         let mut eve = EveLedger::new(4);
         let mut rng = StdRng::seed_from_u64(4);
-        let err = run_phase1(
-            &mut medium,
-            &mut stats,
-            &mut eve,
-            &cfg(vec![2, 2]),
-            2,
-            0,
-            &mut rng,
-        )
-        .unwrap_err();
+        let err = run_phase1(&mut medium, &mut stats, &mut eve, &cfg(vec![2, 2]), 2, 0, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::Reliable(_)));
     }
 
@@ -214,16 +206,8 @@ mod tests {
         let mut stats = TxStats::new(3);
         let mut eve = EveLedger::new(40);
         let mut rng = StdRng::seed_from_u64(6);
-        let pool = run_phase1(
-            &mut medium,
-            &mut stats,
-            &mut eve,
-            &cfg(vec![40, 0]),
-            2,
-            0,
-            &mut rng,
-        )
-        .unwrap();
+        let pool = run_phase1(&mut medium, &mut stats, &mut eve, &cfg(vec![40, 0]), 2, 0, &mut rng)
+            .unwrap();
         let bob = &pool.known[1];
         assert!(bob.len() > 5 && bob.len() < 35, "bob knows {}", bob.len());
         assert!(eve.received().len() > 5 && eve.received().len() < 35);
@@ -237,16 +221,8 @@ mod tests {
         let mut stats = TxStats::new(3);
         let mut eve = EveLedger::new(6);
         let mut rng = StdRng::seed_from_u64(8);
-        let pool = run_phase1(
-            &mut medium,
-            &mut stats,
-            &mut eve,
-            &cfg(vec![2, 4]),
-            2,
-            0,
-            &mut rng,
-        )
-        .unwrap();
+        let pool = run_phase1(&mut medium, &mut stats, &mut eve, &cfg(vec![2, 4]), 2, 0, &mut rng)
+            .unwrap();
         assert_eq!(pool.owner, vec![0, 1, 0, 1, 1, 1]);
     }
 

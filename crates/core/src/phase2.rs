@@ -61,8 +61,7 @@ pub fn run_phase2(
     let coordinator = plan.coordinator;
     let m = plan.m();
     let _l = plan.l;
-    let targets: Vec<usize> =
-        (0..n_terminals).filter(|&t| t != coordinator).collect();
+    let targets: Vec<usize> = (0..n_terminals).filter(|&t| t != coordinator).collect();
 
     // Ground-truth y payloads (the coordinator can compute them all: every
     // support is inside her known set).
@@ -125,10 +124,8 @@ pub fn run_phase2(
             }
         })
         .collect();
-    let mut trackers: Vec<thinair_gf::RowEchelon> = missing_rows
-        .iter()
-        .map(|mr| thinair_gf::RowEchelon::new(mr.len()))
-        .collect();
+    let mut trackers: Vec<thinair_gf::RowEchelon> =
+        missing_rows.iter().map(|mr| thinair_gf::RowEchelon::new(mr.len())).collect();
     let mut collected: Vec<Vec<(Vec<Gf256>, Payload)>> = vec![Vec::new(); n_terminals];
     let mut seq = 0u64;
     let mut attempts = 0u32;
@@ -137,21 +134,20 @@ pub fn run_phase2(
     let combo_coeff = |seq: u64, k: usize| -> Gf256 {
         // Small multiplicative hash onto GF(256); quality is irrelevant,
         // only genericity, which the rank tracker verifies per receiver.
-        let h = (seq.wrapping_mul(0x9E3779B97F4A7C15) ^ (k as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
-            .wrapping_mul(0xD6E8FEB86659FD93);
+        let h = (seq.wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (k as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+        .wrapping_mul(0xD6E8FEB86659FD93);
         Gf256((h >> 56) as u8)
     };
-    while z_count > 0
-        && (0..n_terminals).any(|t| trackers[t].rank() < missing_rows[t].len())
-    {
+    while z_count > 0 && (0..n_terminals).any(|t| trackers[t].rank() < missing_rows[t].len()) {
         if attempts >= max_attempts {
-            let mut missing: Vec<usize> = (0..n_terminals)
-                .filter(|&t| trackers[t].rank() < missing_rows[t].len())
-                .collect();
+            let mut missing: Vec<usize> =
+                (0..n_terminals).filter(|&t| trackers[t].rank() < missing_rows[t].len()).collect();
             missing.sort_unstable();
-            return Err(ProtocolError::Reliable(
-                thinair_netsim::ReliableError::Unreachable { missing, attempts },
-            ));
+            return Err(ProtocolError::Reliable(thinair_netsim::ReliableError::Unreachable {
+                missing,
+                attempts,
+            }));
         }
         attempts += 1;
         let q: Vec<Gf256> = (0..z_count).map(|k| combo_coeff(seq, k)).collect();
@@ -181,9 +177,7 @@ pub fn run_phase2(
             // Projection of q·C onto this terminal's missing columns.
             let qc: Vec<Gf256> = missing_rows[t]
                 .iter()
-                .map(|&col| {
-                    (0..z_count).map(|k| q[k] * plan.c_mat[(k, col)]).sum::<Gf256>()
-                })
+                .map(|&col| (0..z_count).map(|k| q[k] * plan.c_mat[(k, col)]).sum::<Gf256>())
                 .collect();
             if trackers[t].insert(&qc) {
                 progress = true;
@@ -207,11 +201,11 @@ pub fn run_phase2(
 
     // 4. Every terminal reconstructs from the combos it collected.
     let mut secrets: Vec<Vec<Payload>> = Vec::with_capacity(n_terminals);
-    for t in 0..n_terminals {
+    for (t, combos) in collected.iter().enumerate() {
         let y_full = if t == coordinator {
             y_payloads.clone()
         } else {
-            reconstruct_y(plan, pool, t, &collected[t])?
+            reconstruct_y(plan, pool, t, combos)?
         };
         secrets.push(plan.d_mat.mul_payloads(&y_full));
     }
@@ -256,27 +250,23 @@ fn reconstruct_y(
             .map(|(q, payload)| {
                 let row: Vec<Gf256> = missing
                     .iter()
-                    .map(|&col| {
-                        (0..z_count).map(|k| q[k] * plan.c_mat[(k, col)]).sum::<Gf256>()
-                    })
+                    .map(|&col| (0..z_count).map(|k| q[k] * plan.c_mat[(k, col)]).sum::<Gf256>())
                     .collect();
                 a.push_row(&row);
                 // rhs = payload - sum over known y's of (q·C)[j]·y_j.
                 let mut acc = payload.clone();
                 for (j, yj) in y.iter().enumerate() {
                     if let Some(yj) = yj {
-                        let qc_j: Gf256 =
-                            (0..z_count).map(|k| q[k] * plan.c_mat[(k, j)]).sum();
+                        let qc_j: Gf256 = (0..z_count).map(|k| q[k] * plan.c_mat[(k, j)]).sum();
                         thinair_gf::add_assign_scaled(&mut acc, yj, qc_j);
                     }
                 }
                 acc
             })
             .collect();
-        let solved = a.solve_payloads(&rhs).ok_or(ProtocolError::DecodeFailed {
-            terminal,
-            what: "y-packets from z system",
-        })?;
+        let solved = a
+            .solve_payloads(&rhs)
+            .ok_or(ProtocolError::DecodeFailed { terminal, what: "y-packets from z system" })?;
         for (pos, &r) in missing.iter().enumerate() {
             y[r] = Some(solved[pos].clone());
         }
@@ -316,12 +306,18 @@ mod tests {
             max_attempts: 100_000,
         };
         let pool =
-            run_phase1(&mut medium, &mut stats, &mut eve, &cfg, n_terminals, 0, &mut rng)
-                .unwrap();
+            run_phase1(&mut medium, &mut stats, &mut eve, &cfg, n_terminals, 0, &mut rng).unwrap();
         let est = Estimator::Oracle { eve_known: eve.received().clone() };
-        let plan = build_plan(&pool.known, 0, n_packets, &est, &mut rng, PlanParams { max_rows: 64, ..PlanParams::exact() }).unwrap();
-        let out = run_phase2(&mut medium, &mut stats, &mut eve, &plan, &pool, 100_000)
-            .unwrap();
+        let plan = build_plan(
+            &pool.known,
+            0,
+            n_packets,
+            &est,
+            &mut rng,
+            PlanParams { max_rows: 64, ..PlanParams::exact() },
+        )
+        .unwrap();
+        let out = run_phase2(&mut medium, &mut stats, &mut eve, &plan, &pool, 100_000).unwrap();
         (plan, out, eve)
     }
 
@@ -347,10 +343,7 @@ mod tests {
             }
             nonzero += 1;
             let r = eve.reliability(&plan.secret_rows_x());
-            assert!(
-                (r - 1.0).abs() < 1e-12,
-                "seed {seed}: reliability {r} with oracle estimator"
-            );
+            assert!((r - 1.0).abs() < 1e-12, "seed {seed}: reliability {r} with oracle estimator");
         }
         assert!(nonzero >= 5, "too few successful rounds to be meaningful");
     }

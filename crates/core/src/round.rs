@@ -26,7 +26,10 @@ pub enum XSchedule {
 }
 
 impl XSchedule {
-    fn resolve(&self, n_terminals: usize, coordinator: usize) -> Vec<usize> {
+    /// Per-terminal x-packet counts for this schedule. Public because
+    /// distributed runtimes (`thinair-net`) must derive the identical
+    /// packet-ownership map on every node.
+    pub fn resolve(&self, n_terminals: usize, coordinator: usize) -> Vec<usize> {
         match self {
             XSchedule::CoordinatorOnly(n) => {
                 let mut v = vec![0; n_terminals];
@@ -159,15 +162,7 @@ pub fn run_group_round(
         payload_len: cfg.payload_len,
         max_attempts: cfg.max_attempts,
     };
-    let pool = run_phase1(
-        &mut medium,
-        &mut stats,
-        &mut eve,
-        &p1,
-        n_terminals,
-        coordinator,
-        rng,
-    )?;
+    let pool = run_phase1(&mut medium, &mut stats, &mut eve, &p1, n_terminals, coordinator, rng)?;
 
     // The oracle estimator needs Eve's true reception set.
     let estimator = match &cfg.estimator {
@@ -203,15 +198,7 @@ pub fn run_group_round(
 
     let out = run_phase2(&mut medium, &mut stats, &mut eve, &plan, &pool, cfg.max_attempts)?;
     debug_assert!(out.all_agree(), "terminals derived different secrets");
-    Ok(RoundOutcome {
-        l: plan.l,
-        m: plan.m(),
-        secrets: out.secrets,
-        pool,
-        plan,
-        stats,
-        eve,
-    })
+    Ok(RoundOutcome { l: plan.l, m: plan.m(), secrets: out.secrets, pool, plan, stats, eve })
 }
 
 #[cfg(test)]
@@ -313,9 +300,6 @@ mod tests {
     fn schedule_resolution() {
         assert_eq!(XSchedule::CoordinatorOnly(7).resolve(3, 1), vec![0, 7, 0]);
         assert_eq!(XSchedule::Uniform(4).resolve(3, 0), vec![4, 4, 4]);
-        assert_eq!(
-            XSchedule::Explicit(vec![1, 2, 3]).resolve(3, 0),
-            vec![1, 2, 3]
-        );
+        assert_eq!(XSchedule::Explicit(vec![1, 2, 3]).resolve(3, 0), vec![1, 2, 3]);
     }
 }

@@ -115,9 +115,8 @@ mod tests {
     fn lossless_costs_exactly_air_bits_plus_acks() {
         let mut m = IidMedium::symmetric(4, 0.0, 1);
         let mut stats = TxStats::new(4);
-        let att =
-            reliable_message(&mut m, &mut stats, 0, 2000, &[1, 2, 3], TxClass::Control, 100)
-                .unwrap();
+        let att = reliable_message(&mut m, &mut stats, 0, 2000, &[1, 2, 3], TxClass::Control, 100)
+            .unwrap();
         assert_eq!(att, 3); // 3 fragments, one attempt each
         assert_eq!(stats.of(0, TxClass::Control), message_air_bits(2000));
         assert_eq!(stats.class_total(TxClass::Ack), 3 * ACK_BITS);
@@ -131,8 +130,7 @@ mod tests {
         let mut m = IidMedium::symmetric(2, 0.5, 7);
         let mut stats = TxStats::new(2);
         let bits = 8000;
-        reliable_message(&mut m, &mut stats, 0, bits, &[1], TxClass::Control, 10_000)
-            .unwrap();
+        reliable_message(&mut m, &mut stats, 0, bits, &[1], TxClass::Control, 10_000).unwrap();
         let spent = stats.of(0, TxClass::Control);
         // Must be far below the "retransmit whole message" cost
         // (~2x * 8000 * attempts) and at least the loss-free cost.
@@ -144,8 +142,8 @@ mod tests {
     fn unreachable_target_reports_error() {
         let mut m = IidMedium::symmetric(2, 1.0, 3);
         let mut stats = TxStats::new(2);
-        let err = reliable_message(&mut m, &mut stats, 0, 100, &[1], TxClass::Control, 4)
-            .unwrap_err();
+        let err =
+            reliable_message(&mut m, &mut stats, 0, 100, &[1], TxClass::Control, 4).unwrap_err();
         assert!(matches!(err, ProtocolError::Reliable(_)));
     }
 
@@ -153,8 +151,7 @@ mod tests {
     fn empty_targets_cost_nothing() {
         let mut m = IidMedium::symmetric(2, 0.5, 3);
         let mut stats = TxStats::new(2);
-        let att =
-            reliable_message(&mut m, &mut stats, 0, 5000, &[], TxClass::Control, 4).unwrap();
+        let att = reliable_message(&mut m, &mut stats, 0, 5000, &[], TxClass::Control, 4).unwrap();
         assert_eq!(att, 0);
         assert_eq!(stats.total(), 0);
     }

@@ -22,8 +22,8 @@ use thinair_netsim::{Medium, TxStats};
 
 use crate::transport::reliable_message;
 
-use crate::error::ProtocolError;
 use crate::construct::{verify_coefficients, HallLedger, YRow};
+use crate::error::ProtocolError;
 use crate::estimate::Estimator;
 use crate::eve::EveLedger;
 use crate::packet::Payload;
@@ -101,15 +101,7 @@ pub fn run_unicast_round(
         payload_len: cfg.payload_len,
         max_attempts: cfg.max_attempts,
     };
-    let pool = run_phase1(
-        &mut medium,
-        &mut stats,
-        &mut eve,
-        &p1,
-        n_terminals,
-        coordinator,
-        rng,
-    )?;
+    let pool = run_phase1(&mut medium, &mut stats, &mut eve, &p1, n_terminals, coordinator, rng)?;
 
     let estimator = match &cfg.estimator {
         Estimator::Oracle { .. } => Estimator::Oracle { eve_known: eve.received().clone() },
@@ -123,9 +115,7 @@ pub fn run_unicast_round(
     for &i in &others {
         let s: BTreeSet<usize> =
             pool.known[coordinator].intersection(&pool.known[i]).copied().collect();
-        budget[i] = estimator
-            .pair_budget(&s, &pool.known, coordinator, i)
-            .min(s.len());
+        budget[i] = estimator.pair_budget(&s, &pool.known, coordinator, i).min(s.len());
         shared[i] = s.into_iter().collect();
     }
 
@@ -138,8 +128,9 @@ pub fn run_unicast_round(
     let mut l = others.iter().map(|&i| budget[i]).min().unwrap_or(0);
     'size: while l > 0 {
         let mut hall = HallLedger::new(&views);
+        let rows_per_terminal = l;
         for &i in &others {
-            for _ in 0..l {
+            for _ in 0..rows_per_terminal {
                 if !hall.try_add(&shared[i]) {
                     l -= 1;
                     continue 'size;
@@ -169,8 +160,7 @@ pub fn run_unicast_round(
         for &i in &others {
             for _ in 0..l {
                 let coeffs: Vec<Gf256> = loop {
-                    let c: Vec<Gf256> =
-                        (0..shared[i].len()).map(|_| Gf256(rng.gen())).collect();
+                    let c: Vec<Gf256> = (0..shared[i].len()).map(|_| Gf256(rng.gen())).collect();
                     if c.iter().any(|x| !x.is_zero()) {
                         break c;
                     }
@@ -186,9 +176,7 @@ pub fn run_unicast_round(
         }
     }
     if !ok {
-        return Err(ProtocolError::ConstructionFailed(
-            "could not draw full-rank unicast pads",
-        ));
+        return Err(ProtocolError::ConstructionFailed("could not draw full-rank unicast pads"));
     }
 
     // Split the stacked rows back into per-terminal blocks.
@@ -233,10 +221,7 @@ pub fn run_unicast_round(
     )?;
 
     // The group secret = the weakest terminal's pairwise secret.
-    let weakest = *others
-        .iter()
-        .min_by_key(|&&i| budget[i])
-        .expect("at least one terminal");
+    let weakest = *others.iter().min_by_key(|&&i| budget[i]).expect("at least one terminal");
     let secret: Vec<Payload> = pads[weakest].clone();
     let secret_rows = pad_rows[weakest].clone();
 
@@ -248,9 +233,7 @@ pub fn run_unicast_round(
         let padded: Vec<Vec<u8>> = secret
             .iter()
             .zip(pads[i].iter())
-            .map(|(s, p)| {
-                payload_to_bytes(&crate::packet::xor_payloads(s, p))
-            })
+            .map(|(s, p)| payload_to_bytes(&crate::packet::xor_payloads(s, p)))
             .collect();
         let msg = Message::PadDelivery { terminal: i as u8, payloads: padded };
         reliable_message(
@@ -264,9 +247,8 @@ pub fn run_unicast_round(
         )?;
         // Eve hears the padded contents: rows (secret_rows + pad_rows_i).
         for r in 0..l {
-            let combined: Vec<Gf256> = (0..pool.n_packets)
-                .map(|c| secret_rows[(r, c)] + pad_rows[i][(r, c)])
-                .collect();
+            let combined: Vec<Gf256> =
+                (0..pool.n_packets).map(|c| secret_rows[(r, c)] + pad_rows[i][(r, c)]).collect();
             eve.note_public_row(&combined);
         }
     }
@@ -336,22 +318,10 @@ mod tests {
         // the unicast baseline (Figure 1's message).
         let mut rng = StdRng::seed_from_u64(7);
         let n = 6usize;
-        let g = run_group_round(
-            IidMedium::symmetric(n + 1, 0.5, 21),
-            n,
-            0,
-            &cfg(60),
-            &mut rng,
-        )
-        .unwrap();
-        let u = run_unicast_round(
-            IidMedium::symmetric(n + 1, 0.5, 21),
-            n,
-            0,
-            &cfg(60),
-            &mut rng,
-        )
-        .unwrap();
+        let g = run_group_round(IidMedium::symmetric(n + 1, 0.5, 21), n, 0, &cfg(60), &mut rng)
+            .unwrap();
+        let u = run_unicast_round(IidMedium::symmetric(n + 1, 0.5, 21), n, 0, &cfg(60), &mut rng)
+            .unwrap();
         assert!(g.l > 0 && u.l > 0);
         assert!(
             g.efficiency() > u.efficiency(),

@@ -387,11 +387,7 @@ mod tests {
 
     #[test]
     fn z_packet_round_trip() {
-        round_trip(Message::ZPacket {
-            index: 2,
-            coeffs: vec![9, 8, 7],
-            payload: vec![0; 100],
-        });
+        round_trip(Message::ZPacket { index: 2, coeffs: vec![9, 8, 7], payload: vec![0; 100] });
     }
 
     #[test]
@@ -451,16 +447,8 @@ mod tests {
 
     #[test]
     fn report_bits_scale_with_packet_count() {
-        let small = Message::ReceptionReport {
-            terminal: 0,
-            n_packets: 8,
-            bitmap: vec![0xFF],
-        };
-        let big = Message::ReceptionReport {
-            terminal: 0,
-            n_packets: 800,
-            bitmap: vec![0; 100],
-        };
+        let small = Message::ReceptionReport { terminal: 0, n_packets: 8, bitmap: vec![0xFF] };
+        let big = Message::ReceptionReport { terminal: 0, n_packets: 800, bitmap: vec![0; 100] };
         assert!(big.bits() > small.bits());
         // 800-packet report: 1 tag + 1 terminal + 2 count + 100 bitmap.
         assert_eq!(big.bits(), 104 * 8);

@@ -4,20 +4,17 @@
 
 use proptest::prelude::*;
 use thinair_core::auth::Authenticator;
-use thinair_core::wire::{
-    bitmap_from_received, received_from_bitmap, Message, SparseRow,
-};
+use thinair_core::wire::{bitmap_from_received, received_from_bitmap, Message, SparseRow};
 
 fn arb_message() -> impl Strategy<Value = Message> {
     let x = (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
         .prop_map(|(id, owner, payload)| Message::XPacket { id, owner, payload });
-    let report = (any::<u8>(), 0u16..512).prop_map(|(terminal, n_packets)| {
-        Message::ReceptionReport {
+    let report =
+        (any::<u8>(), 0u16..512).prop_map(|(terminal, n_packets)| Message::ReceptionReport {
             terminal,
             n_packets,
             bitmap: vec![0xAA; (n_packets as usize).div_ceil(8)],
-        }
-    });
+        });
     let y = proptest::collection::vec(
         (proptest::collection::vec(any::<u16>(), 0..12), any::<u8>()),
         0..8,
@@ -37,15 +34,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(any::<u8>(), 0..150),
     )
         .prop_map(|(index, coeffs, payload)| Message::ZPacket { index, coeffs, payload });
-    let s = (0usize..6, 0usize..10).prop_map(|(rows, width)| Message::SAnnounce {
-        rows: vec![vec![7u8; width]; rows],
-    });
+    let s = (0usize..6, 0usize..10)
+        .prop_map(|(rows, width)| Message::SAnnounce { rows: vec![vec![7u8; width]; rows] });
     let pad = (any::<u8>(), 0usize..4, 0usize..60).prop_map(|(terminal, n, w)| {
         Message::PadDelivery { terminal, payloads: vec![vec![3u8; w]; n] }
     });
     let plan = (any::<u64>(), any::<u16>(), any::<u16>())
         .prop_map(|(seed, m, l)| Message::PlanAnnounce { seed, m, l });
-    prop_oneof![x, report, y, z, s, pad, plan]
+    let auth = (proptest::collection::vec(any::<u8>(), 0..100), any::<u8>())
+        .prop_map(|(inner, t)| Message::Authenticated { inner, tag: [t; 32] });
+    prop_oneof![x, report, y, z, s, pad, plan, auth]
 }
 
 proptest! {
@@ -94,5 +92,29 @@ proptest! {
         let received: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.4)).collect();
         let bm = bitmap_from_received(n, received.iter().copied());
         prop_assert_eq!(received_from_bitmap(n, &bm), received);
+    }
+
+    /// Arbitrary garbage never panics the decoder — the UDP codec in
+    /// `thinair-net` feeds it raw datagram payloads.
+    #[test]
+    fn garbage_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&data);
+    }
+
+    /// Single-byte mutations of a valid encoding either fail to parse
+    /// or parse to some message — never panic. (The wire format has no
+    /// checksum of its own; the net-layer frame adds CRC-32.)
+    #[test]
+    fn mutated_encodings_never_panic(
+        msg in arb_message(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut enc = msg.encode().to_vec();
+        if !enc.is_empty() {
+            let pos = (((enc.len() - 1) as f64) * pos_frac) as usize;
+            enc[pos] ^= xor;
+            let _ = Message::decode(&enc);
+        }
     }
 }

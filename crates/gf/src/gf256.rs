@@ -155,6 +155,7 @@ fn mul_bytes(a: u8, b: u8) -> u8 {
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // GF(2^8) addition IS xor
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -162,6 +163,7 @@ impl Add for Gf256 {
 
 impl AddAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // GF(2^8) addition IS xor
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -170,6 +172,7 @@ impl AddAssign for Gf256 {
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // characteristic 2
     fn sub(self, rhs: Gf256) -> Gf256 {
         // Characteristic 2: subtraction is addition.
         Gf256(self.0 ^ rhs.0)
@@ -178,6 +181,7 @@ impl Sub for Gf256 {
 
 impl SubAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // characteristic 2
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -209,6 +213,7 @@ impl MulAssign for Gf256 {
 impl Div for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = mul by inverse
     fn div(self, rhs: Gf256) -> Gf256 {
         self * rhs.inv()
     }
@@ -279,8 +284,8 @@ mod tests {
     fn generator_is_primitive() {
         // 2^i for i in 0..255 hits every non-zero element exactly once.
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP[i] as usize;
+        for (i, &e) in EXP.iter().enumerate().take(255) {
+            let v = e as usize;
             assert!(!seen[v], "2^{i} repeats value {v}");
             seen[v] = true;
         }

@@ -213,15 +213,9 @@ impl Matrix {
                         // row_r -= factor * row_pr, done via split borrows.
                         let (head, tail) = self.data.split_at_mut(pr.max(r) * self.cols);
                         let (dst, src) = if r > pr {
-                            (
-                                &mut tail[..self.cols],
-                                &head[pr * self.cols..(pr + 1) * self.cols],
-                            )
+                            (&mut tail[..self.cols], &head[pr * self.cols..(pr + 1) * self.cols])
                         } else {
-                            (
-                                &mut head[r * self.cols..(r + 1) * self.cols],
-                                &tail[..self.cols],
-                            )
+                            (&mut head[r * self.cols..(r + 1) * self.cols], &tail[..self.cols])
                         };
                         add_assign_scaled(dst, src, factor);
                     }
@@ -277,7 +271,7 @@ impl Matrix {
         }
         let pivots = aug.rref_in_place();
         // Inconsistent if some pivot lands in the augmented column.
-        if pivots.iter().any(|&p| p == self.cols) {
+        if pivots.contains(&self.cols) {
             return None;
         }
         // Under-determined if fewer pivots than unknowns.
@@ -400,10 +394,7 @@ mod tests {
 
     fn m(rows: &[&[u8]]) -> Matrix {
         Matrix::from_rows(
-            &rows
-                .iter()
-                .map(|r| r.iter().map(|&v| Gf256(v)).collect())
-                .collect::<Vec<_>>(),
+            &rows.iter().map(|r| r.iter().map(|&v| Gf256(v)).collect()).collect::<Vec<_>>(),
         )
     }
 

@@ -188,12 +188,7 @@ mod tests {
     fn eval_horner_matches_naive() {
         let f = p(&[3, 1, 4, 1, 5]);
         for x in [Gf256(0), Gf256(1), Gf256(2), Gf256(0x53)] {
-            let naive: Gf256 = f
-                .coeffs()
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c * x.pow(i))
-                .sum();
+            let naive: Gf256 = f.coeffs().iter().enumerate().map(|(i, &c)| c * x.pow(i)).sum();
             assert_eq!(f.eval(x), naive);
         }
     }

@@ -13,9 +13,8 @@ fn gf_nonzero() -> impl Strategy<Value = Gf256> {
 
 fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(any::<u8>(), r * c).prop_map(move |data| {
-            Matrix::from_fn(r, c, |i, j| Gf256(data[i * c + j]))
-        })
+        proptest::collection::vec(any::<u8>(), r * c)
+            .prop_map(move |data| Matrix::from_fn(r, c, |i, j| Gf256(data[i * c + j])))
     })
 }
 

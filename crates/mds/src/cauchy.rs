@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn too_large_is_an_error() {
-        assert_eq!(
-            cauchy_matrix(200, 100),
-            Err(CauchyError::TooLarge { rows: 200, cols: 100 })
-        );
+        assert_eq!(cauchy_matrix(200, 100), Err(CauchyError::TooLarge { rows: 200, cols: 100 }));
         // Exactly at the bound is fine.
         assert!(cauchy_matrix(128, 128).is_ok());
     }

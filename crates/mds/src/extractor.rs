@@ -78,8 +78,7 @@ impl Extractor {
     /// exists so tests and the evaluation harness can confirm it.
     pub fn secrecy_given(&self, known: &[usize]) -> usize {
         let k = self.inputs();
-        let unknown: Vec<usize> =
-            (0..k).filter(|i| !known.contains(i)).collect();
+        let unknown: Vec<usize> = (0..k).filter(|i| !known.contains(i)).collect();
         self.matrix.select_columns(&unknown).rank()
     }
 }
@@ -118,11 +117,7 @@ mod tests {
     fn full_secrecy_when_adversary_misses_m() {
         let e = Extractor::new(3, 8).unwrap();
         // Adversary knows any 5 of the 8: outputs stay fully secret.
-        for known in [
-            vec![0usize, 1, 2, 3, 4],
-            vec![3, 4, 5, 6, 7],
-            vec![0, 2, 4, 6, 7],
-        ] {
+        for known in [vec![0usize, 1, 2, 3, 4], vec![3, 4, 5, 6, 7], vec![0, 2, 4, 6, 7]] {
             assert_eq!(e.secrecy_given(&known), 3, "known {known:?}");
         }
     }
@@ -176,7 +171,7 @@ mod tests {
         // output takes many distinct values (it is a bijection of the
         // unknowns).
         let e = Extractor::new(1, 3).unwrap();
-        let known = vec![vec![Gf256(7)], vec![Gf256(9)]]; // x0, x1 fixed
+        let known = [vec![Gf256(7)], vec![Gf256(9)]]; // x0, x1 fixed
         let mut outputs = std::collections::HashSet::new();
         for v in 0..=255u8 {
             let shared = vec![known[0].clone(), known[1].clone(), vec![Gf256(v)]];

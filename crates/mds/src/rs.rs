@@ -85,9 +85,8 @@ impl ReedSolomon {
         }
         let v = vandermonde_matrix(k, n);
         let lead = v.select_columns(&(0..k).collect::<Vec<_>>());
-        let inv = lead
-            .inverse()
-            .expect("leading Vandermonde block with distinct nodes is invertible");
+        let inv =
+            lead.inverse().expect("leading Vandermonde block with distinct nodes is invertible");
         let generator = &inv * &v;
         Ok(ReedSolomon { k, n, generator })
     }
@@ -153,9 +152,8 @@ impl ReedSolomon {
         let cols: Vec<usize> = use_shares.iter().map(|(i, _)| *i).collect();
         let coeff = self.generator.select_columns(&cols).transpose(); // k x k
         let rhs: Vec<Vec<Gf256>> = use_shares.iter().map(|(_, p)| p.clone()).collect();
-        let data = coeff
-            .solve_payloads(&rhs)
-            .expect("any k columns of an MDS generator are independent");
+        let data =
+            coeff.solve_payloads(&rhs).expect("any k columns of an MDS generator are independent");
         Ok(data)
     }
 }
@@ -206,25 +204,15 @@ mod tests {
         let rs = ReedSolomon::new(2, 5).unwrap();
         let data = random_data(2, 4, &mut rng);
         let coded = rs.encode(&data);
-        let shares: Vec<(usize, Vec<Gf256>)> =
-            (0..5).map(|i| (i, coded[i].clone())).collect();
+        let shares: Vec<(usize, Vec<Gf256>)> = (0..5).map(|i| (i, coded[i].clone())).collect();
         assert_eq!(rs.decode(&shares).unwrap(), data);
     }
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(
-            ReedSolomon::new(0, 4),
-            Err(RsError::BadParameters { .. })
-        ));
-        assert!(matches!(
-            ReedSolomon::new(5, 4),
-            Err(RsError::BadParameters { .. })
-        ));
-        assert!(matches!(
-            ReedSolomon::new(4, 300),
-            Err(RsError::BadParameters { .. })
-        ));
+        assert!(matches!(ReedSolomon::new(0, 4), Err(RsError::BadParameters { .. })));
+        assert!(matches!(ReedSolomon::new(5, 4), Err(RsError::BadParameters { .. })));
+        assert!(matches!(ReedSolomon::new(4, 300), Err(RsError::BadParameters { .. })));
 
         let rs = ReedSolomon::new(3, 6).unwrap();
         assert!(matches!(

@@ -180,10 +180,10 @@ mod tests {
         while next_subset(&mut subset, 4) {
             seen.push(subset.clone());
         }
-        assert_eq!(seen, vec![
-            vec![0, 1], vec![0, 2], vec![0, 3],
-            vec![1, 2], vec![1, 3], vec![2, 3],
-        ]);
+        assert_eq!(
+            seen,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3],]
+        );
     }
 
     #[test]

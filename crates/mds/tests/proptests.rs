@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use thinair_mds::{cauchy_matrix, vandermonde_matrix, Extractor, ReedSolomon};
 use thinair_gf::Gf256;
+use thinair_mds::{cauchy_matrix, vandermonde_matrix, Extractor, ReedSolomon};
 
 proptest! {
     /// Any square submatrix of a Cauchy matrix is invertible.

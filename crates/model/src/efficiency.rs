@@ -52,9 +52,7 @@ pub struct GroupOperatingPoint {
 /// `P(Binomial(k, 1−p) ≥ g)` — the mass of packets received by at least
 /// `g` of `k` terminals.
 fn at_least(k: usize, p: f64, g: usize) -> f64 {
-    (g..=k)
-        .map(|j| binomial(k, j) * (1.0 - p).powi(j as i32) * p.powi((k - j) as i32))
-        .sum()
+    (g..=k).map(|j| binomial(k, j) * (1.0 - p).powi(j as i32) * p.powi((k - j) as i32)).sum()
 }
 
 /// Greedy minimum-cost coverage for a target per-terminal secret fraction

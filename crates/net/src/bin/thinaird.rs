@@ -1,0 +1,318 @@
+//! `thinaird` — the thinair node daemon.
+//!
+//! Runs the HotNets'12 secret-agreement protocol over real UDP sockets.
+//! One process per node; the roster is a static list of peer addresses
+//! indexed by node id.
+//!
+//! ```text
+//! # in-process smoke test: 1 coordinator + 3 terminals over loopback
+//! thinaird demo --nodes 4 --sessions 2
+//!
+//! # the same round as four real processes (4 shells):
+//! thinaird coordinator --node 0 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403
+//! thinaird terminal    --node 1 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403
+//! thinaird terminal    --node 2 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403
+//! thinaird terminal    --node 3 --peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403
+//! ```
+//!
+//! Every node prints its derived group secret key; all prints must be
+//! identical. Argument parsing is hand-rolled: the build environment is
+//! offline, so `clap` is unavailable.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use thinair_core::estimate::{Estimator, Tuning};
+use thinair_core::round::XSchedule;
+use thinair_net::demo::{loopback_sessions, task_seed};
+use thinair_net::node::Node;
+use thinair_net::rt;
+use thinair_net::session::SessionConfig;
+use thinair_net::transport::UdpTransport;
+
+const USAGE: &str = "\
+thinaird — thinair node daemon (secret agreement over UDP)
+
+USAGE:
+    thinaird <coordinator|terminal> --node <ID> --peers <A0,A1,...> [OPTIONS]
+    thinaird demo [OPTIONS]
+
+ROLES:
+    coordinator        run node <ID> as the round coordinator (Alice)
+    terminal           run node <ID> as a terminal
+    demo               run all nodes in-process over loopback sockets
+
+OPTIONS:
+    --node <ID>        this node's id (index into --peers)       [required for roles]
+    --peers <LIST>     comma-separated addr:port per node id     [required for roles]
+    --bind <ADDR>      bind address (default: the --peers entry for --node);
+                       must be the address peers see, or your frames are dropped
+    --nodes <N>        demo only: number of nodes                 [default: 4]
+    --sessions <K>     concurrent sessions to run                 [default: 1]
+    --session-id <S>   id of the first session                    [default: 1]
+    --n-packets <N>    x-packets broadcast by the coordinator     [default: 60]
+    --payload-len <B>  payload bytes per packet                   [default: 32]
+    --drop <P>         injected data-plane erasure probability    [default: 0.4]
+    --drop-seed <S>    erasure-injection seed (must match across nodes) [default: 7]
+    --seed <S>         local randomness seed                      [default: from entropy]
+    --coordinator-id <ID>  which node coordinates                 [default: 0]
+    --deadline-ms <MS> session deadline                           [default: 30000]
+    --estimator <E>    leave-one-out | fraction:<F>               [default: leave-one-out]
+    -h, --help         print this help
+";
+
+struct Options {
+    node: Option<u8>,
+    peers: Vec<SocketAddr>,
+    bind: Option<SocketAddr>,
+    nodes: u8,
+    sessions: u64,
+    session_id: u64,
+    n_packets: usize,
+    payload_len: usize,
+    drop: f64,
+    drop_seed: u64,
+    seed: u64,
+    coordinator_id: u8,
+    deadline_ms: u64,
+    estimator: Estimator,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        // Default seed from OS entropy (`RandomState` keys come from the
+        // OS CSPRNG), not from the clock: x payloads are the secret's
+        // entropy source, so a guessable seed would let an eavesdropper
+        // regenerate them offline. NOTE: the offline `rand` stand-in is
+        // a plain xoshiro PRNG — production deployments should swap in
+        // a CSPRNG for payload generation.
+        use std::hash::{BuildHasher, Hasher};
+        let rs = std::collections::hash_map::RandomState::new();
+        let mut seed = 0u64;
+        for i in 0..2u64 {
+            let mut h = rs.build_hasher();
+            h.write_u64(i);
+            seed = seed.rotate_left(32) ^ h.finish();
+        }
+        Options {
+            node: None,
+            peers: Vec::new(),
+            bind: None,
+            nodes: 4,
+            sessions: 1,
+            session_id: 1,
+            n_packets: 60,
+            payload_len: 32,
+            drop: 0.4,
+            drop_seed: 7,
+            seed,
+            coordinator_id: 0,
+            deadline_ms: 30_000,
+            estimator: Estimator::LeaveOneOut(Tuning::default()),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--node" => o.node = Some(num(take()?)?),
+            "--peers" => {
+                o.peers = take()?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad peer {s}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--bind" => o.bind = Some(take()?.parse().map_err(|e| format!("bad bind: {e}"))?),
+            "--nodes" => o.nodes = num(take()?)?,
+            "--sessions" => o.sessions = num(take()?)?,
+            "--session-id" => o.session_id = num(take()?)?,
+            "--n-packets" => o.n_packets = num(take()?)?,
+            "--payload-len" => o.payload_len = num(take()?)?,
+            "--drop" => o.drop = fnum(take()?)?,
+            "--drop-seed" => o.drop_seed = num(take()?)?,
+            "--seed" => o.seed = num(take()?)?,
+            "--coordinator-id" => o.coordinator_id = num(take()?)?,
+            "--deadline-ms" => o.deadline_ms = num(take()?)?,
+            "--estimator" => {
+                let v = take()?;
+                o.estimator = if v == "leave-one-out" {
+                    Estimator::LeaveOneOut(Tuning::default())
+                } else if let Some(f) = v.strip_prefix("fraction:") {
+                    Estimator::FixedFraction { fraction: fnum(f)? }
+                } else {
+                    return Err(format!("unknown estimator {v}"));
+                };
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad number {s}: {e}"))
+}
+
+fn fnum(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|e| format!("bad float {s}: {e}"))
+}
+
+fn session_config(o: &Options, n_nodes: u8) -> SessionConfig {
+    SessionConfig {
+        n_nodes,
+        coordinator: o.coordinator_id,
+        schedule: XSchedule::CoordinatorOnly(o.n_packets),
+        payload_len: o.payload_len,
+        estimator: o.estimator.clone(),
+        drop_prob: o.drop,
+        drop_seed: o.drop_seed,
+        deadline: Duration::from_millis(o.deadline_ms),
+        ..SessionConfig::default()
+    }
+}
+
+fn key_hex(outcome: &thinair_net::SessionOutcome) -> String {
+    match outcome.key() {
+        Some(k) => k.iter().map(|b| format!("{b:02x}")).collect(),
+        None => "(no secret this round: L = 0)".into(),
+    }
+}
+
+fn run_role(role: &str, o: Options) -> Result<(), String> {
+    let node = o.node.ok_or("--node is required")?;
+    if o.peers.len() < 2 {
+        return Err("--peers must list at least two addresses".into());
+    }
+    if node as usize >= o.peers.len() {
+        return Err("--node must index into --peers".into());
+    }
+    let is_coordinator = node == o.coordinator_id;
+    if is_coordinator != (role == "coordinator") {
+        return Err(format!(
+            "node {node} {} the coordinator id {}; pick the matching subcommand",
+            if is_coordinator { "is" } else { "is not" },
+            o.coordinator_id
+        ));
+    }
+    let cfg = session_config(&o, o.peers.len() as u8);
+    let bind = o.bind.unwrap_or(o.peers[node as usize]);
+    let transport =
+        UdpTransport::bind(bind, o.peers.clone(), node).map_err(|e| format!("bind {bind}: {e}"))?;
+    let node_handle = Node::new(transport);
+    eprintln!(
+        "thinaird: node {node} ({role}) on {bind}, {} peers, {} session(s), digest {:#018x}",
+        o.peers.len(),
+        o.sessions,
+        cfg.digest()
+    );
+    let outcomes = rt::block_on(async {
+        node_handle.start_pump();
+        let mut out = Vec::new();
+        for s in 0..o.sessions {
+            let session = o.session_id + s;
+            let seed = task_seed(o.seed, session, node);
+            let r = if is_coordinator {
+                node_handle.coordinate(session, cfg.clone(), seed).await
+            } else {
+                node_handle.participate(session, cfg.clone(), seed).await
+            };
+            out.push(r.map_err(|e| format!("session {session}: {e}"))?);
+        }
+        Ok::<_, String>(out)
+    })?;
+    for out in &outcomes {
+        println!(
+            "session {:#x} node {} L={} M={} N={} key {}",
+            out.session,
+            out.node,
+            out.l,
+            out.m,
+            out.n_packets,
+            key_hex(out)
+        );
+    }
+    Ok(())
+}
+
+fn run_demo(o: Options) -> Result<(), String> {
+    if o.nodes < 2 {
+        return Err("--nodes must be at least 2".into());
+    }
+    let cfg = session_config(&o, o.nodes);
+    let sessions: Vec<u64> = (0..o.sessions).map(|s| o.session_id + s).collect();
+    eprintln!(
+        "thinaird demo: {} nodes, {} session(s), {} x-packets, drop {:.2}",
+        o.nodes, o.sessions, o.n_packets, o.drop
+    );
+    let all = loopback_sessions(&cfg, &sessions, o.seed).map_err(|e| e.to_string())?;
+    let mut ok = true;
+    for outcomes in &all {
+        for out in outcomes {
+            println!(
+                "session {:#x} node {} L={} M={} key {}",
+                out.session,
+                out.node,
+                out.l,
+                out.m,
+                key_hex(out)
+            );
+        }
+        let first = &outcomes[0];
+        if !outcomes.iter().all(|t| t.secret == first.secret) {
+            eprintln!("session {:#x}: SECRET MISMATCH", first.session);
+            ok = false;
+        } else if first.l > 0 {
+            eprintln!(
+                "session {:#x}: all {} nodes agree on a {}-packet secret",
+                first.session,
+                outcomes.len(),
+                first.l
+            );
+        } else {
+            eprintln!("session {:#x}: no secret extractable this round (L = 0)", first.session);
+        }
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err("secret mismatch across nodes".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (cmd, rest) = args.split_first().expect("nonempty checked");
+    let parsed = match parse_args(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("thinaird: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "coordinator" | "terminal" => run_role(cmd, parsed),
+        "demo" => run_demo(parsed),
+        other => Err(format!("unknown subcommand {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("thinaird: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

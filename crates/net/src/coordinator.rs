@@ -1,0 +1,251 @@
+//! The asynchronous coordinator ("Alice") state machine.
+//!
+//! Drives one group session over any [`Transport`]:
+//!
+//! 1. **Start barrier** — reliably delivers `Start{digest}` to every
+//!    terminal, so sockets are live and configurations agree before any
+//!    data-plane packet is spent.
+//! 2. **Phase 1** — broadcasts its share of x-packets (plain,
+//!    unacknowledged: erasures are the point), waits [`SessionConfig::
+//!    x_settle`], then reliably broadcasts its reception report and
+//!    collects everyone else's.
+//! 3. **Plan** — draws a seed, builds the construction with
+//!    `thinair_core::construct::build_plan`, and announces
+//!    `PlanAnnounce{seed, m, l}` — the terminals rebuild the identical
+//!    plan from the shared reports (see [`crate::session`]).
+//! 4. **Phase 2** — fountain-codes the `M − L` z-packets: random
+//!    combinations stream until every terminal has signalled `Done`
+//!    (rank complete), which absorbs any data-plane loss without
+//!    per-packet ACKs.
+//! 5. **Fin** — reliably tells every terminal the session is complete.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thinair_core::packet::Payload;
+use thinair_core::wire::{payload_to_bytes, Message};
+use thinair_gf::Gf256;
+
+use crate::frame::{Frame, NetPayload};
+use crate::reliable::{Dedup, Reliable};
+use crate::rt;
+use crate::rt::chan::Receiver;
+use crate::session::{accept_report, derive_plan, NetError, SessionConfig, SessionOutcome, XState};
+use crate::transport::{SharedTransport, Transport};
+
+enum Phase {
+    StartBarrier { start_seq: u32 },
+    XSettle { until: Instant },
+    AwaitReports,
+    Fountain { next_combo: Instant },
+    FinBarrier { fin_seq: u32 },
+}
+
+impl Phase {
+    fn name(&self) -> &'static str {
+        match self {
+            Phase::StartBarrier { .. } => "start barrier",
+            Phase::XSettle { .. } => "x settle",
+            Phase::AwaitReports => "report collection",
+            Phase::Fountain { .. } => "z fountain",
+            Phase::FinBarrier { .. } => "fin barrier",
+        }
+    }
+}
+
+/// Runs one session as the coordinator. `seed` feeds all local
+/// randomness (x payloads, the plan seed, fountain coefficients).
+pub async fn run_coordinator<T: Transport>(
+    t: SharedTransport<T>,
+    mut rx: Receiver<Frame>,
+    session: u64,
+    cfg: SessionConfig,
+    seed: u64,
+) -> Result<SessionOutcome, NetError> {
+    cfg.validate()?;
+    let me = cfg.coordinator;
+    let n = cfg.n_nodes;
+    let targets: Vec<u8> = (0..n).filter(|&p| p != me).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Reliable::new(cfg.retransmit, cfg.max_attempts);
+    let mut dedup = Dedup::new(n as usize);
+
+    // Ground truth this node holds: its own x payloads plus received ones.
+    let mut xs = XState::new(&cfg, session, me);
+    let n_packets = xs.n_packets();
+    let mut reports: Vec<Option<Vec<u8>>> = vec![None; n as usize];
+    let mut done: BTreeSet<u8> = BTreeSet::new();
+
+    // Fountain state, filled once the plan exists.
+    let mut z_payloads: Vec<Payload> = Vec::new();
+    let mut z_sent: u32 = 0;
+    let mut outcome: Option<SessionOutcome> = None;
+
+    let deadline = Instant::now() + cfg.deadline;
+    let tick = cfg.retransmit.min(Duration::from_millis(10));
+
+    let start_seq = rel.send(&t, session, NetPayload::Start { digest: cfg.digest() }, &targets)?;
+    let mut phase = Phase::StartBarrier { start_seq };
+
+    loop {
+        if Instant::now() > deadline {
+            return Err(NetError::Timeout(phase.name()));
+        }
+
+        match rt::timeout(tick, rx.recv()).await {
+            Err(rt::Elapsed) => {}
+            Ok(None) => return Err(NetError::Closed),
+            Ok(Some(frame)) => {
+                let fresh = dedup.admit(&t, &frame)?;
+                match frame.payload {
+                    NetPayload::Ack { seq } => rel.on_ack(frame.sender, seq),
+                    NetPayload::Proto(Message::XPacket { .. }) => xs.on_frame(&frame),
+                    NetPayload::Proto(Message::ReceptionReport {
+                        terminal,
+                        n_packets: np,
+                        bitmap,
+                    }) => {
+                        accept_report(
+                            &mut reports,
+                            n_packets,
+                            fresh,
+                            frame.sender,
+                            terminal,
+                            np,
+                            bitmap,
+                        );
+                    }
+                    NetPayload::Done if frame.sender != me => {
+                        done.insert(frame.sender);
+                    }
+                    // Terminals never send plans, z-packets, Start or Fin.
+                    _ => {}
+                }
+            }
+        }
+
+        let now = Instant::now();
+        match &phase {
+            Phase::StartBarrier { start_seq } => {
+                if rel.acked(*start_seq) {
+                    // Broadcast this node's share of the x-pool.
+                    xs.broadcast_own(&t, &mut rel, &mut rng)?;
+                    phase = Phase::XSettle { until: now + cfg.x_settle };
+                }
+            }
+            Phase::XSettle { until } => {
+                if now >= *until {
+                    let bitmap = xs.report_bitmap();
+                    reports[me as usize] = Some(bitmap.clone());
+                    let msg = Message::ReceptionReport {
+                        terminal: me,
+                        n_packets: n_packets as u16,
+                        bitmap,
+                    };
+                    rel.send(&t, session, NetPayload::Proto(msg), &targets)?;
+                    phase = Phase::AwaitReports;
+                }
+            }
+            Phase::AwaitReports => {
+                if reports.iter().all(|r| r.is_some()) {
+                    let flat: Vec<Vec<u8>> =
+                        reports.iter().map(|r| r.clone().expect("all present")).collect();
+                    let plan_seed: u64 = rng.gen();
+                    let plan = derive_plan(&cfg, &flat, plan_seed)?;
+                    let (m, l) = (plan.m(), plan.l);
+                    let msg = Message::PlanAnnounce { seed: plan_seed, m: m as u16, l: l as u16 };
+                    rel.send(&t, session, NetPayload::Proto(msg), &targets)?;
+                    // The coordinator decodes every row directly.
+                    let secret = if l > 0 {
+                        let y: Vec<Payload> = plan
+                            .rows
+                            .iter()
+                            .map(|row| {
+                                let mut acc = vec![Gf256::ZERO; cfg.payload_len];
+                                for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
+                                    let p =
+                                        xs.store.get(&j).expect("coordinator holds every support");
+                                    thinair_gf::add_assign_scaled(&mut acc, p, c);
+                                }
+                                acc
+                            })
+                            .collect();
+                        z_payloads = plan.c_mat.mul_payloads(&y);
+                        plan.d_mat.mul_payloads(&y)
+                    } else {
+                        Vec::new()
+                    };
+                    outcome = Some(SessionOutcome { session, node: me, l, m, n_packets, secret });
+                    phase = Phase::Fountain { next_combo: now };
+                }
+            }
+            Phase::Fountain { next_combo } => {
+                if targets.iter().all(|p| done.contains(p)) {
+                    let fin_seq = rel.send(&t, session, NetPayload::Fin, &targets)?;
+                    phase = Phase::FinBarrier { fin_seq };
+                } else if now >= *next_combo && !z_payloads.is_empty() {
+                    if z_sent >= cfg.max_attempts {
+                        let missing: Vec<u8> =
+                            targets.iter().copied().filter(|p| !done.contains(p)).collect();
+                        return Err(NetError::Unreachable(crate::reliable::Unreachable {
+                            missing,
+                            attempts: z_sent,
+                        }));
+                    }
+                    // An initial burst covers the worst-case missing-row
+                    // count; afterwards one combo per tick tops up losses.
+                    let burst = if z_sent == 0 { (z_payloads.len() + 3) as u32 } else { 1 };
+                    for _ in 0..burst {
+                        send_combo(&t, session, &cfg, &mut rel, &z_payloads, z_sent, &mut rng)?;
+                        z_sent += 1;
+                    }
+                    phase = Phase::Fountain { next_combo: now + cfg.retransmit };
+                }
+            }
+            Phase::FinBarrier { fin_seq } => {
+                if rel.acked(*fin_seq) {
+                    return Ok(outcome.expect("outcome set before fin"));
+                }
+            }
+        }
+
+        if let Err(u) = rel.tick(&t, Instant::now())? {
+            return Err(NetError::Unreachable(u));
+        }
+    }
+}
+
+fn send_combo<T: Transport>(
+    t: &SharedTransport<T>,
+    session: u64,
+    cfg: &SessionConfig,
+    rel: &mut Reliable,
+    z_payloads: &[Payload],
+    z_seq: u32,
+    rng: &mut StdRng,
+) -> Result<(), NetError> {
+    let me = t.local_node();
+    // Random non-zero combination: innovative for every needy receiver
+    // with overwhelming probability (the receiver's rank tracker is the
+    // ground truth).
+    let mut q: Vec<u8> = (0..z_payloads.len()).map(|_| rng.gen()).collect();
+    if q.iter().all(|&c| c == 0) {
+        q[0] = 1;
+    }
+    let mut acc = vec![Gf256::ZERO; cfg.payload_len];
+    for (k, zp) in z_payloads.iter().enumerate() {
+        thinair_gf::add_assign_scaled(&mut acc, zp, Gf256(q[k]));
+    }
+    let msg = Message::ZPacket { index: z_seq as u16, coeffs: q, payload: payload_to_bytes(&acc) };
+    let frame = Frame {
+        flags: 0,
+        sender: me,
+        session,
+        seq: rel.next_seq(),
+        payload: NetPayload::Proto(msg),
+    };
+    t.broadcast(&frame)?;
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! In-process multi-node drivers: every protocol role as a task on one
+//! runtime, over real loopback UDP sockets or a simulated medium.
+//!
+//! These are the building blocks of the `thinaird demo` subcommand, the
+//! crate doctest, and the integration tests. Real multi-process
+//! deployment uses the `coordinator` / `terminal` subcommands instead —
+//! same state machines, one process per node.
+
+use std::net::SocketAddr;
+
+use thinair_netsim::Medium;
+
+use crate::node::Node;
+use crate::rt;
+use crate::session::{NetError, SessionConfig, SessionOutcome};
+use crate::transport::{SimNet, UdpTransport};
+use crate::udp::AsyncUdpSocket;
+
+/// Mixes a per-task seed out of the demo seed, the session id and the
+/// node id, so no two tasks draw identical payload streams.
+pub fn task_seed(seed: u64, session: u64, node: u8) -> u64 {
+    crate::session::splitmix64(
+        seed ^ session.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (node as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    )
+}
+
+/// Runs `sessions.len()` concurrent group rounds with `cfg.n_nodes`
+/// nodes over loopback UDP sockets, one node per task, one socket per
+/// node, all multiplexed per node through a single pump.
+///
+/// Returns `outcomes[s][node]` in input order.
+pub fn loopback_sessions(
+    cfg: &SessionConfig,
+    sessions: &[u64],
+    seed: u64,
+) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
+    let n = cfg.n_nodes as usize;
+    // Bind first so the full roster is known to every node.
+    let socks: Vec<AsyncUdpSocket> =
+        (0..n).map(|_| AsyncUdpSocket::bind("127.0.0.1:0")).collect::<std::io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> =
+        socks.iter().map(|s| s.local_addr()).collect::<std::io::Result<_>>()?;
+    let nodes: Vec<Node<UdpTransport>> = socks
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| Node::new(UdpTransport::new(s, addrs.clone(), i as u8)))
+        .collect();
+    run_nodes(cfg, &nodes, sessions, seed)
+}
+
+/// Runs one loopback UDP round; `outcomes[node]` for each node.
+pub fn loopback_round(
+    cfg: &SessionConfig,
+    session: u64,
+    seed: u64,
+) -> Result<Vec<SessionOutcome>, NetError> {
+    Ok(loopback_sessions(cfg, &[session], seed)?.remove(0))
+}
+
+/// Runs rounds over a simulated [`Medium`] — the **same** coordinator
+/// and terminal state machines as the UDP path, driven through
+/// [`crate::transport::SimTransport`]. Medium nodes beyond
+/// `cfg.n_nodes` (e.g. a trailing Eve antenna) receive nothing but
+/// shape every delivery.
+pub fn sim_sessions<M: Medium + 'static>(
+    medium: M,
+    cfg: &SessionConfig,
+    sessions: &[u64],
+    seed: u64,
+) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
+    let n = cfg.n_nodes as usize;
+    let net = SimNet::new(medium, n);
+    let nodes: Vec<_> = (0..n).map(|i| Node::new(net.transport(i as u8))).collect();
+    run_nodes(cfg, &nodes, sessions, seed)
+}
+
+/// Runs one simulated round.
+pub fn sim_round<M: Medium + 'static>(
+    medium: M,
+    cfg: &SessionConfig,
+    session: u64,
+    seed: u64,
+) -> Result<Vec<SessionOutcome>, NetError> {
+    Ok(sim_sessions(medium, cfg, &[session], seed)?.remove(0))
+}
+
+fn run_nodes<T: crate::transport::Transport + 'static>(
+    cfg: &SessionConfig,
+    nodes: &[Node<T>],
+    sessions: &[u64],
+    seed: u64,
+) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
+    let n = cfg.n_nodes as usize;
+    rt::block_on(async {
+        for node in nodes {
+            node.start_pump();
+        }
+        // Spawn every (session, node) role task up front: sessions truly
+        // run concurrently, multiplexed over each node's one socket.
+        let mut handles: Vec<Vec<rt::JoinHandle<Result<SessionOutcome, NetError>>>> =
+            Vec::with_capacity(sessions.len());
+        for &session in sessions {
+            let mut per_session = Vec::with_capacity(n);
+            for (i, node) in nodes.iter().enumerate() {
+                let node = node.clone();
+                let cfg = cfg.clone();
+                let task_seed = task_seed(seed, session, i as u8);
+                let role = i as u8 == cfg.coordinator;
+                per_session.push(rt::spawn(async move {
+                    if role {
+                        node.coordinate(session, cfg, task_seed).await
+                    } else {
+                        node.participate(session, cfg, task_seed).await
+                    }
+                }));
+            }
+            handles.push(per_session);
+        }
+        let mut all = Vec::with_capacity(sessions.len());
+        for per_session in handles {
+            let mut outcomes = Vec::with_capacity(n);
+            for h in per_session {
+                outcomes.push(h.await?);
+            }
+            all.push(outcomes);
+        }
+        Ok(all)
+    })
+}

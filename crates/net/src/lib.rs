@@ -1,0 +1,66 @@
+//! `thinair-net` — the protocol over real packet I/O.
+//!
+//! Everything else in this workspace runs the HotNets'12
+//! secret-agreement protocol inside an omniscient, synchronous
+//! simulation. This crate is the path from simulation to system: an
+//! async runtime executing phase-1/phase-2 group rounds over **real UDP
+//! sockets**, with the same state machines also runnable against the
+//! simulator for apples-to-apples validation.
+//!
+//! * [`rt`] — a minimal single-threaded async runtime (executor,
+//!   timers, channels). The build environment is offline, so this
+//!   stands in for tokio; the state machines only assume "futures +
+//!   timers" and port directly.
+//! * [`udp`] — nonblocking UDP for the runtime.
+//! * [`frame`] — the versioned, checksummed datagram codec layered on
+//!   the existing `thinair_core::wire::Message` encoding.
+//! * [`transport`] — the [`transport::Transport`] trait and its two
+//!   implementations: [`transport::UdpTransport`] (real sockets,
+//!   unicast fan-out "broadcast") and [`transport::SimTransport`] (an
+//!   adapter over [`thinair_netsim::Medium`] with exact bit
+//!   accounting).
+//! * [`reliable`] — per-peer ACK/retransmit for control frames,
+//!   mirroring `thinair_core::transport` semantics on real I/O.
+//! * [`session`] — shared session configuration, deterministic plan
+//!   re-derivation, erasure injection, secret reconstruction.
+//! * [`coordinator`] / [`terminal`] — the two role state machines.
+//! * [`node`] — one socket, many concurrent sessions (session-id
+//!   routing), the daemon building block.
+//!
+//! The `thinaird` binary wraps this into a deployable daemon with
+//! `coordinator`, `terminal`, and `demo` subcommands; see the README's
+//! loopback quickstart.
+//!
+//! # Example (in-process loopback round)
+//!
+//! ```
+//! use thinair_net::demo::loopback_round;
+//! use thinair_net::session::SessionConfig;
+//!
+//! let cfg = SessionConfig { n_nodes: 4, ..SessionConfig::default() };
+//! let outcomes = loopback_round(&cfg, 0x1234, 42).expect("round completes");
+//! assert_eq!(outcomes.len(), 4);
+//! // Every node derived the identical secret.
+//! for pair in outcomes.windows(2) {
+//!     assert_eq!(pair[0].secret, pair[1].secret);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod demo;
+pub mod frame;
+pub mod node;
+pub mod reliable;
+pub mod rt;
+pub mod session;
+pub mod terminal;
+pub mod transport;
+pub mod udp;
+
+pub use frame::{Frame, NetPayload};
+pub use node::Node;
+pub use session::{NetError, SessionConfig, SessionOutcome};
+pub use transport::{SharedTransport, SimNet, SimTransport, Transport, UdpTransport};

@@ -1,0 +1,124 @@
+//! The node: one transport, one receive pump, many concurrent sessions.
+//!
+//! A daemon owns a single socket; the pump task reads frames and routes
+//! them by session id to whichever session state machines are open —
+//! that's how one `thinaird` process multiplexes many concurrent group
+//! rounds ("session-id routing"). Frames for unknown sessions are
+//! dropped and counted.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::coordinator::run_coordinator;
+use crate::frame::Frame;
+use crate::rt;
+use crate::rt::chan::{channel, Receiver, Sender};
+use crate::session::{NetError, SessionConfig, SessionOutcome};
+use crate::terminal::run_terminal;
+use crate::transport::{SharedTransport, Transport};
+
+struct Routes {
+    by_session: HashMap<u64, Sender<Frame>>,
+    orphans: u64,
+}
+
+/// One protocol node over one transport.
+pub struct Node<T> {
+    t: SharedTransport<T>,
+    routes: Rc<RefCell<Routes>>,
+}
+
+impl<T> Clone for Node<T> {
+    fn clone(&self) -> Self {
+        Node { t: self.t.clone(), routes: self.routes.clone() }
+    }
+}
+
+impl<T: Transport + 'static> Node<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> Self {
+        Node {
+            t: SharedTransport::new(transport),
+            routes: Rc::new(RefCell::new(Routes { by_session: HashMap::new(), orphans: 0 })),
+        }
+    }
+
+    /// The underlying shared transport.
+    pub fn transport(&self) -> SharedTransport<T> {
+        self.t.clone()
+    }
+
+    /// Frames received for sessions nobody had open.
+    pub fn orphan_frames(&self) -> u64 {
+        self.routes.borrow().orphans
+    }
+
+    /// Spawns the receive pump; it runs until the runtime is dropped or
+    /// the socket fails. On a socket error every open session's channel
+    /// is closed, so sessions fail promptly with [`NetError::Closed`]
+    /// instead of idling to their deadline.
+    pub fn start_pump(&self) -> rt::JoinHandle<std::io::Result<()>> {
+        let t = self.t.clone();
+        let routes = self.routes.clone();
+        rt::spawn(async move {
+            loop {
+                let frame = match t.recv().await {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        eprintln!("thinair-net: receive pump failed: {e}");
+                        routes.borrow_mut().by_session.clear();
+                        return Err(e);
+                    }
+                };
+                let mut r = routes.borrow_mut();
+                match r.by_session.get(&frame.session) {
+                    Some(tx) => tx.send(frame),
+                    None => r.orphans += 1,
+                }
+            }
+        })
+    }
+
+    /// Opens a routing entry for `session`.
+    ///
+    /// # Panics
+    /// Panics when the session is already open on this node.
+    pub fn open_session(&self, session: u64) -> Receiver<Frame> {
+        let (tx, rx) = channel();
+        let prev = self.routes.borrow_mut().by_session.insert(session, tx);
+        assert!(prev.is_none(), "session {session} already open");
+        rx
+    }
+
+    /// Drops the routing entry for `session`.
+    pub fn close_session(&self, session: u64) {
+        self.routes.borrow_mut().by_session.remove(&session);
+    }
+
+    /// Runs one session as the coordinator.
+    pub async fn coordinate(
+        &self,
+        session: u64,
+        cfg: SessionConfig,
+        seed: u64,
+    ) -> Result<SessionOutcome, NetError> {
+        let rx = self.open_session(session);
+        let result = run_coordinator(self.t.clone(), rx, session, cfg, seed).await;
+        self.close_session(session);
+        result
+    }
+
+    /// Runs one session as a terminal.
+    pub async fn participate(
+        &self,
+        session: u64,
+        cfg: SessionConfig,
+        seed: u64,
+    ) -> Result<SessionOutcome, NetError> {
+        let rx = self.open_session(session);
+        let result = run_terminal(self.t.clone(), rx, session, cfg, seed).await;
+        self.close_session(session);
+        result
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-peer ACK/retransmit bookkeeping for control frames.
+//!
+//! Mirrors the semantics of `thinair_core::transport::reliable_message`
+//! — a control message is re-sent until every target has acknowledged
+//! it, with a bounded attempt budget — transposed to asynchronous real
+//! packet I/O: instead of the omniscient "who received this
+//! transmission" answer the simulator gives, the sender learns about
+//! delivery from [`NetPayload::Ack`] frames and re-sends on a timer.
+//!
+//! The receive side ([`Dedup`]) acknowledges *every* reliable frame,
+//! including duplicates (the previous ACK may have been the lost
+//! datagram), and tells the caller whether the frame is fresh.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::time::{Duration, Instant};
+
+use crate::frame::{Frame, NetPayload, FLAG_RELIABLE};
+use crate::transport::{SharedTransport, Transport};
+
+/// One in-flight reliable frame.
+#[derive(Debug)]
+struct Entry {
+    seq: u32,
+    frame: Frame,
+    pending: BTreeSet<u8>,
+    due: Instant,
+    attempts: u32,
+}
+
+/// Sender-side reliability state for one session.
+pub struct Reliable {
+    next_seq: u32,
+    entries: Vec<Entry>,
+    interval: Duration,
+    max_attempts: u32,
+}
+
+/// The retransmission budget for some peer ran out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unreachable {
+    /// Peers that never acknowledged.
+    pub missing: Vec<u8>,
+    /// Attempts spent on the frame.
+    pub attempts: u32,
+}
+
+impl Reliable {
+    /// Creates the bookkeeping with the given retransmit `interval` and
+    /// per-frame attempt budget.
+    pub fn new(interval: Duration, max_attempts: u32) -> Self {
+        Reliable { next_seq: 1, entries: Vec::new(), interval, max_attempts }
+    }
+
+    /// Allocates the next sequence number (shared by unreliable frames
+    /// so that per-sender seqs stay unique within a session).
+    pub fn next_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        s
+    }
+
+    /// Sends `payload` reliably to `targets`, returning the assigned
+    /// sequence number.
+    pub fn send<T: Transport>(
+        &mut self,
+        t: &SharedTransport<T>,
+        session: u64,
+        payload: NetPayload,
+        targets: &[u8],
+    ) -> io::Result<u32> {
+        let seq = self.next_seq();
+        let frame = Frame { flags: FLAG_RELIABLE, sender: t.local_node(), session, seq, payload };
+        for &to in targets {
+            t.send_to(to, &frame)?;
+        }
+        self.entries.push(Entry {
+            seq,
+            frame,
+            pending: targets.iter().copied().collect(),
+            due: Instant::now() + self.interval,
+            attempts: 1,
+        });
+        Ok(seq)
+    }
+
+    /// Records an ACK from `from` for `seq`.
+    pub fn on_ack(&mut self, from: u8, seq: u32) {
+        self.entries.retain_mut(|e| {
+            if e.seq == seq {
+                e.pending.remove(&from);
+            }
+            !e.pending.is_empty()
+        });
+    }
+
+    /// Whether `seq` has been acknowledged by every target.
+    pub fn acked(&self, seq: u32) -> bool {
+        !self.entries.iter().any(|e| e.seq == seq)
+    }
+
+    /// Whether every reliable frame has been fully acknowledged.
+    pub fn idle(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Re-sends every due entry to its still-pending peers. Returns an
+    /// [`Unreachable`] error once an entry exhausts the attempt budget.
+    pub fn tick<T: Transport>(
+        &mut self,
+        t: &SharedTransport<T>,
+        now: Instant,
+    ) -> io::Result<Result<(), Unreachable>> {
+        for e in &mut self.entries {
+            if now < e.due {
+                continue;
+            }
+            if e.attempts >= self.max_attempts {
+                return Ok(Err(Unreachable {
+                    missing: e.pending.iter().copied().collect(),
+                    attempts: e.attempts,
+                }));
+            }
+            e.attempts += 1;
+            e.due = now + self.interval;
+            for &to in e.pending.iter() {
+                t.send_to(to, &e.frame)?;
+            }
+        }
+        Ok(Ok(()))
+    }
+}
+
+/// Receive-side duplicate suppression + acknowledgement.
+pub struct Dedup {
+    seen: Vec<BTreeSet<u32>>,
+}
+
+impl Dedup {
+    /// State for `n` possible senders.
+    pub fn new(n: usize) -> Self {
+        Dedup { seen: vec![BTreeSet::new(); n] }
+    }
+
+    /// Handles the reliability duties for a received frame: sends the
+    /// ACK when the frame is reliable, and returns `true` when the frame
+    /// has not been seen before (i.e. the caller should process it).
+    pub fn admit<T: Transport>(
+        &mut self,
+        t: &SharedTransport<T>,
+        frame: &Frame,
+    ) -> io::Result<bool> {
+        if !frame.reliable() {
+            return Ok(true);
+        }
+        // A session may span fewer nodes than the transport roster; a
+        // reliable frame from a node outside this session is ignored
+        // (never a panic — the sender field rides the wire).
+        if (frame.sender as usize) >= self.seen.len() {
+            return Ok(false);
+        }
+        let ack = Frame {
+            flags: 0,
+            sender: t.local_node(),
+            session: frame.session,
+            seq: 0,
+            payload: NetPayload::Ack { seq: frame.seq },
+        };
+        t.send_to(frame.sender, &ack)?;
+        Ok(self.seen[frame.sender as usize].insert(frame.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt;
+    use crate::transport::{SharedTransport, SimNet};
+    use thinair_netsim::IidMedium;
+
+    #[test]
+    fn retransmits_until_acked() {
+        // Lossless 2-node sim; ack manually.
+        let net = SimNet::new(IidMedium::symmetric(3, 0.0, 1), 2);
+        let t0 = SharedTransport::new(net.transport(0));
+        let t1 = SharedTransport::new(net.transport(1));
+        let mut rel = Reliable::new(Duration::from_millis(1), 10);
+        let seq = rel.send(&t0, 9, NetPayload::Done, &[1]).unwrap();
+        assert!(!rel.acked(seq));
+        rt::block_on(async {
+            // Let a couple of retransmit ticks fire.
+            rt::sleep(Duration::from_millis(3)).await;
+            rel.tick(&t0, Instant::now()).unwrap().unwrap();
+            let mut dedup = Dedup::new(2);
+            // First copy is fresh, the retransmit is a duplicate.
+            let f1 = t1.recv().await.unwrap();
+            assert!(dedup.admit(&t1, &f1).unwrap());
+            let f2 = t1.recv().await.unwrap();
+            assert_eq!(f1.seq, f2.seq);
+            assert!(!dedup.admit(&t1, &f2).unwrap());
+            // Route the (two) acks back.
+            let a = t0.recv().await.unwrap();
+            if let NetPayload::Ack { seq: s } = a.payload {
+                rel.on_ack(a.sender, s);
+            }
+            assert!(rel.acked(seq));
+            assert!(rel.idle());
+        });
+    }
+
+    #[test]
+    fn attempt_budget_reports_unreachable() {
+        let net = SimNet::new(IidMedium::symmetric(3, 1.0, 2), 2);
+        let t0 = SharedTransport::new(net.transport(0));
+        let mut rel = Reliable::new(Duration::from_micros(10), 3);
+        rel.send(&t0, 1, NetPayload::Fin, &[1]).unwrap();
+        let mut last = Ok(());
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_micros(50));
+            last = rel.tick(&t0, Instant::now()).unwrap();
+            if last.is_err() {
+                break;
+            }
+        }
+        let err = last.unwrap_err();
+        assert_eq!(err.missing, vec![1]);
+        assert!(err.attempts >= 3);
+    }
+}

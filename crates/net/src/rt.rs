@@ -1,0 +1,411 @@
+//! A minimal single-threaded async runtime.
+//!
+//! The ISSUE for this subsystem calls for a tokio-based runtime; the
+//! build environment is fully offline (no crates.io), so this module
+//! provides the required subset in-tree: [`block_on`], [`spawn`] (local
+//! tasks), [`sleep`] timers, and cooperative scheduling. The executor is
+//! a *polling* executor: tasks are round-robin polled and the loop backs
+//! off for [`TICK`] when a pass makes no progress, so timer resolution
+//! and I/O latency are bounded by `TICK` (100 µs) — entirely adequate
+//! for a protocol whose deadlines are milliseconds. Swapping in tokio
+//! later only requires replacing this module and the socket wrapper in
+//! [`crate::udp`]; the protocol state machines are executor-agnostic.
+//!
+//! Not thread-safe by design: one runtime per thread, tasks are
+//! `!Send`-friendly (`Rc` everywhere). Nested [`block_on`] is not
+//! allowed.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Scheduler granularity: the executor never sleeps longer than this
+/// between polling passes.
+pub const TICK: Duration = Duration::from_micros(100);
+
+type Task = Pin<Box<dyn Future<Output = ()>>>;
+
+#[derive(Default)]
+struct Executor {
+    /// Tasks spawned and not yet completed.
+    tasks: RefCell<Vec<Task>>,
+    /// Tasks spawned while a polling pass was in flight.
+    incoming: RefCell<Vec<Task>>,
+    /// Bumped by [`notify`]; a change suppresses the back-off sleep.
+    notifies: RefCell<u64>,
+}
+
+thread_local! {
+    static EXECUTOR: RefCell<Option<Rc<Executor>>> = const { RefCell::new(None) };
+}
+
+fn current() -> Rc<Executor> {
+    EXECUTOR.with(|e| {
+        e.borrow().clone().expect("no runtime: call from within thinair_net::rt::block_on")
+    })
+}
+
+/// Signals that new work is available (e.g. a channel push), suppressing
+/// the executor's back-off sleep for one pass.
+pub fn notify() {
+    EXECUTOR.with(|e| {
+        if let Some(ex) = e.borrow().as_ref() {
+            *ex.notifies.borrow_mut() += 1;
+        }
+    });
+}
+
+/// Handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    slot: Rc<RefCell<Option<T>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        match self.slot.borrow_mut().take() {
+            Some(v) => Poll::Ready(v),
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// Spawns a task onto the current runtime.
+///
+/// The task runs until completion or until [`block_on`] returns (tasks
+/// still pending at that point are dropped).
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let slot: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
+    let slot2 = slot.clone();
+    let task: Task = Box::pin(async move {
+        let out = fut.await;
+        *slot2.borrow_mut() = Some(out);
+    });
+    let ex = current();
+    ex.incoming.borrow_mut().push(task);
+    *ex.notifies.borrow_mut() += 1;
+    JoinHandle { slot }
+}
+
+/// Runs `main_fut` to completion, driving all spawned tasks.
+///
+/// # Panics
+/// Panics when called from within an active runtime on the same thread.
+pub fn block_on<F: Future>(main_fut: F) -> F::Output {
+    EXECUTOR.with(|e| {
+        let mut slot = e.borrow_mut();
+        assert!(slot.is_none(), "nested rt::block_on is not supported");
+        *slot = Some(Rc::new(Executor::default()));
+    });
+    // Ensure the executor slot is cleared even on panic.
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            EXECUTOR.with(|e| *e.borrow_mut() = None);
+        }
+    }
+    let _reset = Reset;
+
+    let ex = current();
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    let mut main_fut = std::pin::pin!(main_fut);
+
+    loop {
+        let notifies_before = *ex.notifies.borrow();
+
+        if let Poll::Ready(out) = main_fut.as_mut().poll(&mut cx) {
+            return out;
+        }
+
+        // One round-robin pass over the spawned tasks.
+        let mut tasks = std::mem::take(&mut *ex.tasks.borrow_mut());
+        let mut completed_any = false;
+        tasks.retain_mut(|task| match task.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                completed_any = true;
+                false
+            }
+            Poll::Pending => true,
+        });
+        let mut incoming = std::mem::take(&mut *ex.incoming.borrow_mut());
+        tasks.append(&mut incoming);
+        *ex.tasks.borrow_mut() = tasks;
+
+        // Back off when the pass made no observable progress; channel
+        // sends and spawns bump `notifies` so purely in-memory pipelines
+        // (the sim transport) run at full speed.
+        let progressed = completed_any || *ex.notifies.borrow() != notifies_before;
+        if !progressed {
+            std::thread::sleep(TICK);
+        }
+    }
+}
+
+/// A timer future: ready once the deadline passes.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Completes after `d` (resolution: [`TICK`]).
+pub fn sleep(d: Duration) -> Sleep {
+    Sleep { deadline: Instant::now() + d }
+}
+
+/// Completes at `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// Yields once, letting other tasks run before this one resumes.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            // Keep the executor spinning: this task is immediately ready
+            // again.
+            notify();
+            Poll::Pending
+        }
+    }
+}
+
+/// The timeout elapsed before the inner future completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timeout elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+#[derive(Debug)]
+pub struct Timeout<F> {
+    fut: F,
+    deadline: Instant,
+}
+
+impl<F: Future + Unpin> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        if let Poll::Ready(v) = Pin::new(&mut this.fut).poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Instant::now() >= this.deadline {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    }
+}
+
+/// Limits `fut` to duration `d`. The future must be `Unpin` (wrap in
+/// `Box::pin` otherwise).
+pub fn timeout<F: Future + Unpin>(d: Duration, fut: F) -> Timeout<F> {
+    Timeout { fut, deadline: Instant::now() + d }
+}
+
+/// An unbounded single-threaded channel, in the mpsc shape the session
+/// router needs.
+pub mod chan {
+    use super::notify;
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::rc::Rc;
+    use std::task::{Context, Poll};
+
+    struct Shared<T> {
+        queue: RefCell<VecDeque<T>>,
+        senders: std::cell::Cell<usize>,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Rc<Shared<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        shared: Rc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.set(self.shared.senders.get() + 1);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.senders.set(self.shared.senders.get() - 1);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value (never blocks).
+        pub fn send(&self, v: T) {
+            self.shared.queue.borrow_mut().push_back(v);
+            notify();
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value; `None` once all senders are gone and
+        /// the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { rx: self }
+        }
+
+        /// Non-blocking pop.
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.shared.queue.borrow_mut().pop_front()
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`]; `Unpin` so it can be used
+    /// with [`super::timeout`].
+    pub struct Recv<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let shared = &self.rx.shared;
+            if let Some(v) = shared.queue.borrow_mut().pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if shared.senders.get() == 0 {
+                return Poll::Ready(None);
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Rc::new(Shared {
+            queue: RefCell::new(VecDeque::new()),
+            senders: std::cell::Cell::new(1),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+}
+
+// Re-exported so `use rt::channel` works like `tokio::sync::mpsc`.
+pub use chan::channel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_run_and_join() {
+        let out = block_on(async {
+            let h1 = spawn(async { 10u32 });
+            let h2 = spawn(async {
+                yield_now().await;
+                32u32
+            });
+            h1.await + h2.await
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn sleep_waits_roughly_right() {
+        let start = Instant::now();
+        block_on(async {
+            sleep(Duration::from_millis(20)).await;
+        });
+        let dt = start.elapsed();
+        assert!(dt >= Duration::from_millis(20), "slept {dt:?}");
+        assert!(dt < Duration::from_millis(500), "slept {dt:?}");
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_future() {
+        block_on(async {
+            let (tx, mut rx) = channel::<u8>();
+            let r = timeout(Duration::from_millis(10), rx.recv()).await;
+            assert_eq!(r, Err(Elapsed));
+            tx.send(7);
+            let r = timeout(Duration::from_millis(10), rx.recv()).await;
+            assert_eq!(r, Ok(Some(7)));
+        });
+    }
+
+    #[test]
+    fn channel_round_trips_in_order() {
+        block_on(async {
+            let (tx, mut rx) = channel();
+            let sender = spawn(async move {
+                for i in 0..100u32 {
+                    tx.send(i);
+                    if i % 10 == 0 {
+                        yield_now().await;
+                    }
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            sender.await;
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn channel_closes_when_senders_drop() {
+        block_on(async {
+            let (tx, mut rx) = channel::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+}

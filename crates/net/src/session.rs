@@ -1,0 +1,661 @@
+//! Shared session machinery: configuration, deterministic erasure
+//! injection, and secret reconstruction.
+//!
+//! # How a distributed round stays consistent
+//!
+//! The omniscient simulator hands every terminal the coordinator's
+//! [`Plan`] object. Over real sockets nothing is shared, so the plan
+//! must be *re-derivable*: `build_plan` is a pure function of the known
+//! sets (reconstructed from everyone's reception reports + the
+//! deterministic [`owner_order`] map), the estimator (part of the static
+//! session configuration), and an RNG seed (announced in
+//! `Message::PlanAnnounce`). Every node therefore computes bit-identical
+//! plans — the announced `(m, l)` double-checks it.
+//!
+//! # Why erasures are injected
+//!
+//! The protocol mines secrecy out of packet loss; loopback UDP loses
+//! essentially nothing, and a lossless broadcast gives the leave-one-out
+//! estimator zero budget (every candidate Eve heard everything), so
+//! `L = 0` — correct, but a useless demo. [`SessionConfig::drop_prob`]
+//! injects receiver-side i.i.d. erasures on the *data plane only*
+//! (x-packets and z-combos, never control frames), as a stand-in for a
+//! lossy radio link. The erasure decision is a pure hash of
+//! `(drop_seed, session, receiver, packet)` so a retransmitted datagram
+//! is dropped consistently. Over an actually lossy network, set it to 0.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thinair_core::construct::{build_plan, Plan, PlanParams};
+use thinair_core::estimate::{Estimator, Tuning};
+use thinair_core::kdf::derive_key;
+use thinair_core::packet::{random_payload, Payload};
+use thinair_core::phase1::owner_order;
+use thinair_core::round::XSchedule;
+use thinair_core::wire::{bitmap_from_received, payload_to_bytes, received_from_bitmap, Message};
+use thinair_core::ProtocolError;
+use thinair_gf::{add_assign_scaled, Gf256, RowEchelon};
+
+use crate::frame::{Frame, FrameError, NetPayload};
+use crate::reliable::{Reliable, Unreachable};
+use crate::transport::{SharedTransport, Transport};
+
+/// Everything that can go wrong in a networked session.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Protocol-level failure (construction, decoding, config).
+    Protocol(ProtocolError),
+    /// A frame failed to parse (only surfaced from strict contexts;
+    /// transports normally just drop bad datagrams).
+    Frame(FrameError),
+    /// A peer never acknowledged a control frame.
+    Unreachable(Unreachable),
+    /// The session deadline passed in the given phase.
+    Timeout(&'static str),
+    /// The coordinator's configuration digest differs from ours.
+    ConfigMismatch {
+        /// Digest announced by the coordinator.
+        got: u64,
+        /// Digest of the local configuration.
+        want: u64,
+    },
+    /// The locally rebuilt plan disagrees with the announced `(m, l)`.
+    PlanMismatch,
+    /// The session's frame channel closed (node shut down).
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol: {e}"),
+            NetError::Frame(e) => write!(f, "frame: {e}"),
+            NetError::Unreachable(u) => {
+                write!(f, "peers {:?} unreachable after {} attempts", u.missing, u.attempts)
+            }
+            NetError::Timeout(phase) => write!(f, "session deadline passed during {phase}"),
+            NetError::ConfigMismatch { got, want } => {
+                write!(f, "config digest mismatch: coordinator {got:#018x}, local {want:#018x}")
+            }
+            NetError::PlanMismatch => write!(f, "rebuilt plan disagrees with announcement"),
+            NetError::Closed => write!(f, "session channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+/// Static per-session configuration; must be identical on every node
+/// (checked via [`SessionConfig::digest`] at the start barrier).
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Number of protocol nodes (coordinator included).
+    pub n_nodes: u8,
+    /// Which node coordinates ("Alice").
+    pub coordinator: u8,
+    /// Phase-1 x-packet schedule.
+    pub schedule: XSchedule,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Eve-erasure estimator (must not be `Oracle`: there is no ground
+    /// truth on a real network).
+    pub estimator: Estimator,
+    /// Construction tunables.
+    pub plan_params: PlanParams,
+    /// Receiver-side data-plane erasure probability (see module docs).
+    pub drop_prob: f64,
+    /// Seed of the erasure-injection hash.
+    pub drop_seed: u64,
+    /// Retransmit interval for reliable control frames.
+    pub retransmit: Duration,
+    /// How long after the start barrier the x phase is considered
+    /// settled (reports are sent at this point).
+    pub x_settle: Duration,
+    /// Overall session deadline.
+    pub deadline: Duration,
+    /// Attempt budget per reliable frame and for the z fountain.
+    pub max_attempts: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            n_nodes: 4,
+            coordinator: 0,
+            schedule: XSchedule::CoordinatorOnly(60),
+            payload_len: 32,
+            estimator: Estimator::LeaveOneOut(Tuning::default()),
+            plan_params: PlanParams::default(),
+            drop_prob: 0.4,
+            drop_seed: 7,
+            retransmit: Duration::from_millis(25),
+            x_settle: Duration::from_millis(150),
+            deadline: Duration::from_secs(30),
+            max_attempts: 400,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// The resolved per-terminal x counts.
+    pub fn x_counts(&self) -> Vec<usize> {
+        self.schedule.resolve(self.n_nodes as usize, self.coordinator as usize)
+    }
+
+    /// The deterministic id → owner map of the x-pool.
+    pub fn owners(&self) -> Vec<usize> {
+        owner_order(&self.x_counts())
+    }
+
+    /// Total x-packets in a round.
+    pub fn n_packets(&self) -> usize {
+        self.x_counts().iter().sum()
+    }
+
+    /// Checks the configuration against the codec's and protocol's hard
+    /// limits, so a bad `--payload-len` fails fast with a named error
+    /// instead of silently emitting frames every receiver rejects
+    /// (`Frame::encode` only debug-asserts [`crate::frame::MAX_PAYLOAD`]).
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if self.n_nodes < 2 {
+            return Err(ProtocolError::BadConfig("need at least two nodes"));
+        }
+        if self.coordinator >= self.n_nodes {
+            return Err(ProtocolError::BadConfig("coordinator outside roster"));
+        }
+        let n_packets = self.n_packets();
+        if n_packets == 0 {
+            return Err(ProtocolError::BadConfig("no x-packets scheduled"));
+        }
+        if n_packets > u16::MAX as usize {
+            return Err(ProtocolError::BadConfig("x-pool exceeds u16 packet ids"));
+        }
+        // An x/z frame carries one payload plus bounded headers and
+        // coefficient vectors; 16 KiB keeps every frame far inside
+        // MAX_PAYLOAD (and inside a realistic unfragmented datagram).
+        if self.payload_len == 0 || self.payload_len > 16 * 1024 {
+            return Err(ProtocolError::BadConfig("payload_len must be in 1..=16384"));
+        }
+        if !(0.0..1.0).contains(&self.drop_prob) {
+            return Err(ProtocolError::BadConfig("drop_prob must be in [0, 1)"));
+        }
+        if matches!(self.estimator, Estimator::Oracle { .. }) {
+            // There is no ground-truth Eve on a real network.
+            return Err(ProtocolError::BadConfig("oracle estimator is sim-only"));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest over every field that affects protocol agreement.
+    /// Two nodes with different digests would derive different plans, so
+    /// the start barrier refuses to pair them.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        fold(self.n_nodes as u64);
+        fold(self.coordinator as u64);
+        for c in self.x_counts() {
+            fold(c as u64);
+        }
+        fold(self.payload_len as u64);
+        for b in self.estimator.name().bytes() {
+            fold(b as u64);
+        }
+        let t = self.estimator.tuning();
+        fold(t.scale.to_bits());
+        fold(t.slack as u64);
+        match &self.estimator {
+            Estimator::FixedFraction { fraction } => fold(fraction.to_bits()),
+            Estimator::Custom { candidates, .. } => {
+                // The candidate sets define the plan; two nodes with the
+                // same label but different sets must not pair up.
+                for cand in candidates {
+                    fold(cand.len() as u64);
+                    for &j in cand {
+                        fold(j as u64);
+                    }
+                }
+            }
+            _ => {}
+        }
+        fold(self.plan_params.max_rows as u64);
+        fold(self.plan_params.support_floor as u64);
+        fold(self.plan_params.support_slack as u64);
+        fold(self.drop_prob.to_bits());
+        fold(self.drop_seed);
+        h
+    }
+}
+
+/// SplitMix64 finalizer, kept local so the `rand` dependency stays a
+/// drop-in swap for the real crate (which has no such export). The
+/// output must be bit-identical on every node — it decides which
+/// packets are "erased".
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Data-plane frame kinds for erasure injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataKind {
+    /// Phase-1 x-packet.
+    X,
+    /// Phase-2 z-combo.
+    Z,
+}
+
+/// Pure-hash erasure decision: should `receiver` drop this data-plane
+/// packet?
+pub fn inject_erasure(
+    cfg: &SessionConfig,
+    session: u64,
+    receiver: u8,
+    kind: DataKind,
+    id: u64,
+) -> bool {
+    if cfg.drop_prob <= 0.0 {
+        return false;
+    }
+    let salt = match kind {
+        DataKind::X => 0x58u64,
+        DataKind::Z => 0x5Au64,
+    };
+    let h = splitmix64(
+        cfg.drop_seed
+            ^ session.rotate_left(17)
+            ^ (receiver as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ salt.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+            ^ id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < cfg.drop_prob
+}
+
+/// Rebuilds every node's known set from the collected reception-report
+/// bitmaps (`reports[t]`) plus the deterministic ownership map.
+pub fn known_sets(cfg: &SessionConfig, reports: &[Vec<u8>]) -> Vec<BTreeSet<usize>> {
+    let owners = cfg.owners();
+    let n_packets = owners.len();
+    let mut known: Vec<BTreeSet<usize>> = reports
+        .iter()
+        .map(|bm| received_from_bitmap(n_packets, bm).into_iter().collect())
+        .collect();
+    for (id, &o) in owners.iter().enumerate() {
+        known[o].insert(id);
+    }
+    known
+}
+
+/// Derives the plan every node must agree on from the shared reports
+/// and the announced seed.
+pub fn derive_plan(
+    cfg: &SessionConfig,
+    reports: &[Vec<u8>],
+    plan_seed: u64,
+) -> Result<Plan, ProtocolError> {
+    let known = known_sets(cfg, reports);
+    let mut rng = StdRng::seed_from_u64(plan_seed);
+    build_plan(
+        &known,
+        cfg.coordinator as usize,
+        cfg.n_packets(),
+        &cfg.estimator,
+        &mut rng,
+        cfg.plan_params,
+    )
+}
+
+/// Phase-1 data-plane state shared by both role state machines: this
+/// node's slice of the x-pool, everything it received, and the
+/// validation every incoming x-packet must clear.
+pub(crate) struct XState {
+    cfg: SessionConfig,
+    session: u64,
+    me: u8,
+    owners: Vec<usize>,
+    /// Payloads this node holds (own + received), by packet id.
+    pub store: BTreeMap<usize, Payload>,
+    received: BTreeSet<usize>,
+}
+
+impl XState {
+    pub fn new(cfg: &SessionConfig, session: u64, me: u8) -> Self {
+        XState {
+            cfg: cfg.clone(),
+            session,
+            me,
+            owners: cfg.owners(),
+            store: BTreeMap::new(),
+            received: BTreeSet::new(),
+        }
+    }
+
+    pub fn n_packets(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Broadcasts this node's share of the x-pool (plain,
+    /// unacknowledged: erasures are the point).
+    pub fn broadcast_own<T: Transport>(
+        &mut self,
+        t: &SharedTransport<T>,
+        rel: &mut Reliable,
+        rng: &mut StdRng,
+    ) -> std::io::Result<()> {
+        for (id, &o) in self.owners.iter().enumerate() {
+            if o != self.me as usize {
+                continue;
+            }
+            let payload = random_payload(self.cfg.payload_len, rng);
+            let msg = Message::XPacket {
+                id: id as u16,
+                owner: self.me,
+                payload: payload_to_bytes(&payload),
+            };
+            self.store.insert(id, payload);
+            let frame = Frame {
+                flags: 0,
+                sender: self.me,
+                session: self.session,
+                seq: rel.next_seq(),
+                payload: NetPayload::Proto(msg),
+            };
+            t.broadcast(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Validates and stores an incoming x-packet; silently drops
+    /// anything malformed (wrong owner, impersonated sender, wrong
+    /// payload length — the UDP port is an open attack surface) and
+    /// anything the configured erasure injection erases.
+    pub fn on_frame(&mut self, frame: &Frame) {
+        let NetPayload::Proto(Message::XPacket { id, owner, payload }) = &frame.payload else {
+            return;
+        };
+        let id = *id as usize;
+        if id < self.owners.len()
+            && self.owners[id] == *owner as usize
+            && *owner == frame.sender
+            && *owner != self.me
+            && payload.len() == self.cfg.payload_len
+            && !inject_erasure(&self.cfg, self.session, self.me, DataKind::X, id as u64)
+        {
+            self.store.insert(id, payload.iter().copied().map(Gf256).collect());
+            self.received.insert(id);
+        }
+    }
+
+    /// This node's reception-report bitmap (received packets only; own
+    /// packets are implicit in the ownership map).
+    pub fn report_bitmap(&self) -> Vec<u8> {
+        bitmap_from_received(self.owners.len(), self.received.iter().copied())
+    }
+}
+
+/// Records a peer's reception report if it is fresh and well-formed.
+pub(crate) fn accept_report(
+    reports: &mut [Option<Vec<u8>>],
+    n_packets: usize,
+    fresh: bool,
+    sender: u8,
+    terminal: u8,
+    np: u16,
+    bitmap: Vec<u8>,
+) {
+    if fresh
+        && terminal == sender
+        && (terminal as usize) < reports.len()
+        && np as usize == n_packets
+    {
+        reports[terminal as usize] = Some(bitmap);
+    }
+}
+
+/// What a completed session yields on one node.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// Session id.
+    pub session: u64,
+    /// This node's id.
+    pub node: u8,
+    /// Group-secret length in packets (0: no secret this round).
+    pub l: usize,
+    /// Number of y-packets.
+    pub m: usize,
+    /// x-pool size.
+    pub n_packets: usize,
+    /// The group secret (empty when `l == 0`).
+    pub secret: Vec<Payload>,
+}
+
+impl SessionOutcome {
+    /// A 32-byte key derived from the secret, or `None` when the round
+    /// produced no secret.
+    pub fn key(&self) -> Option<[u8; 32]> {
+        if self.secret.is_empty() {
+            return None;
+        }
+        let bytes: Vec<u8> = self.secret.iter().flat_map(|p| p.iter().map(|s| s.value())).collect();
+        Some(derive_key(&bytes, "thinair-net session key"))
+    }
+}
+
+/// Incremental y/secret reconstruction for one node.
+///
+/// Directly computable rows come from the node's stored payloads; the
+/// rest accumulate fountain combos until the projected system reaches
+/// full rank, then one linear solve recovers the missing y-packets and
+/// the secret is `D·y` (identities-only: nothing about `s` ever went on
+/// the air).
+pub struct Reconstructor {
+    plan: Plan,
+    payload_len: usize,
+    y: Vec<Option<Payload>>,
+    missing: Vec<usize>,
+    tracker: RowEchelon,
+    combos: Vec<(Vec<Gf256>, Payload)>,
+}
+
+impl Reconstructor {
+    /// Builds the reconstructor for node `me` from its payload store.
+    ///
+    /// # Panics
+    /// Panics if a directly decodable row references a payload `me`
+    /// does not hold — impossible when the plan was derived from `me`'s
+    /// own report.
+    pub fn new(plan: Plan, payload_len: usize, me: u8, store: &BTreeMap<usize, Payload>) -> Self {
+        let m = plan.m();
+        let mut y: Vec<Option<Payload>> = vec![None; m];
+        for &r in &plan.decodable[me as usize] {
+            let row = &plan.rows[r];
+            let mut acc = vec![Gf256::ZERO; payload_len];
+            for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
+                let p = store.get(&j).expect("decodable row references a payload this node holds");
+                add_assign_scaled(&mut acc, p, c);
+            }
+            y[r] = Some(acc);
+        }
+        let missing: Vec<usize> = (0..m).filter(|r| y[*r].is_none()).collect();
+        let tracker = RowEchelon::new(missing.len());
+        Reconstructor { plan, payload_len, y, missing, tracker, combos: Vec::new() }
+    }
+
+    /// Rows still unknown.
+    pub fn needs(&self) -> usize {
+        self.missing.len() - self.tracker.rank()
+    }
+
+    /// Whether enough combos have been collected to solve.
+    pub fn complete(&self) -> bool {
+        self.needs() == 0
+    }
+
+    /// Offers one fountain combo (coefficients over the z-packets, and
+    /// the combined payload). Returns `true` when the combo was
+    /// innovative for this node.
+    pub fn offer(&mut self, coeffs: &[u8], payload: &[u8]) -> bool {
+        if self.complete() {
+            return false;
+        }
+        let z_count = self.plan.c_mat.rows();
+        if coeffs.len() != z_count || payload.len() != self.payload_len {
+            return false; // malformed or stale combo
+        }
+        let q: Vec<Gf256> = coeffs.iter().copied().map(Gf256).collect();
+        let qc: Vec<Gf256> = self
+            .missing
+            .iter()
+            .map(|&col| (0..z_count).map(|k| q[k] * self.plan.c_mat[(k, col)]).sum::<Gf256>())
+            .collect();
+        if self.tracker.insert(&qc) {
+            let p: Payload = payload.iter().copied().map(Gf256).collect();
+            self.combos.push((q, p));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Solves for the missing y-packets and returns the group secret.
+    pub fn secret(mut self, me: u8) -> Result<Vec<Payload>, NetError> {
+        if !self.missing.is_empty() {
+            if self.combos.len() < self.missing.len() {
+                return Err(NetError::Protocol(ProtocolError::DecodeFailed {
+                    terminal: me as usize,
+                    what: "not enough z combos received",
+                }));
+            }
+            let z_count = self.plan.c_mat.rows();
+            let mut a = thinair_gf::Matrix::zero(0, self.missing.len());
+            let rhs: Vec<Payload> = self
+                .combos
+                .iter()
+                .map(|(q, payload)| {
+                    let row: Vec<Gf256> = self
+                        .missing
+                        .iter()
+                        .map(|&col| {
+                            (0..z_count).map(|k| q[k] * self.plan.c_mat[(k, col)]).sum::<Gf256>()
+                        })
+                        .collect();
+                    a.push_row(&row);
+                    let mut acc = payload.clone();
+                    for (j, yj) in self.y.iter().enumerate() {
+                        if let Some(yj) = yj {
+                            let qc_j: Gf256 =
+                                (0..z_count).map(|k| q[k] * self.plan.c_mat[(k, j)]).sum();
+                            add_assign_scaled(&mut acc, yj, qc_j);
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            let solved =
+                a.solve_payloads(&rhs).ok_or(NetError::Protocol(ProtocolError::DecodeFailed {
+                    terminal: me as usize,
+                    what: "y from z system",
+                }))?;
+            for (pos, &r) in self.missing.iter().enumerate() {
+                self.y[r] = Some(solved[pos].clone());
+            }
+        }
+        let y: Vec<Payload> = self.y.into_iter().map(|p| p.expect("all rows filled")).collect();
+        Ok(self.plan.d_mat.mul_payloads(&y))
+    }
+
+    /// Access to the plan (for `(m, l)` checks).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SessionConfig {
+        SessionConfig { n_nodes: 3, ..SessionConfig::default() }
+    }
+
+    #[test]
+    fn digest_tracks_protocol_relevant_fields() {
+        let a = cfg();
+        let mut b = cfg();
+        assert_eq!(a.digest(), b.digest());
+        b.payload_len += 1;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = cfg();
+        c.drop_prob = 0.11;
+        assert_ne!(a.digest(), c.digest());
+        let mut d = cfg();
+        d.retransmit = Duration::from_millis(1); // timing is not protocol-relevant
+        assert_eq!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn erasure_injection_is_deterministic_and_rate_plausible() {
+        let c = SessionConfig { drop_prob: 0.4, ..cfg() };
+        let drops = (0..10_000).filter(|&id| inject_erasure(&c, 5, 1, DataKind::X, id)).count();
+        assert!((3_400..4_600).contains(&drops), "drops {drops}");
+        for id in 0..50 {
+            assert_eq!(
+                inject_erasure(&c, 5, 1, DataKind::X, id),
+                inject_erasure(&c, 5, 1, DataKind::X, id),
+            );
+        }
+        // Different receivers and kinds decorrelate.
+        let same = (0..1000)
+            .filter(|&id| {
+                inject_erasure(&c, 5, 1, DataKind::X, id)
+                    == inject_erasure(&c, 5, 2, DataKind::X, id)
+            })
+            .count();
+        assert!(same < 900, "receivers too correlated: {same}");
+    }
+
+    #[test]
+    fn zero_drop_prob_never_erases() {
+        let c = SessionConfig { drop_prob: 0.0, ..cfg() };
+        assert!((0..1000).all(|id| !inject_erasure(&c, 1, 0, DataKind::Z, id)));
+    }
+
+    #[test]
+    fn known_sets_combine_reports_and_ownership() {
+        let c = SessionConfig { n_nodes: 2, schedule: XSchedule::Explicit(vec![2, 1]), ..cfg() };
+        // owners = [0, 1, 0]; node 1 received packet 0 only.
+        let reports = vec![
+            thinair_core::wire::bitmap_from_received(3, [1usize].into_iter()),
+            thinair_core::wire::bitmap_from_received(3, [0usize].into_iter()),
+        ];
+        let known = known_sets(&c, &reports);
+        assert_eq!(known[0], [0usize, 1, 2].into_iter().collect());
+        assert_eq!(known[1], [0usize, 1].into_iter().collect());
+    }
+}

@@ -1,0 +1,232 @@
+//! The asynchronous terminal state machine.
+//!
+//! The mirror image of [`crate::coordinator`]: acknowledges the start
+//! barrier (checking the configuration digest), contributes its share
+//! of x-packets (when the schedule rotates transmission), reliably
+//! reports its receptions, rebuilds the coordinator's plan from the
+//! shared reports plus the announced seed, drinks from the z fountain
+//! until its missing y-rows reach full rank, derives the group secret
+//! locally, and signals `Done`.
+//!
+//! Frames arrive in any order — a z-combo can outrun the plan
+//! announcement, a peer's report can outrun `Start` — so every handler
+//! is phase-independent and out-of-order data is buffered.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thinair_core::wire::Message;
+
+use crate::frame::{Frame, NetPayload};
+use crate::reliable::{Dedup, Reliable};
+use crate::rt;
+use crate::rt::chan::Receiver;
+use crate::session::{
+    accept_report, derive_plan, inject_erasure, DataKind, NetError, Reconstructor, SessionConfig,
+    SessionOutcome, XState,
+};
+use crate::transport::{SharedTransport, Transport};
+
+/// Runs one session as terminal `me`. `seed` feeds the terminal's own
+/// x payloads (only used when the schedule gives it packets).
+pub async fn run_terminal<T: Transport>(
+    t: SharedTransport<T>,
+    mut rx: Receiver<Frame>,
+    session: u64,
+    cfg: SessionConfig,
+    seed: u64,
+) -> Result<SessionOutcome, NetError> {
+    cfg.validate()?;
+    let me = t.local_node();
+    assert_ne!(me, cfg.coordinator, "coordinator must run run_coordinator");
+    let n = cfg.n_nodes;
+    let peers: Vec<u8> = (0..n).filter(|&p| p != me).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Reliable::new(cfg.retransmit, cfg.max_attempts);
+    let mut dedup = Dedup::new(n as usize);
+
+    let mut xs = XState::new(&cfg, session, me);
+    let n_packets = xs.n_packets();
+    let mut reports: Vec<Option<Vec<u8>>> = vec![None; n as usize];
+    let mut announce: Option<(u64, usize, usize)> = None; // (seed, m, l)
+    let mut z_buffer: Vec<(Vec<u8>, Vec<u8>)> = Vec::new(); // pre-plan combos
+    let mut recon: Option<Reconstructor> = None;
+    let mut outcome: Option<SessionOutcome> = None;
+    let mut started = false;
+    let mut report_at: Option<Instant> = None;
+    let mut report_sent = false;
+    let mut fin_seen = false;
+    let mut linger_until: Option<Instant> = None;
+
+    let deadline = Instant::now() + cfg.deadline;
+    let tick = cfg.retransmit.min(Duration::from_millis(10));
+
+    loop {
+        if Instant::now() > deadline {
+            return Err(NetError::Timeout(phase_name(
+                started,
+                report_sent,
+                announce.is_some(),
+                outcome.is_some(),
+            )));
+        }
+
+        match rt::timeout(tick, rx.recv()).await {
+            Err(rt::Elapsed) => {}
+            Ok(None) => return Err(NetError::Closed),
+            Ok(Some(frame)) => {
+                let fresh = dedup.admit(&t, &frame)?;
+                match frame.payload {
+                    NetPayload::Ack { seq } => rel.on_ack(frame.sender, seq),
+                    NetPayload::Start { digest } if frame.sender == cfg.coordinator => {
+                        let want = cfg.digest();
+                        if digest != want {
+                            return Err(NetError::ConfigMismatch { got: digest, want });
+                        }
+                        if !started {
+                            started = true;
+                            // Contribute this terminal's x share, if any.
+                            xs.broadcast_own(&t, &mut rel, &mut rng)?;
+                            report_at = Some(Instant::now() + cfg.x_settle);
+                        }
+                    }
+                    NetPayload::Proto(Message::XPacket { .. }) => xs.on_frame(&frame),
+                    NetPayload::Proto(Message::ReceptionReport {
+                        terminal,
+                        n_packets: np,
+                        bitmap,
+                    }) => {
+                        accept_report(
+                            &mut reports,
+                            n_packets,
+                            fresh,
+                            frame.sender,
+                            terminal,
+                            np,
+                            bitmap,
+                        );
+                    }
+                    NetPayload::Proto(Message::PlanAnnounce { seed, m, l })
+                        if fresh && frame.sender == cfg.coordinator =>
+                    {
+                        announce = Some((seed, m as usize, l as usize));
+                    }
+                    NetPayload::Proto(Message::ZPacket { index, coeffs, payload })
+                        if frame.sender == cfg.coordinator
+                            && !inject_erasure(&cfg, session, me, DataKind::Z, index as u64) =>
+                    {
+                        match recon.as_mut() {
+                            Some(r) => {
+                                r.offer(&coeffs, &payload);
+                            }
+                            // The solver can use at most M innovative
+                            // combos; cap the pre-plan buffer so a
+                            // spoofed z-stream cannot grow it without
+                            // bound.
+                            None if z_buffer.len() < 2 * cfg.plan_params.max_rows => {
+                                z_buffer.push((coeffs, payload))
+                            }
+                            None => {}
+                        }
+                    }
+                    NetPayload::Fin if frame.sender == cfg.coordinator => {
+                        fin_seen = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let now = Instant::now();
+
+        // Reception report, once the x phase has settled.
+        if let Some(at) = report_at {
+            if !report_sent && now >= at {
+                let bitmap = xs.report_bitmap();
+                reports[me as usize] = Some(bitmap.clone());
+                let msg =
+                    Message::ReceptionReport { terminal: me, n_packets: n_packets as u16, bitmap };
+                rel.send(&t, session, NetPayload::Proto(msg), &peers)?;
+                report_sent = true;
+            }
+        }
+
+        // Plan reconstruction, once every report and the announcement
+        // are in.
+        if recon.is_none()
+            && outcome.is_none()
+            && report_sent
+            && reports.iter().all(|r| r.is_some())
+        {
+            if let Some((plan_seed, m, l)) = announce {
+                let flat: Vec<Vec<u8>> =
+                    reports.iter().map(|r| r.clone().expect("all present")).collect();
+                let plan = derive_plan(&cfg, &flat, plan_seed)?;
+                if plan.m() != m || plan.l != l {
+                    return Err(NetError::PlanMismatch);
+                }
+                if l == 0 {
+                    // No secret this round; report completion directly.
+                    outcome = Some(SessionOutcome {
+                        session,
+                        node: me,
+                        l: 0,
+                        m,
+                        n_packets,
+                        secret: Vec::new(),
+                    });
+                    rel.send(&t, session, NetPayload::Done, &[cfg.coordinator])?;
+                } else {
+                    let mut r = Reconstructor::new(plan, cfg.payload_len, me, &xs.store);
+                    for (coeffs, payload) in z_buffer.drain(..) {
+                        r.offer(&coeffs, &payload);
+                    }
+                    recon = Some(r);
+                }
+            }
+        }
+
+        // Secret derivation, once the fountain has filled the gap.
+        if let Some(r) = recon.as_ref() {
+            if r.complete() {
+                let r = recon.take().expect("checked");
+                let (m, l) = (r.plan().m(), r.plan().l);
+                let secret = r.secret(me)?;
+                outcome = Some(SessionOutcome { session, node: me, l, m, n_packets, secret });
+                rel.send(&t, session, NetPayload::Done, &[cfg.coordinator])?;
+            }
+        }
+
+        // After Fin, linger briefly (re-acking Fin retransmissions via
+        // `dedup.admit`) so a lost Fin-ack cannot strand the
+        // coordinator's fin barrier — the UDP equivalent of TIME_WAIT.
+        if fin_seen && outcome.is_some() {
+            match linger_until {
+                None => linger_until = Some(now + cfg.retransmit * 12),
+                Some(until) if now >= until => {
+                    return Ok(outcome.take().expect("outcome set"));
+                }
+                Some(_) => {}
+            }
+        }
+
+        if let Err(u) = rel.tick(&t, Instant::now())? {
+            return Err(NetError::Unreachable(u));
+        }
+    }
+}
+
+fn phase_name(started: bool, report_sent: bool, announced: bool, derived: bool) -> &'static str {
+    if !started {
+        "await start"
+    } else if !report_sent {
+        "x settle"
+    } else if !announced {
+        "await plan"
+    } else if !derived {
+        "z fountain"
+    } else {
+        "await fin"
+    }
+}

@@ -1,0 +1,399 @@
+//! The [`Transport`] abstraction: one trait, two worlds.
+//!
+//! The coordinator and terminal state machines in this crate are generic
+//! over `Transport`, so the *identical* code drives
+//!
+//! * [`UdpTransport`] — real sockets: broadcast is a unicast fan-out to
+//!   the peer roster (loopback and most WANs have no usable broadcast),
+//!   and the only losses are the network's own plus the configured
+//!   receiver-side erasure injection ([`crate::session`]);
+//! * [`SimTransport`] — an adapter over [`thinair_netsim::Medium`]: one
+//!   `broadcast` is one `Medium::transmit` (one airtime charge, one
+//!   erasure pattern), so the async protocol runs against the same
+//!   physically plausible packet loss the synchronous reproduction uses,
+//!   with exact transmitted-bit accounting.
+//!
+//! Frames that fail to decode are dropped at this layer (counted, not
+//! propagated): a malformed datagram must never wedge a session.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::io;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use thinair_netsim::{Medium, TxStats};
+
+use crate::frame::{Frame, MAX_PAYLOAD};
+use crate::udp::AsyncUdpSocket;
+
+/// A frame-level packet interface for one node.
+pub trait Transport {
+    /// This node's dense id.
+    fn local_node(&self) -> u8;
+
+    /// Number of nodes in the roster.
+    fn node_count(&self) -> usize;
+
+    /// Sends a frame to one peer.
+    fn send_to(&mut self, to: u8, frame: &Frame) -> io::Result<()>;
+
+    /// Sends a frame to every peer (default: unicast fan-out).
+    fn broadcast(&mut self, frame: &Frame) -> io::Result<()> {
+        let me = self.local_node();
+        for peer in 0..self.node_count() as u8 {
+            if peer != me {
+                self.send_to(peer, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls for the next valid frame addressed to this node.
+    fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<Frame>>;
+
+    /// Datagrams dropped because they failed frame validation.
+    fn invalid_frames(&self) -> u64;
+}
+
+/// Shared handle so the receive pump and many session tasks can use one
+/// transport (single-threaded runtime ⇒ `Rc<RefCell>`).
+pub struct SharedTransport<T>(Rc<RefCell<T>>);
+
+impl<T> Clone for SharedTransport<T> {
+    fn clone(&self) -> Self {
+        SharedTransport(self.0.clone())
+    }
+}
+
+impl<T: Transport> SharedTransport<T> {
+    /// Wraps a transport.
+    pub fn new(t: T) -> Self {
+        SharedTransport(Rc::new(RefCell::new(t)))
+    }
+
+    /// This node's dense id.
+    pub fn local_node(&self) -> u8 {
+        self.0.borrow().local_node()
+    }
+
+    /// Number of nodes in the roster.
+    pub fn node_count(&self) -> usize {
+        self.0.borrow().node_count()
+    }
+
+    /// Sends a frame to one peer.
+    pub fn send_to(&self, to: u8, frame: &Frame) -> io::Result<()> {
+        self.0.borrow_mut().send_to(to, frame)
+    }
+
+    /// Sends a frame to every peer.
+    pub fn broadcast(&self, frame: &Frame) -> io::Result<()> {
+        self.0.borrow_mut().broadcast(frame)
+    }
+
+    /// Datagrams dropped by frame validation.
+    pub fn invalid_frames(&self) -> u64 {
+        self.0.borrow().invalid_frames()
+    }
+
+    /// Borrows the inner transport (e.g. to read sim-side statistics).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// The next valid incoming frame.
+    pub fn recv(&self) -> RecvFrame<T> {
+        RecvFrame { t: self.0.clone() }
+    }
+}
+
+/// Future returned by [`SharedTransport::recv`]; `Unpin`.
+pub struct RecvFrame<T> {
+    t: Rc<RefCell<T>>,
+}
+
+impl<T: Transport> Future for RecvFrame<T> {
+    type Output = io::Result<Frame>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.t.borrow_mut().poll_recv(cx)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+/// Real-socket transport: one UDP socket, a static peer roster indexed
+/// by node id.
+pub struct UdpTransport {
+    socket: AsyncUdpSocket,
+    peers: Vec<SocketAddr>,
+    node: u8,
+    invalid: u64,
+    recv_buf: Box<[u8]>,
+}
+
+impl UdpTransport {
+    /// Creates a transport for node `node`; `peers[i]` is node `i`'s
+    /// address (the entry for `node` itself is unused but keeps the
+    /// roster dense).
+    pub fn new(socket: AsyncUdpSocket, peers: Vec<SocketAddr>, node: u8) -> Self {
+        assert!((node as usize) < peers.len(), "node id outside roster");
+        UdpTransport {
+            socket,
+            peers,
+            node,
+            invalid: 0,
+            recv_buf: vec![0u8; MAX_PAYLOAD + 1024].into_boxed_slice(),
+        }
+    }
+
+    /// Binds a socket and builds the transport in one step.
+    pub fn bind(bind: SocketAddr, peers: Vec<SocketAddr>, node: u8) -> io::Result<Self> {
+        Ok(Self::new(AsyncUdpSocket::bind(bind)?, peers, node))
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_node(&self) -> u8 {
+        self.node
+    }
+
+    fn node_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send_to(&mut self, to: u8, frame: &Frame) -> io::Result<()> {
+        let addr = *self
+            .peers
+            .get(to as usize)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "peer outside roster"))?;
+        self.socket.send_to(&frame.encode(), addr)?;
+        Ok(())
+    }
+
+    fn broadcast(&mut self, frame: &Frame) -> io::Result<()> {
+        // Encode once; fan the same bytes out to every peer.
+        let bytes = frame.encode();
+        for (peer, &addr) in self.peers.iter().enumerate() {
+            if peer != self.node as usize {
+                self.socket.send_to(&bytes, addr)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn poll_recv(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
+        loop {
+            match self.socket.try_recv_from(&mut self.recv_buf) {
+                Ok(Some((n, from))) => match Frame::decode(&self.recv_buf[..n]) {
+                    // The claimed sender id must match the datagram's
+                    // source address in the roster — otherwise any host
+                    // that can reach the port could impersonate any
+                    // node. (No cryptographic authentication yet; see
+                    // `thinair_core::auth` for the bootstrap-secret
+                    // layer a future PR can wire in.)
+                    Ok(frame)
+                        if (frame.sender as usize) < self.peers.len()
+                            && self.peers[frame.sender as usize] == from =>
+                    {
+                        return Poll::Ready(Ok(frame));
+                    }
+                    _ => {
+                        // Malformed, impossible sender, or spoofed
+                        // source: drop and keep draining the socket.
+                        self.invalid += 1;
+                    }
+                },
+                Ok(None) => return Poll::Pending,
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+    }
+
+    fn invalid_frames(&self) -> u64 {
+        self.invalid
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+struct SimHub<M: Medium> {
+    medium: M,
+    queues: Vec<std::collections::VecDeque<Frame>>,
+    stats: TxStats,
+}
+
+/// A shared simulated network that hands out per-node [`SimTransport`]s.
+///
+/// Medium nodes beyond the transport roster (e.g. an Eve antenna as the
+/// last node) take part in every delivery decision but have no queue —
+/// exactly like the synchronous reproduction treats them.
+pub struct SimNet<M: Medium> {
+    hub: Rc<RefCell<SimHub<M>>>,
+    n_nodes: usize,
+}
+
+impl<M: Medium> SimNet<M> {
+    /// Wraps a medium; `n_nodes` is the number of protocol nodes
+    /// (`medium.node_count() >= n_nodes`).
+    pub fn new(medium: M, n_nodes: usize) -> Self {
+        assert!(medium.node_count() >= n_nodes, "medium smaller than roster");
+        let stats = TxStats::new(medium.node_count());
+        SimNet {
+            hub: Rc::new(RefCell::new(SimHub {
+                medium,
+                queues: (0..n_nodes).map(|_| Default::default()).collect(),
+                stats,
+            })),
+            n_nodes,
+        }
+    }
+
+    /// A transport endpoint for node `node`.
+    pub fn transport(&self, node: u8) -> SimTransport<M> {
+        assert!((node as usize) < self.n_nodes, "node id outside roster");
+        SimTransport { hub: self.hub.clone(), node, n_nodes: self.n_nodes, invalid: 0 }
+    }
+
+    /// Total bits transmitted so far, by any node.
+    pub fn bits_transmitted(&self) -> u64 {
+        self.hub.borrow().stats.total()
+    }
+}
+
+/// Simulated transport endpoint for one node.
+pub struct SimTransport<M: Medium> {
+    hub: Rc<RefCell<SimHub<M>>>,
+    node: u8,
+    n_nodes: usize,
+    invalid: u64,
+}
+
+impl<M: Medium> SimTransport<M> {
+    fn transmit(&mut self, frame: &Frame, only: Option<u8>) {
+        let mut hub = self.hub.borrow_mut();
+        let bits = frame.bits();
+        let delivery = hub.medium.transmit(self.node as usize, bits);
+        hub.stats.record(self.node as usize, thinair_netsim::stats::TxClass::Data, bits);
+        for rx in 0..self.n_nodes {
+            if rx == self.node as usize || !delivery.got(rx) {
+                continue;
+            }
+            if let Some(target) = only {
+                if rx != target as usize {
+                    continue;
+                }
+            }
+            hub.queues[rx].push_back(frame.clone());
+            crate::rt::notify();
+        }
+    }
+}
+
+impl<M: Medium> Transport for SimTransport<M> {
+    fn local_node(&self) -> u8 {
+        self.node
+    }
+
+    fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn send_to(&mut self, to: u8, frame: &Frame) -> io::Result<()> {
+        self.transmit(frame, Some(to));
+        Ok(())
+    }
+
+    fn broadcast(&mut self, frame: &Frame) -> io::Result<()> {
+        // One transmission reaches everyone the erasure pattern allows —
+        // the broadcast advantage the protocol is built on.
+        self.transmit(frame, None);
+        Ok(())
+    }
+
+    fn poll_recv(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
+        match self.hub.borrow_mut().queues[self.node as usize].pop_front() {
+            Some(f) => Poll::Ready(Ok(f)),
+            None => Poll::Pending,
+        }
+    }
+
+    fn invalid_frames(&self) -> u64 {
+        self.invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::NetPayload;
+    use crate::rt;
+    use thinair_netsim::IidMedium;
+
+    fn frame(sender: u8, seq: u32) -> Frame {
+        Frame { flags: 0, sender, session: 1, seq, payload: NetPayload::Ack { seq } }
+    }
+
+    #[test]
+    fn sim_broadcast_respects_erasures_and_counts_bits() {
+        // p = 1.0 towards node 1 only? use symmetric p=0: everyone gets it.
+        let net = SimNet::new(IidMedium::symmetric(4, 0.0, 1), 3);
+        let mut t0 = net.transport(0);
+        let t1 = net.transport(1);
+        let t2 = net.transport(2);
+        t0.broadcast(&frame(0, 1)).unwrap();
+        rt::block_on(async {
+            let a = SharedTransport::new(t1).recv().await.unwrap();
+            let b = SharedTransport::new(t2).recv().await.unwrap();
+            assert_eq!(a.seq, 1);
+            assert_eq!(b.seq, 1);
+        });
+        assert_eq!(net.bits_transmitted(), frame(0, 1).bits());
+    }
+
+    #[test]
+    fn sim_dead_channel_delivers_nothing() {
+        let net = SimNet::new(IidMedium::symmetric(3, 1.0, 2), 2);
+        let mut t0 = net.transport(0);
+        t0.broadcast(&frame(0, 7)).unwrap();
+        let t1 = SharedTransport::new(net.transport(1));
+        rt::block_on(async {
+            let r = rt::timeout(std::time::Duration::from_millis(5), t1.recv()).await;
+            assert!(r.is_err(), "nothing should arrive over a dead channel");
+        });
+        // The transmission still cost air time.
+        assert!(net.bits_transmitted() > 0);
+    }
+
+    #[test]
+    fn udp_transport_filters_garbage() {
+        rt::block_on(async {
+            let a = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
+            let b = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
+            let a_addr = a.local_addr().unwrap();
+            let b_addr = b.local_addr().unwrap();
+            let tb = UdpTransport::new(b, vec![a_addr, b_addr], 1);
+            // Garbage first, then a valid frame.
+            a.send_to(b"not a frame at all", b_addr).unwrap();
+            a.send_to(&frame(0, 3).encode(), b_addr).unwrap();
+            let shared = SharedTransport::new(tb);
+            let got = rt::timeout(std::time::Duration::from_secs(2), shared.recv())
+                .await
+                .expect("frame should arrive")
+                .unwrap();
+            assert_eq!(got.seq, 3);
+            assert_eq!(shared.invalid_frames(), 1);
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! Nonblocking UDP for the polling runtime.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+
+/// A nonblocking UDP socket usable from [`crate::rt`] tasks.
+#[derive(Debug)]
+pub struct AsyncUdpSocket {
+    inner: UdpSocket,
+}
+
+impl AsyncUdpSocket {
+    /// Binds and switches the socket to nonblocking mode.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let inner = UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(AsyncUdpSocket { inner })
+    }
+
+    /// The bound local address (with the OS-assigned port when bound to
+    /// port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Sends one datagram. UDP sends don't meaningfully block; a full
+    /// socket buffer drops the datagram, which the retransmission layer
+    /// absorbs like any other loss.
+    pub fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        match self.inner.send_to(buf, addr) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
+            other => other,
+        }
+    }
+
+    /// Non-blocking receive: `Ok(None)` when no datagram is queued.
+    pub fn try_recv_from(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>> {
+        match self.inner.recv_from(buf) {
+            Ok(v) => Ok(Some(v)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            // Linux reports ICMP port-unreachable from a previous send
+            // as ECONNREFUSED on the next receive; that's not fatal for
+            // a broadcast protocol — treat as "nothing received".
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_datagram_round_trip() {
+        let a = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
+        let b_addr = b.local_addr().unwrap();
+        a.send_to(b"hello", b_addr).unwrap();
+        let mut buf = [0u8; 16];
+        // Poll until delivery (loopback is effectively instant).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            if let Some((n, from)) = b.try_recv_from(&mut buf).unwrap() {
+                assert_eq!(&buf[..n], b"hello");
+                assert_eq!(from, a.local_addr().unwrap());
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "datagram never arrived");
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn empty_queue_reports_none() {
+        let s = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut buf = [0u8; 8];
+        assert!(s.try_recv_from(&mut buf).unwrap().is_none());
+    }
+}

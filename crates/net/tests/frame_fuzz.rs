@@ -1,0 +1,95 @@
+//! Fuzz-style property tests for the datagram codec: the UDP port is an
+//! open attack surface, so `Frame::decode` must reject — never panic
+//! on — arbitrary and mutated inputs.
+
+use proptest::prelude::*;
+use thinair_core::wire::Message;
+use thinair_net::frame::{crc32, Frame, NetPayload, FLAG_RELIABLE};
+
+fn arb_payload() -> impl Strategy<Value = NetPayload> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..120)).prop_map(
+            |(id, owner, payload)| NetPayload::Proto(Message::XPacket { id, owner, payload })
+        ),
+        (
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..24),
+            proptest::collection::vec(any::<u8>(), 0..120)
+        )
+            .prop_map(|(index, coeffs, payload)| NetPayload::Proto(Message::ZPacket {
+                index,
+                coeffs,
+                payload
+            })),
+        (any::<u64>(), any::<u16>(), any::<u16>())
+            .prop_map(|(seed, m, l)| NetPayload::Proto(Message::PlanAnnounce { seed, m, l })),
+        any::<u32>().prop_map(|seq| NetPayload::Ack { seq }),
+        any::<u64>().prop_map(|digest| NetPayload::Start { digest }),
+        Just(NetPayload::Done),
+        Just(NetPayload::Fin),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (arb_payload(), any::<u8>(), any::<u64>(), any::<u32>(), any::<bool>()).prop_map(
+        |(payload, sender, session, seq, reliable)| Frame {
+            flags: if reliable { FLAG_RELIABLE } else { 0 },
+            sender,
+            session,
+            seq,
+            payload,
+        },
+    )
+}
+
+proptest! {
+    /// Well-formed frames always round-trip exactly.
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let enc = frame.encode();
+        prop_assert_eq!(Frame::decode(&enc).unwrap(), frame);
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Frame::decode(&data);
+    }
+
+    /// Any truncation of a valid frame is rejected (the trailing CRC
+    /// makes every strict prefix invalid).
+    #[test]
+    fn truncations_are_rejected(frame in arb_frame(), cut_frac in 0.0f64..1.0) {
+        let enc = frame.encode();
+        let cut = ((enc.len() as f64) * cut_frac) as usize;
+        if cut < enc.len() {
+            prop_assert!(Frame::decode(&enc[..cut]).is_err());
+        }
+    }
+
+    /// Any single-byte mutation is rejected or decodes to the identical
+    /// frame (CRC-32 detects all single-byte errors, so in practice:
+    /// rejected).
+    #[test]
+    fn byte_mutations_are_detected(frame in arb_frame(), pos_frac in 0.0f64..1.0, xor in 1u8..=255) {
+        let enc = frame.encode();
+        let pos = (((enc.len() - 1) as f64) * pos_frac) as usize;
+        let mut bad = enc.clone();
+        bad[pos] ^= xor;
+        prop_assert!(Frame::decode(&bad).is_err(), "mutation at {pos} accepted");
+    }
+
+    /// Frames whose checksum was recomputed after corrupting the inner
+    /// payload still fail structural validation or parse to *some*
+    /// frame — but never panic.
+    #[test]
+    fn refreshed_checksum_still_safe(frame in arb_frame(), pos_frac in 0.0f64..1.0, xor in 1u8..=255) {
+        let mut enc = frame.encode();
+        let body_len = enc.len() - 4;
+        let pos = ((body_len.saturating_sub(1)) as f64 * pos_frac) as usize;
+        enc[pos] ^= xor;
+        let crc = crc32(&enc[..body_len]).to_be_bytes();
+        enc[body_len..].copy_from_slice(&crc);
+        let _ = Frame::decode(&enc);
+    }
+}

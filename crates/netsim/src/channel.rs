@@ -121,10 +121,8 @@ impl GeoMedium {
             - self.cfg.pathloss.median_loss_db(d)
             - self.shadowing_db[tx * n + rx]
             + self.cfg.fading.draw_db(&mut self.rng);
-        let interf_dbm = self
-            .cfg
-            .interference
-            .power_at(&self.cfg.positions[rx], self.t, &self.cfg.pathloss);
+        let interf_dbm =
+            self.cfg.interference.power_at(&self.cfg.positions[rx], self.t, &self.cfg.pathloss);
         let denom_mw = dbm_to_mw(self.cfg.noise_floor_dbm)
             + if interf_dbm.is_finite() {
                 dbm_to_mw(interf_dbm + self.cfg.fading.draw_db(&mut self.rng))
@@ -146,9 +144,9 @@ impl Medium for GeoMedium {
         assert!(tx < self.node_count(), "unknown transmitter {tx}");
         let n = self.node_count();
         let mut received = vec![false; n];
-        for rx in 0..n {
+        for (rx, slot) in received.iter_mut().enumerate() {
             if rx != tx {
-                received[rx] = self.deliver_one(tx, rx, bits);
+                *slot = self.deliver_one(tx, rx, bits);
             }
         }
         self.t += 1;

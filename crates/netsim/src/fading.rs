@@ -83,9 +83,7 @@ mod tests {
         // P(h < 0.1) = 1 - exp(-0.1) ≈ 0.095.
         let mut rng = StdRng::seed_from_u64(2);
         let n = 100_000;
-        let deep = (0..n)
-            .filter(|_| Fading::Rayleigh.draw_linear(&mut rng) < 0.1)
-            .count();
+        let deep = (0..n).filter(|_| Fading::Rayleigh.draw_linear(&mut rng) < 0.1).count();
         let frac = deep as f64 / n as f64;
         assert!((frac - 0.0952).abs() < 0.01, "frac {frac}");
     }

@@ -29,11 +29,7 @@ impl IidMedium {
     /// Panics unless `0 <= p <= 1`.
     pub fn symmetric(nodes: usize, p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "erasure probability out of range");
-        IidMedium {
-            erasure: vec![vec![p; nodes]; nodes],
-            rng: StdRng::seed_from_u64(seed),
-            t: 0,
-        }
+        IidMedium { erasure: vec![vec![p; nodes]; nodes], rng: StdRng::seed_from_u64(seed), t: 0 }
     }
 
     /// Fully general per-link erasure probabilities.
@@ -95,14 +91,14 @@ mod tests {
         let mut got = [0usize; 3];
         for _ in 0..n {
             let d = m.transmit(0, 800);
-            for rx in 1..3 {
+            for (rx, count) in got.iter_mut().enumerate().skip(1) {
                 if d.got(rx) {
-                    got[rx] += 1;
+                    *count += 1;
                 }
             }
         }
-        for rx in 1..3 {
-            let rate = got[rx] as f64 / n as f64;
+        for (rx, &count) in got.iter().enumerate().skip(1) {
+            let rate = count as f64 / n as f64;
             assert!((rate - 0.7).abs() < 0.02, "rx {rx} receive rate {rate}");
         }
     }
@@ -120,11 +116,7 @@ mod tests {
     #[test]
     fn per_link_probabilities() {
         // Link 0->1 perfect, 0->2 dead.
-        let m = vec![
-            vec![0.0, 0.0, 1.0],
-            vec![0.0, 0.0, 0.0],
-            vec![0.0, 0.0, 0.0],
-        ];
+        let m = vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]];
         let mut m = IidMedium::from_matrix(m, 3);
         for _ in 0..50 {
             let d = m.transmit(0, 8);

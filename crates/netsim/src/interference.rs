@@ -101,11 +101,8 @@ impl InterferenceSchedule {
     /// `t`, before fading; `NEG_INFINITY` when nothing is active.
     pub fn power_at(&self, p: &Point, t: u64, pl: &PathLoss) -> f64 {
         let pattern = self.pattern_at(t);
-        let powers: Vec<f64> = pattern
-            .active
-            .iter()
-            .map(|&i| self.beams[i].power_at(p, pl))
-            .collect();
+        let powers: Vec<f64> =
+            pattern.active.iter().map(|&i| self.beams[i].power_at(p, pl)).collect();
         crate::geom::sum_dbm(&powers)
     }
 }
@@ -171,10 +168,7 @@ mod tests {
     fn off_schedule_has_no_power() {
         let sched = InterferenceSchedule::off();
         let pl = PathLoss::default();
-        assert_eq!(
-            sched.power_at(&Point::new(1.0, 1.0), 0, &pl),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(sched.power_at(&Point::new(1.0, 1.0), 0, &pl), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -56,10 +56,10 @@ pub mod stats;
 pub mod trace;
 
 pub use channel::{GeoMedium, GeoMediumConfig};
-pub use trace::TracedMedium;
 pub use fault::FaultyMedium;
 pub use geom::Point;
 pub use iid::IidMedium;
 pub use medium::{Delivery, Medium, NodeId};
 pub use reliable::{reliable_broadcast, ReliableError, ReliableOutcome, ACK_BITS};
 pub use stats::TxStats;
+pub use trace::TracedMedium;

@@ -9,9 +9,10 @@
 
 /// A packet-error-rate model: probability that a packet of `bits` bits is
 /// lost at the given SINR (dB).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub enum PerModel {
     /// Exact DSSS/BPSK: `PER = 1 - (1 - Q(sqrt(2·sinr)))^bits`.
+    #[default]
     BpskBer,
     /// Logistic threshold: `PER = 1 / (1 + exp((sinr_db - threshold)/width))`.
     Logistic {
@@ -47,12 +48,6 @@ impl PerModel {
                 }
             }
         }
-    }
-}
-
-impl Default for PerModel {
-    fn default() -> Self {
-        PerModel::BpskBer
     }
 }
 

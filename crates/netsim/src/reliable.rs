@@ -108,9 +108,8 @@ mod tests {
     fn lossless_needs_one_attempt() {
         let mut m = IidMedium::symmetric(4, 0.0, 1);
         let mut stats = TxStats::new(4);
-        let out =
-            reliable_broadcast(&mut m, &mut stats, 0, 800, &[1, 2, 3], TxClass::Control, 10)
-                .unwrap();
+        let out = reliable_broadcast(&mut m, &mut stats, 0, 800, &[1, 2, 3], TxClass::Control, 10)
+            .unwrap();
         assert_eq!(out.attempts, 1);
         assert_eq!(out.payload_bits_sent, 800);
         assert_eq!(out.ack_bits_sent, 3 * ACK_BITS);
@@ -122,9 +121,8 @@ mod tests {
     fn lossy_channel_retransmits_until_done() {
         let mut m = IidMedium::symmetric(3, 0.6, 7);
         let mut stats = TxStats::new(3);
-        let out =
-            reliable_broadcast(&mut m, &mut stats, 0, 800, &[1, 2], TxClass::Control, 10_000)
-                .unwrap();
+        let out = reliable_broadcast(&mut m, &mut stats, 0, 800, &[1, 2], TxClass::Control, 10_000)
+            .unwrap();
         assert!(out.attempts > 1, "0.6 erasure should need retries");
         assert_eq!(out.payload_bits_sent, out.attempts as u64 * 800);
         // Exactly one ACK per target (each leaves `missing` once).
@@ -135,8 +133,8 @@ mod tests {
     fn dead_channel_reports_unreachable() {
         let mut m = IidMedium::symmetric(2, 1.0, 3);
         let mut stats = TxStats::new(2);
-        let err = reliable_broadcast(&mut m, &mut stats, 0, 100, &[1], TxClass::Data, 5)
-            .unwrap_err();
+        let err =
+            reliable_broadcast(&mut m, &mut stats, 0, 100, &[1], TxClass::Data, 5).unwrap_err();
         assert_eq!(err, ReliableError::Unreachable { missing: vec![1], attempts: 5 });
         // All five attempts are still charged: the bits went on air.
         assert_eq!(stats.of(0, TxClass::Data), 500);
@@ -146,8 +144,8 @@ mod tests {
     fn empty_target_list_costs_nothing() {
         let mut m = IidMedium::symmetric(2, 0.5, 5);
         let mut stats = TxStats::new(2);
-        let out = reliable_broadcast(&mut m, &mut stats, 0, 800, &[], TxClass::Control, 10)
-            .unwrap();
+        let out =
+            reliable_broadcast(&mut m, &mut stats, 0, 800, &[], TxClass::Control, 10).unwrap();
         assert_eq!(out.attempts, 0);
         assert_eq!(stats.total(), 0);
     }
@@ -163,11 +161,7 @@ mod tests {
     #[test]
     fn partial_progress_tracked() {
         // rx 1 perfect, rx 2 dead: error must name only node 2.
-        let m = vec![
-            vec![0.0, 0.0, 1.0],
-            vec![0.0, 0.0, 0.0],
-            vec![0.0, 0.0, 0.0],
-        ];
+        let m = vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]];
         let mut m = IidMedium::from_matrix(m, 2);
         let mut stats = TxStats::new(3);
         let err = reliable_broadcast(&mut m, &mut stats, 0, 64, &[1, 2], TxClass::Control, 4)

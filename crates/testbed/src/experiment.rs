@@ -2,8 +2,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use thinair_core::estimate::{Estimator, Tuning};
 use thinair_core::construct::PlanParams;
+use thinair_core::estimate::{Estimator, Tuning};
 use thinair_core::round::{run_group_round, Construction, RoundConfig, XSchedule};
 use thinair_core::ProtocolError;
 use thinair_netsim::channel::{GeoMedium, GeoMediumConfig};
@@ -111,9 +111,12 @@ pub fn build_medium(cfg: &TestbedConfig, placement: &Placement) -> GeoMedium {
         cfg.seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(placement.eve_cell as u64)
-            .wrapping_add(placement.terminal_cells.iter().fold(0u64, |a, &c| {
-                a.wrapping_mul(31).wrapping_add(c as u64)
-            })),
+            .wrapping_add(
+                placement
+                    .terminal_cells
+                    .iter()
+                    .fold(0u64, |a, &c| a.wrapping_mul(31).wrapping_add(c as u64)),
+            ),
     );
     let mut place = |cell: usize| -> Point {
         let c = cell_center(cell);
@@ -121,13 +124,9 @@ pub fn build_medium(cfg: &TestbedConfig, placement: &Placement) -> GeoMedium {
         if j == 0.0 {
             return c;
         }
-        Point::new(
-            c.x + jitter_rng.gen_range(-j..=j),
-            c.y + jitter_rng.gen_range(-j..=j),
-        )
+        Point::new(c.x + jitter_rng.gen_range(-j..=j), c.y + jitter_rng.gen_range(-j..=j))
     };
-    let mut positions: Vec<Point> =
-        placement.terminal_cells.iter().map(|&c| place(c)).collect();
+    let mut positions: Vec<Point> = placement.terminal_cells.iter().map(|&c| place(c)).collect();
     positions.push(place(placement.eve_cell));
     for &c in &cfg.extra_eve_cells {
         assert!(
@@ -165,15 +164,11 @@ pub fn build_medium(cfg: &TestbedConfig, placement: &Placement) -> GeoMedium {
 /// diagonal pair starves the whole group secret; the paper's terminals
 /// rotate roles, which averages to the same effect.
 pub fn pick_coordinator(placement: &Placement) -> usize {
-    let centers: Vec<_> =
-        placement.terminal_cells.iter().map(|&c| cell_center(c)).collect();
+    let centers: Vec<_> = placement.terminal_cells.iter().map(|&c| cell_center(c)).collect();
     (0..centers.len())
         .min_by(|&a, &b| {
             let worst = |i: usize| -> f64 {
-                centers
-                    .iter()
-                    .map(|p| centers[i].distance(p))
-                    .fold(0.0f64, f64::max)
+                centers.iter().map(|p| centers[i].distance(p)).fold(0.0f64, f64::max)
             };
             worst(a).partial_cmp(&worst(b)).expect("distances are finite")
         })
@@ -234,12 +229,7 @@ mod tests {
     use thinair_netsim::Medium;
 
     fn small_cfg() -> TestbedConfig {
-        TestbedConfig {
-            x_per_terminal: 9,
-            payload_len: 20,
-            seed: 7,
-            ..TestbedConfig::default()
-        }
+        TestbedConfig { x_per_terminal: 9, payload_len: 20, seed: 7, ..TestbedConfig::default() }
     }
 
     #[test]
@@ -284,16 +274,10 @@ mod tests {
     #[test]
     fn different_placements_differ() {
         let cfg = small_cfg();
-        let a = run_experiment(
-            &cfg,
-            &Placement { terminal_cells: vec![0, 1, 2, 3], eve_cell: 8 },
-        )
-        .unwrap();
-        let b = run_experiment(
-            &cfg,
-            &Placement { terminal_cells: vec![0, 2, 6, 8], eve_cell: 4 },
-        )
-        .unwrap();
+        let a = run_experiment(&cfg, &Placement { terminal_cells: vec![0, 1, 2, 3], eve_cell: 8 })
+            .unwrap();
+        let b = run_experiment(&cfg, &Placement { terminal_cells: vec![0, 2, 6, 8], eve_cell: 4 })
+            .unwrap();
         // Extremely unlikely to coincide bit-for-bit.
         assert!(a.total_bits != b.total_bits || a.l != b.l || a.reliability != b.reliability);
     }
@@ -305,11 +289,8 @@ mod tests {
         // everything, starving the secret.
         let p = Placement { terminal_cells: vec![0, 2, 6, 8], eve_cell: 4 };
         let with = run_experiment(&small_cfg(), &p).unwrap();
-        let without = run_experiment(
-            &TestbedConfig { jammer_eirp_dbm: None, ..small_cfg() },
-            &p,
-        )
-        .unwrap();
+        let without =
+            run_experiment(&TestbedConfig { jammer_eirp_dbm: None, ..small_cfg() }, &p).unwrap();
         // The jammed run should extract a bigger secret.
         assert!(
             with.l >= without.l,

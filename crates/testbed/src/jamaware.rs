@@ -43,7 +43,11 @@ pub fn pattern_jams_cell(k: usize, cell: usize) -> bool {
 /// Builds the candidate reception set for an Eve in `cell`: every packet
 /// transmitted while her cell was *not* jammed (conservatively assuming
 /// she received all of those).
-pub fn candidate_for_cell(cell: usize, n_packets: usize, packets_per_pattern: u64) -> BTreeSet<usize> {
+pub fn candidate_for_cell(
+    cell: usize,
+    n_packets: usize,
+    packets_per_pattern: u64,
+) -> BTreeSet<usize> {
     (0..n_packets)
         .filter(|&id| !pattern_jams_cell(pattern_of_packet(id, packets_per_pattern), cell))
         .collect()
@@ -90,11 +94,10 @@ mod tests {
         let ppp = 4;
         let n_packets = 36; // exactly one rotation
         let cand = candidate_for_cell(4, n_packets, ppp); // centre: row 1, col 1
-        // Clear patterns for the centre: (r, c) with r != 1 and c != 1:
-        // (0,0), (0,2), (2,0), (2,2) = patterns 0, 2, 6, 8.
-        let expect: BTreeSet<usize> = (0..n_packets)
-            .filter(|&id| [0usize, 2, 6, 8].contains(&(id / ppp as usize)))
-            .collect();
+                                                          // Clear patterns for the centre: (r, c) with r != 1 and c != 1:
+                                                          // (0,0), (0,2), (2,0), (2,2) = patterns 0, 2, 6, 8.
+        let expect: BTreeSet<usize> =
+            (0..n_packets).filter(|&id| [0usize, 2, 6, 8].contains(&(id / ppp as usize))).collect();
         assert_eq!(cand, expect);
         assert_eq!(cand.len(), 16); // 4 patterns x 4 packets
     }

@@ -129,10 +129,7 @@ mod tests {
         // both; cell 4 (centre) is in neither.
         let jammed = s.power_at(&cell_center(0), 0, &pl);
         let clear = s.power_at(&cell_center(4), 0, &pl);
-        assert!(
-            jammed - clear > 15.0,
-            "jammed {jammed} dBm vs clear {clear} dBm"
-        );
+        assert!(jammed - clear > 15.0, "jammed {jammed} dBm vs clear {clear} dBm");
     }
 
     #[test]

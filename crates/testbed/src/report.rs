@@ -37,8 +37,7 @@ impl AsciiPlot {
     pub fn series(&mut self, points: &[(f64, f64)], marker: char) {
         for &(xf, y) in points {
             let x = ((xf.clamp(0.0, 1.0)) * (self.width - 1) as f64).round() as usize;
-            let yf = ((y.clamp(self.y_min, self.y_max) - self.y_min)
-                / (self.y_max - self.y_min))
+            let yf = ((y.clamp(self.y_min, self.y_max) - self.y_min) / (self.y_max - self.y_min))
                 .clamp(0.0, 1.0);
             let row = self.height - 1 - (yf * (self.height - 1) as f64).round() as usize;
             self.grid[row][x] = marker;
@@ -49,8 +48,7 @@ impl AsciiPlot {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, row) in self.grid.iter().enumerate() {
-            let y = self.y_max
-                - (self.y_max - self.y_min) * i as f64 / (self.height - 1) as f64;
+            let y = self.y_max - (self.y_max - self.y_min) * i as f64 / (self.height - 1) as f64;
             let line: String = row.iter().collect();
             let _ = writeln!(out, "{y:7.3} |{line}");
         }

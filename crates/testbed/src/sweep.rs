@@ -24,16 +24,12 @@ pub fn sweep_all_placements(n: usize, cfg: &TestbedConfig) -> Vec<ExperimentResu
 
 /// Runs the given placements in parallel (chunked over available
 /// parallelism).
-pub fn sweep_placements(
-    placements: &[Placement],
-    cfg: &TestbedConfig,
-) -> Vec<ExperimentResult> {
+pub fn sweep_placements(placements: &[Placement], cfg: &TestbedConfig) -> Vec<ExperimentResult> {
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
     let chunk = placements.len().div_ceil(workers).max(1);
     let mut results: Vec<Option<ExperimentResult>> = vec![None; placements.len()];
     thread::scope(|s| {
-        for (slot_chunk, placement_chunk) in
-            results.chunks_mut(chunk).zip(placements.chunks(chunk))
+        for (slot_chunk, placement_chunk) in results.chunks_mut(chunk).zip(placements.chunks(chunk))
         {
             s.spawn(move |_| {
                 for (slot, placement) in slot_chunk.iter_mut().zip(placement_chunk.iter()) {
@@ -54,12 +50,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> TestbedConfig {
-        TestbedConfig {
-            x_per_terminal: 9,
-            payload_len: 10,
-            seed: 3,
-            ..TestbedConfig::default()
-        }
+        TestbedConfig { x_per_terminal: 9, payload_len: 10, seed: 3, ..TestbedConfig::default() }
     }
 
     #[test]
@@ -77,10 +68,7 @@ mod tests {
         let placements = enumerate_placements(8);
         let cfg = tiny_cfg();
         let parallel = sweep_placements(&placements, &cfg);
-        let serial: Vec<_> = placements
-            .iter()
-            .map(|p| run_experiment(&cfg, p).unwrap())
-            .collect();
+        let serial: Vec<_> = placements.iter().map(|p| run_experiment(&cfg, p).unwrap()).collect();
         assert_eq!(parallel, serial);
     }
 }

@@ -10,13 +10,13 @@
 //! reception report claiming a terminal received packets it did not —
 //! steering Alice into building y-rows whose supports Eve fully knows.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thinair::netsim::IidMedium;
 use thinair::protocol::auth::Authenticator;
 use thinair::protocol::round::{run_group_round, RoundConfig, XSchedule};
 use thinair::protocol::wire::{bitmap_from_received, Message};
 use thinair::protocol::Estimator;
-use thinair::netsim::IidMedium;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // --- Act 1: the group shares a small bootstrap secret out of band.
@@ -69,8 +69,7 @@ fn main() {
     let outcome = run_group_round(IidMedium::symmetric(4, 0.5, 5), 3, 0, &cfg, &mut rng)
         .expect("round failed");
     assert!(outcome.l > 0, "need fresh secret material for the demo");
-    let fresh: Vec<u8> =
-        outcome.secret().iter().flatten().map(|s| s.value()).collect();
+    let fresh: Vec<u8> = outcome.secret().iter().flatten().map(|s| s.value()).collect();
     println!(
         "round produced {} secret packets (reliability {:.2})",
         outcome.l,

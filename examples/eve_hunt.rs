@@ -58,14 +58,8 @@ fn main() {
         let placement = Placement { terminal_cells: terminals.clone(), eve_cell: free[0] };
         let extra: Vec<usize> = free[1..k].to_vec();
         for (name, est) in [
-            (
-                "leave-one-out",
-                Estimator::LeaveOneOut(Tuning { scale: 0.75, slack: 0 }),
-            ),
-            (
-                "k-collusion",
-                Estimator::KCollusion { k, tuning: Tuning { scale: 0.75, slack: 0 } },
-            ),
+            ("leave-one-out", Estimator::LeaveOneOut(Tuning { scale: 0.75, slack: 0 })),
+            ("k-collusion", Estimator::KCollusion { k, tuning: Tuning { scale: 0.75, slack: 0 } }),
         ] {
             let cfg = TestbedConfig {
                 estimator: est,

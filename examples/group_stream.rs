@@ -23,10 +23,7 @@ use thinair::testbed::Placement;
 
 fn main() {
     // The paper's full house: 8 terminals, Eve in the centre cell.
-    let placement = Placement {
-        terminal_cells: vec![0, 1, 2, 3, 5, 6, 7, 8],
-        eve_cell: 4,
-    };
+    let placement = Placement { terminal_cells: vec![0, 1, 2, 3, 5, 6, 7, 8], eve_cell: 4 };
     let testbed = TestbedConfig { seed: 99, ..TestbedConfig::default() };
     let medium = build_medium(&testbed, &placement);
     let coordinator = pick_coordinator(&placement);
@@ -45,9 +42,7 @@ fn main() {
     for chunk in 0..chunks {
         // One protocol round per chunk (in practice: per key epoch). The
         // coordinator rotates so no single node's channel dominates.
-        let round = session
-            .run_round((coordinator + chunk) % 8)
-            .expect("protocol round failed");
+        let round = session.run_round((coordinator + chunk) % 8).expect("protocol round failed");
         worst_reliability = worst_reliability.min(round.outcome.reliability());
         assert!(round.all_terminals_agree(), "group out of sync");
 
@@ -80,10 +75,7 @@ fn main() {
         session.efficiency()
     );
     println!("worst per-round reliability against the recorded Eve: {worst_reliability:.3}");
-    println!(
-        "secret rate at 1 Mbps: ~{:.1} kbps",
-        session.efficiency() * 1_000.0
-    );
+    println!("secret rate at 1 Mbps: ~{:.1} kbps", session.efficiency() * 1_000.0);
 
     // Show key separation: different labels, unrelated keys.
     if session.pool_len() > 0 {

@@ -10,11 +10,11 @@
 //! MDS plan, and everyone — except Eve — ends up with the same secret
 //! bits.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use thinair::netsim::IidMedium;
 use thinair::protocol::round::{run_group_round, RoundConfig, XSchedule};
 use thinair::protocol::Estimator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 3 terminals (nodes 0..3) + Eve (node 3) on symmetric iid erasure
@@ -34,8 +34,8 @@ fn main() {
     };
 
     let mut rng = StdRng::seed_from_u64(7);
-    let outcome = run_group_round(medium, n_terminals, 0, &cfg, &mut rng)
-        .expect("the protocol round failed");
+    let outcome =
+        run_group_round(medium, n_terminals, 0, &cfg, &mut rng).expect("the protocol round failed");
 
     println!("x-packets broadcast : {}", outcome.pool.n_packets);
     println!("y-packets planned   : {}", outcome.m);
@@ -53,9 +53,7 @@ fn main() {
     let preview: Vec<String> = secret
         .iter()
         .take(2)
-        .map(|pkt| {
-            pkt.iter().take(16).map(|b| format!("{:02x}", b.value())).collect::<String>()
-        })
+        .map(|pkt| pkt.iter().take(16).map(|b| format!("{:02x}", b.value())).collect::<String>())
         .collect();
     for (i, hex) in preview.iter().enumerate() {
         println!("  s{i} = {hex}…");

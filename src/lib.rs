@@ -17,6 +17,8 @@
 //! * [`protocol`] — the secret-agreement protocol itself.
 //! * [`model`] — closed-form efficiency analytics (Figure 1).
 //! * [`testbed`] — the paper's §4 deployment and experiment sweeps.
+//! * [`net`] — the async runtime and `thinaird` daemon running the
+//!   protocol over real UDP sockets (see `examples/net_loopback.rs`).
 //!
 //! # Quickstart
 //!
@@ -42,5 +44,6 @@ pub use thinair_core as protocol;
 pub use thinair_gf as gf;
 pub use thinair_mds as mds;
 pub use thinair_model as model;
+pub use thinair_net as net;
 pub use thinair_netsim as netsim;
 pub use thinair_testbed as testbed;

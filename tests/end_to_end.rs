@@ -74,8 +74,7 @@ fn session_accumulates_and_derives_keys() {
 fn unicast_and_group_agree_on_correctness_but_not_cost() {
     let cfg = oracle_cfg(60);
     let mut rng = StdRng::seed_from_u64(11);
-    let group = run_group_round(IidMedium::symmetric(7, 0.5, 42), 6, 0, &cfg, &mut rng)
-        .unwrap();
+    let group = run_group_round(IidMedium::symmetric(7, 0.5, 42), 6, 0, &cfg, &mut rng).unwrap();
     let mut rng = StdRng::seed_from_u64(11);
     let unicast =
         run_unicast_round(IidMedium::symmetric(7, 0.5, 42), 6, 0, &cfg, &mut rng).unwrap();
@@ -95,14 +94,13 @@ fn naive_construction_leaks_against_tight_eve_while_aligned_does_not() {
     let mut naive_leaked = false;
     for seed in 0..10 {
         let cfg_a = RoundConfig { construction: Construction::Aligned, ..oracle_cfg(40) };
-        let cfg_n =
-            RoundConfig { construction: Construction::NaiveBlocks, ..oracle_cfg(40) };
+        let cfg_n = RoundConfig { construction: Construction::NaiveBlocks, ..oracle_cfg(40) };
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = run_group_round(IidMedium::symmetric(5, 0.6, seed), 4, 0, &cfg_a, &mut rng)
-            .unwrap();
+        let a =
+            run_group_round(IidMedium::symmetric(5, 0.6, seed), 4, 0, &cfg_a, &mut rng).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let n = run_group_round(IidMedium::symmetric(5, 0.6, seed), 4, 0, &cfg_n, &mut rng)
-            .unwrap();
+        let n =
+            run_group_round(IidMedium::symmetric(5, 0.6, seed), 4, 0, &cfg_n, &mut rng).unwrap();
         if a.l > 0 {
             assert_eq!(a.reliability(), 1.0, "aligned leaked at seed {seed}");
         }
@@ -159,12 +157,11 @@ fn leave_one_out_round_end_to_end_with_rotation_schedule() {
         ..RoundConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(6);
-    let out = run_group_round(IidMedium::symmetric(6, 0.45, 77), 5, 2, &cfg, &mut rng)
-        .unwrap();
+    let out = run_group_round(IidMedium::symmetric(6, 0.45, 77), 5, 2, &cfg, &mut rng).unwrap();
     assert_eq!(out.pool.n_packets, 60);
     // Packets come from every owner.
     for t in 0..5 {
-        assert!(out.pool.owner.iter().any(|&o| o == t), "terminal {t} never transmitted");
+        assert!(out.pool.owner.contains(&t), "terminal {t} never transmitted");
     }
     if out.l > 0 {
         assert!(out.all_terminals_agree());

@@ -5,10 +5,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
 use thinair::gf::{rank_increase, Gf256, Matrix};
+use thinair::netsim::IidMedium;
 use thinair::protocol::construct::{build_plan, PlanParams};
 use thinair::protocol::round::{run_group_round, RoundConfig, XSchedule};
 use thinair::protocol::{Estimator, Tuning};
-use thinair::netsim::IidMedium;
 
 fn eve_knowledge(plan: &thinair::protocol::Plan, eve: &BTreeSet<usize>) -> Matrix {
     let mut k = Matrix::zero(0, plan.n_packets);
