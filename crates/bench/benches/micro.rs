@@ -15,7 +15,7 @@ use std::hint::black_box;
 use thinair_core::construct::{build_plan, PlanParams};
 use thinair_core::round::{run_group_round, RoundConfig, XSchedule};
 use thinair_core::{Estimator, Tuning};
-use thinair_gf::{Gf256, Matrix};
+use thinair_gf::{kernel, Gf256, Matrix, PayloadPlane};
 use thinair_mds::ReedSolomon;
 use thinair_netsim::IidMedium;
 
@@ -26,10 +26,29 @@ fn bench_gf_kernels(c: &mut Criterion) {
     c.bench_function("gf/dot_1k", |bench| {
         bench.iter(|| thinair_gf::dot(black_box(&a), black_box(&b)))
     });
+    // The byte-plane axpy: 1 KiB of symbols, the protocol's hot-path op.
+    let ab: Vec<u8> = a.iter().map(|x| x.value()).collect();
+    let bb: Vec<u8> = b.iter().map(|x| x.value()).collect();
     c.bench_function("gf/axpy_1k", |bench| {
+        bench.iter_batched(
+            || ab.clone(),
+            |mut dst| kernel::axpy(&mut dst, &bb, 0x53),
+            BatchSize::SmallInput,
+        )
+    });
+    // Same op through the legacy `&[Gf256]` wrapper.
+    c.bench_function("gf/axpy_gf256_1k", |bench| {
         bench.iter_batched(
             || a.clone(),
             |mut dst| thinair_gf::add_assign_scaled(&mut dst, &b, Gf256(0x53)),
+            BatchSize::SmallInput,
+        )
+    });
+    // GF(2^8) addition (the c = 1 lane).
+    c.bench_function("gf/xor_1k", |bench| {
+        bench.iter_batched(
+            || ab.clone(),
+            |mut dst| kernel::xor_into(&mut dst, &bb),
             BatchSize::SmallInput,
         )
     });
@@ -42,6 +61,27 @@ fn bench_matrix(c: &mut Criterion) {
     c.bench_function("matrix/inverse_64x64", |bench| bench.iter(|| black_box(&m64).inverse()));
     let m128 = Matrix::random(120, 160, &mut rng);
     c.bench_function("matrix/rank_120x160", |bench| bench.iter(|| black_box(&m128).rank()));
+
+    // Payload-bundle application: the y/z/s hot path (64 coefficient rows
+    // acting on 64 payloads of 1 KiB each).
+    let payloads: Vec<Vec<Gf256>> =
+        (0..64).map(|_| (0..1024).map(|_| Gf256(rng.gen())).collect()).collect();
+    c.bench_function("matrix/mul_payloads_64x64_1k", |bench| {
+        bench.iter(|| black_box(&m64).mul_payloads(black_box(&payloads)))
+    });
+    let rhs = m64.mul_payloads(&payloads);
+    c.bench_function("matrix/solve_payloads_64x64_1k", |bench| {
+        bench.iter(|| black_box(&m64).solve_payloads(black_box(&rhs)).unwrap())
+    });
+    // Same ops without the Vec<Vec<_>> boundary conversions.
+    let plane = PayloadPlane::from_payloads(&payloads);
+    c.bench_function("plane/mul_plane_64x64_1k", |bench| {
+        bench.iter(|| black_box(&m64).mul_plane(black_box(&plane)))
+    });
+    let rhs_plane = m64.mul_plane(&plane);
+    c.bench_function("plane/solve_plane_64x64_1k", |bench| {
+        bench.iter(|| black_box(&m64).solve_plane(black_box(&rhs_plane)).unwrap())
+    });
 }
 
 fn bench_rs(c: &mut Criterion) {
@@ -54,6 +94,16 @@ fn bench_rs(c: &mut Criterion) {
     let shares: Vec<(usize, Vec<Gf256>)> = (8..24).map(|i| (i, coded[i].clone())).collect();
     c.bench_function("rs/decode_all_parity", |bench| {
         bench.iter(|| rs.decode(black_box(&shares)).unwrap())
+    });
+    // Direct plane forms (no Vec<Vec<_>> conversion at the boundary).
+    let data_plane = PayloadPlane::from_payloads(&data);
+    c.bench_function("rs/encode_plane_16_24_100B", |bench| {
+        bench.iter(|| rs.encode_plane(black_box(&data_plane)))
+    });
+    let share_idx: Vec<usize> = (8..24).collect();
+    let share_plane = rs.encode_plane(&data_plane).select_rows(&share_idx);
+    c.bench_function("rs/decode_plane_all_parity", |bench| {
+        bench.iter(|| rs.decode_plane(black_box(&share_idx), black_box(&share_plane)).unwrap())
     });
 }
 

@@ -4,10 +4,27 @@
 //! prints mean wall-clock time per iteration. No statistics, plots, or
 //! regression baselines — the workspace uses this for smoke-level latency
 //! numbers; publication-grade measurement would need the real crate.
+//!
+//! Two extensions the workspace relies on:
+//!
+//! * **Machine-readable results.** Every completed benchmark is recorded
+//!   in a process-wide registry; when the `THINAIR_BENCH_JSON`
+//!   environment variable names a path, [`write_json_summary`] (called
+//!   by the `criterion_main!` expansion) writes a
+//!   `{schema, results: [{name, mean_ns, iters}]}` artifact there, so
+//!   perf trajectories can be committed and diffed (`scripts/bench.sh`).
+//! * **Smoke mode.** `THINAIR_BENCH_FAST=1` clamps every benchmark to a
+//!   few iterations so CI can prove the suite runs without paying the
+//!   full measurement budget.
+//!
+//! Timing is batched: one `Instant` pair brackets the whole iteration
+//! loop (`iter_batched` pre-builds its inputs first), so per-iteration
+//! clock-read overhead does not pollute sub-microsecond kernels.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How `iter_batched` amortizes setup cost (accepted, not acted on: the
@@ -21,6 +38,19 @@ pub enum BatchSize {
     /// One setup per iteration.
     PerIteration,
 }
+
+/// One completed benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id as passed to `bench_function`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
 /// Times one benchmark routine.
 pub struct Bencher {
@@ -38,22 +68,25 @@ impl Bencher {
         self.total = start.elapsed();
     }
 
-    /// Times `routine` over fresh inputs built by `setup` (setup excluded
-    /// from the timing).
+    /// Times `routine` over fresh inputs built by `setup`. All inputs are
+    /// materialized up front so the timed section is one tight loop with
+    /// a single clock-read pair around it.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let mut total = Duration::ZERO;
-        for _ in 0..self.iters {
-            let input = setup();
-            let start = Instant::now();
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
             std::hint::black_box(routine(input));
-            total += start.elapsed();
         }
-        self.total = total;
+        self.total = start.elapsed();
     }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("THINAIR_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
 }
 
 /// Benchmark registry and configuration.
@@ -86,22 +119,81 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        let (sample_size, budget) = if fast_mode() {
+            (2, Duration::from_millis(100))
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
         // Warm-up / calibration pass with one iteration.
         let mut calib = Bencher { iters: 1, total: Duration::ZERO };
         f(&mut calib);
         let per_iter = calib.total.max(Duration::from_nanos(1));
         // Fit the configured sample count into the measurement budget.
-        let fit = (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)) as u64;
-        let iters = (self.sample_size as u64).min(fit.max(1));
+        let fit = (budget.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = (sample_size as u64).min(fit.max(1));
         let mut b = Bencher { iters, total: Duration::ZERO };
         f(&mut b);
         let mean = b.total.as_nanos() as f64 / iters as f64;
         println!("bench {id:<40} {:>12.0} ns/iter ({} iters)", mean, iters);
+        RESULTS.lock().expect("bench registry poisoned").push(BenchResult {
+            name: id.to_string(),
+            mean_ns: mean,
+            iters,
+        });
         self
     }
 
     /// Compatibility no-op (the stand-in has no CLI filtering).
     pub fn final_summary(&self) {}
+}
+
+/// Drains the recorded results (for tests and custom reporters).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("bench registry poisoned"))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serializes results into the committed `BENCH_micro.json` shape.
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"thinair-bench/1\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+            json_escape(&r.name),
+            r.mean_ns,
+            r.iters,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON artifact when `THINAIR_BENCH_JSON` names a path.
+/// Called by the `criterion_main!` expansion after all groups ran; safe
+/// to call manually. Errors are reported, not fatal — benches still
+/// count as run when the artifact directory is missing.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("THINAIR_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench registry poisoned");
+    let json = results_to_json(&results);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    } else {
+        println!("bench JSON written to {path}");
+    }
 }
 
 /// Re-export matching `criterion::black_box`.
@@ -131,6 +223,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }
@@ -140,20 +233,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_function_runs_routine() {
+    fn bench_function_runs_routine_and_records() {
         let mut calls = 0u64;
-        Criterion::default().sample_size(3).bench_function("t", |b| {
+        Criterion::default().sample_size(3).bench_function("t/records", |b| {
             b.iter(|| {
                 calls += 1;
             })
         });
         assert!(calls >= 3, "calls {calls}");
+        let recorded = take_results();
+        let r = recorded.iter().find(|r| r.name == "t/records").expect("result recorded");
+        assert!(r.iters >= 1);
+        assert!(r.mean_ns >= 0.0);
     }
 
     #[test]
     fn iter_batched_runs_setup_per_iteration() {
         let mut setups = 0u64;
-        Criterion::default().sample_size(4).bench_function("t", |b| {
+        Criterion::default().sample_size(4).bench_function("t/batched", |b| {
             b.iter_batched(
                 || {
                     setups += 1;
@@ -164,5 +261,17 @@ mod tests {
             )
         });
         assert!(setups >= 4, "setups {setups}");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = results_to_json(&[
+            BenchResult { name: "a/b".into(), mean_ns: 12.34, iters: 5 },
+            BenchResult { name: "c \"q\"".into(), mean_ns: 1.0, iters: 1 },
+        ]);
+        assert!(json.contains("\"schema\": \"thinair-bench/1\""));
+        assert!(json.contains("{\"name\": \"a/b\", \"mean_ns\": 12.3, \"iters\": 5},"));
+        assert!(json.contains("\\\"q\\\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -28,6 +28,12 @@ pub fn random_payload(len: usize, rng: &mut impl Rng) -> Payload {
     (0..len).map(|_| Gf256(rng.gen())).collect()
 }
 
+/// Byte form of [`random_payload`]: identical draw sequence, no symbol
+/// wrapper — for code paths that store payloads as raw byte rows.
+pub fn random_payload_bytes(len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
 /// XORs two payloads elementwise (GF(2^8) addition), returning a new one.
 ///
 /// # Panics

@@ -132,9 +132,8 @@ pub fn run_pairwise_round(
             }
             rows.push_row(&row);
         }
-        let shared_payloads: Vec<Payload> =
-            shared.iter().map(|&j| pool.payloads[j].clone()).collect();
-        secrets[i] = ext.mul_payloads(&shared_payloads);
+        let shared_payloads = pool.payloads.select_rows(&shared);
+        secrets[i] = ext.mul_plane(&shared_payloads).to_payloads();
         secret_rows[i] = rows;
     }
 
@@ -224,7 +223,7 @@ mod tests {
             if out.secrets[i].is_empty() {
                 continue;
             }
-            let recomputed = out.secret_rows[i].mul_payloads(&out.pool.payloads);
+            let recomputed = out.secret_rows[i].mul_plane(&out.pool.payloads).to_payloads();
             assert_eq!(recomputed, out.secrets[i], "pair (0,{i})");
         }
     }

@@ -15,13 +15,14 @@
 use std::collections::BTreeSet;
 
 use rand::Rng;
+use thinair_gf::PayloadPlane;
 use thinair_netsim::stats::TxClass;
 use thinair_netsim::{Medium, TxStats};
 
 use crate::error::ProtocolError;
 use crate::eve::EveLedger;
-use crate::packet::{random_payload, Payload};
-use crate::wire::{bitmap_from_received, payload_to_bytes, Message};
+use crate::packet::random_payload_bytes;
+use crate::wire::{bitmap_from_received, Message};
 
 /// Phase-1 parameters.
 #[derive(Clone, Debug)]
@@ -41,8 +42,8 @@ pub struct XPool {
     pub n_packets: usize,
     /// Payload length in symbols.
     pub payload_len: usize,
-    /// Ground-truth payloads, indexed by packet id.
-    pub payloads: Vec<Payload>,
+    /// Ground-truth payloads, one plane row per packet id.
+    pub payloads: PayloadPlane,
     /// Which terminal generated each packet.
     pub owner: Vec<usize>,
     /// `known[i]`: packets terminal `i` knows (generated + received).
@@ -98,7 +99,7 @@ pub fn run_phase1(
         return Err(ProtocolError::BadConfig("eve ledger sized for a different pool"));
     }
 
-    let mut payloads = Vec::with_capacity(n_packets);
+    let mut payloads = PayloadPlane::with_capacity(n_packets, cfg.payload_len);
     let mut owner = Vec::with_capacity(n_packets);
     let mut known: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_terminals];
     let eve_nodes: Vec<usize> = (n_terminals..medium.node_count()).collect();
@@ -107,9 +108,8 @@ pub fn run_phase1(
     // packets so the interference schedule rotates across everyone's
     // transmissions. `owner_order` is the shared id → owner map.
     for (id, &t) in owner_order(&cfg.x_per_terminal).iter().enumerate() {
-        let payload = random_payload(cfg.payload_len, rng);
-        let msg =
-            Message::XPacket { id: id as u16, owner: t as u8, payload: payload_to_bytes(&payload) };
+        let payload = random_payload_bytes(cfg.payload_len, rng);
+        let msg = Message::XPacket { id: id as u16, owner: t as u8, payload: payload.clone() };
         let bits = msg.bits();
         let delivery = medium.transmit(t, bits);
         stats.record(t, TxClass::Data, bits);
@@ -124,7 +124,7 @@ pub fn run_phase1(
                 eve.note_x(id);
             }
         }
-        payloads.push(payload);
+        payloads.push_row(&payload);
         owner.push(t);
     }
 

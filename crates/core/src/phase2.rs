@@ -15,7 +15,7 @@
 //! (support ⊆ its known set), the missing ones by solving the z system,
 //! and finally the s-packets — the group secret.
 
-use thinair_gf::Gf256;
+use thinair_gf::{kernel, Gf256, PayloadPlane};
 use thinair_netsim::stats::TxClass;
 use thinair_netsim::{Medium, TxStats};
 
@@ -26,7 +26,7 @@ use crate::error::ProtocolError;
 use crate::eve::EveLedger;
 use crate::packet::Payload;
 use crate::phase1::XPool;
-use crate::wire::{payload_to_bytes, Message};
+use crate::wire::Message;
 
 /// What phase 2 produced.
 #[derive(Clone, Debug)]
@@ -64,18 +64,14 @@ pub fn run_phase2(
     let targets: Vec<usize> = (0..n_terminals).filter(|&t| t != coordinator).collect();
 
     // Ground-truth y payloads (the coordinator can compute them all: every
-    // support is inside her known set).
-    let y_payloads: Vec<Payload> = plan
-        .rows
-        .iter()
-        .map(|row| {
-            let mut acc = vec![Gf256::ZERO; pool.payload_len];
-            for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
-                thinair_gf::add_assign_scaled(&mut acc, &pool.payloads[j], c);
-            }
-            acc
-        })
-        .collect();
+    // support is inside her known set), one contiguous plane row per y.
+    let mut y_plane = PayloadPlane::zero(plan.rows.len(), pool.payload_len);
+    for (r, row) in plan.rows.iter().enumerate() {
+        let acc = y_plane.row_mut(r);
+        for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
+            kernel::axpy(acc, pool.payloads.row(j), c.value());
+        }
+    }
 
     // 1. Plan announcement. The construction is a deterministic function
     // of the reception reports (now shared by all) and a seed, so the
@@ -106,9 +102,9 @@ pub fn run_phase2(
     // combination coefficients ride in the packet. Secrecy is untouched:
     // every combo lies in the span of the `C·W` rows that Eve is already
     // conservatively assumed to know in full (paper §2).
-    let z_payloads = plan.c_mat.mul_payloads(&y_payloads);
+    let z_plane = plan.c_mat.mul_plane(&y_plane);
     let z_rows_x = plan.z_rows_x();
-    let z_count = z_payloads.len();
+    let z_count = z_plane.rows();
     for k in 0..z_count {
         eve.note_public_row(z_rows_x.row(k));
     }
@@ -126,7 +122,7 @@ pub fn run_phase2(
         .collect();
     let mut trackers: Vec<thinair_gf::RowEchelon> =
         missing_rows.iter().map(|mr| thinair_gf::RowEchelon::new(mr.len())).collect();
-    let mut collected: Vec<Vec<(Vec<Gf256>, Payload)>> = vec![Vec::new(); n_terminals];
+    let mut collected: Vec<Vec<(Vec<Gf256>, Vec<u8>)>> = vec![Vec::new(); n_terminals];
     let mut seq = 0u64;
     let mut attempts = 0u32;
     // Deterministic combo coefficients from a per-round counter (the
@@ -152,16 +148,16 @@ pub fn run_phase2(
         attempts += 1;
         let q: Vec<Gf256> = (0..z_count).map(|k| combo_coeff(seq, k)).collect();
         let payload = {
-            let mut acc = vec![Gf256::ZERO; pool.payload_len];
-            for (k, zp) in z_payloads.iter().enumerate() {
-                thinair_gf::add_assign_scaled(&mut acc, zp, q[k]);
+            let mut acc = vec![0u8; pool.payload_len];
+            for (k, &qk) in q.iter().enumerate() {
+                kernel::axpy(&mut acc, z_plane.row(k), qk.value());
             }
             acc
         };
         let msg = Message::ZPacket {
             index: seq as u16,
             coeffs: q.iter().map(|c| c.value()).collect(),
-            payload: payload_to_bytes(&payload),
+            payload: payload.clone(),
         };
         let bits = msg.bits();
         let delivery = medium.transmit(coordinator, bits);
@@ -202,15 +198,16 @@ pub fn run_phase2(
     // 4. Every terminal reconstructs from the combos it collected.
     let mut secrets: Vec<Vec<Payload>> = Vec::with_capacity(n_terminals);
     for (t, combos) in collected.iter().enumerate() {
-        let y_full = if t == coordinator {
-            y_payloads.clone()
+        let secret_plane = if t == coordinator {
+            plan.d_mat.mul_plane(&y_plane)
         } else {
-            reconstruct_y(plan, pool, t, combos)?
+            let y_full = reconstruct_y(plan, pool, t, combos)?;
+            plan.d_mat.mul_plane(&y_full)
         };
-        secrets.push(plan.d_mat.mul_payloads(&y_full));
+        secrets.push(secret_plane.to_payloads());
     }
 
-    Ok(Phase2Output { y_payloads, secrets })
+    Ok(Phase2Output { y_payloads: y_plane.to_payloads(), secrets })
 }
 
 /// A terminal's y reconstruction: direct rows from its known x-packets,
@@ -220,21 +217,22 @@ fn reconstruct_y(
     plan: &Plan,
     pool: &XPool,
     terminal: usize,
-    combos: &[(Vec<Gf256>, Payload)],
-) -> Result<Vec<Payload>, ProtocolError> {
+    combos: &[(Vec<Gf256>, Vec<u8>)],
+) -> Result<PayloadPlane, ProtocolError> {
     let m = plan.m();
-    let mut y: Vec<Option<Payload>> = vec![None; m];
+    let mut y = PayloadPlane::zero(m, pool.payload_len);
+    let mut have = vec![false; m];
     // Direct rows.
     for &r in &plan.decodable[terminal] {
         let row = &plan.rows[r];
         debug_assert!(row.support.iter().all(|j| pool.known[terminal].contains(j)));
-        let mut acc = vec![Gf256::ZERO; pool.payload_len];
+        let acc = y.row_mut(r);
         for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
-            thinair_gf::add_assign_scaled(&mut acc, &pool.payloads[j], c);
+            kernel::axpy(acc, pool.payloads.row(j), c.value());
         }
-        y[r] = Some(acc);
+        have[r] = true;
     }
-    let missing: Vec<usize> = (0..m).filter(|r| y[*r].is_none()).collect();
+    let missing: Vec<usize> = (0..m).filter(|r| !have[*r]).collect();
     if !missing.is_empty() {
         if combos.len() < missing.len() {
             return Err(ProtocolError::DecodeFailed {
@@ -245,33 +243,31 @@ fn reconstruct_y(
         let z_count = plan.c_mat.rows();
         // Coefficient rows of the received combos over y-space: q·C.
         let mut a = thinair_gf::Matrix::zero(0, missing.len());
-        let rhs: Vec<Payload> = combos
-            .iter()
-            .map(|(q, payload)| {
-                let row: Vec<Gf256> = missing
-                    .iter()
-                    .map(|&col| (0..z_count).map(|k| q[k] * plan.c_mat[(k, col)]).sum::<Gf256>())
-                    .collect();
-                a.push_row(&row);
-                // rhs = payload - sum over known y's of (q·C)[j]·y_j.
-                let mut acc = payload.clone();
-                for (j, yj) in y.iter().enumerate() {
-                    if let Some(yj) = yj {
-                        let qc_j: Gf256 = (0..z_count).map(|k| q[k] * plan.c_mat[(k, j)]).sum();
-                        thinair_gf::add_assign_scaled(&mut acc, yj, qc_j);
-                    }
+        let mut rhs = PayloadPlane::with_capacity(combos.len(), pool.payload_len);
+        for (q, payload) in combos {
+            let row: Vec<Gf256> = missing
+                .iter()
+                .map(|&col| (0..z_count).map(|k| q[k] * plan.c_mat[(k, col)]).sum::<Gf256>())
+                .collect();
+            a.push_row(&row);
+            // rhs = payload - sum over known y's of (q·C)[j]·y_j.
+            let mut acc = payload.clone();
+            for (j, &have_j) in have.iter().enumerate() {
+                if have_j {
+                    let qc_j: Gf256 = (0..z_count).map(|k| q[k] * plan.c_mat[(k, j)]).sum();
+                    kernel::axpy(&mut acc, y.row(j), qc_j.value());
                 }
-                acc
-            })
-            .collect();
+            }
+            rhs.push_row(&acc);
+        }
         let solved = a
-            .solve_payloads(&rhs)
+            .solve_plane(&rhs)
             .ok_or(ProtocolError::DecodeFailed { terminal, what: "y-packets from z system" })?;
         for (pos, &r) in missing.iter().enumerate() {
-            y[r] = Some(solved[pos].clone());
+            y.row_mut(r).copy_from_slice(solved.row(pos));
         }
     }
-    Ok(y.into_iter().map(|p| p.expect("all rows filled")).collect())
+    Ok(y)
 }
 
 #[cfg(test)]

@@ -197,11 +197,11 @@ pub fn run_unicast_round(
         pads[i] = rows_i
             .iter()
             .map(|row| {
-                let mut acc = vec![Gf256::ZERO; pool.payload_len];
+                let mut acc = vec![0u8; pool.payload_len];
                 for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
-                    thinair_gf::add_assign_scaled(&mut acc, &pool.payloads[j], c);
+                    thinair_gf::kernel::axpy(&mut acc, pool.payloads.row(j), c.value());
                 }
-                acc
+                acc.into_iter().map(Gf256).collect()
             })
             .collect();
         pad_rows[i] = dense;

@@ -17,23 +17,36 @@
 //! polynomial; `x^8 + x^4 + x^3 + x^2 + 1`) with generator `2`. All tables
 //! are computed at compile time, so arithmetic is branch-free table lookups.
 //!
+//! Bulk payload work runs on the byte-plane layer: [`plane::PayloadPlane`]
+//! stores payload bundles contiguously (one allocation, row-major) and
+//! [`kernel`] provides the slice-of-bytes kernels — per-multiplier
+//! 256-byte product tables, 8-lane-per-`u64` SWAR XOR/axpy, and shared
+//! row doublings for matrix × plane products and elimination. The
+//! `Gf256`-typed wrappers in [`vector`] forward to the same scheme. See
+//! the repository README's "Performance" section for measured numbers.
+//!
 //! Everything here is `no_std`-shaped in spirit (no I/O, no global state)
 //! but uses `alloc`-style `Vec` freely: the protocol runs on hosts, not
 //! microcontrollers, and the guides this workspace follows (smoltcp/tokio)
 //! only demand predictable, allocation-conscious behaviour in hot paths —
-//! matrices are allocated once and mutated in place.
+//! matrices are allocated once and mutated in place. `forbid(unsafe_code)`
+//! holds even in the wide kernels: word views are safe `chunks_exact` +
+//! `from_le_bytes`, which LLVM fuses into word loads and auto-vectorizes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gf256;
+pub mod kernel;
 pub mod linalg;
 pub mod matrix;
+pub mod plane;
 pub mod poly;
 pub mod vector;
 
 pub use gf256::Gf256;
 pub use linalg::{rank, rank_increase, RowEchelon};
 pub use matrix::Matrix;
+pub use plane::PayloadPlane;
 pub use poly::Poly;
 pub use vector::{add_assign_scaled, dot, scale_in_place};

@@ -7,10 +7,15 @@
 //! be fed in one at a time (as Eve overhears packets) and rank queries stay
 //! cheap; [`rank_increase`] is the one-shot form used by the evaluation
 //! metrics.
+//!
+//! Basis rows live contiguously in a [`PayloadPlane`] and all reductions
+//! run on the byte kernels; insertion reuses one scratch buffer, so the
+//! steady state allocates only when the basis itself grows.
 
 use crate::gf256::Gf256;
+use crate::kernel;
 use crate::matrix::Matrix;
-use crate::vector::{add_assign_scaled, scale_in_place};
+use crate::plane::PayloadPlane;
 
 /// Rank of a matrix (convenience free function).
 pub fn rank(m: &Matrix) -> usize {
@@ -53,16 +58,23 @@ pub fn rank_increase(base: &Matrix, extra: &Matrix) -> usize {
 #[derive(Clone, Debug, Default)]
 pub struct RowEchelon {
     /// Basis rows, sorted by pivot column; each row's pivot entry is 1.
-    rows: Vec<Vec<Gf256>>,
+    rows: PayloadPlane,
     /// Pivot column of each basis row (parallel to `rows`).
     pivots: Vec<usize>,
     width: usize,
+    /// Reusable insertion scratch (one row).
+    scratch: Vec<u8>,
 }
 
 impl RowEchelon {
     /// An empty basis for rows of the given width.
     pub fn new(width: usize) -> Self {
-        RowEchelon { rows: Vec::new(), pivots: Vec::new(), width }
+        RowEchelon {
+            rows: PayloadPlane::empty(width),
+            pivots: Vec::new(),
+            width,
+            scratch: Vec::new(),
+        }
     }
 
     /// Width of the rows this basis accepts.
@@ -72,17 +84,17 @@ impl RowEchelon {
 
     /// Current rank (number of independent rows inserted so far).
     pub fn rank(&self) -> usize {
-        self.rows.len()
+        self.pivots.len()
     }
 
-    /// Reduces `row` against the basis in place; afterwards `row` is either
-    /// all-zero (it was dependent) or has its leading coefficient at a
-    /// column no basis row uses.
-    fn reduce(&self, row: &mut [Gf256]) {
-        for (basis, &p) in self.rows.iter().zip(self.pivots.iter()) {
+    /// Reduces `row` (bytes) against the basis in place; afterwards
+    /// `row` is either all-zero (it was dependent) or has its leading
+    /// coefficient at a column no basis row uses.
+    fn reduce_bytes(&self, row: &mut [u8]) {
+        for (k, &p) in self.pivots.iter().enumerate() {
             let c = row[p];
-            if !c.is_zero() {
-                add_assign_scaled(row, basis, c);
+            if c != 0 {
+                kernel::axpy(row, self.rows.row(k), c);
             }
         }
     }
@@ -90,33 +102,52 @@ impl RowEchelon {
     /// Returns true iff `row` is in the span of the inserted rows.
     pub fn contains(&self, row: &[Gf256]) -> bool {
         assert_eq!(row.len(), self.width, "row width mismatch");
-        let mut r = row.to_vec();
-        self.reduce(&mut r);
-        r.iter().all(|x| x.is_zero())
+        let mut r: Vec<u8> = row.iter().map(|x| x.value()).collect();
+        self.reduce_bytes(&mut r);
+        r.iter().all(|&x| x == 0)
     }
 
     /// Inserts a row. Returns `true` when the row increased the rank,
     /// `false` when it was already in the span.
     pub fn insert(&mut self, row: &[Gf256]) -> bool {
         assert_eq!(row.len(), self.width, "row width mismatch");
-        let mut r = row.to_vec();
-        self.reduce(&mut r);
-        let Some(pivot) = r.iter().position(|x| !x.is_zero()) else {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(row.iter().map(|x| x.value()));
+        let grew = self.insert_scratch(&mut scratch);
+        self.scratch = scratch;
+        grew
+    }
+
+    /// Byte-slice form of [`RowEchelon::insert`].
+    pub fn insert_bytes(&mut self, row: &[u8]) -> bool {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(row);
+        let grew = self.insert_scratch(&mut scratch);
+        self.scratch = scratch;
+        grew
+    }
+
+    fn insert_scratch(&mut self, r: &mut [u8]) -> bool {
+        self.reduce_bytes(r);
+        let Some(pivot) = r.iter().position(|&x| x != 0) else {
             return false;
         };
-        let inv = r[pivot].inv();
-        scale_in_place(&mut r, inv);
+        let inv = Gf256(r[pivot]).inv();
+        kernel::scale_in_place(r, inv.value());
         // Back-substitute into existing basis rows to keep them reduced.
-        for basis in self.rows.iter_mut() {
-            let c = basis[pivot];
-            if !c.is_zero() {
-                add_assign_scaled(basis, &r, c);
+        for k in 0..self.pivots.len() {
+            let c = self.rows.row(k)[pivot];
+            if c != 0 {
+                kernel::axpy(self.rows.row_mut(k), r, c);
             }
         }
         // Keep pivot order sorted.
         let pos = self.pivots.partition_point(|&p| p < pivot);
         self.pivots.insert(pos, pivot);
-        self.rows.insert(pos, r);
+        self.rows.insert_row(pos, r);
         true
     }
 
@@ -127,24 +158,41 @@ impl RowEchelon {
 
     /// How many of the rows of `m` are jointly independent of the current
     /// span: `rank(self ∪ m) - rank(self)`. Does not modify the basis.
+    ///
+    /// Runs against a small side basis of the *new* dimensions only —
+    /// nothing of `self` is cloned. Every probed row is first reduced
+    /// against the main basis, so the side rows stay zero on the main
+    /// pivot columns and the two bases together behave as one echelon.
+    ///
+    /// # Panics
+    /// Panics when `m.cols()` differs from this basis's width.
     pub fn rank_increase(&self, m: &Matrix) -> usize {
-        let mut probe = self.clone();
-        probe.insert_matrix(m)
+        assert_eq!(m.cols(), self.width, "row width mismatch");
+        let mut fresh = RowEchelon::new(self.width);
+        let mut buf = vec![0u8; self.width];
+        let mut grew = 0;
+        for row in m.rows_iter() {
+            for (b, x) in buf.iter_mut().zip(row.iter()) {
+                *b = x.value();
+            }
+            self.reduce_bytes(&mut buf);
+            if fresh.insert_bytes(&buf) {
+                grew += 1;
+            }
+        }
+        grew
     }
 
     /// The basis rows as a matrix (for interoperating with [`Matrix`]).
     pub fn to_matrix(&self) -> Matrix {
-        let mut m = Matrix::zero(0, self.width);
-        for row in &self.rows {
-            m.push_row(row);
-        }
-        m
+        Matrix::from_fn(self.pivots.len(), self.width, |r, c| Gf256(self.rows.row(r)[c]))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vector::add_assign_scaled;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -175,6 +223,19 @@ mod tests {
         assert!(re.insert(&a));
         assert!(!re.insert(&b));
         assert_eq!(re.rank(), 1);
+    }
+
+    #[test]
+    fn insert_bytes_matches_insert() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut a = RowEchelon::new(5);
+        let mut b = RowEchelon::new(5);
+        for _ in 0..8 {
+            let row: Vec<u8> = (0..5).map(|_| rng.gen()).collect();
+            let gf: Vec<Gf256> = row.iter().copied().map(Gf256).collect();
+            assert_eq!(a.insert(&gf), b.insert_bytes(&row));
+        }
+        assert_eq!(a.to_matrix(), b.to_matrix());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! pivoting-for-nonzero.
 
 use crate::gf256::Gf256;
+use crate::kernel::Doubles;
+use crate::plane::PayloadPlane;
 use crate::vector::{add_assign_scaled, dot, scale_in_place};
 use rand::Rng;
 use std::fmt;
@@ -175,20 +177,39 @@ impl Matrix {
     ///
     /// This is how y/z/s-packets are produced from x-packets: the same
     /// coefficient row acts on every symbol position of the payloads.
+    ///
+    /// Compatibility wrapper over [`Matrix::mul_plane`]; bulk callers
+    /// should hold a [`PayloadPlane`] and call that directly.
     pub fn mul_payloads(&self, payloads: &[Vec<Gf256>]) -> Vec<Vec<Gf256>> {
         assert_eq!(payloads.len(), self.cols, "payload count mismatch");
-        let plen = payloads.first().map_or(0, |p| p.len());
-        assert!(payloads.iter().all(|p| p.len() == plen), "ragged payloads");
-        let mut out = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
-            let mut acc = vec![Gf256::ZERO; plen];
-            for (c, payload) in payloads.iter().enumerate() {
+        self.mul_plane(&PayloadPlane::from_payloads(payloads)).to_payloads()
+    }
+
+    /// `self * payloads` over a contiguous payload plane
+    /// (`cols × width` in, `rows × width` out).
+    ///
+    /// Each input row's eight doublings are materialized once
+    /// ([`Doubles`]) and shared by every output row, so one coefficient
+    /// costs `popcount` vectorized XOR passes instead of a full
+    /// multiply.
+    ///
+    /// # Panics
+    /// Panics when `payloads.rows() != self.cols()`.
+    pub fn mul_plane(&self, payloads: &PayloadPlane) -> PayloadPlane {
+        assert_eq!(payloads.rows(), self.cols, "payload count mismatch");
+        let mut out = PayloadPlane::zero(self.rows, payloads.width());
+        let mut doubles = Doubles::new();
+        for c in 0..self.cols {
+            if (0..self.rows).all(|r| self[(r, c)].is_zero()) {
+                continue;
+            }
+            doubles.set_from(payloads.row(c));
+            for r in 0..self.rows {
                 let coeff = self[(r, c)];
                 if !coeff.is_zero() {
-                    add_assign_scaled(&mut acc, payload, coeff);
+                    doubles.accumulate(out.row_mut(r), coeff.value());
                 }
             }
-            out.push(acc);
         }
         out
     }
@@ -210,13 +231,8 @@ impl Matrix {
                 if r != pr {
                     let factor = self[(r, pc)];
                     if !factor.is_zero() {
-                        // row_r -= factor * row_pr, done via split borrows.
-                        let (head, tail) = self.data.split_at_mut(pr.max(r) * self.cols);
-                        let (dst, src) = if r > pr {
-                            (&mut tail[..self.cols], &head[pr * self.cols..(pr + 1) * self.cols])
-                        } else {
-                            (&mut head[r * self.cols..(r + 1) * self.cols], &tail[..self.cols])
-                        };
+                        // row_r -= factor * row_pr, via split borrows.
+                        let (dst, src) = self.two_rows_mut(r, pr);
                         add_assign_scaled(dst, src, factor);
                     }
                 }
@@ -290,34 +306,95 @@ impl Matrix {
     /// of length `payload_len` matching `self.rows()` entries.
     ///
     /// Returns `None` under the same conditions as [`Matrix::solve`].
+    ///
+    /// Compatibility wrapper over [`Matrix::solve_plane`].
     pub fn solve_payloads(&self, b: &[Vec<Gf256>]) -> Option<Vec<Vec<Gf256>>> {
         assert_eq!(b.len(), self.rows, "solve_payloads rhs count mismatch");
         let plen = b.first().map_or(0, |p| p.len());
         assert!(b.iter().all(|p| p.len() == plen), "ragged rhs payloads");
-        // Augment coefficients with all payload symbol positions at once.
-        let mut aug = Matrix::zero(self.rows, self.cols + plen);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                aug[(r, c)] = self[(r, c)];
+        Some(self.solve_plane(&PayloadPlane::from_payloads(b))?.to_payloads())
+    }
+
+    /// Solves `self * X = B` where `B` is a payload plane with one row
+    /// per equation; returns the `cols × width` solution plane, or
+    /// `None` when the system is inconsistent or under-determined.
+    ///
+    /// Elimination runs in place on a scratch copy of the coefficients
+    /// with the row operations mirrored onto a scratch copy of the
+    /// plane — no per-row clones, and the pivot row's doublings are
+    /// shared across all eliminations below and above it.
+    ///
+    /// # Panics
+    /// Panics when `b.rows() != self.rows()`.
+    pub fn solve_plane(&self, b: &PayloadPlane) -> Option<PayloadPlane> {
+        assert_eq!(b.rows(), self.rows, "solve_plane rhs count mismatch");
+        let mut a = self.clone();
+        let mut rhs = b.clone();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut doubles = Doubles::new();
+        let mut pr = 0usize;
+        for pc in 0..a.cols {
+            let Some(sel) = (pr..a.rows).find(|&r| !a[(r, pc)].is_zero()) else {
+                continue;
+            };
+            a.swap_rows(pr, sel);
+            rhs.swap_rows(pr, sel);
+            let inv = a[(pr, pc)].inv();
+            scale_in_place(a.row_mut(pr), inv);
+            rhs.scale_row(pr, inv);
+            // The doublings hold a copy of the pivot's rhs row, so the
+            // mirrored update borrows the plane mutably without splits.
+            doubles.set_from(rhs.row(pr));
+            for r in 0..a.rows {
+                if r == pr {
+                    continue;
+                }
+                let factor = a[(r, pc)];
+                if factor.is_zero() {
+                    continue;
+                }
+                let (dst, src) = a.two_rows_mut(r, pr);
+                add_assign_scaled(dst, src, factor);
+                doubles.accumulate(rhs.row_mut(r), factor.value());
             }
-            for (k, &sym) in b[r].iter().enumerate() {
-                aug[(r, self.cols + k)] = sym;
+            pivots.push(pc);
+            pr += 1;
+            if pr == a.rows {
+                break;
             }
-        }
-        let pivots = aug.rref_in_place();
-        if pivots.iter().any(|&p| p >= self.cols) {
-            return None; // inconsistent in at least one symbol position
         }
         if pivots.len() < self.cols {
-            return None;
+            return None; // under-determined
         }
-        let mut x = vec![vec![Gf256::ZERO; plen]; self.cols];
-        for (r, &p) in pivots.iter().enumerate() {
-            for k in 0..plen {
-                x[p][k] = aug[(r, self.cols + k)];
+        // Inconsistent if any eliminated (all-zero) row keeps a nonzero
+        // right-hand side in some symbol position.
+        for r in pr..a.rows {
+            if rhs.row(r).iter().any(|&x| x != 0) {
+                return None;
             }
         }
+        let mut x = PayloadPlane::zero(self.cols, b.width());
+        for (r, &p) in pivots.iter().enumerate() {
+            x.row_mut(p).copy_from_slice(rhs.row(r));
+        }
         Some(x)
+    }
+
+    /// Borrows rows `dst` and `src` simultaneously as slices.
+    ///
+    /// # Panics
+    /// Panics when `dst == src`.
+    #[inline]
+    pub(crate) fn two_rows_mut(&mut self, dst: usize, src: usize) -> (&mut [Gf256], &[Gf256]) {
+        assert_ne!(dst, src, "two_rows_mut needs distinct rows");
+        let w = self.cols;
+        if dst < src {
+            let (head, tail) = self.data.split_at_mut(src * w);
+            (&mut head[dst * w..(dst + 1) * w], &tail[..w])
+        } else {
+            let (head, tail) = self.data.split_at_mut(dst * w);
+            (&mut tail[..w], &head[src * w..(src + 1) * w])
+        }
     }
 
     /// Swaps two rows in place.

@@ -1,0 +1,289 @@
+//! Contiguous payload storage: many equal-length symbol rows, one
+//! allocation.
+//!
+//! The protocol applies every coefficient row to *bundles* of payloads
+//! (x-pools, y/z/s packets, Reed–Solomon shares). Storing the bundle as
+//! `Vec<Vec<Gf256>>` costs one allocation per row, scatters rows across
+//! the heap, and every hot-path operation pays pointer chasing plus
+//! per-row bounds setup. [`PayloadPlane`] is the replacement: a dense
+//! row-major byte matrix (`rows × width`, stride = `width`) whose rows
+//! are byte slices that feed the [`crate::kernel`] SWAR kernels directly.
+//!
+//! A `Gf256` symbol *is* its byte (`#[repr(transparent)]`), so the
+//! conversions at protocol boundaries ([`PayloadPlane::from_payloads`],
+//! [`PayloadPlane::to_payloads`]) are plain copies, and wire I/O can read
+//! and write rows without any symbol-to-byte translation step.
+
+use crate::gf256::Gf256;
+use crate::kernel;
+
+/// A dense `rows × width` bundle of payload rows over GF(2^8), row-major
+/// in one allocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PayloadPlane {
+    rows: usize,
+    width: usize,
+    data: Vec<u8>,
+}
+
+impl PayloadPlane {
+    /// An all-zero plane of the given shape.
+    pub fn zero(rows: usize, width: usize) -> Self {
+        PayloadPlane { rows, width, data: vec![0; rows * width] }
+    }
+
+    /// An empty plane that accepts rows of the given width.
+    pub fn empty(width: usize) -> Self {
+        PayloadPlane { rows: 0, width, data: Vec::new() }
+    }
+
+    /// An empty plane with capacity reserved for `rows` rows.
+    pub fn with_capacity(rows: usize, width: usize) -> Self {
+        PayloadPlane { rows: 0, width, data: Vec::with_capacity(rows * width) }
+    }
+
+    /// Builds a plane from symbol-vector payloads.
+    ///
+    /// # Panics
+    /// Panics when the payloads have inconsistent lengths.
+    pub fn from_payloads(payloads: &[Vec<Gf256>]) -> Self {
+        let width = payloads.first().map_or(0, |p| p.len());
+        assert!(payloads.iter().all(|p| p.len() == width), "ragged payloads");
+        let mut data = Vec::with_capacity(payloads.len() * width);
+        for p in payloads {
+            data.extend(p.iter().map(|s| s.value()));
+        }
+        PayloadPlane { rows: payloads.len(), width, data }
+    }
+
+    /// Builds a plane from byte rows.
+    ///
+    /// # Panics
+    /// Panics when the rows have inconsistent lengths.
+    pub fn from_byte_rows(rows: &[Vec<u8>]) -> Self {
+        let width = rows.first().map_or(0, |r| r.len());
+        assert!(rows.iter().all(|r| r.len() == width), "ragged rows");
+        let mut data = Vec::with_capacity(rows.len() * width);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        PayloadPlane { rows: rows.len(), width, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width in symbols (= bytes).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// True iff the plane holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.width..(r + 1) * self.width]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        &mut self.data[r * self.width..(r + 1) * self.width]
+    }
+
+    /// Iterator over the rows.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[u8]> {
+        // Not `chunks_exact`: a width-0 plane still has `rows` (empty) rows.
+        (0..self.rows).map(move |r| self.row(r))
+    }
+
+    /// The whole backing store (rows concatenated).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Appends a byte row.
+    ///
+    /// # Panics
+    /// Panics when the width differs (unless the plane is empty of rows
+    /// and was created with width 0).
+    pub fn push_row(&mut self, row: &[u8]) {
+        if self.rows == 0 && self.width == 0 {
+            self.width = row.len();
+        }
+        assert_eq!(row.len(), self.width, "pushing row of wrong width");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Inserts a byte row at position `pos`, shifting later rows down.
+    ///
+    /// # Panics
+    /// Panics when the width differs or `pos > rows`.
+    pub fn insert_row(&mut self, pos: usize, row: &[u8]) {
+        if self.rows == 0 && self.width == 0 {
+            self.width = row.len();
+        }
+        assert_eq!(row.len(), self.width, "inserting row of wrong width");
+        assert!(pos <= self.rows, "insert position out of range");
+        self.data.splice(pos * self.width..pos * self.width, row.iter().copied());
+        self.rows += 1;
+    }
+
+    /// Appends an all-zero row and returns its index.
+    pub fn push_zero_row(&mut self) -> usize {
+        self.data.resize(self.data.len() + self.width, 0);
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// Borrows rows `dst` and `src` simultaneously (for row updates).
+    ///
+    /// # Panics
+    /// Panics when `dst == src` or either is out of range.
+    #[inline]
+    pub fn two_rows_mut(&mut self, dst: usize, src: usize) -> (&mut [u8], &[u8]) {
+        assert_ne!(dst, src, "two_rows_mut needs distinct rows");
+        let w = self.width;
+        if dst < src {
+            let (head, tail) = self.data.split_at_mut(src * w);
+            (&mut head[dst * w..(dst + 1) * w], &tail[..w])
+        } else {
+            let (head, tail) = self.data.split_at_mut(dst * w);
+            (&mut tail[..w], &head[src * w..(src + 1) * w])
+        }
+    }
+
+    /// `row[dst] += c * row[src]` within the plane.
+    pub fn axpy_rows(&mut self, dst: usize, src: usize, c: Gf256) {
+        if c.is_zero() || dst == src {
+            return;
+        }
+        let (d, s) = self.two_rows_mut(dst, src);
+        kernel::axpy(d, s, c.value());
+    }
+
+    /// Multiplies row `r` by `c` in place.
+    pub fn scale_row(&mut self, r: usize, c: Gf256) {
+        kernel::scale_in_place(self.row_mut(r), c.value());
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let w = self.width;
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * w);
+        head[a * w..(a + 1) * w].swap_with_slice(&mut tail[..w]);
+    }
+
+    /// A new plane keeping only the listed rows, in order.
+    pub fn select_rows(&self, rows: &[usize]) -> PayloadPlane {
+        let mut out = PayloadPlane::with_capacity(rows.len(), self.width);
+        for &r in rows {
+            out.push_row(self.row(r));
+        }
+        out
+    }
+
+    /// Copies row `r` out as a symbol vector.
+    pub fn payload(&self, r: usize) -> Vec<Gf256> {
+        self.row(r).iter().copied().map(Gf256).collect()
+    }
+
+    /// Converts the plane back to symbol-vector payloads.
+    pub fn to_payloads(&self) -> Vec<Vec<Gf256>> {
+        self.rows_iter().map(|r| r.iter().copied().map(Gf256).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_3x4() -> PayloadPlane {
+        PayloadPlane::from_byte_rows(&[vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 11, 12]])
+    }
+
+    #[test]
+    fn shape_and_rows() {
+        let p = plane_3x4();
+        assert_eq!((p.rows(), p.width()), (3, 4));
+        assert_eq!(p.row(1), &[5, 6, 7, 8]);
+        assert_eq!(p.rows_iter().count(), 3);
+        assert_eq!(p.as_bytes().len(), 12);
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let payloads =
+            vec![vec![Gf256(1), Gf256(0), Gf256(0xFF)], vec![Gf256(9), Gf256(8), Gf256(7)]];
+        let p = PayloadPlane::from_payloads(&payloads);
+        assert_eq!(p.to_payloads(), payloads);
+        assert_eq!(p.payload(1), payloads[1]);
+    }
+
+    #[test]
+    fn row_ops_match_field_arithmetic() {
+        let mut p = plane_3x4();
+        let before0: Vec<u8> = p.row(0).to_vec();
+        let row2: Vec<u8> = p.row(2).to_vec();
+        p.axpy_rows(0, 2, Gf256(3));
+        for i in 0..4 {
+            assert_eq!(p.row(0)[i], before0[i] ^ kernel::gf_mul(3, row2[i]));
+        }
+        p.scale_row(1, Gf256(2));
+        assert_eq!(p.row(1)[0], kernel::gf_mul(2, 5));
+        p.swap_rows(1, 2);
+        assert_eq!(p.row(2)[1], kernel::gf_mul(2, 6));
+    }
+
+    #[test]
+    fn push_and_select() {
+        let mut p = PayloadPlane::empty(2);
+        p.push_row(&[1, 2]);
+        let z = p.push_zero_row();
+        assert_eq!(z, 1);
+        assert_eq!(p.row(1), &[0, 0]);
+        let sel = p.select_rows(&[1, 0]);
+        assert_eq!(sel.row(0), &[0, 0]);
+        assert_eq!(sel.row(1), &[1, 2]);
+    }
+
+    #[test]
+    fn zero_width_plane_accepts_first_row() {
+        let mut p = PayloadPlane::default();
+        p.push_row(&[7, 7, 7]);
+        assert_eq!((p.rows(), p.width()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn push_rejects_ragged() {
+        let mut p = plane_3x4();
+        p.push_row(&[1]);
+    }
+
+    #[test]
+    fn two_rows_mut_both_orders() {
+        let mut p = plane_3x4();
+        {
+            let (d, s) = p.two_rows_mut(0, 2);
+            assert_eq!(d[0], 1);
+            assert_eq!(s[0], 9);
+        }
+        let (d, s) = p.two_rows_mut(2, 0);
+        assert_eq!(d[0], 9);
+        assert_eq!(s[0], 1);
+    }
+}

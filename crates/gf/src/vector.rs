@@ -1,10 +1,15 @@
-//! Vector kernels over GF(2^8).
+//! Vector kernels over GF(2^8) symbol slices.
 //!
-//! These are the inner loops of everything else in the workspace: packet
-//! payloads are `&[Gf256]`, and encoding/decoding is built from `dot`,
-//! `scale_in_place` and `add_assign_scaled` (the classic "axpy").
+//! These are thin `Gf256`-typed wrappers over the byte kernels in
+//! [`crate::kernel`]: the same per-multiplier product tables and
+//! 8-lane-per-word SWAR arithmetic, applied to `&[Gf256]` (which has the
+//! same layout as `&[u8]`, `Gf256` being `#[repr(transparent)]`; the
+//! word views are assembled with safe byte gathers that LLVM fuses into
+//! word loads). Bulk payload work should prefer
+//! [`crate::plane::PayloadPlane`] and the byte kernels directly.
 
-use crate::gf256::{Gf256, EXP, LOG};
+use crate::gf256::Gf256;
+use crate::kernel::{self, LaneMul};
 
 /// Dot product of two equal-length vectors.
 ///
@@ -15,9 +20,7 @@ pub fn dot(a: &[Gf256], b: &[Gf256]) -> Gf256 {
     assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
     let mut acc = 0u8;
     for (&x, &y) in a.iter().zip(b.iter()) {
-        if x.0 != 0 && y.0 != 0 {
-            acc ^= EXP[LOG[x.0 as usize] as usize + LOG[y.0 as usize] as usize];
-        }
+        acc ^= kernel::gf_mul(x.0, y.0);
     }
     Gf256(acc)
 }
@@ -32,11 +35,9 @@ pub fn scale_in_place(v: &mut [Gf256], c: Gf256) {
         v.fill(Gf256::ZERO);
         return;
     }
-    let lc = LOG[c.0 as usize] as usize;
+    let t = kernel::mul_table(c);
     for x in v.iter_mut() {
-        if x.0 != 0 {
-            x.0 = EXP[LOG[x.0 as usize] as usize + lc];
-        }
+        x.0 = t[x.0 as usize];
     }
 }
 
@@ -56,11 +57,22 @@ pub fn add_assign_scaled(dst: &mut [Gf256], src: &[Gf256], c: Gf256) {
         }
         return;
     }
-    let lc = LOG[c.0 as usize] as usize;
-    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-        if s.0 != 0 {
-            d.0 ^= EXP[LOG[s.0 as usize] as usize + lc];
+    let lm = LaneMul::new(c);
+    let mut dc = dst.chunks_exact_mut(8);
+    let mut sc = src.chunks_exact(8);
+    for (d, s) in (&mut dc).zip(&mut sc) {
+        let sw =
+            u64::from_le_bytes([s[0].0, s[1].0, s[2].0, s[3].0, s[4].0, s[5].0, s[6].0, s[7].0]);
+        let dw =
+            u64::from_le_bytes([d[0].0, d[1].0, d[2].0, d[3].0, d[4].0, d[5].0, d[6].0, d[7].0]);
+        let out = (dw ^ lm.mul_word(sw)).to_le_bytes();
+        for (di, &o) in d.iter_mut().zip(out.iter()) {
+            di.0 = o;
         }
+    }
+    let t = kernel::mul_table(c);
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        d.0 ^= t[s.0 as usize];
     }
 }
 
@@ -127,6 +139,20 @@ mod tests {
                 let expect = Gf256([1, 2, 3, 4][i]) + src[i] * Gf256(c);
                 assert_eq!(*d, expect, "c={c:#x} i={i}");
             }
+        }
+    }
+
+    #[test]
+    fn axpy_long_vectors_cover_word_path() {
+        // 8-element word chunks plus a tail.
+        let src: Vec<Gf256> =
+            (0..37u8).map(|i| Gf256(i.wrapping_mul(31).wrapping_add(1))).collect();
+        for c in [2u8, 0x53, 0xE5] {
+            let mut dst: Vec<Gf256> = (0..37u8).map(|i| Gf256(i.wrapping_mul(13))).collect();
+            let expect: Vec<Gf256> =
+                dst.iter().zip(src.iter()).map(|(&d, &s)| d + s * Gf256(c)).collect();
+            add_assign_scaled(&mut dst, &src, Gf256(c));
+            assert_eq!(dst, expect, "c={c:#x}");
         }
     }
 

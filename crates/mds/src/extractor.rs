@@ -15,7 +15,7 @@
 //! below.
 
 use crate::cauchy::{cauchy_matrix, CauchyError};
-use thinair_gf::{Gf256, Matrix};
+use thinair_gf::{Gf256, Matrix, PayloadPlane};
 
 /// A privacy-amplification extractor: maps `k` partially-leaked shared
 /// packets to `m` secret packets.
@@ -68,6 +68,15 @@ impl Extractor {
     /// Panics when `shared.len() != self.inputs()`.
     pub fn extract(&self, shared: &[Vec<Gf256>]) -> Vec<Vec<Gf256>> {
         self.matrix.mul_payloads(shared)
+    }
+
+    /// Plane form of [`Extractor::extract`]: `k × width` in,
+    /// `m × width` out.
+    ///
+    /// # Panics
+    /// Panics when `shared.rows() != self.inputs()`.
+    pub fn extract_plane(&self, shared: &PayloadPlane) -> PayloadPlane {
+        self.matrix.mul_plane(shared)
     }
 
     /// Verifies the secrecy property against a *known* adversary

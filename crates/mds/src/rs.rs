@@ -14,7 +14,7 @@
 use std::fmt;
 
 use crate::vandermonde::vandermonde_matrix;
-use thinair_gf::{Gf256, Matrix};
+use thinair_gf::{Gf256, Matrix, PayloadPlane};
 
 /// Errors from Reed–Solomon construction or decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +75,9 @@ pub struct ReedSolomon {
     n: usize,
     /// `k x n` systematic generator: `[I_k | P]`.
     generator: Matrix,
+    /// `n x k` transpose, cached: encoding applies it to the data plane
+    /// on every call.
+    generator_t: Matrix,
 }
 
 impl ReedSolomon {
@@ -88,7 +91,8 @@ impl ReedSolomon {
         let inv =
             lead.inverse().expect("leading Vandermonde block with distinct nodes is invertible");
         let generator = &inv * &v;
-        Ok(ReedSolomon { k, n, generator })
+        let generator_t = generator.transpose();
+        Ok(ReedSolomon { k, n, generator, generator_t })
     }
 
     /// Data packet count.
@@ -109,51 +113,84 @@ impl ReedSolomon {
     /// Encodes `k` data packets into `n` coded packets. Packets are symbol
     /// vectors of equal length.
     ///
+    /// Compatibility wrapper over [`ReedSolomon::encode_plane`].
+    ///
     /// # Panics
     /// Panics when `data.len() != k` or payload lengths are ragged.
     pub fn encode(&self, data: &[Vec<Gf256>]) -> Vec<Vec<Gf256>> {
         assert_eq!(data.len(), self.k, "encode expects exactly k data packets");
-        // generator^T-style application: coded[j] = sum_i G[i][j] * data[i].
-        self.generator.transpose().mul_payloads(data)
+        self.encode_plane(&PayloadPlane::from_payloads(data)).to_payloads()
+    }
+
+    /// Encodes a `k × width` data plane into the `n × width` coded plane.
+    ///
+    /// # Panics
+    /// Panics when `data.rows() != k`.
+    pub fn encode_plane(&self, data: &PayloadPlane) -> PayloadPlane {
+        assert_eq!(data.rows(), self.k, "encode expects exactly k data packets");
+        // coded[j] = sum_i G[i][j] * data[i], via the cached transpose.
+        self.generator_t.mul_plane(data)
     }
 
     /// Decodes from any `k` (or more) shares, given as `(index, payload)`.
     ///
     /// Extra shares beyond `k` are ignored (the first `k` valid ones are
     /// used). Returns the `k` data packets.
+    ///
+    /// Compatibility wrapper over [`ReedSolomon::decode_plane`].
     pub fn decode(&self, shares: &[(usize, Vec<Gf256>)]) -> Result<Vec<Vec<Gf256>>, RsError> {
-        if shares.len() < self.k {
-            return Err(RsError::NotEnoughShares { got: shares.len(), need: self.k });
-        }
-        let plen = shares[0].1.len();
+        let plen = shares.first().map_or(0, |(_, p)| p.len());
         if shares.iter().any(|(_, p)| p.len() != plen) {
             return Err(RsError::RaggedShares);
         }
+        let mut plane = PayloadPlane::with_capacity(shares.len(), plen);
+        let mut indices = Vec::with_capacity(shares.len());
+        for (i, p) in shares {
+            indices.push(*i);
+            plane.push_row(&p.iter().map(|s| s.value()).collect::<Vec<u8>>());
+        }
+        Ok(self.decode_plane(&indices, &plane)?.to_payloads())
+    }
+
+    /// Decodes from a plane of shares: `indices[r]` names the share held
+    /// in `shares.row(r)`. Returns the `k × width` data plane.
+    ///
+    /// # Panics
+    /// Panics when `indices.len() != shares.rows()`.
+    pub fn decode_plane(
+        &self,
+        indices: &[usize],
+        shares: &PayloadPlane,
+    ) -> Result<PayloadPlane, RsError> {
+        assert_eq!(indices.len(), shares.rows(), "one index per share row");
+        if shares.rows() < self.k {
+            return Err(RsError::NotEnoughShares { got: shares.rows(), need: self.k });
+        }
         let mut seen = vec![false; self.n];
-        let mut use_shares: Vec<&(usize, Vec<Gf256>)> = Vec::with_capacity(self.k);
-        for s in shares {
-            if s.0 >= self.n || seen[s.0] {
-                return Err(RsError::BadShareIndex(s.0));
+        let mut use_rows: Vec<usize> = Vec::with_capacity(self.k);
+        for (r, &i) in indices.iter().enumerate() {
+            if i >= self.n || seen[i] {
+                return Err(RsError::BadShareIndex(i));
             }
-            seen[s.0] = true;
-            if use_shares.len() < self.k {
-                use_shares.push(s);
+            seen[i] = true;
+            if use_rows.len() < self.k {
+                use_rows.push(r);
             }
         }
         // Fast path: all k systematic shares present among the chosen ones?
-        if use_shares.iter().all(|(i, _)| *i < self.k) {
-            let mut data = vec![Vec::new(); self.k];
-            for (i, p) in &use_shares {
-                data[*i] = p.clone();
+        if use_rows.iter().all(|&r| indices[r] < self.k) {
+            let mut data = PayloadPlane::zero(self.k, shares.width());
+            for &r in &use_rows {
+                data.row_mut(indices[r]).copy_from_slice(shares.row(r));
             }
             return Ok(data);
         }
         // General path: solve G_cols^T * data = shares.
-        let cols: Vec<usize> = use_shares.iter().map(|(i, _)| *i).collect();
+        let cols: Vec<usize> = use_rows.iter().map(|&r| indices[r]).collect();
         let coeff = self.generator.select_columns(&cols).transpose(); // k x k
-        let rhs: Vec<Vec<Gf256>> = use_shares.iter().map(|(_, p)| p.clone()).collect();
+        let rhs = shares.select_rows(&use_rows);
         let data =
-            coeff.solve_payloads(&rhs).expect("any k columns of an MDS generator are independent");
+            coeff.solve_plane(&rhs).expect("any k columns of an MDS generator are independent");
         Ok(data)
     }
 }

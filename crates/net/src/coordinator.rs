@@ -24,9 +24,8 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use thinair_core::packet::Payload;
-use thinair_core::wire::{payload_to_bytes, Message};
-use thinair_gf::Gf256;
+use thinair_core::wire::Message;
+use thinair_gf::{kernel, PayloadPlane};
 
 use crate::frame::{Frame, NetPayload};
 use crate::reliable::{Dedup, Reliable};
@@ -78,8 +77,9 @@ pub async fn run_coordinator<T: Transport>(
     let mut reports: Vec<Option<Vec<u8>>> = vec![None; n as usize];
     let mut done: BTreeSet<u8> = BTreeSet::new();
 
-    // Fountain state, filled once the plan exists.
-    let mut z_payloads: Vec<Payload> = Vec::new();
+    // Fountain state, filled once the plan exists. The combo scratch
+    // buffers are allocated once per session and reused for every frame.
+    let mut fountain = FountainState::default();
     let mut z_sent: u32 = 0;
     let mut outcome: Option<SessionOutcome> = None;
 
@@ -159,21 +159,16 @@ pub async fn run_coordinator<T: Transport>(
                     rel.send(&t, session, NetPayload::Proto(msg), &targets)?;
                     // The coordinator decodes every row directly.
                     let secret = if l > 0 {
-                        let y: Vec<Payload> = plan
-                            .rows
-                            .iter()
-                            .map(|row| {
-                                let mut acc = vec![Gf256::ZERO; cfg.payload_len];
-                                for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
-                                    let p =
-                                        xs.store.get(&j).expect("coordinator holds every support");
-                                    thinair_gf::add_assign_scaled(&mut acc, p, c);
-                                }
-                                acc
-                            })
-                            .collect();
-                        z_payloads = plan.c_mat.mul_payloads(&y);
-                        plan.d_mat.mul_payloads(&y)
+                        let mut y = PayloadPlane::zero(plan.rows.len(), cfg.payload_len);
+                        for (r, row) in plan.rows.iter().enumerate() {
+                            let acc = y.row_mut(r);
+                            for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
+                                let p = xs.store.get(&j).expect("coordinator holds every support");
+                                kernel::axpy(acc, p, c.value());
+                            }
+                        }
+                        fountain.set_z(plan.c_mat.mul_plane(&y), cfg.payload_len);
+                        plan.d_mat.mul_plane(&y).to_payloads()
                     } else {
                         Vec::new()
                     };
@@ -185,7 +180,7 @@ pub async fn run_coordinator<T: Transport>(
                 if targets.iter().all(|p| done.contains(p)) {
                     let fin_seq = rel.send(&t, session, NetPayload::Fin, &targets)?;
                     phase = Phase::FinBarrier { fin_seq };
-                } else if now >= *next_combo && !z_payloads.is_empty() {
+                } else if now >= *next_combo && !fountain.is_empty() {
                     if z_sent >= cfg.max_attempts {
                         let missing: Vec<u8> =
                             targets.iter().copied().filter(|p| !done.contains(p)).collect();
@@ -196,9 +191,9 @@ pub async fn run_coordinator<T: Transport>(
                     }
                     // An initial burst covers the worst-case missing-row
                     // count; afterwards one combo per tick tops up losses.
-                    let burst = if z_sent == 0 { (z_payloads.len() + 3) as u32 } else { 1 };
+                    let burst = if z_sent == 0 { (fountain.z_count() + 3) as u32 } else { 1 };
                     for _ in 0..burst {
-                        send_combo(&t, session, &cfg, &mut rel, &z_payloads, z_sent, &mut rng)?;
+                        fountain.send_combo(&t, session, &mut rel, z_sent, &mut rng)?;
                         z_sent += 1;
                     }
                     phase = Phase::Fountain { next_combo: now + cfg.retransmit };
@@ -217,35 +212,66 @@ pub async fn run_coordinator<T: Transport>(
     }
 }
 
-fn send_combo<T: Transport>(
-    t: &SharedTransport<T>,
-    session: u64,
-    cfg: &SessionConfig,
-    rel: &mut Reliable,
-    z_payloads: &[Payload],
-    z_seq: u32,
-    rng: &mut StdRng,
-) -> Result<(), NetError> {
-    let me = t.local_node();
-    // Random non-zero combination: innovative for every needy receiver
-    // with overwhelming probability (the receiver's rank tracker is the
-    // ground truth).
-    let mut q: Vec<u8> = (0..z_payloads.len()).map(|_| rng.gen()).collect();
-    if q.iter().all(|&c| c == 0) {
-        q[0] = 1;
+/// Per-session fountain state: the z plane plus reusable combo scratch
+/// buffers, so streaming combos does not allocate per frame beyond the
+/// owned vectors the outgoing message itself needs.
+#[derive(Default)]
+struct FountainState {
+    z: PayloadPlane,
+    q: Vec<u8>,
+    acc: Vec<u8>,
+}
+
+impl FountainState {
+    fn set_z(&mut self, z: PayloadPlane, payload_len: usize) {
+        self.q = vec![0; z.rows()];
+        self.acc = vec![0; payload_len];
+        self.z = z;
     }
-    let mut acc = vec![Gf256::ZERO; cfg.payload_len];
-    for (k, zp) in z_payloads.iter().enumerate() {
-        thinair_gf::add_assign_scaled(&mut acc, zp, Gf256(q[k]));
+
+    fn is_empty(&self) -> bool {
+        self.z.is_empty()
     }
-    let msg = Message::ZPacket { index: z_seq as u16, coeffs: q, payload: payload_to_bytes(&acc) };
-    let frame = Frame {
-        flags: 0,
-        sender: me,
-        session,
-        seq: rel.next_seq(),
-        payload: NetPayload::Proto(msg),
-    };
-    t.broadcast(&frame)?;
-    Ok(())
+
+    fn z_count(&self) -> usize {
+        self.z.rows()
+    }
+
+    fn send_combo<T: Transport>(
+        &mut self,
+        t: &SharedTransport<T>,
+        session: u64,
+        rel: &mut Reliable,
+        z_seq: u32,
+        rng: &mut StdRng,
+    ) -> Result<(), NetError> {
+        let me = t.local_node();
+        // Random non-zero combination: innovative for every needy receiver
+        // with overwhelming probability (the receiver's rank tracker is the
+        // ground truth).
+        for qk in self.q.iter_mut() {
+            *qk = rng.gen();
+        }
+        if self.q.iter().all(|&c| c == 0) {
+            self.q[0] = 1;
+        }
+        self.acc.fill(0);
+        for (k, &qk) in self.q.iter().enumerate() {
+            kernel::axpy(&mut self.acc, self.z.row(k), qk);
+        }
+        let msg = Message::ZPacket {
+            index: z_seq as u16,
+            coeffs: self.q.clone(),
+            payload: self.acc.clone(),
+        };
+        let frame = Frame {
+            flags: 0,
+            sender: me,
+            session,
+            seq: rel.next_seq(),
+            payload: NetPayload::Proto(msg),
+        };
+        t.broadcast(&frame)?;
+        Ok(())
+    }
 }

@@ -22,7 +22,7 @@
 //! is an open attack surface. The property tests in
 //! `crates/net/tests/` fuzz this decoder with random and mutated bytes.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use thinair_core::wire::{Message, WireError};
 
 /// First two bytes of every frame: "tA".
@@ -202,8 +202,10 @@ impl NetPayload {
 }
 
 impl Frame {
-    /// Serializes the frame into one datagram.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the frame into one datagram. Returns the buffer
+    /// directly (no trailing copy): `Bytes` derefs to `&[u8]` wherever a
+    /// byte slice is needed.
+    pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::new();
         self.payload.encode_into(&mut payload);
         debug_assert!(payload.len() <= MAX_PAYLOAD, "payload over MAX_PAYLOAD");
@@ -218,7 +220,7 @@ impl Frame {
         b.put_slice(&payload);
         let crc = crc32(&b);
         b.put_u32(crc);
-        b.freeze().to_vec()
+        b.freeze()
     }
 
     /// Size of the encoded frame in bits (for air-time accounting in the
@@ -331,7 +333,7 @@ mod tests {
         let f = &sample_frames()[0];
         let enc = f.encode();
         for i in 0..enc.len() {
-            let mut bad = enc.clone();
+            let mut bad = enc.to_vec();
             bad[i] ^= 0x40;
             // Either an error, or (impossible for CRC-protected frames)
             // the identical frame back.
@@ -346,13 +348,13 @@ mod tests {
     fn rejects_wrong_magic_version_and_trailing() {
         let f = &sample_frames()[2];
         let enc = f.encode();
-        let mut wrong_magic = enc.clone();
+        let mut wrong_magic = enc.to_vec();
         wrong_magic[0] = 0;
         assert_eq!(Frame::decode(&wrong_magic), Err(FrameError::BadMagic));
-        let mut wrong_ver = enc.clone();
+        let mut wrong_ver = enc.to_vec();
         wrong_ver[2] = 9;
         assert_eq!(Frame::decode(&wrong_ver), Err(FrameError::BadVersion(9)));
-        let mut trailing = enc.clone();
+        let mut trailing = enc.to_vec();
         trailing.push(0);
         assert_eq!(Frame::decode(&trailing), Err(FrameError::TrailingBytes));
     }

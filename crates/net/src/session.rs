@@ -32,12 +32,12 @@ use rand::SeedableRng;
 use thinair_core::construct::{build_plan, Plan, PlanParams};
 use thinair_core::estimate::{Estimator, Tuning};
 use thinair_core::kdf::derive_key;
-use thinair_core::packet::{random_payload, Payload};
+use thinair_core::packet::{random_payload_bytes, Payload};
 use thinair_core::phase1::owner_order;
 use thinair_core::round::XSchedule;
-use thinair_core::wire::{bitmap_from_received, payload_to_bytes, received_from_bitmap, Message};
+use thinair_core::wire::{bitmap_from_received, received_from_bitmap, Message};
 use thinair_core::ProtocolError;
-use thinair_gf::{add_assign_scaled, Gf256, RowEchelon};
+use thinair_gf::{kernel, Gf256, PayloadPlane, RowEchelon};
 
 use crate::frame::{Frame, FrameError, NetPayload};
 use crate::reliable::{Reliable, Unreachable};
@@ -339,8 +339,9 @@ pub(crate) struct XState {
     session: u64,
     me: u8,
     owners: Vec<usize>,
-    /// Payloads this node holds (own + received), by packet id.
-    pub store: BTreeMap<usize, Payload>,
+    /// Payloads this node holds (own + received), by packet id, as raw
+    /// byte rows (the kernels and the wire both speak bytes).
+    pub store: BTreeMap<usize, Vec<u8>>,
     received: BTreeSet<usize>,
 }
 
@@ -372,12 +373,8 @@ impl XState {
             if o != self.me as usize {
                 continue;
             }
-            let payload = random_payload(self.cfg.payload_len, rng);
-            let msg = Message::XPacket {
-                id: id as u16,
-                owner: self.me,
-                payload: payload_to_bytes(&payload),
-            };
+            let payload = random_payload_bytes(self.cfg.payload_len, rng);
+            let msg = Message::XPacket { id: id as u16, owner: self.me, payload: payload.clone() };
             self.store.insert(id, payload);
             let frame = Frame {
                 flags: 0,
@@ -407,7 +404,7 @@ impl XState {
             && payload.len() == self.cfg.payload_len
             && !inject_erasure(&self.cfg, self.session, self.me, DataKind::X, id as u64)
         {
-            self.store.insert(id, payload.iter().copied().map(Gf256).collect());
+            self.store.insert(id, payload.clone());
             self.received.insert(id);
         }
     }
@@ -477,10 +474,12 @@ impl SessionOutcome {
 pub struct Reconstructor {
     plan: Plan,
     payload_len: usize,
-    y: Vec<Option<Payload>>,
+    /// One contiguous row per y-packet; `have[r]` marks filled rows.
+    y: PayloadPlane,
+    have: Vec<bool>,
     missing: Vec<usize>,
     tracker: RowEchelon,
-    combos: Vec<(Vec<Gf256>, Payload)>,
+    combos: Vec<(Vec<u8>, Vec<u8>)>,
 }
 
 impl Reconstructor {
@@ -490,21 +489,22 @@ impl Reconstructor {
     /// Panics if a directly decodable row references a payload `me`
     /// does not hold — impossible when the plan was derived from `me`'s
     /// own report.
-    pub fn new(plan: Plan, payload_len: usize, me: u8, store: &BTreeMap<usize, Payload>) -> Self {
+    pub fn new(plan: Plan, payload_len: usize, me: u8, store: &BTreeMap<usize, Vec<u8>>) -> Self {
         let m = plan.m();
-        let mut y: Vec<Option<Payload>> = vec![None; m];
+        let mut y = PayloadPlane::zero(m, payload_len);
+        let mut have = vec![false; m];
         for &r in &plan.decodable[me as usize] {
             let row = &plan.rows[r];
-            let mut acc = vec![Gf256::ZERO; payload_len];
+            let acc = y.row_mut(r);
             for (&j, &c) in row.support.iter().zip(row.coeffs.iter()) {
                 let p = store.get(&j).expect("decodable row references a payload this node holds");
-                add_assign_scaled(&mut acc, p, c);
+                kernel::axpy(acc, p, c.value());
             }
-            y[r] = Some(acc);
+            have[r] = true;
         }
-        let missing: Vec<usize> = (0..m).filter(|r| y[*r].is_none()).collect();
+        let missing: Vec<usize> = (0..m).filter(|r| !have[*r]).collect();
         let tracker = RowEchelon::new(missing.len());
-        Reconstructor { plan, payload_len, y, missing, tracker, combos: Vec::new() }
+        Reconstructor { plan, payload_len, y, have, missing, tracker, combos: Vec::new() }
     }
 
     /// Rows still unknown.
@@ -515,6 +515,15 @@ impl Reconstructor {
     /// Whether enough combos have been collected to solve.
     pub fn complete(&self) -> bool {
         self.needs() == 0
+    }
+
+    /// Projection of fountain coefficients `q` onto y-column `col`:
+    /// `(q·C)[col]`.
+    #[inline]
+    fn project(&self, q: &[u8], col: usize) -> u8 {
+        q.iter()
+            .enumerate()
+            .fold(0u8, |acc, (k, &qk)| acc ^ kernel::gf_mul(qk, self.plan.c_mat[(k, col)].value()))
     }
 
     /// Offers one fountain combo (coefficients over the z-packets, and
@@ -528,15 +537,9 @@ impl Reconstructor {
         if coeffs.len() != z_count || payload.len() != self.payload_len {
             return false; // malformed or stale combo
         }
-        let q: Vec<Gf256> = coeffs.iter().copied().map(Gf256).collect();
-        let qc: Vec<Gf256> = self
-            .missing
-            .iter()
-            .map(|&col| (0..z_count).map(|k| q[k] * self.plan.c_mat[(k, col)]).sum::<Gf256>())
-            .collect();
-        if self.tracker.insert(&qc) {
-            let p: Payload = payload.iter().copied().map(Gf256).collect();
-            self.combos.push((q, p));
+        let qc: Vec<u8> = self.missing.iter().map(|&col| self.project(coeffs, col)).collect();
+        if self.tracker.insert_bytes(&qc) {
+            self.combos.push((coeffs.to_vec(), payload.to_vec()));
             true
         } else {
             false
@@ -552,42 +555,30 @@ impl Reconstructor {
                     what: "not enough z combos received",
                 }));
             }
-            let z_count = self.plan.c_mat.rows();
             let mut a = thinair_gf::Matrix::zero(0, self.missing.len());
-            let rhs: Vec<Payload> = self
-                .combos
-                .iter()
-                .map(|(q, payload)| {
-                    let row: Vec<Gf256> = self
-                        .missing
-                        .iter()
-                        .map(|&col| {
-                            (0..z_count).map(|k| q[k] * self.plan.c_mat[(k, col)]).sum::<Gf256>()
-                        })
-                        .collect();
-                    a.push_row(&row);
-                    let mut acc = payload.clone();
-                    for (j, yj) in self.y.iter().enumerate() {
-                        if let Some(yj) = yj {
-                            let qc_j: Gf256 =
-                                (0..z_count).map(|k| q[k] * self.plan.c_mat[(k, j)]).sum();
-                            add_assign_scaled(&mut acc, yj, qc_j);
-                        }
+            let mut rhs = PayloadPlane::with_capacity(self.combos.len(), self.payload_len);
+            for (q, payload) in &self.combos {
+                let row: Vec<Gf256> =
+                    self.missing.iter().map(|&col| Gf256(self.project(q, col))).collect();
+                a.push_row(&row);
+                let mut acc = payload.clone();
+                for (j, &have_j) in self.have.iter().enumerate() {
+                    if have_j {
+                        kernel::axpy(&mut acc, self.y.row(j), self.project(q, j));
                     }
-                    acc
-                })
-                .collect();
+                }
+                rhs.push_row(&acc);
+            }
             let solved =
-                a.solve_payloads(&rhs).ok_or(NetError::Protocol(ProtocolError::DecodeFailed {
+                a.solve_plane(&rhs).ok_or(NetError::Protocol(ProtocolError::DecodeFailed {
                     terminal: me as usize,
                     what: "y from z system",
                 }))?;
             for (pos, &r) in self.missing.iter().enumerate() {
-                self.y[r] = Some(solved[pos].clone());
+                self.y.row_mut(r).copy_from_slice(solved.row(pos));
             }
         }
-        let y: Vec<Payload> = self.y.into_iter().map(|p| p.expect("all rows filled")).collect();
-        Ok(self.plan.d_mat.mul_payloads(&y))
+        Ok(self.plan.d_mat.mul_plane(&self.y).to_payloads())
     }
 
     /// Access to the plan (for `(m, l)` checks).

@@ -74,7 +74,7 @@ proptest! {
     fn byte_mutations_are_detected(frame in arb_frame(), pos_frac in 0.0f64..1.0, xor in 1u8..=255) {
         let enc = frame.encode();
         let pos = (((enc.len() - 1) as f64) * pos_frac) as usize;
-        let mut bad = enc.clone();
+        let mut bad = enc.to_vec();
         bad[pos] ^= xor;
         prop_assert!(Frame::decode(&bad).is_err(), "mutation at {pos} accepted");
     }
@@ -84,7 +84,7 @@ proptest! {
     /// frame — but never panic.
     #[test]
     fn refreshed_checksum_still_safe(frame in arb_frame(), pos_frac in 0.0f64..1.0, xor in 1u8..=255) {
-        let mut enc = frame.encode();
+        let mut enc = frame.encode().to_vec();
         let body_len = enc.len() - 4;
         let pos = ((body_len.saturating_sub(1)) as f64 * pos_frac) as usize;
         enc[pos] ^= xor;

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the micro benchmark suite and writes the machine-readable artifact
+# (BENCH_micro.json) that records the perf trajectory.
+#
+# Usage:
+#   scripts/bench.sh             # full measurement, writes BENCH_micro.json
+#   scripts/bench.sh --smoke     # few iterations (CI), writes the same file
+#   BENCH_JSON_OUT=path scripts/bench.sh   # custom artifact location
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${BENCH_JSON_OUT:-BENCH_micro.json}"
+# cargo runs benches with the package directory as cwd; anchor relative
+# paths to the workspace root.
+case "$out" in
+    /*) ;;
+    *) out="$(pwd)/$out" ;;
+esac
+
+if [ "${1:-}" = "--smoke" ]; then
+    export THINAIR_BENCH_FAST=1
+fi
+
+THINAIR_BENCH_JSON="$out" cargo bench -p thinair-bench --bench micro
+
+echo "wrote $out"
