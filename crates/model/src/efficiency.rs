@@ -95,23 +95,32 @@ pub fn group_efficiency_at(n: usize, p: f64, l: f64) -> GroupOperatingPoint {
     }
 }
 
-/// Maximum group-algorithm efficiency for `n` terminals at erasure
-/// probability `p`: maximizes `L / (1 + M(L) − L)` over the target `L`
-/// (grid + local refinement; the objective is unimodal in `L`).
-pub fn group_max_efficiency(n: usize, p: f64) -> f64 {
+/// The efficiency of one operating point: `L / (1 + M − L)`, zero when
+/// no secret is covered.
+pub fn operating_efficiency(op: &GroupOperatingPoint) -> f64 {
+    if op.l <= 0.0 {
+        0.0
+    } else {
+        op.l / (1.0 + op.m - op.l)
+    }
+}
+
+/// The efficiency-maximizing operating point for `n` terminals at
+/// erasure probability `p`: maximizes `L / (1 + M(L) − L)` over the
+/// target `L` (grid + local refinement; the objective is unimodal in
+/// `L`). Returns the all-zero point when no secrecy is minable
+/// (`p ∈ {0, 1}`).
+pub fn group_optimum(n: usize, p: f64) -> GroupOperatingPoint {
     let m_max = pairwise_budget_fraction(p);
     if m_max <= 0.0 {
-        return 0.0;
+        return GroupOperatingPoint {
+            l: 0.0,
+            m: 0.0,
+            rows_per_level: vec![0.0; n.saturating_sub(1)],
+            feasible: true,
+        };
     }
-    let eff = |l: f64| -> f64 {
-        let op = group_efficiency_at(n, p, l);
-        let achieved = op.l;
-        if achieved <= 0.0 {
-            0.0
-        } else {
-            achieved / (1.0 + op.m - achieved)
-        }
-    };
+    let eff = |l: f64| -> f64 { operating_efficiency(&group_efficiency_at(n, p, l)) };
     // Coarse grid, then golden-section refinement around the best cell.
     let grid = 64;
     let mut best_l = 0.0;
@@ -135,7 +144,15 @@ pub fn group_max_efficiency(n: usize, p: f64) -> f64 {
             hi = b;
         }
     }
-    best.max(eff((lo + hi) / 2.0))
+    let refined = (lo + hi) / 2.0;
+    let target = if eff(refined) >= best { refined } else { best_l };
+    group_efficiency_at(n, p, target)
+}
+
+/// Maximum group-algorithm efficiency for `n` terminals at erasure
+/// probability `p` (the value of [`group_optimum`]'s point).
+pub fn group_max_efficiency(n: usize, p: f64) -> f64 {
+    operating_efficiency(&group_optimum(n, p))
 }
 
 #[cfg(test)]

@@ -32,13 +32,27 @@
 //! matching the top curve of the paper's figure; as `n → ∞` the unicast
 //! efficiency collapses to 0 while the group efficiency stays bounded
 //! away from it for moderate `p` — the paper's qualitative claim.
+//!
+//! ```
+//! use thinair_model::{group_max_efficiency, predict, unicast_efficiency};
+//!
+//! // n = 2: both algorithms peak at p(1−p) = 1/4.
+//! assert!((group_max_efficiency(2, 0.5) - 0.25).abs() < 1e-6);
+//! assert!((unicast_efficiency(2, 0.5) - 0.25).abs() < 1e-12);
+//!
+//! // The scenario engine's lookup: one call per (n, p) point.
+//! let pred = predict(6, 0.5);
+//! assert!(pred.group_efficiency > pred.unicast_efficiency);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod efficiency;
+pub mod predict;
 
 pub use efficiency::{
-    group_efficiency_at, group_max_efficiency, pairwise_budget_fraction, unicast_efficiency,
-    GroupOperatingPoint,
+    group_efficiency_at, group_max_efficiency, group_optimum, operating_efficiency,
+    pairwise_budget_fraction, unicast_efficiency, GroupOperatingPoint,
 };
+pub use predict::{predict, Prediction};

@@ -1,0 +1,134 @@
+//! Per-scenario prediction lookup: the bridge between the closed-form
+//! model and a measured experiment.
+//!
+//! An experiment harness describes a scenario by two numbers the model
+//! understands — the terminal count `n` and the (mean) erasure
+//! probability `p` — and gets back everything Figure 1 knows about that
+//! point: the maximum group and unicast efficiencies, the pairwise
+//! budget, and the operating point `(L*, M*)` the optimum sits at. The
+//! measured run then reports its achieved `(l, m)` alongside, and the gap
+//! between the two *is* the model-vs-measurement story (finite `N`
+//! instead of the fluid limit, an estimator instead of Alice's exact
+//! guess, construction conservatism instead of the Hall caps).
+//!
+//! For a bursty channel (e.g. Gilbert-Elliott), feed the *stationary*
+//! erasure rate: the fluid model only sees first-order loss mass, so the
+//! residual gap between a burst-loss measurement and its iid prediction
+//! quantifies what burstiness costs the construction.
+//!
+//! ```
+//! use thinair_model::predict;
+//!
+//! let pred = predict(4, 0.5);
+//! // Group coding always beats padded unicast copies for n > 2 ...
+//! assert!(pred.group_efficiency > pred.unicast_efficiency);
+//! // ... and the optimum spends more y-rows than it keeps secret.
+//! assert!(pred.m_star > pred.l_star && pred.l_star > 0.0);
+//! ```
+
+use crate::efficiency::{
+    group_optimum, operating_efficiency, pairwise_budget_fraction, unicast_efficiency,
+    GroupOperatingPoint,
+};
+
+/// Everything the closed-form model predicts about one scenario point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// Number of terminals (coordinator included).
+    pub n: usize,
+    /// The (mean) packet-erasure probability the prediction assumes.
+    pub p: f64,
+    /// Maximum group-algorithm efficiency (secret per transmitted
+    /// packet) in the fluid limit.
+    pub group_efficiency: f64,
+    /// The unicast baseline's efficiency at the same point.
+    pub unicast_efficiency: f64,
+    /// Per-pair secret budget fraction `p(1−p)`.
+    pub pairwise_budget: f64,
+    /// Optimal per-terminal secret fraction `L*` (of the x-pool size).
+    pub l_star: f64,
+    /// Total y-row fraction `M*` at the optimum.
+    pub m_star: f64,
+}
+
+impl Prediction {
+    /// Scales the fractional optimum to a concrete x-pool of
+    /// `n_packets` packets: the `(L, M)` a measured run would ideally
+    /// achieve, in packets.
+    pub fn scaled(&self, n_packets: usize) -> (f64, f64) {
+        (self.l_star * n_packets as f64, self.m_star * n_packets as f64)
+    }
+
+    /// The measured analogue of [`Prediction::group_efficiency`] for a
+    /// finite round that extracted `l` of its planned `m` rows over an
+    /// `n_packets` pool: `l / (n_packets + m − l)` (Alice transmits the
+    /// pool plus the `m − l` z-packets).
+    pub fn measured_efficiency(n_packets: usize, m: usize, l: usize) -> f64 {
+        if l == 0 {
+            return 0.0;
+        }
+        l as f64 / (n_packets as f64 + m as f64 - l as f64)
+    }
+}
+
+/// Evaluates the closed-form model at one `(n, p)` point.
+///
+/// # Panics
+/// Panics when `n < 2` or `p` is outside `[0, 1]`.
+pub fn predict(n: usize, p: f64) -> Prediction {
+    let op: GroupOperatingPoint = group_optimum(n, p);
+    Prediction {
+        n,
+        p,
+        group_efficiency: operating_efficiency(&op),
+        unicast_efficiency: unicast_efficiency(n, p),
+        pairwise_budget: pairwise_budget_fraction(p),
+        l_star: op.l,
+        m_star: op.m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_is_consistent_with_raw_curves() {
+        for n in [2usize, 3, 6, 10] {
+            for p in [0.2, 0.5, 0.8] {
+                let pred = predict(n, p);
+                let eff = crate::efficiency::group_max_efficiency(n, p);
+                assert!((pred.group_efficiency - eff).abs() < 1e-12, "n={n} p={p}");
+                assert!(
+                    (pred.unicast_efficiency - unicast_efficiency(n, p)).abs() < 1e-12,
+                    "n={n} p={p}"
+                );
+                // The reported (L*, M*) reproduce the reported efficiency.
+                let from_point = pred.l_star / (1.0 + pred.m_star - pred.l_star);
+                assert!((from_point - pred.group_efficiency).abs() < 1e-9, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_optimum_is_in_packets() {
+        let pred = predict(4, 0.5);
+        let (l, m) = pred.scaled(100);
+        assert!(l > 1.0 && m > l && m < 100.0);
+    }
+
+    #[test]
+    fn measured_efficiency_matches_definition() {
+        assert_eq!(Prediction::measured_efficiency(60, 15, 9), 9.0 / 66.0);
+        assert_eq!(Prediction::measured_efficiency(60, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_points_predict_zero() {
+        for p in [0.0, 1.0] {
+            let pred = predict(3, p);
+            assert_eq!(pred.group_efficiency, 0.0);
+            assert_eq!(pred.l_star, 0.0);
+        }
+    }
+}

@@ -31,7 +31,9 @@ use crate::frame::{Frame, NetPayload};
 use crate::reliable::{Dedup, Reliable};
 use crate::rt;
 use crate::rt::chan::Receiver;
-use crate::session::{accept_report, derive_plan, NetError, SessionConfig, SessionOutcome, XState};
+use crate::session::{
+    accept_report, derive_plan, NetError, SessionConfig, SessionOutcome, SessionTrace, XState,
+};
 use crate::transport::{SharedTransport, Transport};
 
 enum Phase {
@@ -172,7 +174,9 @@ pub async fn run_coordinator<T: Transport>(
                     } else {
                         Vec::new()
                     };
-                    outcome = Some(SessionOutcome { session, node: me, l, m, n_packets, secret });
+                    let trace = Some(SessionTrace { plan_seed, reports: flat, z_sent: 0 });
+                    outcome =
+                        Some(SessionOutcome { session, node: me, l, m, n_packets, secret, trace });
                     phase = Phase::Fountain { next_combo: now };
                 }
             }
@@ -201,7 +205,11 @@ pub async fn run_coordinator<T: Transport>(
             }
             Phase::FinBarrier { fin_seq } => {
                 if rel.acked(*fin_seq) {
-                    return Ok(outcome.expect("outcome set before fin"));
+                    let mut out = outcome.expect("outcome set before fin");
+                    if let Some(trace) = out.trace.as_mut() {
+                        trace.z_sent = z_sent;
+                    }
+                    return Ok(out);
                 }
             }
         }

@@ -1,29 +1,25 @@
-//! In-process multi-node drivers: every protocol role as a task on one
-//! runtime, over real loopback UDP sockets or a simulated medium.
+//! In-process multi-node convenience wrappers over [`crate::driver`]:
+//! every protocol role as a task on one runtime, over real loopback UDP
+//! sockets or a simulated medium.
 //!
 //! These are the building blocks of the `thinaird demo` subcommand, the
 //! crate doctest, and the integration tests. Real multi-process
 //! deployment uses the `coordinator` / `terminal` subcommands instead —
-//! same state machines, one process per node.
+//! same state machines, one process per node. Harnesses that also need
+//! measurements (bit ledger, frame counts) use [`crate::driver`]
+//! directly.
 
 use std::net::SocketAddr;
 
 use thinair_netsim::Medium;
 
+use crate::driver::{drive_nodes, drive_sim};
 use crate::node::Node;
-use crate::rt;
 use crate::session::{NetError, SessionConfig, SessionOutcome};
-use crate::transport::{SimNet, UdpTransport};
+use crate::transport::UdpTransport;
 use crate::udp::AsyncUdpSocket;
 
-/// Mixes a per-task seed out of the demo seed, the session id and the
-/// node id, so no two tasks draw identical payload streams.
-pub fn task_seed(seed: u64, session: u64, node: u8) -> u64 {
-    crate::session::splitmix64(
-        seed ^ session.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (node as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
-    )
-}
+pub use crate::driver::task_seed;
 
 /// Runs `sessions.len()` concurrent group rounds with `cfg.n_nodes`
 /// nodes over loopback UDP sockets, one node per task, one socket per
@@ -46,7 +42,7 @@ pub fn loopback_sessions(
         .enumerate()
         .map(|(i, s)| Node::new(UdpTransport::new(s, addrs.clone(), i as u8)))
         .collect();
-    run_nodes(cfg, &nodes, sessions, seed)
+    drive_nodes(cfg, &nodes, sessions, seed)
 }
 
 /// Runs one loopback UDP round; `outcomes[node]` for each node.
@@ -69,10 +65,7 @@ pub fn sim_sessions<M: Medium + 'static>(
     sessions: &[u64],
     seed: u64,
 ) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
-    let n = cfg.n_nodes as usize;
-    let net = SimNet::new(medium, n);
-    let nodes: Vec<_> = (0..n).map(|i| Node::new(net.transport(i as u8))).collect();
-    run_nodes(cfg, &nodes, sessions, seed)
+    Ok(drive_sim(medium, cfg, sessions, seed)?.outcomes)
 }
 
 /// Runs one simulated round.
@@ -83,48 +76,4 @@ pub fn sim_round<M: Medium + 'static>(
     seed: u64,
 ) -> Result<Vec<SessionOutcome>, NetError> {
     Ok(sim_sessions(medium, cfg, &[session], seed)?.remove(0))
-}
-
-fn run_nodes<T: crate::transport::Transport + 'static>(
-    cfg: &SessionConfig,
-    nodes: &[Node<T>],
-    sessions: &[u64],
-    seed: u64,
-) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
-    let n = cfg.n_nodes as usize;
-    rt::block_on(async {
-        for node in nodes {
-            node.start_pump();
-        }
-        // Spawn every (session, node) role task up front: sessions truly
-        // run concurrently, multiplexed over each node's one socket.
-        let mut handles: Vec<Vec<rt::JoinHandle<Result<SessionOutcome, NetError>>>> =
-            Vec::with_capacity(sessions.len());
-        for &session in sessions {
-            let mut per_session = Vec::with_capacity(n);
-            for (i, node) in nodes.iter().enumerate() {
-                let node = node.clone();
-                let cfg = cfg.clone();
-                let task_seed = task_seed(seed, session, i as u8);
-                let role = i as u8 == cfg.coordinator;
-                per_session.push(rt::spawn(async move {
-                    if role {
-                        node.coordinate(session, cfg, task_seed).await
-                    } else {
-                        node.participate(session, cfg, task_seed).await
-                    }
-                }));
-            }
-            handles.push(per_session);
-        }
-        let mut all = Vec::with_capacity(sessions.len());
-        for per_session in handles {
-            let mut outcomes = Vec::with_capacity(n);
-            for h in per_session {
-                outcomes.push(h.await?);
-            }
-            all.push(outcomes);
-        }
-        Ok(all)
-    })
 }

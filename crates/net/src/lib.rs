@@ -22,10 +22,14 @@
 //! * [`reliable`] — per-peer ACK/retransmit for control frames,
 //!   mirroring `thinair_core::transport` semantics on real I/O.
 //! * [`session`] — shared session configuration, deterministic plan
-//!   re-derivation, erasure injection, secret reconstruction.
+//!   re-derivation, erasure injection (iid hash or pluggable per-receiver
+//!   [`thinair_netsim::ErasureModel`] chains), secret reconstruction.
 //! * [`coordinator`] / [`terminal`] — the two role state machines.
 //! * [`node`] — one socket, many concurrent sessions (session-id
 //!   routing), the daemon building block.
+//! * [`driver`] — the multi-session experiment driver: a batch of
+//!   concurrent sessions over prepared nodes or a simulated medium, with
+//!   bit/frame measurements (`thinair-scenario`'s substrate).
 //!
 //! The `thinaird` binary wraps this into a deployable daemon with
 //! `coordinator`, `terminal`, and `demo` subcommands; see the README's
@@ -51,6 +55,7 @@
 
 pub mod coordinator;
 pub mod demo;
+pub mod driver;
 pub mod frame;
 pub mod node;
 pub mod reliable;
@@ -60,7 +65,8 @@ pub mod terminal;
 pub mod transport;
 pub mod udp;
 
+pub use driver::{drive_nodes, drive_sim, SimRun};
 pub use frame::{Frame, NetPayload};
 pub use node::Node;
-pub use session::{NetError, SessionConfig, SessionOutcome};
+pub use session::{NetError, SessionConfig, SessionOutcome, SessionTrace};
 pub use transport::{SharedTransport, SimNet, SimTransport, Transport, UdpTransport};

@@ -38,6 +38,7 @@ use thinair_core::round::XSchedule;
 use thinair_core::wire::{bitmap_from_received, received_from_bitmap, Message};
 use thinair_core::ProtocolError;
 use thinair_gf::{kernel, Gf256, PayloadPlane, RowEchelon};
+use thinair_netsim::ErasureModel;
 
 use crate::frame::{Frame, FrameError, NetPayload};
 use crate::reliable::{Reliable, Unreachable};
@@ -121,9 +122,19 @@ pub struct SessionConfig {
     /// Construction tunables.
     pub plan_params: PlanParams,
     /// Receiver-side data-plane erasure probability (see module docs).
+    /// Ignored when [`SessionConfig::drop_models`] is set.
     pub drop_prob: f64,
-    /// Seed of the erasure-injection hash.
+    /// Seed of the erasure injection (both the iid hash and the
+    /// per-receiver model patterns).
     pub drop_seed: u64,
+    /// Per-receiver data-plane erasure models (indexed by node id).
+    /// When set, receiver `r` drops data-plane packet `id` according to
+    /// `drop_models[r]`'s deterministic pattern over the id sequence —
+    /// so iid *and* bursty (Gilbert-Elliott) loss stay a pure function
+    /// of `(model, drop_seed, session, receiver)`, independent of task
+    /// scheduling, exactly like the legacy hash. `None` keeps the
+    /// single-probability iid hash driven by `drop_prob`.
+    pub drop_models: Option<Vec<ErasureModel>>,
     /// Retransmit interval for reliable control frames.
     pub retransmit: Duration,
     /// How long after the start barrier the x phase is considered
@@ -146,6 +157,7 @@ impl Default for SessionConfig {
             plan_params: PlanParams::default(),
             drop_prob: 0.4,
             drop_seed: 7,
+            drop_models: None,
             retransmit: Duration::from_millis(25),
             x_settle: Duration::from_millis(150),
             deadline: Duration::from_secs(30),
@@ -197,6 +209,17 @@ impl SessionConfig {
         if !(0.0..1.0).contains(&self.drop_prob) {
             return Err(ProtocolError::BadConfig("drop_prob must be in [0, 1)"));
         }
+        if let Some(models) = &self.drop_models {
+            if models.len() != self.n_nodes as usize {
+                return Err(ProtocolError::BadConfig("drop_models must cover every node"));
+            }
+            if models.iter().any(|m| m.validate().is_err()) {
+                return Err(ProtocolError::BadConfig("invalid drop model"));
+            }
+            if models.iter().any(|m| m.mean_erasure() >= 1.0) {
+                return Err(ProtocolError::BadConfig("drop model erases everything"));
+            }
+        }
         if matches!(self.estimator, Estimator::Oracle { .. }) {
             // There is no ground-truth Eve on a real network.
             return Err(ProtocolError::BadConfig("oracle estimator is sim-only"));
@@ -246,20 +269,24 @@ impl SessionConfig {
         fold(self.plan_params.support_slack as u64);
         fold(self.drop_prob.to_bits());
         fold(self.drop_seed);
+        if let Some(models) = &self.drop_models {
+            fold(models.len() as u64);
+            for m in models {
+                for b in m.kind().bytes() {
+                    fold(b as u64);
+                }
+                for p in m.params() {
+                    fold(p.to_bits());
+                }
+            }
+        }
         h
     }
 }
 
-/// SplitMix64 finalizer, kept local so the `rand` dependency stays a
-/// drop-in swap for the real crate (which has no such export). The
-/// output must be bit-identical on every node — it decides which
-/// packets are "erased".
-pub(crate) fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The canonical SplitMix64 finalizer; its output must be bit-identical
+// on every node — it decides which packets are "erased".
+pub(crate) use thinair_netsim::erasure::splitmix64;
 
 /// Data-plane frame kinds for erasure injection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -295,6 +322,40 @@ pub fn inject_erasure(
     );
     let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
     u < cfg.drop_prob
+}
+
+/// Seed of one receiver's data-plane erasure chain (same mixing as the
+/// iid hash, minus the per-packet id: the chain consumes ids in order).
+fn chain_seed(cfg: &SessionConfig, session: u64, receiver: u8, kind: DataKind) -> u64 {
+    let salt = match kind {
+        DataKind::X => 0x58u64,
+        DataKind::Z => 0x5Au64,
+    };
+    splitmix64(
+        cfg.drop_seed
+            ^ session.rotate_left(17)
+            ^ (receiver as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ salt.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    )
+}
+
+/// The first `len` drop decisions of `receiver`'s configured erasure
+/// model for `kind` packets, or `None` when the session runs the legacy
+/// iid hash ([`SessionConfig::drop_models`] unset). Packet `id` is the
+/// chain position: phase-1 x ids and phase-2 fountain indices are both
+/// sequential, so a burst model erases *consecutive transmissions* —
+/// exactly what a fade does — while staying a pure function of the
+/// configuration, independent of timing and task scheduling.
+pub fn drop_pattern(
+    cfg: &SessionConfig,
+    session: u64,
+    receiver: u8,
+    kind: DataKind,
+    len: usize,
+) -> Option<Vec<bool>> {
+    let models = cfg.drop_models.as_ref()?;
+    let model = models.get(receiver as usize)?;
+    Some(model.pattern(chain_seed(cfg, session, receiver, kind), len))
 }
 
 /// Rebuilds every node's known set from the collected reception-report
@@ -339,6 +400,10 @@ pub(crate) struct XState {
     session: u64,
     me: u8,
     owners: Vec<usize>,
+    /// Precomputed drop decisions per data-plane kind when the session
+    /// runs per-receiver erasure models ([`SessionConfig::drop_models`]).
+    x_drops: Option<Vec<bool>>,
+    z_drops: Option<Vec<bool>>,
     /// Payloads this node holds (own + received), by packet id, as raw
     /// byte rows (the kernels and the wire both speak bytes).
     pub store: BTreeMap<usize, Vec<u8>>,
@@ -347,13 +412,36 @@ pub(crate) struct XState {
 
 impl XState {
     pub fn new(cfg: &SessionConfig, session: u64, me: u8) -> Self {
+        let owners = cfg.owners();
+        // Fountain indices are capped by the attempt budget; the frame
+        // carries them as u16.
+        let z_len = (cfg.max_attempts as usize).min(u16::MAX as usize + 1);
+        let x_drops = drop_pattern(cfg, session, me, DataKind::X, owners.len());
+        let z_drops = drop_pattern(cfg, session, me, DataKind::Z, z_len);
         XState {
             cfg: cfg.clone(),
             session,
             me,
-            owners: cfg.owners(),
+            owners,
+            x_drops,
+            z_drops,
             store: BTreeMap::new(),
             received: BTreeSet::new(),
+        }
+    }
+
+    /// Receiver-side data-plane erasure decision for this node: the
+    /// configured model's chain when present, the iid hash otherwise.
+    /// Ids beyond a chain's horizon are dropped (they can only come from
+    /// a spoofed or corrupt frame).
+    pub fn drops(&self, kind: DataKind, id: u64) -> bool {
+        let pattern = match kind {
+            DataKind::X => &self.x_drops,
+            DataKind::Z => &self.z_drops,
+        };
+        match pattern {
+            Some(p) => p.get(id as usize).copied().unwrap_or(true),
+            None => inject_erasure(&self.cfg, self.session, self.me, kind, id),
         }
     }
 
@@ -402,7 +490,7 @@ impl XState {
             && *owner == frame.sender
             && *owner != self.me
             && payload.len() == self.cfg.payload_len
-            && !inject_erasure(&self.cfg, self.session, self.me, DataKind::X, id as u64)
+            && !self.drops(DataKind::X, id as u64)
         {
             self.store.insert(id, payload.clone());
             self.received.insert(id);
@@ -450,6 +538,21 @@ pub struct SessionOutcome {
     pub n_packets: usize,
     /// The group secret (empty when `l == 0`).
     pub secret: Vec<Payload>,
+    /// Coordinator-side audit trail (None on terminals): everything an
+    /// offline analyzer needs to rebuild the plan via [`derive_plan`] —
+    /// e.g. to score the round against a ground-truth Eve model.
+    pub trace: Option<SessionTrace>,
+}
+
+/// The coordinator's record of how a session's plan came to be.
+#[derive(Clone, Debug)]
+pub struct SessionTrace {
+    /// The announced plan seed.
+    pub plan_seed: u64,
+    /// Every node's reception-report bitmap, indexed by node id.
+    pub reports: Vec<Vec<u8>>,
+    /// z-combos the fountain streamed before every terminal was done.
+    pub z_sent: u32,
 }
 
 impl SessionOutcome {

@@ -23,8 +23,8 @@ use crate::reliable::{Dedup, Reliable};
 use crate::rt;
 use crate::rt::chan::Receiver;
 use crate::session::{
-    accept_report, derive_plan, inject_erasure, DataKind, NetError, Reconstructor, SessionConfig,
-    SessionOutcome, XState,
+    accept_report, derive_plan, DataKind, NetError, Reconstructor, SessionConfig, SessionOutcome,
+    XState,
 };
 use crate::transport::{SharedTransport, Transport};
 
@@ -114,7 +114,7 @@ pub async fn run_terminal<T: Transport>(
                     }
                     NetPayload::Proto(Message::ZPacket { index, coeffs, payload })
                         if frame.sender == cfg.coordinator
-                            && !inject_erasure(&cfg, session, me, DataKind::Z, index as u64) =>
+                            && !xs.drops(DataKind::Z, index as u64) =>
                     {
                         match recon.as_mut() {
                             Some(r) => {
@@ -175,6 +175,7 @@ pub async fn run_terminal<T: Transport>(
                         m,
                         n_packets,
                         secret: Vec::new(),
+                        trace: None,
                     });
                     rel.send(&t, session, NetPayload::Done, &[cfg.coordinator])?;
                 } else {
@@ -193,7 +194,15 @@ pub async fn run_terminal<T: Transport>(
                 let r = recon.take().expect("checked");
                 let (m, l) = (r.plan().m(), r.plan().l);
                 let secret = r.secret(me)?;
-                outcome = Some(SessionOutcome { session, node: me, l, m, n_packets, secret });
+                outcome = Some(SessionOutcome {
+                    session,
+                    node: me,
+                    l,
+                    m,
+                    n_packets,
+                    secret,
+                    trace: None,
+                });
                 rel.send(&t, session, NetPayload::Done, &[cfg.coordinator])?;
             }
         }

@@ -232,6 +232,7 @@ struct SimHub<M: Medium> {
     medium: M,
     queues: Vec<std::collections::VecDeque<Frame>>,
     stats: TxStats,
+    frames: u64,
 }
 
 /// A shared simulated network that hands out per-node [`SimTransport`]s.
@@ -255,6 +256,7 @@ impl<M: Medium> SimNet<M> {
                 medium,
                 queues: (0..n_nodes).map(|_| Default::default()).collect(),
                 stats,
+                frames: 0,
             })),
             n_nodes,
         }
@@ -269,6 +271,17 @@ impl<M: Medium> SimNet<M> {
     /// Total bits transmitted so far, by any node.
     pub fn bits_transmitted(&self) -> u64 {
         self.hub.borrow().stats.total()
+    }
+
+    /// Total frames put on the air so far (one `Medium::transmit` each;
+    /// a unicast fan-out counts once per peer).
+    pub fn frames_transmitted(&self) -> u64 {
+        self.hub.borrow().frames
+    }
+
+    /// A snapshot of the per-node transmitted-bit ledger.
+    pub fn stats(&self) -> TxStats {
+        self.hub.borrow().stats.clone()
     }
 }
 
@@ -286,6 +299,7 @@ impl<M: Medium> SimTransport<M> {
         let bits = frame.bits();
         let delivery = hub.medium.transmit(self.node as usize, bits);
         hub.stats.record(self.node as usize, thinair_netsim::stats::TxClass::Data, bits);
+        hub.frames += 1;
         for rx in 0..self.n_nodes {
             if rx == self.node as usize || !delivery.got(rx) {
                 continue;

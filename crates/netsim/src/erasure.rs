@@ -1,0 +1,394 @@
+//! Pluggable per-link packet-erasure models.
+//!
+//! The protocol consumes erasures, not radio physics; this module is the
+//! abstraction boundary that lets an experiment pick *which* loss process
+//! shapes a link without the consumer caring. Two models ship today:
+//!
+//! * [`ErasureModel::Iid`] — the memoryless channel of the paper's
+//!   Figure 1 ("the packet erasure probability ... is the same").
+//! * [`ErasureModel::GilbertElliott`] — the classic two-state burst-loss
+//!   chain. A link sits in a *good* or *bad* state with per-state loss
+//!   probabilities and per-packet transition probabilities; deep fades
+//!   (see [`crate::fading`]) make real wireless losses bursty, and this
+//!   is the standard discrete-time approximation of that burstiness.
+//!
+//! A model is a *specification* (cloneable, comparable, hashable into
+//! config digests); instantiating it against a seed yields an
+//! [`ErasureProcess`] — the stateful per-link chain — via
+//! [`ErasureModel::process`]. [`ErasureModel::pattern`] materializes the
+//! first `len` steps as a bitmap, which is how deterministic experiment
+//! harnesses (e.g. `thinair-net`'s receiver-side injection and the
+//! `thinair-scenario` engine) consume a model: the pattern is a pure
+//! function of `(model, seed)`, independent of wall-clock timing and task
+//! scheduling.
+//!
+//! [`ErasureMedium`] wires a matrix of models into the [`Medium`] trait
+//! for the synchronous simulator: every ordered link owns an independent
+//! process, so one link's draws never perturb another's.
+//!
+//! ```
+//! use thinair_netsim::erasure::ErasureModel;
+//!
+//! let ge = ErasureModel::GilbertElliott {
+//!     p_good: 0.05,
+//!     p_bad: 0.9,
+//!     good_to_bad: 0.1,
+//!     bad_to_good: 0.3,
+//! };
+//! // Stationary loss rate: pi_bad * p_bad + pi_good * p_good.
+//! assert!((ge.mean_erasure() - (0.75 * 0.05 + 0.25 * 0.9)).abs() < 1e-12);
+//! // Same seed, same pattern — always.
+//! assert_eq!(ge.pattern(42, 100), ge.pattern(42, 100));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::medium::{Delivery, Medium, NodeId};
+
+/// Specification of one link's packet-erasure process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ErasureModel {
+    /// Independent erasures: every packet is lost with probability `p`.
+    Iid {
+        /// Per-packet loss probability.
+        p: f64,
+    },
+    /// Two-state Gilbert-Elliott burst-loss chain. Each packet is lost
+    /// with the current state's probability; the state then transitions.
+    GilbertElliott {
+        /// Loss probability while in the good state.
+        p_good: f64,
+        /// Loss probability while in the bad state.
+        p_bad: f64,
+        /// Per-packet probability of a good → bad transition.
+        good_to_bad: f64,
+        /// Per-packet probability of a bad → good transition.
+        bad_to_good: f64,
+    },
+}
+
+impl ErasureModel {
+    /// Checks every probability is in `[0, 1]` and the Gilbert-Elliott
+    /// chain is irreducible enough to have a stationary distribution.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let unit = |p: f64| (0.0..=1.0).contains(&p);
+        match *self {
+            ErasureModel::Iid { p } => {
+                if !unit(p) {
+                    return Err("iid erasure probability out of range");
+                }
+            }
+            ErasureModel::GilbertElliott { p_good, p_bad, good_to_bad, bad_to_good } => {
+                if ![p_good, p_bad, good_to_bad, bad_to_good].iter().all(|&p| unit(p)) {
+                    return Err("gilbert-elliott probability out of range");
+                }
+                if good_to_bad + bad_to_good <= 0.0 {
+                    return Err("gilbert-elliott chain never transitions");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Long-run average erasure probability of the process — the `p` a
+    /// memoryless model (and the closed-form efficiency model) would see.
+    pub fn mean_erasure(&self) -> f64 {
+        match *self {
+            ErasureModel::Iid { p } => p,
+            ErasureModel::GilbertElliott { p_good, p_bad, good_to_bad, bad_to_good } => {
+                let denom = good_to_bad + bad_to_good;
+                if denom <= 0.0 {
+                    return p_good; // degenerate; validate() rejects this
+                }
+                let pi_bad = good_to_bad / denom;
+                (1.0 - pi_bad) * p_good + pi_bad * p_bad
+            }
+        }
+    }
+
+    /// A short stable tag for scenario names and config digests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ErasureModel::Iid { .. } => "iid",
+            ErasureModel::GilbertElliott { .. } => "ge",
+        }
+    }
+
+    /// The model's parameters as a fixed-order list, for hashing into
+    /// configuration digests (two nodes must agree on the exact process).
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            ErasureModel::Iid { p } => vec![p],
+            ErasureModel::GilbertElliott { p_good, p_bad, good_to_bad, bad_to_good } => {
+                vec![p_good, p_bad, good_to_bad, bad_to_good]
+            }
+        }
+    }
+
+    /// Instantiates the stateful per-link process. The Gilbert-Elliott
+    /// chain starts in a state drawn from its stationary distribution, so
+    /// short patterns are not biased toward the good state.
+    pub fn process(&self, seed: u64) -> Box<dyn ErasureProcess> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            ErasureModel::Iid { p } => Box::new(IidProcess { p, rng }),
+            ErasureModel::GilbertElliott { p_good, p_bad, good_to_bad, bad_to_good } => {
+                let denom = good_to_bad + bad_to_good;
+                let pi_bad = if denom > 0.0 { good_to_bad / denom } else { 0.0 };
+                let bad = rng.gen::<f64>() < pi_bad;
+                Box::new(GilbertElliottProcess {
+                    p_good,
+                    p_bad,
+                    good_to_bad,
+                    bad_to_good,
+                    bad,
+                    rng,
+                })
+            }
+        }
+    }
+
+    /// The first `len` steps of the process under `seed`, as an erasure
+    /// bitmap (`true` = packet lost). Pure function of `(self, seed, len)`;
+    /// a longer pattern is always a prefix-extension of a shorter one.
+    pub fn pattern(&self, seed: u64, len: usize) -> Vec<bool> {
+        let mut p = self.process(seed);
+        (0..len).map(|_| p.next_erased()).collect()
+    }
+}
+
+/// A stateful erasure chain for one link: each call decides the fate of
+/// the link's next packet and advances the chain.
+pub trait ErasureProcess {
+    /// Whether the link's next packet is erased.
+    fn next_erased(&mut self) -> bool;
+}
+
+struct IidProcess {
+    p: f64,
+    rng: StdRng,
+}
+
+impl ErasureProcess for IidProcess {
+    fn next_erased(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.p
+    }
+}
+
+struct GilbertElliottProcess {
+    p_good: f64,
+    p_bad: f64,
+    good_to_bad: f64,
+    bad_to_good: f64,
+    bad: bool,
+    rng: StdRng,
+}
+
+impl ErasureProcess for GilbertElliottProcess {
+    fn next_erased(&mut self) -> bool {
+        let p_loss = if self.bad { self.p_bad } else { self.p_good };
+        let erased = self.rng.gen::<f64>() < p_loss;
+        let p_flip = if self.bad { self.bad_to_good } else { self.good_to_bad };
+        if self.rng.gen::<f64>() < p_flip {
+            self.bad = !self.bad;
+        }
+        erased
+    }
+}
+
+/// A broadcast medium whose ordered links each run an independent
+/// [`ErasureProcess`].
+///
+/// Unlike [`crate::iid::IidMedium`] (one shared RNG drawn in transmission
+/// order), every link here owns its own seeded chain: link `a → b`'s
+/// erasures depend only on how many packets `a` has transmitted, never on
+/// what any other link drew. That isolation is what makes burst models
+/// composable — and experiments reproducible — when several transmitters
+/// interleave.
+pub struct ErasureMedium {
+    links: Vec<Vec<Box<dyn ErasureProcess>>>,
+    t: u64,
+}
+
+impl ErasureMedium {
+    /// All ordered links run the same model (independent chains).
+    ///
+    /// # Panics
+    /// Panics when the model fails [`ErasureModel::validate`].
+    pub fn symmetric(nodes: usize, model: ErasureModel, seed: u64) -> Self {
+        Self::from_models(vec![vec![model; nodes]; nodes], seed)
+    }
+
+    /// Fully general per-link models; `models[tx][rx]` shapes `tx → rx`.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not square or a model is invalid.
+    pub fn from_models(models: Vec<Vec<ErasureModel>>, seed: u64) -> Self {
+        let n = models.len();
+        assert!(models.iter().all(|row| row.len() == n), "model matrix must be square");
+        let links = models
+            .iter()
+            .enumerate()
+            .map(|(tx, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(rx, m)| {
+                        m.validate().expect("invalid erasure model");
+                        m.process(link_seed(seed, tx, rx))
+                    })
+                    .collect()
+            })
+            .collect();
+        ErasureMedium { links, t: 0 }
+    }
+}
+
+/// SplitMix64 finalizer — the workspace's one canonical seed mixer.
+/// XOR distinguishing context into a root seed, then finalize with this;
+/// consumers in `thinair-net` and `thinair-scenario` rely on it staying
+/// bit-stable (erasure chains on different nodes must agree).
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a per-link sub-seed so no two links share an RNG stream.
+fn link_seed(seed: u64, tx: usize, rx: usize) -> u64 {
+    splitmix64(
+        seed ^ (tx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (rx as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    )
+}
+
+impl Medium for ErasureMedium {
+    fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn transmit(&mut self, tx: NodeId, _bits: u64) -> Delivery {
+        assert!(tx < self.node_count(), "unknown transmitter {tx}");
+        let n = self.node_count();
+        let mut received = vec![false; n];
+        for (rx, slot) in received.iter_mut().enumerate() {
+            if rx != tx {
+                *slot = !self.links[tx][rx].next_erased();
+            }
+        }
+        self.t += 1;
+        Delivery::new(received)
+    }
+
+    fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    fn now(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GE: ErasureModel = ErasureModel::GilbertElliott {
+        p_good: 0.02,
+        p_bad: 0.8,
+        good_to_bad: 0.05,
+        bad_to_good: 0.2,
+    };
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(ErasureModel::Iid { p: 0.3 }.validate().is_ok());
+        assert!(ErasureModel::Iid { p: 1.5 }.validate().is_err());
+        assert!(GE.validate().is_ok());
+        let frozen = ErasureModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 1.0,
+            good_to_bad: 0.0,
+            bad_to_good: 0.0,
+        };
+        assert!(frozen.validate().is_err());
+    }
+
+    #[test]
+    fn mean_erasure_matches_stationary_rate() {
+        assert_eq!(ErasureModel::Iid { p: 0.4 }.mean_erasure(), 0.4);
+        // pi_bad = 0.05 / 0.25 = 0.2.
+        let want = 0.8 * 0.02 + 0.2 * 0.8;
+        assert!((GE.mean_erasure() - want).abs() < 1e-12);
+        // Empirical long-run rate agrees.
+        let n = 200_000;
+        let losses = GE.pattern(9, n).iter().filter(|&&e| e).count();
+        let rate = losses as f64 / n as f64;
+        assert!((rate - want).abs() < 0.01, "rate {rate} vs {want}");
+    }
+
+    #[test]
+    fn patterns_are_deterministic_and_prefix_stable() {
+        for model in [ErasureModel::Iid { p: 0.5 }, GE] {
+            assert_eq!(model.pattern(7, 200), model.pattern(7, 200));
+            assert_ne!(model.pattern(7, 200), model.pattern(8, 200));
+            let long = model.pattern(7, 200);
+            assert_eq!(&long[..50], &model.pattern(7, 50)[..]);
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare P(loss | previous loss) against the marginal rate: the
+        // chain must cluster losses, the iid control must not.
+        let count_pairs = |pat: &[bool]| {
+            let losses = pat.iter().filter(|&&e| e).count() as f64;
+            let after_loss =
+                pat.windows(2).filter(|w| w[0]).map(|w| w[1] as usize as f64).sum::<f64>();
+            let prev_losses = pat[..pat.len() - 1].iter().filter(|&&e| e).count() as f64;
+            (losses / pat.len() as f64, after_loss / prev_losses)
+        };
+        let (ge_rate, ge_cond) = count_pairs(&GE.pattern(3, 100_000));
+        assert!(ge_cond > 2.0 * ge_rate, "conditional {ge_cond} vs marginal {ge_rate}");
+        let iid = ErasureModel::Iid { p: ge_rate };
+        let (iid_rate, iid_cond) = count_pairs(&iid.pattern(3, 100_000));
+        assert!((iid_cond - iid_rate).abs() < 0.05, "iid {iid_cond} vs {iid_rate}");
+    }
+
+    #[test]
+    fn medium_links_are_independent_chains() {
+        // Transmissions from node 1 must not perturb link 0 → 2: the
+        // delivery pattern 0 sees is the same whether or not 1 talks.
+        let model = ErasureModel::Iid { p: 0.5 };
+        let run = |interleave: bool| {
+            let mut m = ErasureMedium::symmetric(3, model, 11);
+            let mut seen = Vec::new();
+            for i in 0..200 {
+                if interleave && i % 3 == 0 {
+                    let _ = m.transmit(1, 8);
+                }
+                seen.push(m.transmit(0, 8).got(2));
+            }
+            seen
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn medium_respects_degenerate_models() {
+        let mut dead = ErasureMedium::symmetric(2, ErasureModel::Iid { p: 1.0 }, 1);
+        let mut clear = ErasureMedium::symmetric(2, ErasureModel::Iid { p: 0.0 }, 1);
+        for _ in 0..50 {
+            assert!(!dead.transmit(0, 8).got(1));
+            assert!(clear.transmit(0, 8).got(1));
+        }
+        assert_eq!(dead.now(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid erasure model")]
+    fn medium_rejects_invalid_model() {
+        let _ = ErasureMedium::symmetric(2, ErasureModel::Iid { p: 2.0 }, 0);
+    }
+}

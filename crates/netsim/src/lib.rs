@@ -24,6 +24,10 @@
 //! * [`iid`] — [`iid::IidMedium`], the idealized independent-erasure medium
 //!   used for Figure 1 ("the packet erasure probability between Alice and
 //!   each terminal, as well as Alice and Eve, is the same").
+//! * [`erasure`] — pluggable per-link erasure models behind the
+//!   [`erasure::ErasureProcess`] trait (iid, Gilbert-Elliott burst loss),
+//!   consumable as deterministic patterns or as [`erasure::ErasureMedium`];
+//!   the loss abstraction the `thinair-scenario` experiment engine sweeps.
 //! * [`fault`] — fault-injection wrapper (extra drop probability, FCS
 //!   corruption), in the spirit of the fault-injection knobs the Rust
 //!   networking guides recommend for every example.
@@ -38,11 +42,28 @@
 //! is a pure function of its configuration and RNG seed. (The tokio guide
 //! this workspace follows is explicit that CPU-bound simulation does not
 //! want an async runtime.)
+//!
+//! ```
+//! use thinair_netsim::{ErasureMedium, ErasureModel, Medium};
+//!
+//! // Three nodes on independent Gilbert-Elliott burst-loss links.
+//! let model = ErasureModel::GilbertElliott {
+//!     p_good: 0.05,
+//!     p_bad: 0.9,
+//!     good_to_bad: 0.1,
+//!     bad_to_good: 0.3,
+//! };
+//! let mut medium = ErasureMedium::symmetric(3, model, 42);
+//! let delivery = medium.transmit(0, 800);
+//! assert!(!delivery.got(0)); // half-duplex: no self-reception
+//! assert_eq!(medium.now(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod erasure;
 pub mod fading;
 pub mod fault;
 pub mod geom;
@@ -56,6 +77,7 @@ pub mod stats;
 pub mod trace;
 
 pub use channel::{GeoMedium, GeoMediumConfig};
+pub use erasure::{splitmix64, ErasureMedium, ErasureModel, ErasureProcess};
 pub use fault::FaultyMedium;
 pub use geom::Point;
 pub use iid::IidMedium;

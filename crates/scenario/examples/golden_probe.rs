@@ -1,0 +1,20 @@
+//! Prints the golden scenario's exact measurements (used to pin
+//! `tests/golden.rs`; rerun after intentional protocol changes). The
+//! spec comes from [`thinair_scenario::golden_spec`], the same function
+//! the test uses, so the probe can never record a different config.
+
+use thinair_scenario::{golden_spec, run_scenario};
+
+fn main() {
+    let r = run_scenario(&golden_spec()).expect("golden scenario runs");
+    for s in &r.per_session {
+        println!("session {} l={} m={} rel={:.6}", s.session, s.l, s.m, s.eve_reliability);
+    }
+    println!(
+        "secret_bits={} measured={:.6} predicted={:.6} ratio={:.4}",
+        r.secret_bits,
+        r.measured_efficiency(),
+        r.prediction.group_efficiency,
+        r.efficiency_ratio()
+    );
+}

@@ -18,6 +18,11 @@
 //! Every node prints its derived group secret key; all prints must be
 //! identical. Argument parsing is hand-rolled: the build environment is
 //! offline, so `clap` is unavailable.
+//!
+//! `thinaird bench-scenario` additionally drives the `thinair-scenario`
+//! experiment engine: a deterministic sweep over many concurrent
+//! sessions per config, scored against the closed-form model, written to
+//! `BENCH_scenarios.json`.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -30,6 +35,7 @@ use thinair_net::node::Node;
 use thinair_net::rt;
 use thinair_net::session::SessionConfig;
 use thinair_net::transport::UdpTransport;
+use thinair_scenario::{full_grid, run_specs, smoke_specs, summary_table, write_json};
 
 const USAGE: &str = "\
 thinaird — thinair node daemon (secret agreement over UDP)
@@ -37,11 +43,15 @@ thinaird — thinair node daemon (secret agreement over UDP)
 USAGE:
     thinaird <coordinator|terminal> --node <ID> --peers <A0,A1,...> [OPTIONS]
     thinaird demo [OPTIONS]
+    thinaird bench-scenario [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
 
 ROLES:
     coordinator        run node <ID> as the round coordinator (Alice)
     terminal           run node <ID> as a terminal
     demo               run all nodes in-process over loopback sockets
+    bench-scenario     sweep scenario configs (many concurrent simulated
+                       sessions each), compare measured efficiency against
+                       the closed-form model, write BENCH_scenarios.json
 
 OPTIONS:
     --node <ID>        this node's id (index into --peers)       [required for roles]
@@ -59,6 +69,8 @@ OPTIONS:
     --coordinator-id <ID>  which node coordinates                 [default: 0]
     --deadline-ms <MS> session deadline                           [default: 30000]
     --estimator <E>    leave-one-out | fraction:<F>               [default: leave-one-out]
+    --smoke            bench-scenario only: the 4-config CI sweep
+    --out <PATH>       bench-scenario only: artifact path [default: BENCH_scenarios.json]
     -h, --help         print this help
 ";
 
@@ -68,15 +80,19 @@ struct Options {
     bind: Option<SocketAddr>,
     nodes: u8,
     sessions: u64,
+    sessions_given: bool,
     session_id: u64,
     n_packets: usize,
     payload_len: usize,
     drop: f64,
     drop_seed: u64,
     seed: u64,
+    seed_given: bool,
     coordinator_id: u8,
     deadline_ms: u64,
     estimator: Estimator,
+    smoke: bool,
+    out: String,
 }
 
 impl Default for Options {
@@ -101,15 +117,19 @@ impl Default for Options {
             bind: None,
             nodes: 4,
             sessions: 1,
+            sessions_given: false,
             session_id: 1,
             n_packets: 60,
             payload_len: 32,
             drop: 0.4,
             drop_seed: 7,
             seed,
+            seed_given: false,
             coordinator_id: 0,
             deadline_ms: 30_000,
             estimator: Estimator::LeaveOneOut(Tuning::default()),
+            smoke: false,
+            out: "BENCH_scenarios.json".into(),
         }
     }
 }
@@ -131,13 +151,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--bind" => o.bind = Some(take()?.parse().map_err(|e| format!("bad bind: {e}"))?),
             "--nodes" => o.nodes = num(take()?)?,
-            "--sessions" => o.sessions = num(take()?)?,
+            "--sessions" => {
+                o.sessions = num(take()?)?;
+                o.sessions_given = true;
+            }
             "--session-id" => o.session_id = num(take()?)?,
             "--n-packets" => o.n_packets = num(take()?)?,
             "--payload-len" => o.payload_len = num(take()?)?,
             "--drop" => o.drop = fnum(take()?)?,
             "--drop-seed" => o.drop_seed = num(take()?)?,
-            "--seed" => o.seed = num(take()?)?,
+            "--seed" => {
+                o.seed = num(take()?)?;
+                o.seed_given = true;
+            }
+            "--smoke" => o.smoke = true,
+            "--out" => o.out = take()?.clone(),
             "--coordinator-id" => o.coordinator_id = num(take()?)?,
             "--deadline-ms" => o.deadline_ms = num(take()?)?,
             "--estimator" => {
@@ -289,6 +317,39 @@ fn run_demo(o: Options) -> Result<(), String> {
     }
 }
 
+fn run_bench_scenario(o: Options) -> Result<(), String> {
+    // Benchmarks must be reproducible: default to a fixed sweep seed
+    // (the demo/daemon default draws from OS entropy instead).
+    let seed = if o.seed_given { o.seed } else { 1 };
+    let sessions = o.sessions.clamp(1, u32::MAX as u64) as u32;
+    let mut specs = if o.smoke { smoke_specs(seed) } else { full_grid(seed, sessions).expand() };
+    if o.smoke && o.sessions_given {
+        // The smoke set fixes its configs but the session count is the
+        // user's to scale.
+        for spec in &mut specs {
+            spec.sessions = sessions;
+        }
+    }
+    eprintln!(
+        "thinaird bench-scenario: {} config(s), {} session(s) each, seed {seed}",
+        specs.len(),
+        specs.first().map(|s| s.sessions).unwrap_or(0),
+    );
+    let results = run_specs(&specs);
+    let mut ok = Vec::with_capacity(results.len());
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Ok(r) => ok.push(r),
+            Err(e) => return Err(format!("scenario {}: {e}", spec.name)),
+        }
+    }
+    print!("{}", summary_table(&ok));
+    let path = std::path::Path::new(&o.out);
+    write_json(path, &ok).map_err(|e| format!("write {}: {e}", o.out))?;
+    eprintln!("wrote {}", o.out);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
@@ -306,6 +367,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "coordinator" | "terminal" => run_role(cmd, parsed),
         "demo" => run_demo(parsed),
+        "bench-scenario" => run_bench_scenario(parsed),
         other => Err(format!("unknown subcommand {other}")),
     };
     match result {

@@ -1,0 +1,287 @@
+//! Grid sweeps: the cross-product of scenario dimensions.
+//!
+//! A [`ScenarioGrid`] names the axes; [`ScenarioGrid::expand`] produces
+//! one [`ScenarioSpec`] per point with a derived name and a per-point
+//! seed (mixed from the grid seed and the point index, so reordering an
+//! axis changes which seed each point gets but the same grid always
+//! expands identically).
+
+use thinair_netsim::{splitmix64, ErasureModel};
+
+use crate::spec::{EstimatorSpec, EveSpec, ScenarioSpec};
+
+/// Axes of a scenario sweep; every combination becomes one spec.
+#[derive(Clone, Debug)]
+pub struct ScenarioGrid {
+    /// Terminal counts to sweep.
+    pub terminals: Vec<u8>,
+    /// x-pool sizes to sweep.
+    pub x_packets: Vec<usize>,
+    /// Payload sizes to sweep.
+    pub payload_len: Vec<usize>,
+    /// Erasure models to sweep.
+    pub erasure: Vec<ErasureModel>,
+    /// Eve observation models to sweep.
+    pub eve: Vec<EveSpec>,
+    /// Estimator (one per grid; sweeps rarely cross this axis).
+    pub estimator: EstimatorSpec,
+    /// Concurrent sessions per point.
+    pub sessions: u32,
+    /// Grid seed; each point derives its own.
+    pub seed: u64,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid {
+            terminals: vec![4],
+            x_packets: vec![60],
+            payload_len: vec![32],
+            erasure: vec![ErasureModel::Iid { p: 0.5 }],
+            eve: vec![EveSpec::default()],
+            estimator: EstimatorSpec::LeaveOneOut,
+            sessions: 2,
+            seed: 1,
+        }
+    }
+}
+
+impl ScenarioGrid {
+    /// Number of points the grid expands to.
+    pub fn len(&self) -> usize {
+        self.terminals.len()
+            * self.x_packets.len()
+            * self.payload_len.len()
+            * self.erasure.len()
+            * self.eve.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cross-product, in axis-nested order (terminals outermost,
+    /// eve innermost). Names are guaranteed unique: points whose derived
+    /// name collides (e.g. two Gilbert-Elliott models with the same
+    /// stationary mean) get a `#2`, `#3`, … suffix in axis order.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(self.len());
+        let mut seen: std::collections::BTreeMap<String, usize> = Default::default();
+        for &terminals in &self.terminals {
+            for &x_packets in &self.x_packets {
+                for &payload_len in &self.payload_len {
+                    for &erasure in &self.erasure {
+                        for &eve in &self.eve {
+                            let index = specs.len() as u64;
+                            let base =
+                                point_name(terminals, x_packets, payload_len, &erasure, &eve);
+                            let count = seen.entry(base.clone()).or_insert(0);
+                            *count += 1;
+                            let name = if *count == 1 { base } else { format!("{base}#{count}") };
+                            specs.push(ScenarioSpec {
+                                name,
+                                terminals,
+                                x_packets,
+                                payload_len,
+                                erasure,
+                                eve,
+                                estimator: self.estimator,
+                                sessions: self.sessions,
+                                seed: mix(self.seed, index),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+fn point_name(
+    terminals: u8,
+    x_packets: usize,
+    payload_len: usize,
+    erasure: &ErasureModel,
+    eve: &EveSpec,
+) -> String {
+    let mut name = format!(
+        "n{terminals}_x{x_packets}_pl{payload_len}_{}{:.2}",
+        erasure.kind(),
+        erasure.mean_erasure()
+    );
+    if eve.antennas != 1 || eve.erasure.is_some() {
+        name.push_str(&format!("_eve{}", eve.antennas));
+        if let Some(m) = &eve.erasure {
+            name.push_str(&format!("{}{:.2}", m.kind(), m.mean_erasure()));
+        }
+    }
+    name
+}
+
+fn mix(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The smoke sweep behind `thinaird bench-scenario --smoke` and the CI
+/// job: four configs spanning all three acceptance axes — erasure model
+/// (iid vs Gilbert-Elliott), terminal count, and payload size — small
+/// enough to finish in seconds.
+pub fn smoke_specs(seed: u64) -> Vec<ScenarioSpec> {
+    let ge = ErasureModel::GilbertElliott {
+        p_good: 0.1,
+        p_bad: 0.9,
+        good_to_bad: 0.15,
+        bad_to_good: 0.3,
+    };
+    let base = ScenarioSpec { sessions: 2, ..ScenarioSpec::default() };
+    let points = [
+        ("iid: the Figure-1 baseline", 4u8, 60usize, 32usize, ErasureModel::Iid { p: 0.5 }),
+        ("gilbert-elliott burst loss", 4, 60, 32, ge),
+        ("small group, fat payloads", 3, 60, 64, ErasureModel::Iid { p: 0.5 }),
+        ("bigger group, lean payloads", 6, 90, 16, ErasureModel::Iid { p: 0.4 }),
+    ];
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, terminals, x_packets, payload_len, erasure))| ScenarioSpec {
+            name: point_name(terminals, x_packets, payload_len, &erasure, &EveSpec::default()),
+            terminals,
+            x_packets,
+            payload_len,
+            erasure,
+            seed: mix(seed, i as u64),
+            ..base.clone()
+        })
+        .collect()
+}
+
+/// The pinned golden scenario: the one config whose measured efficiency
+/// is regression-pinned against `thinair_model::predict` (see
+/// `tests/golden.rs`; re-record exact values with
+/// `examples/golden_probe.rs` — both use this function, so they can
+/// never drift apart). It matches Figure 1's assumptions as closely as
+/// a finite run can: symmetric iid `p = 0.5`, Eve on the same channel,
+/// and the fixed-fraction "Alice guesses exactly" estimator.
+pub fn golden_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "golden".into(),
+        terminals: 3,
+        x_packets: 200,
+        payload_len: 16,
+        estimator: EstimatorSpec::FixedFraction(0.5),
+        sessions: 4,
+        seed: 7,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The full default sweep behind `thinaird bench-scenario` without
+/// `--smoke`: erasure probabilities and burstiness × group sizes.
+pub fn full_grid(seed: u64, sessions: u32) -> ScenarioGrid {
+    ScenarioGrid {
+        terminals: vec![3, 4, 6],
+        x_packets: vec![60, 120],
+        payload_len: vec![32],
+        erasure: vec![
+            ErasureModel::Iid { p: 0.3 },
+            ErasureModel::Iid { p: 0.5 },
+            ErasureModel::Iid { p: 0.7 },
+            ErasureModel::GilbertElliott {
+                p_good: 0.1,
+                p_bad: 0.9,
+                good_to_bad: 0.15,
+                bad_to_good: 0.3,
+            },
+        ],
+        eve: vec![EveSpec::default()],
+        estimator: EstimatorSpec::LeaveOneOut,
+        sessions,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_covers_the_cross_product() {
+        let grid = ScenarioGrid {
+            terminals: vec![3, 4],
+            x_packets: vec![40],
+            payload_len: vec![16, 32],
+            erasure: vec![ErasureModel::Iid { p: 0.5 }],
+            ..ScenarioGrid::default()
+        };
+        let specs = grid.expand();
+        assert_eq!(specs.len(), grid.len());
+        assert_eq!(specs.len(), 4);
+        // Names are unique and every spec is valid.
+        let names: std::collections::BTreeSet<_> = specs.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), specs.len());
+        for s in &specs {
+            assert_eq!(s.validate(), Ok(()), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn colliding_names_get_suffixes() {
+        // Two Gilbert-Elliott models with the same stationary mean: the
+        // burstiness sweep the grid docs advertise.
+        let grid = ScenarioGrid {
+            erasure: vec![
+                ErasureModel::GilbertElliott {
+                    p_good: 0.1,
+                    p_bad: 0.9,
+                    good_to_bad: 0.15,
+                    bad_to_good: 0.3,
+                },
+                ErasureModel::GilbertElliott {
+                    p_good: 0.0,
+                    p_bad: 1.0,
+                    good_to_bad: 0.11,
+                    bad_to_good: 0.19,
+                },
+            ],
+            ..ScenarioGrid::default()
+        };
+        let specs = grid.expand();
+        assert_eq!(specs.len(), 2);
+        assert!(
+            (specs[0].erasure.mean_erasure() - specs[1].erasure.mean_erasure()).abs() < 1e-12,
+            "test premise: equal stationary means"
+        );
+        assert_ne!(specs[0].name, specs[1].name);
+        assert!(specs[1].name.ends_with("#2"), "{}", specs[1].name);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let grid = full_grid(7, 2);
+        assert_eq!(grid.expand(), grid.expand());
+        // A different grid seed shifts every point seed.
+        let other = full_grid(8, 2);
+        assert!(grid
+            .expand()
+            .iter()
+            .zip(other.expand().iter())
+            .all(|(a, b)| a.seed != b.seed && a.name == b.name));
+    }
+
+    #[test]
+    fn smoke_specs_cover_the_acceptance_axes() {
+        let specs = smoke_specs(1);
+        assert!(specs.len() >= 3);
+        let kinds: std::collections::BTreeSet<_> = specs.iter().map(|s| s.erasure.kind()).collect();
+        assert!(kinds.len() >= 2, "must vary the erasure model");
+        let terminals: std::collections::BTreeSet<_> = specs.iter().map(|s| s.terminals).collect();
+        assert!(terminals.len() >= 2, "must vary the terminal count");
+        let payloads: std::collections::BTreeSet<_> = specs.iter().map(|s| s.payload_len).collect();
+        assert!(payloads.len() >= 2, "must vary the payload size");
+        for s in &specs {
+            assert_eq!(s.validate(), Ok(()), "{}", s.name);
+        }
+    }
+}

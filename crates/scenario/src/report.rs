@@ -1,0 +1,181 @@
+//! The machine-readable artifact (`BENCH_scenarios.json`) and the human
+//! summary table.
+//!
+//! The artifact mirrors `BENCH_micro.json`'s shape — a `schema` tag plus
+//! a flat `results` array, one object per scenario config — so the same
+//! tooling can track both across commits. Fields split into two classes:
+//!
+//! * **deterministic** — everything derived from protocol outcomes and
+//!   offline audits (`mean_l`, efficiencies, Eve scores, …): a pure
+//!   function of each spec, byte-identical across reruns;
+//! * **timing** — wall-clock and wire-level counters (`wall_ms`,
+//!   `frames_sent`, `bits_transmitted`, `z_sent`): scheduler-sensitive,
+//!   excluded when rendering with `include_timing = false` (which is what
+//!   the determinism test pins).
+
+use std::io;
+use std::path::Path;
+
+use crate::run::ScenarioResult;
+
+/// Artifact schema tag.
+pub const SCHEMA: &str = "thinair-scenarios/1";
+
+fn f6(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn result_json(r: &ScenarioResult, include_timing: bool) -> String {
+    let spec = &r.spec;
+    let erasure_params =
+        spec.erasure.params().iter().map(|p| f6(*p)).collect::<Vec<_>>().join(", ");
+    let eve_model = spec.eve_model();
+    let mut fields = vec![
+        format!("\"name\": \"{}\"", json_escape(&spec.name)),
+        format!("\"terminals\": {}", spec.terminals),
+        format!("\"x_packets\": {}", spec.x_packets),
+        format!("\"payload_len\": {}", spec.payload_len),
+        format!(
+            "\"erasure\": {{\"kind\": \"{}\", \"params\": [{}], \"mean\": {}}}",
+            spec.erasure.kind(),
+            erasure_params,
+            f6(spec.effective_p())
+        ),
+        format!(
+            "\"eve\": {{\"antennas\": {}, \"kind\": \"{}\", \"mean\": {}}}",
+            spec.eve.antennas,
+            eve_model.kind(),
+            f6(eve_model.mean_erasure())
+        ),
+        format!("\"estimator\": \"{}\"", spec.estimator.tag()),
+        format!("\"sessions\": {}", spec.sessions),
+        format!("\"seed\": {}", spec.seed),
+        format!("\"n_packets\": {}", r.n_packets),
+        format!("\"mean_l\": {}", f6(r.mean_l())),
+        format!("\"mean_m\": {}", f6(r.mean_m())),
+        format!("\"secret_bits\": {}", r.secret_bits),
+        format!("\"measured_efficiency\": {}", f6(r.measured_efficiency())),
+        format!("\"predicted_efficiency\": {}", f6(r.prediction.group_efficiency)),
+        format!("\"predicted_unicast\": {}", f6(r.prediction.unicast_efficiency)),
+        format!("\"efficiency_ratio\": {}", f6(r.efficiency_ratio())),
+        {
+            let (l_star, m_star) = r.prediction.scaled(r.n_packets);
+            format!("\"predicted_l_star\": {}, \"predicted_m_star\": {}", f6(l_star), f6(m_star))
+        },
+        format!("\"eve_reliability\": {}", f6(r.mean_eve_reliability())),
+        format!("\"eve_seen_fraction\": {}", f6(r.mean_eve_seen())),
+    ];
+    if include_timing {
+        fields.push(format!("\"z_sent\": {}", r.z_sent()));
+        fields.push(format!("\"frames_sent\": {}", r.frames_sent));
+        fields.push(format!("\"bits_transmitted\": {}", r.bits_transmitted));
+        fields.push(format!("\"wall_ms\": {:.1}", r.wall_ms));
+    }
+    format!("    {{{}}}", fields.join(", "))
+}
+
+/// Renders the artifact. With `include_timing = false` the output is a
+/// pure function of the specs (the determinism contract).
+pub fn render_json(results: &[ScenarioResult], include_timing: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"results\": [\n");
+    let rows: Vec<String> = results.iter().map(|r| result_json(r, include_timing)).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the artifact to `path` (timing fields included).
+pub fn write_json(path: &Path, results: &[ScenarioResult]) -> io::Result<()> {
+    std::fs::write(path, render_json(results, true))
+}
+
+/// A fixed-width console summary, one line per config.
+pub fn summary_table(results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>5} {:>7} {:>7} {:>9} {:>9} {:>6} {:>7}\n",
+        "scenario", "n", "mean_l", "mean_m", "measured", "predicted", "ratio", "eve_rel"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<26} {:>5} {:>7.1} {:>7.1} {:>9.4} {:>9.4} {:>6.2} {:>7.3}\n",
+            r.spec.name,
+            r.spec.terminals,
+            r.mean_l(),
+            r.mean_m(),
+            r.measured_efficiency(),
+            r.prediction.group_efficiency,
+            r.efficiency_ratio(),
+            r.mean_eve_reliability(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_scenario;
+    use crate::spec::ScenarioSpec;
+
+    fn tiny_result() -> ScenarioResult {
+        run_scenario(&ScenarioSpec {
+            terminals: 3,
+            x_packets: 40,
+            payload_len: 8,
+            sessions: 1,
+            seed: 5,
+            ..ScenarioSpec::default()
+        })
+        .expect("run completes")
+    }
+
+    #[test]
+    fn artifact_shape_matches_the_bench_convention() {
+        let r = tiny_result();
+        let json = render_json(std::slice::from_ref(&r), true);
+        assert!(json.starts_with("{\n  \"schema\": \"thinair-scenarios/1\""));
+        assert!(json.contains("\"results\": ["));
+        assert!(json.contains("\"measured_efficiency\""));
+        assert!(json.contains("\"wall_ms\""));
+    }
+
+    #[test]
+    fn timing_fields_are_separable() {
+        let r = tiny_result();
+        let with = render_json(std::slice::from_ref(&r), true);
+        let without = render_json(std::slice::from_ref(&r), false);
+        for field in ["wall_ms", "frames_sent", "bits_transmitted", "z_sent"] {
+            assert!(with.contains(field), "{field} missing from timing render");
+            assert!(!without.contains(field), "{field} leaked into deterministic render");
+        }
+    }
+
+    #[test]
+    fn escaping_handles_odd_names() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tnl\n"), "tab\\u0009nl\\u000a");
+    }
+
+    #[test]
+    fn summary_mentions_every_config() {
+        let r = tiny_result();
+        let table = summary_table(std::slice::from_ref(&r));
+        assert!(table.contains(&r.spec.name));
+        assert!(table.lines().count() >= 2);
+    }
+}

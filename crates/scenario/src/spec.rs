@@ -1,0 +1,264 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] is everything one experiment point needs: how many
+//! terminals, how big the x-pool and payloads are, which erasure process
+//! shapes each data-plane link, how Eve listens, how many concurrent
+//! sessions to run, and the RNG seed. A spec is *complete* — running the
+//! same spec twice yields bit-identical protocol outcomes — and *small*
+//! (cloneable, comparable), so grids of thousands of specs are cheap to
+//! enumerate and shard.
+
+use std::time::Duration;
+
+use thinair_core::construct::PlanParams;
+use thinair_core::estimate::{Estimator, Tuning};
+use thinair_core::round::XSchedule;
+use thinair_net::session::SessionConfig;
+use thinair_netsim::{splitmix64, ErasureModel};
+
+/// How the eavesdropper listens to a scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EveSpec {
+    /// Number of independent receiver positions ("antennas", §6 of the
+    /// paper). Eve's knowledge is the union of what they hear.
+    pub antennas: usize,
+    /// The erasure process of each Eve antenna's channel. `None` gives
+    /// Eve the same model as the terminals — Figure 1's symmetric
+    /// assumption ("as well as Alice and Eve, is the same").
+    pub erasure: Option<ErasureModel>,
+}
+
+impl Default for EveSpec {
+    fn default() -> Self {
+        EveSpec { antennas: 1, erasure: None }
+    }
+}
+
+/// Which Eve-erasure estimator the protocol runs (the digestable subset
+/// of [`Estimator`] that works without ground truth).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimatorSpec {
+    /// The leave-one-out estimator (default; what a deployment runs).
+    LeaveOneOut,
+    /// Assume Eve misses a fixed fraction of every support — Figure 1's
+    /// "Alice guesses exactly" idealization when set to the true `p`.
+    FixedFraction(f64),
+}
+
+impl EstimatorSpec {
+    /// The protocol-level estimator this spec selects.
+    pub fn to_estimator(self) -> Estimator {
+        match self {
+            EstimatorSpec::LeaveOneOut => Estimator::LeaveOneOut(Tuning::default()),
+            EstimatorSpec::FixedFraction(fraction) => Estimator::FixedFraction { fraction },
+        }
+    }
+
+    /// Short tag for scenario names.
+    pub fn tag(&self) -> String {
+        match self {
+            EstimatorSpec::LeaveOneOut => "loo".into(),
+            EstimatorSpec::FixedFraction(f) => format!("fix{f:.2}"),
+        }
+    }
+}
+
+/// One experiment point: a fully-determined multi-session run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable config name (unique within a sweep).
+    pub name: String,
+    /// Protocol nodes, coordinator included (`>= 2`).
+    pub terminals: u8,
+    /// x-packets the coordinator broadcasts in phase 1.
+    pub x_packets: usize,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Data-plane erasure process of every coordinator → terminal link
+    /// (independent chains per receiver).
+    pub erasure: ErasureModel,
+    /// The eavesdropper's observation model.
+    pub eve: EveSpec,
+    /// The Eve-erasure estimator the terminals run.
+    pub estimator: EstimatorSpec,
+    /// Concurrent sessions to drive (each with independent payloads and
+    /// erasure chains; more sessions average out per-round fluctuation).
+    pub sessions: u32,
+    /// Root seed: every payload byte, plan seed and erasure chain in the
+    /// run derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "default".into(),
+            terminals: 4,
+            x_packets: 60,
+            payload_len: 32,
+            erasure: ErasureModel::Iid { p: 0.5 },
+            eve: EveSpec::default(),
+            estimator: EstimatorSpec::LeaveOneOut,
+            sessions: 2,
+            seed: 1,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Validates the spec against protocol and codec limits.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.terminals < 2 {
+            return Err("need at least two terminals");
+        }
+        if self.x_packets == 0 || self.x_packets > u16::MAX as usize {
+            return Err("x_packets must be in 1..=65535");
+        }
+        if self.sessions == 0 {
+            return Err("need at least one session");
+        }
+        self.erasure.validate()?;
+        if self.eve.antennas == 0 {
+            return Err("eve needs at least one antenna (use a dead channel to disable her)");
+        }
+        if let Some(m) = &self.eve.erasure {
+            m.validate()?;
+        }
+        if let EstimatorSpec::FixedFraction(f) = self.estimator {
+            if !(0.0..=1.0).contains(&f) {
+                return Err("fixed fraction out of range");
+            }
+        }
+        self.session_config().validate().map_err(|_| "session config rejected")?;
+        Ok(())
+    }
+
+    /// The mean erasure probability of the terminal links — the `p` the
+    /// closed-form model is evaluated at. For bursty models this is the
+    /// stationary rate; the measured-vs-predicted gap then includes what
+    /// burstiness costs.
+    pub fn effective_p(&self) -> f64 {
+        self.erasure.mean_erasure()
+    }
+
+    /// The erasure process on Eve's antennas.
+    pub fn eve_model(&self) -> ErasureModel {
+        self.eve.erasure.unwrap_or(self.erasure)
+    }
+
+    /// The networked-session configuration this spec resolves to: the
+    /// medium stays lossless and every data-plane loss comes from the
+    /// per-receiver erasure chains, so outcomes are a pure function of
+    /// the spec (see `thinair_net::session::drop_pattern`) — with one
+    /// caveat: a terminal's reception report is cut when the `x_settle`
+    /// timer fires, so a scheduler stall longer than that window could
+    /// still truncate a report. The window is set generously (400 ms
+    /// against an in-process queue drained in microseconds) to keep that
+    /// out of reach in practice.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            n_nodes: self.terminals,
+            coordinator: 0,
+            schedule: XSchedule::CoordinatorOnly(self.x_packets),
+            payload_len: self.payload_len,
+            estimator: self.estimator.to_estimator(),
+            plan_params: PlanParams::default(),
+            drop_prob: 0.0,
+            drop_seed: self.seed,
+            drop_models: Some(vec![self.erasure; self.terminals as usize]),
+            x_settle: Duration::from_millis(400),
+            // The plan caps z-rows at `max_rows` (≤ 128), but a deep-loss
+            // receiver needs ~z_count/(1−p) fountain combos; 4096 covers
+            // p beyond 0.95 instead of the daemon default's 400.
+            max_attempts: 4096,
+            deadline: Duration::from_secs(120),
+            ..SessionConfig::default()
+        }
+    }
+
+    /// The session ids a run drives (1-based, contiguous).
+    pub fn session_ids(&self) -> Vec<u64> {
+        (1..=self.sessions as u64).collect()
+    }
+
+    /// Eve antenna `antenna`'s reception pattern over the x-pool of
+    /// `session` (`true` = erased, position = packet id): her chains are
+    /// mixed from the spec seed with an Eve-only salt, so she is
+    /// independent of every terminal chain yet fully reproducible.
+    pub fn eve_pattern(&self, session: u64, antenna: usize) -> Vec<bool> {
+        let seed = splitmix64(
+            self.seed
+                ^ session.rotate_left(17)
+                ^ (antenna as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ 0x45u64.wrapping_mul(0x9FB2_1C65_1E98_DF25), // 'E'
+        );
+        self.eve_model().pattern(seed, self.x_packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert_eq!(ScenarioSpec::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let bad = ScenarioSpec { terminals: 1, ..ScenarioSpec::default() };
+        assert!(bad.validate().is_err());
+        let bad = ScenarioSpec { x_packets: 0, ..ScenarioSpec::default() };
+        assert!(bad.validate().is_err());
+        let bad = ScenarioSpec { erasure: ErasureModel::Iid { p: 1.5 }, ..ScenarioSpec::default() };
+        assert!(bad.validate().is_err());
+        let bad =
+            ScenarioSpec { eve: EveSpec { antennas: 0, erasure: None }, ..ScenarioSpec::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn session_config_runs_model_chains_not_the_hash() {
+        let spec = ScenarioSpec::default();
+        let cfg = spec.session_config();
+        assert_eq!(cfg.drop_prob, 0.0);
+        let models = cfg.drop_models.expect("models set");
+        assert_eq!(models.len(), spec.terminals as usize);
+        assert_eq!(models[1], spec.erasure);
+    }
+
+    #[test]
+    fn eve_defaults_to_the_terminal_model() {
+        let spec = ScenarioSpec::default();
+        assert_eq!(spec.eve_model(), spec.erasure);
+        let ge = ErasureModel::GilbertElliott {
+            p_good: 0.1,
+            p_bad: 0.9,
+            good_to_bad: 0.1,
+            bad_to_good: 0.4,
+        };
+        let spec = ScenarioSpec { eve: EveSpec { antennas: 2, erasure: Some(ge) }, ..spec };
+        assert_eq!(spec.eve_model(), ge);
+    }
+
+    #[test]
+    fn eve_patterns_decorrelate_by_session_and_antenna() {
+        let spec = ScenarioSpec { x_packets: 400, ..ScenarioSpec::default() };
+        assert_eq!(spec.eve_pattern(1, 0), spec.eve_pattern(1, 0));
+        assert_ne!(spec.eve_pattern(1, 0), spec.eve_pattern(2, 0));
+        assert_ne!(spec.eve_pattern(1, 0), spec.eve_pattern(1, 1));
+    }
+
+    #[test]
+    fn effective_p_is_the_stationary_rate() {
+        let ge = ErasureModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 1.0,
+            good_to_bad: 0.1,
+            bad_to_good: 0.3,
+        };
+        let spec = ScenarioSpec { erasure: ge, ..ScenarioSpec::default() };
+        assert!((spec.effective_p() - 0.25).abs() < 1e-12);
+    }
+}

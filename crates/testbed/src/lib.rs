@@ -39,4 +39,4 @@ pub use experiment::{run_experiment, ExperimentResult, TestbedConfig};
 pub use jamaware::jamming_aware_estimator;
 pub use placement::{enumerate_placements, Placement};
 pub use stats::Summary;
-pub use sweep::sweep_all_placements;
+pub use sweep::{parallel_map, sweep_all_placements};

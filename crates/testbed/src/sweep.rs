@@ -25,18 +25,29 @@ pub fn sweep_all_placements(n: usize, cfg: &TestbedConfig) -> Vec<ExperimentResu
 /// Runs the given placements in parallel (chunked over available
 /// parallelism).
 pub fn sweep_placements(placements: &[Placement], cfg: &TestbedConfig) -> Vec<ExperimentResult> {
+    parallel_map(placements, |placement| {
+        run_experiment(cfg, placement).expect("experiment failed; configuration error")
+    })
+}
+
+/// Applies `f` to every item across worker threads (chunked over
+/// available parallelism) and returns the results in input order — the
+/// generic fan-out behind [`sweep_placements`] and the scenario engine's
+/// config sharding. Items are independent, so this is deterministic
+/// whenever `f` is.
+///
+/// # Panics
+/// Panics when a worker thread panics (i.e. when `f` does).
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let chunk = placements.len().div_ceil(workers).max(1);
-    let mut results: Vec<Option<ExperimentResult>> = vec![None; placements.len()];
+    let chunk = items.len().div_ceil(workers).max(1);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let f = &f;
     thread::scope(|s| {
-        for (slot_chunk, placement_chunk) in results.chunks_mut(chunk).zip(placements.chunks(chunk))
-        {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
             s.spawn(move |_| {
-                for (slot, placement) in slot_chunk.iter_mut().zip(placement_chunk.iter()) {
-                    *slot = Some(
-                        run_experiment(cfg, placement)
-                            .expect("experiment failed; configuration error"),
-                    );
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk.iter()) {
+                    *slot = Some(f(item));
                 }
             });
         }

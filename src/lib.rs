@@ -19,6 +19,9 @@
 //! * [`testbed`] — the paper's §4 deployment and experiment sweeps.
 //! * [`net`] — the async runtime and `thinaird` daemon running the
 //!   protocol over real UDP sockets (see `examples/net_loopback.rs`).
+//! * [`scenario`] — the deterministic many-session experiment engine
+//!   behind `thinaird bench-scenario` (grid sweeps, model-vs-measurement
+//!   artifacts).
 //!
 //! # Quickstart
 //!
@@ -46,4 +49,5 @@ pub use thinair_mds as mds;
 pub use thinair_model as model;
 pub use thinair_net as net;
 pub use thinair_netsim as netsim;
+pub use thinair_scenario as scenario;
 pub use thinair_testbed as testbed;
