@@ -1,0 +1,413 @@
+//! The chaos layer: applying a [`FaultPlan`] to simulated frame traffic.
+//!
+//! [`crate::transport::SimNet`] built with
+//! [`crate::transport::SimNet::with_faults`] routes every transmission
+//! through a [`ChaosState`], which turns the *specification* in
+//! `thinair_netsim::fault` into concrete frame actions:
+//!
+//! * per-frame verdicts (drop / bit-corrupt / duplicate / delay) are
+//!   looked up by **frame identity** — `(link, session, sender
+//!   sequence)` — so they are pure functions of the fault seed,
+//!   independent of task scheduling, and identical for every
+//!   retransmission of the same frame;
+//! * corruption actually runs the bytes through [`Frame::decode`]: the
+//!   mangled copy is delivered only if the codec (wrongly) accepts it,
+//!   so the CRC rejection path is exercised on the live hot path, not
+//!   just in fuzz tests;
+//! * delayed frames sit in a hold-back buffer and release after the
+//!   configured number of subsequent transmissions — which is how a
+//!   one-slot delay becomes a classic reorder;
+//! * crash and late-join are session-scoped node lifecycle faults,
+//!   triggered at protocol milestones (sender sequence numbers), so the
+//!   injection point is reproducible;
+//! * burst partitions black out a directed link for a whole session.
+//!
+//! Everything injected is counted in [`FaultStats`]. The counters are
+//! timing-class measurements: retransmissions re-draw their (identical)
+//! verdicts, so the totals depend on how often the reliable layer had
+//! to retry.
+
+use std::collections::{HashMap, HashSet};
+
+use thinair_core::wire::Message;
+use thinair_netsim::fault::corrupt_bit_seed;
+use thinair_netsim::{FaultPlan, FrameClass};
+
+use crate::frame::{Frame, NetPayload};
+
+/// Counters for every fault the chaos layer injected (timing-class:
+/// totals include re-drawn verdicts on retransmissions).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Deliveries suppressed by the per-frame drop schedule.
+    pub dropped: u64,
+    /// Corrupted copies the receiving codec rejected (the expected
+    /// fate: CRC-32 catches the flip).
+    pub corrupted_rejected: u64,
+    /// Corrupted copies that still decoded to a structurally valid
+    /// frame (astronomically rare; delivered, because a real receiver
+    /// would accept them too).
+    pub corrupt_delivered: u64,
+    /// Extra copies delivered by the duplication schedule.
+    pub duplicated: u64,
+    /// Frames held back by the reorder/delay schedule.
+    pub delayed: u64,
+    /// Deliveries suppressed by session-scoped link partitions.
+    pub partition_dropped: u64,
+    /// Frames swallowed because a node had crashed in that session
+    /// (sends and deliveries combined).
+    pub crash_dropped: u64,
+    /// Deliveries suppressed before a late-joining node woke up.
+    pub prejoin_dropped: u64,
+}
+
+impl FaultStats {
+    /// Sum of every injected fault event.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.corrupted_rejected
+            + self.corrupt_delivered
+            + self.duplicated
+            + self.delayed
+            + self.partition_dropped
+            + self.crash_dropped
+            + self.prejoin_dropped
+    }
+}
+
+/// A frame held back by the delay schedule.
+struct Held {
+    release_at: u64,
+    rx: u8,
+    frame: Frame,
+}
+
+/// Mutable chaos bookkeeping for one simulated network.
+pub struct ChaosState {
+    plan: FaultPlan,
+    seed: u64,
+    coordinator: u8,
+    /// `(session, node)` pairs that have crashed.
+    crashed: HashSet<(u64, u8)>,
+    /// `(session, node)` late-joiners → deliveries suppressed so far.
+    /// Removed from the map once awake.
+    sleeping: HashMap<(u64, u8), u32>,
+    /// `(session, node)` late-joiners that have woken up.
+    joined: HashSet<(u64, u8)>,
+    /// Hold-back buffer for delayed frames.
+    held: Vec<Held>,
+    /// Global transmission counter (drives delay release).
+    clock: u64,
+    /// Injection counters.
+    pub stats: FaultStats,
+}
+
+/// The injector's view of one frame: its fault class and the index that
+/// keys its verdict (the sender sequence; for ACKs, the acknowledged
+/// sequence, so each distinct ACK draws its own fate).
+fn classify(frame: &Frame) -> (FrameClass, u64) {
+    match &frame.payload {
+        NetPayload::Ack { seq } => (FrameClass::Ack, *seq as u64),
+        NetPayload::Proto(Message::XPacket { .. }) => (FrameClass::X, frame.seq as u64),
+        NetPayload::Proto(Message::ZPacket { .. }) => (FrameClass::Z, frame.seq as u64),
+        _ => (FrameClass::Control, frame.seq as u64),
+    }
+}
+
+impl ChaosState {
+    /// Chaos bookkeeping for `plan` under `seed`. Lifecycle faults never
+    /// select the `coordinator` (the plan's crash/late-join knobs model
+    /// *terminal* misbehavior; a dead coordinator trivially aborts
+    /// everyone).
+    pub fn new(plan: FaultPlan, seed: u64, coordinator: u8) -> Self {
+        plan.validate().expect("invalid fault plan");
+        ChaosState {
+            plan,
+            seed,
+            coordinator,
+            crashed: HashSet::new(),
+            sleeping: HashMap::new(),
+            joined: HashSet::new(),
+            held: Vec::new(),
+            clock: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn crash_after(&self, session: u64, node: u8) -> Option<u32> {
+        if node == self.coordinator {
+            return None;
+        }
+        self.plan.crash_after(self.seed, session, node as usize)
+    }
+
+    /// Whether the node is still asleep (late join pending) in this
+    /// session; bumps the suppression counter when `count` is set, and
+    /// wakes the node once the counter reaches the plan's threshold.
+    fn asleep(&mut self, session: u64, node: u8, count: bool) -> bool {
+        if node == self.coordinator || self.joined.contains(&(session, node)) {
+            return false;
+        }
+        let Some(after) = self.plan.join_after(self.seed, session, node as usize) else {
+            return false;
+        };
+        let suppressed = self.sleeping.entry((session, node)).or_insert(0);
+        if *suppressed >= after {
+            self.sleeping.remove(&(session, node));
+            self.joined.insert((session, node));
+            return false;
+        }
+        if count {
+            *suppressed += 1;
+        }
+        true
+    }
+
+    /// Advances the delay clock by one transmission. Call once per
+    /// `Medium`-level transmit, before deciding deliveries.
+    pub fn tick(&mut self) {
+        self.clock += 1;
+    }
+
+    /// Whether the transmitting node is allowed to put `frame` on the
+    /// air (false: the node has crashed in this session — or crashes
+    /// *now*, this frame being its trigger milestone — or has not
+    /// joined yet).
+    pub fn allow_send(&mut self, frame: &Frame) -> bool {
+        let key = (frame.session, frame.sender);
+        if self.crashed.contains(&key) {
+            self.stats.crash_dropped += 1;
+            return false;
+        }
+        if let Some(after) = self.crash_after(frame.session, frame.sender) {
+            if frame.seq != 0 && frame.seq >= after {
+                self.crashed.insert(key);
+                self.stats.crash_dropped += 1;
+                return false;
+            }
+        }
+        if self.asleep(frame.session, frame.sender, false) {
+            self.stats.prejoin_dropped += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Decides what receiver `rx` gets out of `frame` transmitted by
+    /// `tx`: zero, one or two copies, immediate or held back.
+    pub fn deliver(&mut self, frame: &Frame, tx: u8, rx: u8) -> Vec<(u32, Frame)> {
+        let session = frame.session;
+        if self.crashed.contains(&(session, rx)) {
+            self.stats.crash_dropped += 1;
+            return Vec::new();
+        }
+        if self.asleep(session, rx, true) {
+            self.stats.prejoin_dropped += 1;
+            return Vec::new();
+        }
+        let link = (tx as usize, rx as usize);
+        if self.plan.partitioned(self.seed, link, session) {
+            self.stats.partition_dropped += 1;
+            return Vec::new();
+        }
+        let (class, index) = classify(frame);
+        let faults = self.plan.frame_faults(self.seed, link, session, index, class);
+        if faults.drop {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let copy = if faults.corrupt {
+            match self.corrupt(frame, link, index) {
+                Some(mangled) => {
+                    self.stats.corrupt_delivered += 1;
+                    mangled
+                }
+                None => {
+                    self.stats.corrupted_rejected += 1;
+                    return Vec::new();
+                }
+            }
+        } else {
+            frame.clone()
+        };
+        if faults.delay > 0 {
+            self.stats.delayed += 1;
+        }
+        let mut out = vec![(faults.delay, copy)];
+        if faults.duplicate {
+            self.stats.duplicated += 1;
+            out.push((faults.delay, out[0].1.clone()));
+        }
+        out
+    }
+
+    /// Flips a deterministic bit in the encoded frame and re-decodes:
+    /// `Some` only if the codec accepts the mangled bytes.
+    fn corrupt(&self, frame: &Frame, link: (usize, usize), index: u64) -> Option<Frame> {
+        let mut bytes = frame.encode().to_vec();
+        let h = corrupt_bit_seed(self.seed, link, frame.session, index);
+        let bit = (h as usize) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        Frame::decode(&bytes).ok()
+    }
+
+    /// Queues a held-back copy for release after `delay` further
+    /// transmissions.
+    pub fn hold(&mut self, delay: u32, rx: u8, frame: Frame) {
+        self.held.push(Held { release_at: self.clock + delay as u64, rx, frame });
+    }
+
+    /// Drains every held frame whose release point has passed. Frames
+    /// whose receiver crashed (in that frame's session) while they were
+    /// in flight are dropped instead — a dead node stays deaf.
+    pub fn due(&mut self) -> Vec<(u8, Frame)> {
+        if self.held.is_empty() {
+            return Vec::new();
+        }
+        let clock = self.clock;
+        let mut out = Vec::new();
+        let mut crashed_hits = 0u64;
+        let crashed = &self.crashed;
+        self.held.retain_mut(|h| {
+            if h.release_at <= clock {
+                if crashed.contains(&(h.frame.session, h.rx)) {
+                    crashed_hits += 1;
+                } else {
+                    out.push((h.rx, h.frame.clone()));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.crash_dropped += crashed_hits;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinair_netsim::{CrashSpec, DelaySpec, JoinSpec};
+
+    fn frame(sender: u8, session: u64, seq: u32) -> Frame {
+        Frame { flags: 0, sender, session, seq, payload: NetPayload::Done }
+    }
+
+    #[test]
+    fn inert_plan_passes_everything_through() {
+        let mut c = ChaosState::new(FaultPlan::none(), 1, 0);
+        for seq in 1..50 {
+            let f = frame(1, 9, seq);
+            assert!(c.allow_send(&f));
+            let out = c.deliver(&f, 1, 0);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, 0);
+            assert_eq!(out[0].1, f);
+        }
+        assert_eq!(c.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn crash_triggers_on_the_milestone_seq_and_is_permanent() {
+        let plan = FaultPlan {
+            crash: Some(CrashSpec { prob: 1.0, node: Some(2), after_seq: 3 }),
+            ..FaultPlan::none()
+        };
+        let mut c = ChaosState::new(plan, 7, 0);
+        assert!(c.allow_send(&frame(2, 5, 1)), "below the milestone");
+        assert!(c.allow_send(&frame(2, 5, 0)), "acks never trigger");
+        assert!(!c.allow_send(&frame(2, 5, 3)), "the milestone frame is swallowed");
+        assert!(!c.allow_send(&frame(2, 5, 1)), "crash is permanent");
+        assert!(c.deliver(&frame(0, 5, 9), 0, 2).is_empty(), "a crashed node is deaf");
+        // Crash state is per session: session 6 runs its own schedule,
+        // so node 2 is alive there below its milestone. Other nodes are
+        // untouched entirely (the node filter).
+        assert!(c.allow_send(&frame(2, 6, 1)));
+        assert!(c.allow_send(&frame(1, 5, 9)));
+        assert_eq!(c.deliver(&frame(0, 5, 9), 0, 1).len(), 1);
+        assert!(c.stats.crash_dropped >= 3);
+    }
+
+    #[test]
+    fn coordinator_is_exempt_from_lifecycle_faults() {
+        let plan = FaultPlan {
+            crash: Some(CrashSpec { prob: 1.0, node: None, after_seq: 1 }),
+            late_join: Some(JoinSpec { prob: 1.0, node: None, after_frames: 50 }),
+            ..FaultPlan::none()
+        };
+        let mut c = ChaosState::new(plan, 3, 0);
+        for seq in 1..20 {
+            assert!(c.allow_send(&frame(0, 1, seq)), "coordinator never crashes");
+        }
+    }
+
+    #[test]
+    fn late_joiner_wakes_after_the_configured_suppression_count() {
+        let plan = FaultPlan {
+            late_join: Some(JoinSpec { prob: 1.0, node: Some(1), after_frames: 3 }),
+            ..FaultPlan::none()
+        };
+        let mut c = ChaosState::new(plan, 2, 0);
+        for _ in 0..3 {
+            assert!(c.deliver(&frame(0, 4, 1), 0, 1).is_empty(), "asleep");
+        }
+        assert_eq!(c.deliver(&frame(0, 4, 1), 0, 1).len(), 1, "awake after 3 suppressions");
+        assert_eq!(c.deliver(&frame(2, 4, 50), 2, 1).len(), 1, "stays awake for any sender");
+        assert_eq!(c.stats.prejoin_dropped, 3);
+        // Other sessions have their own sleep state.
+        assert!(c.deliver(&frame(0, 5, 1), 0, 1).is_empty());
+    }
+
+    #[test]
+    fn corruption_is_rejected_by_the_codec() {
+        let plan = FaultPlan { corrupt: 1.0, ..FaultPlan::none() };
+        let mut c = ChaosState::new(plan, 11, 0);
+        let mut rejected = 0;
+        for seq in 1..200 {
+            let out = c.deliver(&frame(1, 2, seq), 1, 0);
+            if out.is_empty() {
+                rejected += 1;
+            }
+        }
+        // CRC-32 catches every single-bit flip.
+        assert_eq!(rejected, 199, "all corrupted copies must be rejected");
+        assert_eq!(c.stats.corrupted_rejected, 199);
+        assert_eq!(c.stats.corrupt_delivered, 0);
+    }
+
+    #[test]
+    fn verdicts_are_stable_across_retransmissions() {
+        let plan = FaultPlan { drop: 0.5, ..FaultPlan::none() };
+        let mut c = ChaosState::new(plan, 13, 0);
+        for seq in 1..100 {
+            let f = frame(1, 3, seq);
+            let first = c.deliver(&f, 1, 0).len();
+            for _ in 0..5 {
+                assert_eq!(c.deliver(&f, 1, 0).len(), first, "retransmission changed fate");
+            }
+        }
+        assert!(c.stats.dropped > 0, "half the frames should be dropped");
+    }
+
+    #[test]
+    fn delay_holds_frames_until_later_transmissions() {
+        let plan =
+            FaultPlan { delay: Some(DelaySpec { prob: 1.0, max_frames: 3 }), ..FaultPlan::none() };
+        let mut c = ChaosState::new(plan, 17, 0);
+        c.tick();
+        let f = frame(1, 6, 4);
+        let out = c.deliver(&f, 1, 0);
+        let (delay, copy) = (&out[0].0, &out[0].1);
+        assert!((1..=3).contains(delay));
+        c.hold(*delay, 0, copy.clone());
+        assert!(c.due().is_empty(), "not due yet");
+        for _ in 0..*delay {
+            c.tick();
+        }
+        let released = c.due();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].1, f);
+        assert!(c.due().is_empty(), "released exactly once");
+    }
+}

@@ -32,7 +32,8 @@ use crate::reliable::{Dedup, Reliable};
 use crate::rt;
 use crate::rt::chan::Receiver;
 use crate::session::{
-    accept_report, derive_plan, NetError, SessionConfig, SessionOutcome, SessionTrace, XState,
+    accept_report, derive_plan, AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace,
+    XState,
 };
 use crate::transport::{SharedTransport, Transport};
 
@@ -58,6 +59,13 @@ impl Phase {
 
 /// Runs one session as the coordinator. `seed` feeds all local
 /// randomness (x payloads, the plan seed, fountain coefficients).
+///
+/// A session that cannot complete — deadline passed, a peer's attempt
+/// budget exhausted — terminates with a *clean abort*: an `Ok` outcome
+/// whose [`SessionOutcome::abort`] names the structured reason, with
+/// the partial [`SessionTrace`] attached for offline audit. `Err` is
+/// reserved for infrastructure failures (socket errors, a closed frame
+/// channel, construction bugs).
 pub async fn run_coordinator<T: Transport>(
     t: SharedTransport<T>,
     mut rx: Receiver<Frame>,
@@ -91,9 +99,52 @@ pub async fn run_coordinator<T: Transport>(
     let start_seq = rel.send(&t, session, NetPayload::Start { digest: cfg.digest() }, &targets)?;
     let mut phase = Phase::StartBarrier { start_seq };
 
+    // Builds the clean-abort outcome: the trace carries whatever was
+    // collected (reports so far, empty bitmaps for the missing ones) so
+    // the auditor can see how far the session got.
+    let abort = |reason: AbortReason,
+                 reports: &[Option<Vec<u8>>],
+                 outcome: Option<SessionOutcome>,
+                 z_sent: u32| {
+        let trace = match outcome.and_then(|o| o.trace) {
+            Some(mut t) => {
+                t.z_sent = z_sent;
+                t.abort = Some(reason.clone());
+                t
+            }
+            None => SessionTrace {
+                plan_seed: 0,
+                reports: reports.iter().map(|r| r.clone().unwrap_or_default()).collect(),
+                z_sent,
+                abort: Some(reason.clone()),
+            },
+        };
+        SessionOutcome::aborted(session, me, n_packets, reason, Some(trace))
+    };
+
+    // Once the fin barrier has been entered, every terminal has
+    // signalled `Done`: the group provably converged, so a fin-ACK that
+    // never arrives (deadline or attempt budget) completes the session
+    // instead of discarding it — mirroring the terminal's post-Fin
+    // guard. (A terminal that never *received* Fin still aborts on its
+    // side: it cannot know the group converged. That asymmetry is the
+    // Two Generals residue documented in docs/ARCHITECTURE.md.)
+    let finish = |mut out: SessionOutcome, z_sent: u32| {
+        if let Some(trace) = out.trace.as_mut() {
+            trace.z_sent = z_sent;
+        }
+        out
+    };
+
     loop {
         if Instant::now() > deadline {
-            return Err(NetError::Timeout(phase.name()));
+            if matches!(phase, Phase::FinBarrier { .. }) {
+                if let Some(out) = outcome.take() {
+                    return Ok(finish(out, z_sent));
+                }
+            }
+            let reason = AbortReason::Deadline { phase: phase.name() };
+            return Ok(abort(reason, &reports, outcome, z_sent));
         }
 
         match rt::timeout(tick, rx.recv()).await {
@@ -174,9 +225,18 @@ pub async fn run_coordinator<T: Transport>(
                     } else {
                         Vec::new()
                     };
-                    let trace = Some(SessionTrace { plan_seed, reports: flat, z_sent: 0 });
-                    outcome =
-                        Some(SessionOutcome { session, node: me, l, m, n_packets, secret, trace });
+                    let trace =
+                        Some(SessionTrace { plan_seed, reports: flat, z_sent: 0, abort: None });
+                    outcome = Some(SessionOutcome {
+                        session,
+                        node: me,
+                        l,
+                        m,
+                        n_packets,
+                        secret,
+                        abort: None,
+                        trace,
+                    });
                     phase = Phase::Fountain { next_combo: now };
                 }
             }
@@ -188,16 +248,14 @@ pub async fn run_coordinator<T: Transport>(
                     if z_sent >= cfg.max_attempts {
                         let missing: Vec<u8> =
                             targets.iter().copied().filter(|p| !done.contains(p)).collect();
-                        return Err(NetError::Unreachable(crate::reliable::Unreachable {
-                            missing,
-                            attempts: z_sent,
-                        }));
+                        let reason = AbortReason::Unreachable { missing, attempts: z_sent };
+                        return Ok(abort(reason, &reports, outcome, z_sent));
                     }
                     // An initial burst covers the worst-case missing-row
                     // count; afterwards one combo per tick tops up losses.
                     let burst = if z_sent == 0 { (fountain.z_count() + 3) as u32 } else { 1 };
                     for _ in 0..burst {
-                        fountain.send_combo(&t, session, &mut rel, z_sent, &mut rng)?;
+                        fountain.send_combo(&t, session, z_sent, &mut rng)?;
                         z_sent += 1;
                     }
                     phase = Phase::Fountain { next_combo: now + cfg.retransmit };
@@ -205,17 +263,20 @@ pub async fn run_coordinator<T: Transport>(
             }
             Phase::FinBarrier { fin_seq } => {
                 if rel.acked(*fin_seq) {
-                    let mut out = outcome.expect("outcome set before fin");
-                    if let Some(trace) = out.trace.as_mut() {
-                        trace.z_sent = z_sent;
-                    }
-                    return Ok(out);
+                    let out = outcome.take().expect("outcome set before fin");
+                    return Ok(finish(out, z_sent));
                 }
             }
         }
 
         if let Err(u) = rel.tick(&t, Instant::now())? {
-            return Err(NetError::Unreachable(u));
+            if matches!(phase, Phase::FinBarrier { .. }) {
+                if let Some(out) = outcome.take() {
+                    return Ok(finish(out, z_sent));
+                }
+            }
+            let reason = AbortReason::Unreachable { missing: u.missing, attempts: u.attempts };
+            return Ok(abort(reason, &reports, outcome, z_sent));
         }
     }
 }
@@ -249,7 +310,6 @@ impl FountainState {
         &mut self,
         t: &SharedTransport<T>,
         session: u64,
-        rel: &mut Reliable,
         z_seq: u32,
         rng: &mut StdRng,
     ) -> Result<(), NetError> {
@@ -272,13 +332,14 @@ impl FountainState {
             coeffs: self.q.clone(),
             payload: self.acc.clone(),
         };
-        let frame = Frame {
-            flags: 0,
-            sender: me,
-            session,
-            seq: rel.next_seq(),
-            payload: NetPayload::Proto(msg),
-        };
+        // z-combos are unreliable, so they carry their combo index as
+        // the frame seq instead of consuming reliable-layer sequence
+        // numbers: the fountain's length is timing-dependent (top-ups),
+        // and burning shared seqs on it would make every later control
+        // frame's identity — and its chaos-layer fault verdict —
+        // timing-dependent too.
+        let frame =
+            Frame { flags: 0, sender: me, session, seq: z_seq, payload: NetPayload::Proto(msg) };
         t.broadcast(&frame)?;
         Ok(())
     }

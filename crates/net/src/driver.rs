@@ -15,8 +15,9 @@
 //! genuinely concurrent — multiplexed by session id over each node's one
 //! transport, exercising the same routing a long-lived daemon uses.
 
-use thinair_netsim::{Medium, TxStats};
+use thinair_netsim::{FaultPlan, Medium, TxStats};
 
+use crate::chaos::FaultStats;
 use crate::node::Node;
 use crate::rt;
 use crate::session::{NetError, SessionConfig, SessionOutcome};
@@ -39,6 +40,9 @@ pub struct SimRun {
     pub stats: TxStats,
     /// Frames put on the air (one medium transmission each).
     pub frames: u64,
+    /// Faults the chaos layer injected (all zero without a
+    /// [`FaultPlan`]; timing-class, like the frame counters).
+    pub faults: FaultStats,
 }
 
 impl SimRun {
@@ -105,9 +109,31 @@ pub fn drive_sim<M: Medium + 'static>(
     sessions: &[u64],
     seed: u64,
 ) -> Result<SimRun, NetError> {
+    drive_sim_chaos(medium, cfg, sessions, seed, FaultPlan::none(), 0)
+}
+
+/// [`drive_sim`] with an adversarial chaos layer: every frame passes
+/// through `plan`'s deterministic fault schedule under `fault_seed`
+/// (see [`crate::chaos`]). Sessions hit by unsurvivable faults
+/// terminate with clean structured aborts
+/// ([`SessionOutcome::abort`]) instead of failing the batch, so a soak
+/// harness gets every node's view of every session.
+pub fn drive_sim_chaos<M: Medium + 'static>(
+    medium: M,
+    cfg: &SessionConfig,
+    sessions: &[u64],
+    seed: u64,
+    plan: FaultPlan,
+    fault_seed: u64,
+) -> Result<SimRun, NetError> {
     let n = cfg.n_nodes as usize;
-    let net = SimNet::new(medium, n);
+    let net = SimNet::with_faults(medium, n, plan, fault_seed, cfg.coordinator);
     let nodes: Vec<_> = (0..n).map(|i| Node::new(net.transport(i as u8))).collect();
     let outcomes = drive_nodes(cfg, &nodes, sessions, seed)?;
-    Ok(SimRun { outcomes, stats: net.stats(), frames: net.frames_transmitted() })
+    Ok(SimRun {
+        outcomes,
+        stats: net.stats(),
+        frames: net.frames_transmitted(),
+        faults: net.fault_stats(),
+    })
 }

@@ -19,8 +19,13 @@
 //!   unicast fan-out "broadcast") and [`transport::SimTransport`] (an
 //!   adapter over [`thinair_netsim::Medium`] with exact bit
 //!   accounting).
+//! * [`chaos`] — the fault-injection layer for simulated transports:
+//!   applies a deterministic `thinair_netsim::FaultPlan` (drop,
+//!   corrupt, duplicate, reorder, delay jitter, partitions, terminal
+//!   crash / late join) to every frame, with injection counters.
 //! * [`reliable`] — per-peer ACK/retransmit for control frames,
-//!   mirroring `thinair_core::transport` semantics on real I/O.
+//!   mirroring `thinair_core::transport` semantics on real I/O, with
+//!   wraparound-safe anti-replay windows on the receive side.
 //! * [`session`] — shared session configuration, deterministic plan
 //!   re-derivation, erasure injection (iid hash or pluggable per-receiver
 //!   [`thinair_netsim::ErasureModel`] chains), secret reconstruction.
@@ -53,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod coordinator;
 pub mod demo;
 pub mod driver;
@@ -65,8 +71,9 @@ pub mod terminal;
 pub mod transport;
 pub mod udp;
 
-pub use driver::{drive_nodes, drive_sim, SimRun};
+pub use chaos::FaultStats;
+pub use driver::{drive_nodes, drive_sim, drive_sim_chaos, SimRun};
 pub use frame::{Frame, NetPayload};
 pub use node::Node;
-pub use session::{NetError, SessionConfig, SessionOutcome, SessionTrace};
+pub use session::{AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace};
 pub use transport::{SharedTransport, SimNet, SimTransport, Transport, UdpTransport};

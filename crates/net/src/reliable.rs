@@ -10,6 +10,20 @@
 //! The receive side ([`Dedup`]) acknowledges *every* reliable frame,
 //! including duplicates (the previous ACK may have been the lost
 //! datagram), and tells the caller whether the frame is fresh.
+//!
+//! # Wraparound and replay floods
+//!
+//! Sequence numbers are 32-bit and allocated with `wrapping_add`, so a
+//! long-lived session eventually wraps. Freshness therefore cannot be a
+//! grow-forever set: [`ReplayWindow`] keeps, per sender, a fixed
+//! [`DEDUP_WINDOW`]-wide bitmap anchored at the newest sequence seen
+//! (RFC 6479-style). Anything newer advances the window; anything
+//! inside it is deduplicated exactly; anything older than the window is
+//! *treated as a duplicate* — under a replay flood the attacker can
+//! therefore neither grow memory nor resurrect ancient frames. On the
+//! send side, [`Reliable`] matches ACKs by exact sequence against its
+//! (short-lived) in-flight list, which is wraparound-safe as long as
+//! fewer than 2³² frames are in flight at once.
 
 use std::collections::BTreeSet;
 use std::io;
@@ -17,6 +31,9 @@ use std::time::{Duration, Instant};
 
 use crate::frame::{Frame, NetPayload, FLAG_RELIABLE};
 use crate::transport::{SharedTransport, Transport};
+
+/// Width of the per-sender replay window, in sequence numbers.
+pub const DEDUP_WINDOW: u32 = 1024;
 
 /// One in-flight reliable frame.
 #[derive(Debug)]
@@ -49,14 +66,25 @@ impl Reliable {
     /// Creates the bookkeeping with the given retransmit `interval` and
     /// per-frame attempt budget.
     pub fn new(interval: Duration, max_attempts: u32) -> Self {
-        Reliable { next_seq: 1, entries: Vec::new(), interval, max_attempts }
+        Self::with_first_seq(interval, max_attempts, 1)
+    }
+
+    /// Like [`Reliable::new`] but starting the sequence counter at
+    /// `first_seq` — lets tests pin wraparound behavior without sending
+    /// 2³² frames.
+    pub fn with_first_seq(interval: Duration, max_attempts: u32, first_seq: u32) -> Self {
+        Reliable { next_seq: first_seq, entries: Vec::new(), interval, max_attempts }
     }
 
     /// Allocates the next sequence number (shared by unreliable frames
-    /// so that per-sender seqs stay unique within a session).
+    /// so that per-sender seqs stay unique within a session). Skips 0
+    /// on wraparound: seq 0 is reserved for ACK frames.
     pub fn next_seq(&mut self) -> u32 {
         let s = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
+        if self.next_seq == 0 {
+            self.next_seq = 1;
+        }
         s
     }
 
@@ -131,15 +159,99 @@ impl Reliable {
     }
 }
 
+/// Wraparound-safe anti-replay window for one sender's sequence stream.
+///
+/// A fixed [`DEDUP_WINDOW`]-bit bitmap anchored at the newest sequence
+/// admitted. [`ReplayWindow::admit`] returns `true` exactly once per
+/// fresh in-window sequence; sequences that have fallen behind the
+/// window are reported as duplicates (the conservative choice: a replay
+/// flood must never re-admit ancient frames). Memory is O(window),
+/// independent of how many frames — or forged frames — arrive.
+#[derive(Clone, Debug)]
+pub struct ReplayWindow {
+    /// Newest sequence admitted (the window anchor).
+    horizon: u32,
+    /// Whether any sequence has been admitted yet.
+    started: bool,
+    /// One bit per sequence in `(horizon - DEDUP_WINDOW, horizon]`,
+    /// indexed by `seq % DEDUP_WINDOW`.
+    bits: Vec<u64>,
+}
+
+impl Default for ReplayWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplayWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        ReplayWindow { horizon: 0, started: false, bits: vec![0; (DEDUP_WINDOW as usize) / 64] }
+    }
+
+    fn bit(&self, seq: u32) -> bool {
+        let slot = (seq % DEDUP_WINDOW) as usize;
+        self.bits[slot / 64] >> (slot % 64) & 1 != 0
+    }
+
+    fn set(&mut self, seq: u32) {
+        let slot = (seq % DEDUP_WINDOW) as usize;
+        self.bits[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn clear(&mut self, seq: u32) {
+        let slot = (seq % DEDUP_WINDOW) as usize;
+        self.bits[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Records `seq`; returns `true` when it is fresh (first sighting,
+    /// not older than the window).
+    pub fn admit(&mut self, seq: u32) -> bool {
+        if !self.started {
+            self.started = true;
+            self.horizon = seq;
+            self.set(seq);
+            return true;
+        }
+        let ahead = seq.wrapping_sub(self.horizon);
+        if ahead != 0 && ahead < (1 << 31) {
+            // Newer than anything seen: slide the window forward,
+            // clearing the slots the anchor moves past.
+            if ahead >= DEDUP_WINDOW {
+                self.bits.fill(0);
+            } else {
+                for step in 1..=ahead {
+                    self.clear(self.horizon.wrapping_add(step));
+                }
+            }
+            self.horizon = seq;
+            self.set(seq);
+            return true;
+        }
+        let behind = self.horizon.wrapping_sub(seq);
+        if behind >= DEDUP_WINDOW {
+            // Fell off the window: conservatively a duplicate.
+            return false;
+        }
+        if self.bit(seq) {
+            false
+        } else {
+            self.set(seq);
+            true
+        }
+    }
+}
+
 /// Receive-side duplicate suppression + acknowledgement.
 pub struct Dedup {
-    seen: Vec<BTreeSet<u32>>,
+    seen: Vec<ReplayWindow>,
 }
 
 impl Dedup {
     /// State for `n` possible senders.
     pub fn new(n: usize) -> Self {
-        Dedup { seen: vec![BTreeSet::new(); n] }
+        Dedup { seen: (0..n).map(|_| ReplayWindow::new()).collect() }
     }
 
     /// Handles the reliability duties for a received frame: sends the
@@ -167,7 +279,7 @@ impl Dedup {
             payload: NetPayload::Ack { seq: frame.seq },
         };
         t.send_to(frame.sender, &ack)?;
-        Ok(self.seen[frame.sender as usize].insert(frame.seq))
+        Ok(self.seen[frame.sender as usize].admit(frame.seq))
     }
 }
 

@@ -41,10 +41,14 @@ use thinair_gf::{kernel, Gf256, PayloadPlane, RowEchelon};
 use thinair_netsim::ErasureModel;
 
 use crate::frame::{Frame, FrameError, NetPayload};
-use crate::reliable::{Reliable, Unreachable};
+use crate::reliable::Reliable;
 use crate::transport::{SharedTransport, Transport};
 
-/// Everything that can go wrong in a networked session.
+/// Infrastructure failures of a networked session. Conditions a
+/// session can hit in normal (if hostile) operation — deadline,
+/// attempt-budget exhaustion, config or plan mismatch — are *not*
+/// errors: they terminate with a clean [`AbortReason`] inside an `Ok`
+/// outcome instead.
 #[derive(Debug)]
 pub enum NetError {
     /// Socket-level failure.
@@ -54,19 +58,6 @@ pub enum NetError {
     /// A frame failed to parse (only surfaced from strict contexts;
     /// transports normally just drop bad datagrams).
     Frame(FrameError),
-    /// A peer never acknowledged a control frame.
-    Unreachable(Unreachable),
-    /// The session deadline passed in the given phase.
-    Timeout(&'static str),
-    /// The coordinator's configuration digest differs from ours.
-    ConfigMismatch {
-        /// Digest announced by the coordinator.
-        got: u64,
-        /// Digest of the local configuration.
-        want: u64,
-    },
-    /// The locally rebuilt plan disagrees with the announced `(m, l)`.
-    PlanMismatch,
     /// The session's frame channel closed (node shut down).
     Closed,
 }
@@ -77,14 +68,6 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io: {e}"),
             NetError::Protocol(e) => write!(f, "protocol: {e}"),
             NetError::Frame(e) => write!(f, "frame: {e}"),
-            NetError::Unreachable(u) => {
-                write!(f, "peers {:?} unreachable after {} attempts", u.missing, u.attempts)
-            }
-            NetError::Timeout(phase) => write!(f, "session deadline passed during {phase}"),
-            NetError::ConfigMismatch { got, want } => {
-                write!(f, "config digest mismatch: coordinator {got:#018x}, local {want:#018x}")
-            }
-            NetError::PlanMismatch => write!(f, "rebuilt plan disagrees with announcement"),
             NetError::Closed => write!(f, "session channel closed"),
         }
     }
@@ -523,7 +506,73 @@ pub(crate) fn accept_report(
     }
 }
 
-/// What a completed session yields on one node.
+/// Why a session terminated without a usable secret.
+///
+/// A session that cannot complete must *abort* — terminate within its
+/// deadline carrying a machine-readable reason — never hang and never
+/// silently diverge. The reason rides in [`SessionOutcome::abort`] on
+/// every node and in [`SessionTrace::abort`] on the coordinator, so an
+/// offline auditor (the soak harness) can explain each failed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The session deadline passed while in the named phase.
+    Deadline {
+        /// Protocol phase at the moment the deadline fired.
+        phase: &'static str,
+    },
+    /// A peer never acknowledged a control frame within the attempt
+    /// budget.
+    Unreachable {
+        /// Peers that never acknowledged.
+        missing: Vec<u8>,
+        /// Attempts spent.
+        attempts: u32,
+    },
+    /// The coordinator announced a configuration digest that differs
+    /// from the local one.
+    ConfigMismatch {
+        /// Digest announced by the coordinator.
+        got: u64,
+        /// Digest of the local configuration.
+        want: u64,
+    },
+    /// The locally rebuilt plan disagrees with the announced `(m, l)`.
+    PlanMismatch,
+}
+
+impl AbortReason {
+    /// A short stable label for histograms (`"deadline:z fountain"`,
+    /// `"unreachable"`, …). Carries the phase but not the peer list, so
+    /// identical failure modes aggregate.
+    pub fn kind(&self) -> String {
+        match self {
+            AbortReason::Deadline { phase } => format!("deadline:{phase}"),
+            AbortReason::Unreachable { .. } => "unreachable".into(),
+            AbortReason::ConfigMismatch { .. } => "config-mismatch".into(),
+            AbortReason::PlanMismatch => "plan-mismatch".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Deadline { phase } => {
+                write!(f, "session deadline passed during {phase}")
+            }
+            AbortReason::Unreachable { missing, attempts } => {
+                write!(f, "peers {missing:?} unreachable after {attempts} attempts")
+            }
+            AbortReason::ConfigMismatch { got, want } => {
+                write!(f, "config digest mismatch: coordinator {got:#018x}, local {want:#018x}")
+            }
+            AbortReason::PlanMismatch => write!(f, "rebuilt plan disagrees with announcement"),
+        }
+    }
+}
+
+/// What a terminated session yields on one node: either a completed
+/// round (`abort == None`) or a clean structured abort.
 #[derive(Clone, Debug)]
 pub struct SessionOutcome {
     /// Session id.
@@ -536,34 +585,69 @@ pub struct SessionOutcome {
     pub m: usize,
     /// x-pool size.
     pub n_packets: usize,
-    /// The group secret (empty when `l == 0`).
+    /// The group secret (empty when `l == 0` or the session aborted).
     pub secret: Vec<Payload>,
+    /// `Some` when the session terminated without completing. An
+    /// aborted outcome never carries a secret: a node that derived one
+    /// but missed the final barrier discards it (it cannot know whether
+    /// the group converged).
+    pub abort: Option<AbortReason>,
     /// Coordinator-side audit trail (None on terminals): everything an
     /// offline analyzer needs to rebuild the plan via [`derive_plan`] —
     /// e.g. to score the round against a ground-truth Eve model.
     pub trace: Option<SessionTrace>,
 }
 
-/// The coordinator's record of how a session's plan came to be.
+/// The coordinator's record of how a session's plan came to be (or why
+/// it never did).
 #[derive(Clone, Debug)]
 pub struct SessionTrace {
-    /// The announced plan seed.
+    /// The announced plan seed (0 when the session aborted before the
+    /// plan was drawn — see `abort`).
     pub plan_seed: u64,
-    /// Every node's reception-report bitmap, indexed by node id.
+    /// Every node's reception-report bitmap, indexed by node id (empty
+    /// bitmaps for reports never received).
     pub reports: Vec<Vec<u8>>,
     /// z-combos the fountain streamed before every terminal was done.
     pub z_sent: u32,
+    /// Why the coordinator aborted, when it did.
+    pub abort: Option<AbortReason>,
 }
 
 impl SessionOutcome {
     /// A 32-byte key derived from the secret, or `None` when the round
-    /// produced no secret.
+    /// produced no secret (including every aborted round).
     pub fn key(&self) -> Option<[u8; 32]> {
-        if self.secret.is_empty() {
+        if self.secret.is_empty() || self.abort.is_some() {
             return None;
         }
         let bytes: Vec<u8> = self.secret.iter().flat_map(|p| p.iter().map(|s| s.value())).collect();
         Some(derive_key(&bytes, "thinair-net session key"))
+    }
+
+    /// Whether the session ran to completion on this node.
+    pub fn completed(&self) -> bool {
+        self.abort.is_none()
+    }
+
+    /// Builds the outcome of a cleanly aborted session.
+    pub fn aborted(
+        session: u64,
+        node: u8,
+        n_packets: usize,
+        reason: AbortReason,
+        trace: Option<SessionTrace>,
+    ) -> Self {
+        SessionOutcome {
+            session,
+            node,
+            l: 0,
+            m: 0,
+            n_packets,
+            secret: Vec::new(),
+            abort: Some(reason),
+            trace,
+        }
     }
 }
 

@@ -23,13 +23,21 @@ use crate::reliable::{Dedup, Reliable};
 use crate::rt;
 use crate::rt::chan::Receiver;
 use crate::session::{
-    accept_report, derive_plan, DataKind, NetError, Reconstructor, SessionConfig, SessionOutcome,
-    XState,
+    accept_report, derive_plan, AbortReason, DataKind, NetError, Reconstructor, SessionConfig,
+    SessionOutcome, XState,
 };
 use crate::transport::{SharedTransport, Transport};
 
 /// Runs one session as terminal `me`. `seed` feeds the terminal's own
 /// x payloads (only used when the schedule gives it packets).
+///
+/// Sessions that cannot complete — deadline passed, a peer's attempt
+/// budget exhausted, a configuration or plan mismatch — terminate with
+/// a *clean abort*: an `Ok` outcome whose [`SessionOutcome::abort`]
+/// names the structured reason. A terminal that derived a secret but
+/// never saw `Fin` aborts and **discards** the secret: without the
+/// final barrier it cannot know the group converged. `Err` is reserved
+/// for infrastructure failures.
 pub async fn run_terminal<T: Transport>(
     t: SharedTransport<T>,
     mut rx: Receiver<Frame>,
@@ -62,14 +70,21 @@ pub async fn run_terminal<T: Transport>(
     let deadline = Instant::now() + cfg.deadline;
     let tick = cfg.retransmit.min(Duration::from_millis(10));
 
+    let aborted =
+        |reason: AbortReason| SessionOutcome::aborted(session, me, n_packets, reason, None);
+
     loop {
         if Instant::now() > deadline {
-            return Err(NetError::Timeout(phase_name(
-                started,
-                report_sent,
-                announce.is_some(),
-                outcome.is_some(),
-            )));
+            // A terminal that derived its secret AND saw Fin has a
+            // converged round — the deadline firing mid-linger must not
+            // retroactively abort it.
+            if fin_seen {
+                if let Some(out) = outcome.take() {
+                    return Ok(out);
+                }
+            }
+            let phase = phase_name(started, report_sent, announce.is_some(), outcome.is_some());
+            return Ok(aborted(AbortReason::Deadline { phase }));
         }
 
         match rt::timeout(tick, rx.recv()).await {
@@ -82,7 +97,7 @@ pub async fn run_terminal<T: Transport>(
                     NetPayload::Start { digest } if frame.sender == cfg.coordinator => {
                         let want = cfg.digest();
                         if digest != want {
-                            return Err(NetError::ConfigMismatch { got: digest, want });
+                            return Ok(aborted(AbortReason::ConfigMismatch { got: digest, want }));
                         }
                         if !started {
                             started = true;
@@ -164,7 +179,7 @@ pub async fn run_terminal<T: Transport>(
                     reports.iter().map(|r| r.clone().expect("all present")).collect();
                 let plan = derive_plan(&cfg, &flat, plan_seed)?;
                 if plan.m() != m || plan.l != l {
-                    return Err(NetError::PlanMismatch);
+                    return Ok(aborted(AbortReason::PlanMismatch));
                 }
                 if l == 0 {
                     // No secret this round; report completion directly.
@@ -175,6 +190,7 @@ pub async fn run_terminal<T: Transport>(
                         m,
                         n_packets,
                         secret: Vec::new(),
+                        abort: None,
                         trace: None,
                     });
                     rel.send(&t, session, NetPayload::Done, &[cfg.coordinator])?;
@@ -201,6 +217,7 @@ pub async fn run_terminal<T: Transport>(
                     m,
                     n_packets,
                     secret,
+                    abort: None,
                     trace: None,
                 });
                 rel.send(&t, session, NetPayload::Done, &[cfg.coordinator])?;
@@ -221,7 +238,17 @@ pub async fn run_terminal<T: Transport>(
         }
 
         if let Err(u) = rel.tick(&t, Instant::now())? {
-            return Err(NetError::Unreachable(u));
+            // Same convergence guard as the deadline exit: after Fin the
+            // round is known converged, so an exhausted attempt budget
+            // (e.g. a permanently killed Done-ACK) must not discard the
+            // secret.
+            if fin_seen {
+                if let Some(out) = outcome.take() {
+                    return Ok(out);
+                }
+            }
+            let reason = AbortReason::Unreachable { missing: u.missing, attempts: u.attempts };
+            return Ok(aborted(reason));
         }
     }
 }

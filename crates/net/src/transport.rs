@@ -24,8 +24,9 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use thinair_netsim::{Medium, TxStats};
+use thinair_netsim::{FaultPlan, Medium, TxStats};
 
+use crate::chaos::{ChaosState, FaultStats};
 use crate::frame::{Frame, MAX_PAYLOAD};
 use crate::udp::AsyncUdpSocket;
 
@@ -233,6 +234,8 @@ struct SimHub<M: Medium> {
     queues: Vec<std::collections::VecDeque<Frame>>,
     stats: TxStats,
     frames: u64,
+    /// Chaos layer (adversarial fault injection); `None` = clean net.
+    chaos: Option<ChaosState>,
 }
 
 /// A shared simulated network that hands out per-node [`SimTransport`]s.
@@ -249,6 +252,25 @@ impl<M: Medium> SimNet<M> {
     /// Wraps a medium; `n_nodes` is the number of protocol nodes
     /// (`medium.node_count() >= n_nodes`).
     pub fn new(medium: M, n_nodes: usize) -> Self {
+        Self::build(medium, n_nodes, None)
+    }
+
+    /// Wraps a medium with an adversarial chaos layer: every frame
+    /// passes through `plan`'s deterministic fault schedule (see
+    /// [`crate::chaos`]). `coordinator` is exempt from the lifecycle
+    /// faults (crash / late join model *terminal* misbehavior).
+    pub fn with_faults(
+        medium: M,
+        n_nodes: usize,
+        plan: FaultPlan,
+        fault_seed: u64,
+        coordinator: u8,
+    ) -> Self {
+        let chaos = (!plan.is_none()).then(|| ChaosState::new(plan, fault_seed, coordinator));
+        Self::build(medium, n_nodes, chaos)
+    }
+
+    fn build(medium: M, n_nodes: usize, chaos: Option<ChaosState>) -> Self {
         assert!(medium.node_count() >= n_nodes, "medium smaller than roster");
         let stats = TxStats::new(medium.node_count());
         SimNet {
@@ -257,6 +279,7 @@ impl<M: Medium> SimNet<M> {
                 queues: (0..n_nodes).map(|_| Default::default()).collect(),
                 stats,
                 frames: 0,
+                chaos,
             })),
             n_nodes,
         }
@@ -283,6 +306,12 @@ impl<M: Medium> SimNet<M> {
     pub fn stats(&self) -> TxStats {
         self.hub.borrow().stats.clone()
     }
+
+    /// Counters of every fault the chaos layer injected (all zero on a
+    /// clean net).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.hub.borrow().chaos.as_ref().map(|c| c.stats.clone()).unwrap_or_default()
+    }
 }
 
 /// Simulated transport endpoint for one node.
@@ -295,7 +324,17 @@ pub struct SimTransport<M: Medium> {
 
 impl<M: Medium> SimTransport<M> {
     fn transmit(&mut self, frame: &Frame, only: Option<u8>) {
-        let mut hub = self.hub.borrow_mut();
+        let mut guard = self.hub.borrow_mut();
+        let hub = &mut *guard;
+        // Lifecycle gate: a node that crashed (in this frame's session)
+        // or has not late-joined yet puts nothing on the air.
+        if let Some(chaos) = hub.chaos.as_mut() {
+            chaos.tick();
+            if !chaos.allow_send(frame) {
+                Self::flush_due(hub);
+                return;
+            }
+        }
         let bits = frame.bits();
         let delivery = hub.medium.transmit(self.node as usize, bits);
         hub.stats.record(self.node as usize, thinair_netsim::stats::TxClass::Data, bits);
@@ -309,8 +348,34 @@ impl<M: Medium> SimTransport<M> {
                     continue;
                 }
             }
-            hub.queues[rx].push_back(frame.clone());
-            crate::rt::notify();
+            match hub.chaos.as_mut() {
+                None => {
+                    hub.queues[rx].push_back(frame.clone());
+                    crate::rt::notify();
+                }
+                Some(chaos) => {
+                    for (delay, copy) in chaos.deliver(frame, self.node, rx as u8) {
+                        if delay == 0 {
+                            hub.queues[rx].push_back(copy);
+                            crate::rt::notify();
+                        } else {
+                            chaos.hold(delay, rx as u8, copy);
+                        }
+                    }
+                }
+            }
+        }
+        Self::flush_due(hub);
+    }
+
+    /// Releases every held-back (delayed/reordered) frame whose release
+    /// point has passed.
+    fn flush_due(hub: &mut SimHub<M>) {
+        if let Some(chaos) = hub.chaos.as_mut() {
+            for (rx, f) in chaos.due() {
+                hub.queues[rx as usize].push_back(f);
+                crate::rt::notify();
+            }
         }
     }
 }

@@ -3,26 +3,74 @@
 //! on — arbitrary and mutated inputs.
 
 use proptest::prelude::*;
-use thinair_core::wire::Message;
+use thinair_core::wire::{Message, SparseRow};
 use thinair_net::frame::{crc32, Frame, NetPayload, FLAG_RELIABLE};
 
-fn arb_payload() -> impl Strategy<Value = NetPayload> {
+/// A reception report whose bitmap length matches `n_packets` (the wire
+/// format derives the byte count from the packet count).
+fn arb_report() -> impl Strategy<Value = Message> {
+    (any::<u8>(), 0u16..300).prop_flat_map(|(terminal, n_packets)| {
+        proptest::collection::vec(any::<u8>(), (n_packets as usize).div_ceil(8))
+            .prop_map(move |bitmap| Message::ReceptionReport { terminal, n_packets, bitmap })
+    })
+}
+
+/// Sparse rows keep `support` and `coeffs` parallel (the wire format
+/// encodes one length for both).
+fn arb_sparse_row() -> impl Strategy<Value = SparseRow> {
+    proptest::collection::vec((any::<u16>(), any::<u8>()), 0..12).prop_map(|pairs| {
+        let (support, coeffs) = pairs.into_iter().unzip();
+        SparseRow { support, coeffs }
+    })
+}
+
+/// Row matrices with one shared row width (the wire format encodes the
+/// width once).
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    (0usize..6, 0usize..24).prop_flat_map(|(rows, width)| {
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), width), rows)
+    })
+}
+
+/// Every [`Message`] variant, honouring the wire format's structural
+/// invariants so each generated message round-trips.
+fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..120)).prop_map(
-            |(id, owner, payload)| NetPayload::Proto(Message::XPacket { id, owner, payload })
-        ),
+        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..120))
+            .prop_map(|(id, owner, payload)| Message::XPacket { id, owner, payload }),
+        arb_report(),
+        proptest::collection::vec(arb_sparse_row(), 0..6)
+            .prop_map(|rows| Message::YAnnounce { rows }),
         (
             any::<u16>(),
             proptest::collection::vec(any::<u8>(), 0..24),
             proptest::collection::vec(any::<u8>(), 0..120)
         )
-            .prop_map(|(index, coeffs, payload)| NetPayload::Proto(Message::ZPacket {
+            .prop_map(|(index, coeffs, payload)| Message::ZPacket {
                 index,
                 coeffs,
                 payload
-            })),
-        (any::<u64>(), any::<u16>(), any::<u16>())
-            .prop_map(|(seed, m, l)| NetPayload::Proto(Message::PlanAnnounce { seed, m, l })),
+            }),
+        arb_rows().prop_map(|rows| Message::SAnnounce { rows }),
+        (any::<u8>(), arb_rows())
+            .prop_map(|(terminal, payloads)| Message::PadDelivery { terminal, payloads }),
+        (any::<u64>(), any::<u16>(), any::<u16>()).prop_map(|(seed, m, l)| Message::PlanAnnounce {
+            seed,
+            m,
+            l
+        }),
+        (proptest::collection::vec(any::<u8>(), 0..80), proptest::collection::vec(any::<u8>(), 32))
+            .prop_map(|(inner, tag_bytes)| {
+                let mut tag = [0u8; 32];
+                tag.copy_from_slice(&tag_bytes);
+                Message::Authenticated { inner, tag }
+            }),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = NetPayload> {
+    prop_oneof![
+        arb_message().prop_map(NetPayload::Proto),
         any::<u32>().prop_map(|seq| NetPayload::Ack { seq }),
         any::<u64>().prop_map(|digest| NetPayload::Start { digest }),
         Just(NetPayload::Done),
@@ -91,5 +139,53 @@ proptest! {
         let crc = crc32(&enc[..body_len]).to_be_bytes();
         enc[body_len..].copy_from_slice(&crc);
         let _ = Frame::decode(&enc);
+    }
+
+    /// Splices of two valid frames (prefix of one + suffix of the
+    /// other) never panic, and are rejected unless the splice happens
+    /// to reproduce one of the originals byte-for-byte — corruption is
+    /// never *silently* accepted.
+    #[test]
+    fn spliced_frames_are_rejected_or_identical(
+        a in arb_frame(),
+        b in arb_frame(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ea = a.encode();
+        let eb = b.encode();
+        let cut = ((ea.len().min(eb.len()) as f64) * cut_frac) as usize;
+        let spliced: Vec<u8> = ea[..cut].iter().chain(eb[cut..].iter()).copied().collect();
+        match Frame::decode(&spliced) {
+            Err(_) => {}
+            Ok(got) => {
+                // Only acceptable if the splice reconstructed a valid
+                // frame verbatim (e.g. identical prefixes).
+                prop_assert!(
+                    spliced == ea[..] || spliced == eb[..],
+                    "novel spliced bytes decoded to {got:?}"
+                );
+            }
+        }
+    }
+
+    /// Double-bit flips across the whole datagram (header, payload and
+    /// CRC) are rejected or decode to the identical frame — never
+    /// silently accepted as something else, never a panic.
+    #[test]
+    fn double_bit_flips_never_silently_mutate(
+        frame in arb_frame(),
+        bit_a in any::<u32>(),
+        bit_b in any::<u32>(),
+    ) {
+        let enc = frame.encode();
+        let bits = enc.len() * 8;
+        let (a, b) = ((bit_a as usize) % bits, (bit_b as usize) % bits);
+        let mut bad = enc.to_vec();
+        bad[a / 8] ^= 1 << (a % 8);
+        bad[b / 8] ^= 1 << (b % 8);
+        match Frame::decode(&bad) {
+            Err(_) => {}
+            Ok(got) => prop_assert_eq!(got, frame, "double flip at bits {}/{} accepted", a, b),
+        }
     }
 }

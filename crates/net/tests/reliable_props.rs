@@ -1,0 +1,165 @@
+//! Property tests for the control-plane reliability layer: sequence
+//! wraparound, duplicate/reordered/forged ACKs, and replay-flood
+//! resistance of the receive-side dedup window.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use thinair_net::frame::NetPayload;
+use thinair_net::reliable::{Dedup, Reliable, ReplayWindow, DEDUP_WINDOW};
+use thinair_net::transport::{SharedTransport, SimNet};
+use thinair_netsim::IidMedium;
+
+/// A lossless two-node sim with `t0` the sender, `t1` the receiver.
+fn pair() -> (
+    SharedTransport<impl thinair_net::transport::Transport>,
+    SharedTransport<impl thinair_net::transport::Transport>,
+) {
+    let net = SimNet::new(IidMedium::symmetric(3, 0.0, 1), 2);
+    (SharedTransport::new(net.transport(0)), SharedTransport::new(net.transport(1)))
+}
+
+proptest! {
+    /// Fresh in-window sequences are admitted exactly once, regardless
+    /// of where the stream sits relative to u32 wraparound.
+    #[test]
+    fn window_admits_each_fresh_seq_once(start in any::<u32>(), count in 1usize..400) {
+        let mut w = ReplayWindow::new();
+        for i in 0..count as u32 {
+            let seq = start.wrapping_add(i);
+            prop_assert!(w.admit(seq), "seq {seq} should be fresh");
+            prop_assert!(!w.admit(seq), "seq {seq} replayed immediately");
+        }
+        // Replaying the most recent window's worth is always rejected.
+        let newest = start.wrapping_add(count as u32 - 1);
+        let lookback = (count as u32).min(DEDUP_WINDOW);
+        for back in 0..lookback {
+            prop_assert!(!w.admit(newest.wrapping_sub(back)));
+        }
+    }
+
+    /// Reordered arrivals inside the window are each fresh exactly once.
+    #[test]
+    fn window_tolerates_reordering(start in any::<u32>(), swap_at in 1u32..200) {
+        let mut w = ReplayWindow::new();
+        // Deliver [0, swap_at) in order, then swap_at+1 before swap_at.
+        for i in 0..swap_at {
+            prop_assert!(w.admit(start.wrapping_add(i)));
+        }
+        let late = start.wrapping_add(swap_at);
+        let early = start.wrapping_add(swap_at + 1);
+        prop_assert!(w.admit(early), "newer frame first");
+        prop_assert!(w.admit(late), "older in-window frame is still fresh");
+        prop_assert!(!w.admit(late), "but only once");
+        prop_assert!(!w.admit(early));
+    }
+
+    /// Under a replay flood, sequences older than the window are
+    /// treated as duplicates — the flood can neither re-admit ancient
+    /// frames nor grow state.
+    #[test]
+    fn window_evicts_under_replay_floods(start in any::<u32>(), flood in 1u32..5000) {
+        let mut w = ReplayWindow::new();
+        prop_assert!(w.admit(start));
+        // Advance the horizon far past the window.
+        let jump = start.wrapping_add(DEDUP_WINDOW + flood);
+        prop_assert!(w.admit(jump));
+        // The original and everything that fell off the window is dead.
+        prop_assert!(!w.admit(start), "ancient seq re-admitted");
+        prop_assert!(!w.admit(jump.wrapping_sub(DEDUP_WINDOW)), "edge-of-window seq re-admitted");
+        // In-window history is still tracked exactly.
+        prop_assert!(w.admit(jump.wrapping_sub(1)));
+        prop_assert!(!w.admit(jump.wrapping_sub(1)));
+    }
+
+    /// The sender side retires an entry only when every targeted peer
+    /// acknowledged; ACKs from non-targeted peers and for unknown seqs
+    /// are no-ops, and duplicate ACKs are harmless — across wraparound.
+    #[test]
+    fn reliable_acks_by_the_right_peers_only(first_seq in any::<u32>(), dup in 0usize..4) {
+        let (t0, _t1) = pair();
+        let mut rel = Reliable::with_first_seq(Duration::from_millis(5), 8, first_seq.max(1));
+        let seq = rel.send(&t0, 1, NetPayload::Done, &[1, 2]).unwrap();
+        prop_assert!(!rel.acked(seq));
+        // A forged ACK from a peer that was never targeted: no-op.
+        rel.on_ack(3, seq);
+        // An ACK for a sequence that was never sent: no-op.
+        rel.on_ack(1, seq.wrapping_add(7));
+        prop_assert!(!rel.acked(seq));
+        // Peer 1 acks (possibly repeatedly).
+        for _ in 0..=dup {
+            rel.on_ack(1, seq);
+        }
+        prop_assert!(!rel.acked(seq), "peer 2 is still pending");
+        rel.on_ack(2, seq);
+        prop_assert!(rel.acked(seq));
+        prop_assert!(rel.idle());
+    }
+
+    /// Sequence allocation never hands out 0 (reserved for ACK frames),
+    /// even across the wraparound point.
+    #[test]
+    fn next_seq_skips_zero_on_wrap(offset in 0u32..4) {
+        let (t0, _t1) = pair();
+        let mut rel =
+            Reliable::with_first_seq(Duration::from_millis(5), 8, u32::MAX - offset);
+        for _ in 0..8 {
+            let seq = rel.send(&t0, 1, NetPayload::Fin, &[1]).unwrap();
+            prop_assert!(seq != 0, "seq 0 must stay reserved for acks");
+            rel.on_ack(1, seq);
+        }
+    }
+}
+
+/// End-to-end: a reliable frame near the wraparound point is delivered,
+/// deduplicated, and acked through the real transport path.
+#[test]
+fn dedup_and_ack_work_across_wraparound() {
+    thinair_net::rt::block_on(async {
+        let (t0, t1) = pair();
+        let mut rel = Reliable::with_first_seq(Duration::from_millis(1), 10, u32::MAX);
+        let mut dedup = Dedup::new(2);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let seq = rel.send(&t0, 9, NetPayload::Done, &[1]).unwrap();
+            seen.push(seq);
+            let f = t1.recv().await.unwrap();
+            assert!(dedup.admit(&t1, &f).unwrap(), "first copy of {seq} is fresh");
+            // Simulate a retransmission of the same frame.
+            t0.send_to(1, &f).unwrap();
+            let dup = t1.recv().await.unwrap();
+            assert!(!dedup.admit(&t1, &dup).unwrap(), "retransmission of {seq} deduped");
+            // Route both acks back to the sender.
+            for _ in 0..2 {
+                let a = t0.recv().await.unwrap();
+                if let NetPayload::Ack { seq: s } = a.payload {
+                    rel.on_ack(a.sender, s);
+                }
+            }
+            assert!(rel.acked(seq));
+        }
+        assert_eq!(seen, vec![u32::MAX, 1, 2, 3], "wraparound skips the reserved 0");
+    });
+}
+
+/// The retransmit budget still reports unreachable peers when ACKs are
+/// forged from the wrong peer id.
+#[test]
+fn wrong_peer_acks_do_not_satisfy_the_barrier() {
+    let (t0, _t1) = pair();
+    let mut rel = Reliable::new(Duration::from_micros(10), 3);
+    let seq = rel.send(&t0, 1, NetPayload::Fin, &[1]).unwrap();
+    // Peer 0 (ourselves) and an out-of-roster peer ack; peer 1 never does.
+    rel.on_ack(0, seq);
+    rel.on_ack(200, seq);
+    let mut last = Ok(());
+    for _ in 0..10 {
+        std::thread::sleep(Duration::from_micros(50));
+        last = rel.tick(&t0, Instant::now()).unwrap();
+        if last.is_err() {
+            break;
+        }
+    }
+    let err = last.unwrap_err();
+    assert_eq!(err.missing, vec![1]);
+}

@@ -1,17 +1,378 @@
-//! Fault injection on top of any medium.
+//! Fault injection: from a blunt lossy wrapper to a composable plan.
 //!
-//! Mirrors the `--drop-chance` / `--corrupt-chance` knobs that the
-//! networking guides (smoltcp's examples) recommend every stack expose:
-//! a wrapper that degrades an inner [`Medium`] so tests can exercise
-//! adverse conditions without touching the physical model. Corrupted
-//! packets are counted separately but treated as erasures — a real 802.11
-//! receiver drops frames whose FCS fails, so above the MAC a corruption
-//! *is* a loss.
+//! Two generations live here:
+//!
+//! * [`FaultyMedium`] — the original wrapper that degrades an inner
+//!   [`Medium`] with extra drop/corrupt probabilities (the
+//!   `--drop-chance` / `--corrupt-chance` knobs the networking guides
+//!   recommend every stack expose). Corruption is treated as an erasure
+//!   above the MAC, exactly like a failed 802.11 FCS.
+//! * [`FaultPlan`] — the chaos-layer specification consumed by
+//!   `thinair-net`'s simulated transport. A plan composes per-frame
+//!   faults (drop, bit-corrupt, duplicate, reorder, delay jitter),
+//!   per-link burst partitions, and per-node lifecycle faults (crash
+//!   mid-session, late join). Like [`crate::erasure::ErasureModel`], a
+//!   plan is a pure *specification*: every decision is a
+//!   [`splitmix64`] hash of `(seed, link, session, frame index)` — the
+//!   frame index being the frame's position in its sender's sequence —
+//!   so a fault schedule is reproducible bit-for-bit, independent of
+//!   task scheduling, and *consistent across retransmissions* (a frame
+//!   the plan kills stays killed; that is what makes a dropped control
+//!   frame behave like a burst partition instead of averaging out).
+//!
+//! The class taxonomy ([`FrameClass`]) gates which faults apply where:
+//!
+//! * `X` (phase-1 data plane): drop/corrupt/duplicate, never delay —
+//!   x receptions must stay a pure function of the configuration, and a
+//!   delayed x-packet racing the reception-report cut would make the
+//!   outcome timing-dependent.
+//! * `Z` (phase-2 fountain): all frame faults — the fountain absorbs
+//!   loss and reordering by construction.
+//! * `Control` / `Ack`: all frame faults — the reliable layer must
+//!   absorb duplication, reordering and jitter, and permanently killed
+//!   frames must surface as clean structured aborts, never hangs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::erasure::splitmix64;
 use crate::medium::{Delivery, Medium, NodeId};
+
+// ---------------------------------------------------------------------------
+// The chaos-layer specification
+// ---------------------------------------------------------------------------
+
+/// What kind of frame a fault decision applies to (the injector's
+/// abstraction of the `thinair-net` payload kinds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Reliable control plane (start barrier, reports, plan, done, fin).
+    Control,
+    /// Acknowledgement frames (keyed by the sequence they acknowledge).
+    Ack,
+    /// Phase-1 x-packets (plain broadcast data plane).
+    X,
+    /// Phase-2 z-fountain combos.
+    Z,
+}
+
+/// Per-frame fault verdict for one `(link, frame)` pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameFaults {
+    /// Suppress delivery entirely.
+    pub drop: bool,
+    /// Flip bits in the encoded frame before delivery (the receiver's
+    /// CRC/decode must reject it — asserted by tests, never assumed).
+    pub corrupt: bool,
+    /// Deliver a second copy.
+    pub duplicate: bool,
+    /// Hold the frame back for this many subsequent transmissions
+    /// (0 = deliver immediately; 1 = classic reordering swap).
+    pub delay: u32,
+}
+
+/// Delay-jitter knob: with probability `prob`, hold a frame back by
+/// `1..=max_frames` transmissions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelaySpec {
+    /// Probability that a frame is jittered.
+    pub prob: f64,
+    /// Maximum hold-back, in subsequent transmissions.
+    pub max_frames: u32,
+}
+
+/// Terminal-crash knob: a selected node goes permanently silent (sends
+/// swallowed, deliveries suppressed) for one session, the moment it
+/// transmits its frame with sequence number `after_seq` — a protocol
+/// milestone, so the crash point is scheduler-independent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashSpec {
+    /// Probability that a given `(session, terminal)` crashes.
+    pub prob: f64,
+    /// Restrict the fault to one node id (`None`: any terminal, chosen
+    /// by hash).
+    pub node: Option<usize>,
+    /// The sender-sequence number whose transmission triggers the crash
+    /// (must be `>= 1`; acks carry seq 0 and never trigger).
+    pub after_seq: u32,
+}
+
+/// Late-join knob: a selected node is deaf (deliveries suppressed) for
+/// the first `after_frames` frames addressed to it in that session,
+/// then wakes. Because the coordinator's start barrier blocks all other
+/// traffic until the sleeper acknowledges `Start`, the suppressed
+/// frames are retransmitted `Start` copies — so a late join is a
+/// *survivable* fault (the barrier brings the node up to speed and the
+/// session completes), unlike a crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinSpec {
+    /// Probability that a given `(session, terminal)` joins late.
+    pub prob: f64,
+    /// Restrict the fault to one node id (`None`: any terminal).
+    pub node: Option<usize>,
+    /// How many deliveries to the node are suppressed before it wakes.
+    pub after_frames: u32,
+}
+
+/// A composable adversarial fault schedule.
+///
+/// All probabilities are per-frame (or per `(session, link)` /
+/// `(session, node)` for partitions and lifecycle faults). The default
+/// plan injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Per-frame permanent drop probability. Keyed by frame identity,
+    /// so retransmissions of a dropped frame are dropped too — a killed
+    /// control frame becomes a deterministic abort, not noise.
+    pub drop: f64,
+    /// Per-frame bit-corruption probability (same permanence as `drop`;
+    /// exercises the CRC/decode rejection path on every copy).
+    pub corrupt: f64,
+    /// Per-frame duplication probability.
+    pub duplicate: f64,
+    /// Per-frame probability of a one-slot reorder (hold behind the
+    /// next transmission). Not applied to [`FrameClass::X`].
+    pub reorder: f64,
+    /// Delay jitter. Not applied to [`FrameClass::X`].
+    pub delay: Option<DelaySpec>,
+    /// Per-`(session, link)` burst-partition probability: a partitioned
+    /// directed link delivers nothing for that entire session.
+    pub partition: f64,
+    /// Terminal crash mid-session.
+    pub crash: Option<CrashSpec>,
+    /// Terminal joining late.
+    pub late_join: Option<JoinSpec>,
+}
+
+// Distinct salts per fault dimension so the decisions are independent.
+const SALT_DROP: u64 = 0xD0;
+const SALT_CORRUPT: u64 = 0xC0;
+const SALT_DUP: u64 = 0xD7;
+const SALT_REORDER: u64 = 0x0E;
+const SALT_DELAY: u64 = 0xDE;
+const SALT_PARTITION: u64 = 0xBA;
+const SALT_CRASH: u64 = 0xCA;
+const SALT_JOIN: u64 = 0x10;
+
+/// Mixes a fault-decision key. `index` is the frame's position in its
+/// sender's stream (its sequence number; for acks, the acked sequence).
+fn key(seed: u64, salt: u64, link: (usize, usize), session: u64, index: u64) -> u64 {
+    splitmix64(
+        seed ^ salt.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+            ^ (link.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (link.1 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ session.rotate_left(17)
+            ^ index.wrapping_mul(0xA24B_AED4_963E_E407),
+    )
+}
+
+impl FrameClass {
+    /// A per-class discriminant folded into every verdict key, so a
+    /// z-combo with index `k` and a control frame with seq `k` on the
+    /// same link draw independent fates.
+    fn salt(self) -> u64 {
+        match self {
+            FrameClass::Control => 0x11,
+            FrameClass::Ack => 0x22,
+            FrameClass::X => 0x33,
+            FrameClass::Z => 0x44,
+        }
+    }
+}
+
+/// Uniform draw in `[0, 1)` from a mixed key.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Deterministic randomness for *which bit* an injector flips in a
+/// frame whose corrupt verdict fired — kept here, next to the verdict's
+/// own key mixing, so the two streams can never drift apart. The
+/// caller reduces the value modulo the frame's bit length.
+pub fn corrupt_bit_seed(seed: u64, link: (usize, usize), session: u64, index: u64) -> u64 {
+    key(seed, SALT_CORRUPT ^ 0xB1_7500, link, session, index)
+}
+
+impl FaultPlan {
+    /// The no-fault plan (also [`Default`]).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Checks every probability and spec parameter.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let unit_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if ![self.drop, self.corrupt, self.duplicate, self.reorder, self.partition]
+            .iter()
+            .all(|&p| unit_ok(p))
+        {
+            return Err("fault probability out of range");
+        }
+        if let Some(d) = self.delay {
+            if !unit_ok(d.prob) {
+                return Err("delay probability out of range");
+            }
+            if d.max_frames == 0 {
+                return Err("delay max_frames must be >= 1");
+            }
+        }
+        if let Some(c) = self.crash {
+            if !unit_ok(c.prob) {
+                return Err("crash probability out of range");
+            }
+            if c.after_seq == 0 {
+                return Err("crash after_seq must be >= 1 (seq 0 is reserved for acks)");
+            }
+        }
+        if let Some(j) = self.late_join {
+            if !unit_ok(j.prob) {
+                return Err("late-join probability out of range");
+            }
+            if j.after_frames == 0 {
+                return Err("late-join after_frames must be >= 1");
+            }
+        }
+        Ok(())
+    }
+
+    /// A short stable tag for scenario names (`"clean"` for no faults).
+    pub fn tag(&self) -> String {
+        if self.is_none() {
+            return "clean".into();
+        }
+        let mut parts = Vec::new();
+        if self.drop > 0.0 {
+            parts.push(format!("dr{:.2}", self.drop));
+        }
+        if self.corrupt > 0.0 {
+            parts.push(format!("co{:.2}", self.corrupt));
+        }
+        if self.duplicate > 0.0 {
+            parts.push(format!("du{:.2}", self.duplicate));
+        }
+        if self.reorder > 0.0 {
+            parts.push(format!("re{:.2}", self.reorder));
+        }
+        if let Some(d) = self.delay {
+            parts.push(format!("je{:.2}x{}", d.prob, d.max_frames));
+        }
+        if self.partition > 0.0 {
+            parts.push(format!("pa{:.2}", self.partition));
+        }
+        if let Some(c) = self.crash {
+            parts.push(format!("cr{:.2}@{}", c.prob, c.after_seq));
+        }
+        if let Some(j) = self.late_join {
+            parts.push(format!("lj{:.2}@{}", j.prob, j.after_frames));
+        }
+        parts.join("_")
+    }
+
+    /// The plan's parameters as a fixed-order list (for digests and the
+    /// soak artifact).
+    pub fn params(&self) -> Vec<f64> {
+        let d = self.delay.unwrap_or(DelaySpec { prob: 0.0, max_frames: 0 });
+        let c = self.crash.unwrap_or(CrashSpec { prob: 0.0, node: None, after_seq: 0 });
+        let j = self.late_join.unwrap_or(JoinSpec { prob: 0.0, node: None, after_frames: 0 });
+        vec![
+            self.drop,
+            self.corrupt,
+            self.duplicate,
+            self.reorder,
+            d.prob,
+            d.max_frames as f64,
+            self.partition,
+            c.prob,
+            c.node.map(|n| n as f64).unwrap_or(-1.0),
+            c.after_seq as f64,
+            j.prob,
+            j.node.map(|n| n as f64).unwrap_or(-1.0),
+            j.after_frames as f64,
+        ]
+    }
+
+    /// The fault verdict for one frame instance on one directed link.
+    ///
+    /// Pure function of `(seed, link, session, index, class)`: the same
+    /// frame retransmitted over the same link draws the identical
+    /// verdict. `index` is the frame's sender-sequence number (for
+    /// acks: the acknowledged sequence), i.e. its index in the sender's
+    /// frame stream.
+    pub fn frame_faults(
+        &self,
+        seed: u64,
+        link: (usize, usize),
+        session: u64,
+        index: u64,
+        class: FrameClass,
+    ) -> FrameFaults {
+        let mut f = FrameFaults::default();
+        let ck = |salt: u64| key(seed, salt ^ class.salt().rotate_left(40), link, session, index);
+        if self.drop > 0.0 && unit(ck(SALT_DROP)) < self.drop {
+            f.drop = true;
+            return f;
+        }
+        if self.corrupt > 0.0 && unit(ck(SALT_CORRUPT)) < self.corrupt {
+            f.corrupt = true;
+        }
+        if self.duplicate > 0.0 && unit(ck(SALT_DUP)) < self.duplicate {
+            f.duplicate = true;
+        }
+        // Delay-class faults never touch x-packets (see module docs).
+        if class != FrameClass::X {
+            if self.reorder > 0.0 && unit(ck(SALT_REORDER)) < self.reorder {
+                f.delay = 1;
+            }
+            if let Some(d) = self.delay {
+                let h = ck(SALT_DELAY);
+                if unit(h) < d.prob {
+                    f.delay = f.delay.max(1 + (h >> 33) as u32 % d.max_frames);
+                }
+            }
+        }
+        f
+    }
+
+    /// Whether the directed link is blacked out for the whole session.
+    pub fn partitioned(&self, seed: u64, link: (usize, usize), session: u64) -> bool {
+        self.partition > 0.0 && unit(key(seed, SALT_PARTITION, link, session, 0)) < self.partition
+    }
+
+    /// If `(session, node)` is scheduled to crash, the sender-sequence
+    /// number whose transmission triggers it.
+    pub fn crash_after(&self, seed: u64, session: u64, node: usize) -> Option<u32> {
+        let c = self.crash?;
+        if let Some(only) = c.node {
+            if only != node {
+                return None;
+            }
+        }
+        let h = key(seed, SALT_CRASH, (node, node), session, 0);
+        (unit(h) < c.prob).then_some(c.after_seq)
+    }
+
+    /// If `(session, node)` is scheduled to join late, the number of
+    /// deliveries suppressed before it wakes.
+    pub fn join_after(&self, seed: u64, session: u64, node: usize) -> Option<u32> {
+        let j = self.late_join?;
+        if let Some(only) = j.node {
+            if only != node {
+                return None;
+            }
+        }
+        let h = key(seed, SALT_JOIN, (node, node), session, 0);
+        (unit(h) < j.prob).then_some(j.after_frames)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The legacy medium wrapper
+// ---------------------------------------------------------------------------
 
 /// A [`Medium`] wrapper that injects extra packet loss.
 #[derive(Clone, Debug)]
@@ -138,5 +499,168 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_chance_rejected() {
         let _ = FaultyMedium::new(IidMedium::symmetric(2, 0.0, 1), -0.1, 0.0, 0);
+    }
+
+    // -- FaultPlan ----------------------------------------------------------
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan {
+            drop: 0.2,
+            corrupt: 0.1,
+            duplicate: 0.3,
+            reorder: 0.2,
+            delay: Some(DelaySpec { prob: 0.25, max_frames: 4 }),
+            partition: 0.1,
+            crash: Some(CrashSpec { prob: 0.5, node: None, after_seq: 1 }),
+            late_join: Some(JoinSpec { prob: 0.5, node: None, after_frames: 5 }),
+        }
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert_eq!(p.validate(), Ok(()));
+        for idx in 0..200u64 {
+            let f = p.frame_faults(1, (0, 1), 9, idx, FrameClass::Control);
+            assert_eq!(f, FrameFaults::default());
+        }
+        assert!(!p.partitioned(1, (0, 1), 9));
+        assert_eq!(p.crash_after(1, 9, 2), None);
+        assert_eq!(p.join_after(1, 9, 2), None);
+        assert_eq!(p.tag(), "clean");
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(FaultPlan { drop: 1.5, ..FaultPlan::none() }.validate().is_err());
+        assert!(FaultPlan {
+            delay: Some(DelaySpec { prob: 0.5, max_frames: 0 }),
+            ..FaultPlan::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            crash: Some(CrashSpec { prob: 0.5, node: None, after_seq: 0 }),
+            ..FaultPlan::none()
+        }
+        .validate()
+        .is_err());
+        assert!(busy_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_and_seed_sensitive() {
+        let p = busy_plan();
+        let a: Vec<FrameFaults> =
+            (0..500).map(|i| p.frame_faults(7, (0, 2), 3, i, FrameClass::Control)).collect();
+        let b: Vec<FrameFaults> =
+            (0..500).map(|i| p.frame_faults(7, (0, 2), 3, i, FrameClass::Control)).collect();
+        assert_eq!(a, b, "same key, same verdicts");
+        let c: Vec<FrameFaults> =
+            (0..500).map(|i| p.frame_faults(8, (0, 2), 3, i, FrameClass::Control)).collect();
+        assert_ne!(a, c, "a different seed reshuffles the schedule");
+        let d: Vec<FrameFaults> =
+            (0..500).map(|i| p.frame_faults(7, (0, 1), 3, i, FrameClass::Control)).collect();
+        assert_ne!(a, d, "links draw independent schedules");
+    }
+
+    #[test]
+    fn fault_rates_are_plausible() {
+        let p = FaultPlan { drop: 0.3, duplicate: 0.2, ..FaultPlan::none() };
+        let n = 20_000u64;
+        let mut drops = 0;
+        let mut dups = 0;
+        for i in 0..n {
+            let f = p.frame_faults(11, (1, 0), 5, i, FrameClass::Z);
+            drops += f.drop as u64;
+            dups += f.duplicate as u64;
+        }
+        let dr = drops as f64 / n as f64;
+        let du = dups as f64 / n as f64;
+        assert!((dr - 0.3).abs() < 0.02, "drop rate {dr}");
+        // Duplication is only evaluated for non-dropped frames.
+        assert!((du - 0.2 * 0.7).abs() < 0.02, "dup rate {du}");
+    }
+
+    #[test]
+    fn frame_classes_draw_independent_verdicts() {
+        // z-combos carry their combo index as frame seq, so a z frame
+        // and a control frame can share (link, session, index); their
+        // fates must still be independent.
+        let p = FaultPlan { drop: 0.5, ..FaultPlan::none() };
+        let control: Vec<bool> =
+            (0..500).map(|i| p.frame_faults(5, (0, 1), 2, i, FrameClass::Control).drop).collect();
+        let z: Vec<bool> =
+            (0..500).map(|i| p.frame_faults(5, (0, 1), 2, i, FrameClass::Z).drop).collect();
+        assert_ne!(control, z, "classes must not share drop schedules");
+        let agree = control.iter().zip(z.iter()).filter(|(a, b)| a == b).count();
+        assert!((150..350).contains(&agree), "correlated schedules: {agree}/500 agree");
+    }
+
+    #[test]
+    fn x_frames_are_never_delayed() {
+        let p = FaultPlan {
+            reorder: 1.0,
+            delay: Some(DelaySpec { prob: 1.0, max_frames: 8 }),
+            ..FaultPlan::none()
+        };
+        for i in 0..100 {
+            assert_eq!(p.frame_faults(3, (0, 1), 2, i, FrameClass::X).delay, 0);
+            assert!(p.frame_faults(3, (0, 1), 2, i, FrameClass::Z).delay >= 1);
+        }
+    }
+
+    #[test]
+    fn delay_bounds_respect_the_spec() {
+        let p =
+            FaultPlan { delay: Some(DelaySpec { prob: 1.0, max_frames: 5 }), ..FaultPlan::none() };
+        let mut seen_max = 0;
+        for i in 0..2_000 {
+            let d = p.frame_faults(9, (2, 1), 4, i, FrameClass::Control).delay;
+            assert!((1..=5).contains(&d), "delay {d}");
+            seen_max = seen_max.max(d);
+        }
+        assert_eq!(seen_max, 5, "the full jitter range should be exercised");
+    }
+
+    #[test]
+    fn lifecycle_faults_select_nodes_deterministically() {
+        let p = busy_plan();
+        for node in 0..6 {
+            for session in 1..40u64 {
+                assert_eq!(p.crash_after(5, session, node), p.crash_after(5, session, node));
+                assert_eq!(p.join_after(5, session, node), p.join_after(5, session, node));
+            }
+        }
+        // prob 0.5 over 40 sessions: both outcomes must occur.
+        let crashed = (1..=40u64).filter(|&s| p.crash_after(5, s, 1).is_some()).count();
+        assert!(crashed > 5 && crashed < 35, "crashed {crashed}/40");
+        // The node filter restricts the fault to one id.
+        let only2 = FaultPlan {
+            crash: Some(CrashSpec { prob: 1.0, node: Some(2), after_seq: 3 }),
+            ..FaultPlan::none()
+        };
+        assert_eq!(only2.crash_after(1, 1, 2), Some(3));
+        assert_eq!(only2.crash_after(1, 1, 1), None);
+    }
+
+    #[test]
+    fn partitions_are_per_session_per_link() {
+        let p = FaultPlan { partition: 0.5, ..FaultPlan::none() };
+        let hits = (1..=200u64).filter(|&s| p.partitioned(3, (0, 1), s)).count();
+        assert!(hits > 60 && hits < 140, "partition rate {hits}/200");
+        // Directionality matters.
+        let fwd: Vec<bool> = (1..=50).map(|s| p.partitioned(3, (0, 1), s)).collect();
+        let rev: Vec<bool> = (1..=50).map(|s| p.partitioned(3, (1, 0), s)).collect();
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn tags_name_the_active_axes() {
+        let t = busy_plan().tag();
+        for needle in ["dr0.20", "co0.10", "du0.30", "re0.20", "je0.25x4", "pa0.10", "cr", "lj"] {
+            assert!(t.contains(needle), "{t} missing {needle}");
+        }
     }
 }

@@ -28,9 +28,12 @@
 //!   [`erasure::ErasureProcess`] trait (iid, Gilbert-Elliott burst loss),
 //!   consumable as deterministic patterns or as [`erasure::ErasureMedium`];
 //!   the loss abstraction the `thinair-scenario` experiment engine sweeps.
-//! * [`fault`] — fault-injection wrapper (extra drop probability, FCS
-//!   corruption), in the spirit of the fault-injection knobs the Rust
-//!   networking guides recommend for every example.
+//! * [`fault`] — fault injection: the legacy lossy-medium wrapper plus
+//!   [`fault::FaultPlan`], the composable chaos-layer specification
+//!   (drop, corrupt, duplicate, reorder, delay jitter, burst partitions,
+//!   terminal crash / late join) whose every decision is a pure
+//!   [`splitmix64`] function of `(seed, link, session, frame index)` —
+//!   consumed by `thinair-net`'s simulated transport.
 //! * [`reliable`] — reliable broadcast (ACK + retransmission) with exact
 //!   bit accounting, the primitive the paper writes as "reliably
 //!   broadcasts".
@@ -78,7 +81,7 @@ pub mod trace;
 
 pub use channel::{GeoMedium, GeoMediumConfig};
 pub use erasure::{splitmix64, ErasureMedium, ErasureModel, ErasureProcess};
-pub use fault::FaultyMedium;
+pub use fault::{CrashSpec, DelaySpec, FaultPlan, FaultyMedium, FrameClass, FrameFaults, JoinSpec};
 pub use geom::Point;
 pub use iid::IidMedium;
 pub use medium::{Delivery, Medium, NodeId};

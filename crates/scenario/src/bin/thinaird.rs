@@ -35,7 +35,10 @@ use thinair_net::node::Node;
 use thinair_net::rt;
 use thinair_net::session::SessionConfig;
 use thinair_net::transport::UdpTransport;
-use thinair_scenario::{full_grid, run_specs, smoke_specs, summary_table, write_json};
+use thinair_scenario::{
+    full_grid, run_soak_specs, run_specs, smoke_specs, soak_smoke_specs, soak_specs,
+    soak_summary_table, summary_table, write_json, write_soak_json,
+};
 
 const USAGE: &str = "\
 thinaird — thinair node daemon (secret agreement over UDP)
@@ -44,6 +47,7 @@ USAGE:
     thinaird <coordinator|terminal> --node <ID> --peers <A0,A1,...> [OPTIONS]
     thinaird demo [OPTIONS]
     thinaird bench-scenario [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
+    thinaird bench-soak [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
 
 ROLES:
     coordinator        run node <ID> as the round coordinator (Alice)
@@ -52,6 +56,10 @@ ROLES:
     bench-scenario     sweep scenario configs (many concurrent simulated
                        sessions each), compare measured efficiency against
                        the closed-form model, write BENCH_scenarios.json
+    bench-soak         drive hundreds of sessions across an adversarial
+                       fault grid (reorder, duplication, corruption, delay
+                       jitter, partitions, crash, late join), audit the
+                       safety invariant per session, write BENCH_soak.json
 
 OPTIONS:
     --node <ID>        this node's id (index into --peers)       [required for roles]
@@ -69,8 +77,9 @@ OPTIONS:
     --coordinator-id <ID>  which node coordinates                 [default: 0]
     --deadline-ms <MS> session deadline                           [default: 30000]
     --estimator <E>    leave-one-out | fraction:<F>               [default: leave-one-out]
-    --smoke            bench-scenario only: the 4-config CI sweep
-    --out <PATH>       bench-scenario only: artifact path [default: BENCH_scenarios.json]
+    --smoke            bench-*: the small CI sweep instead of the full grid
+    --out <PATH>       bench-*: artifact path
+                       [default: BENCH_scenarios.json / BENCH_soak.json]
     -h, --help         print this help
 ";
 
@@ -92,7 +101,7 @@ struct Options {
     deadline_ms: u64,
     estimator: Estimator,
     smoke: bool,
-    out: String,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -129,7 +138,7 @@ impl Default for Options {
             deadline_ms: 30_000,
             estimator: Estimator::LeaveOneOut(Tuning::default()),
             smoke: false,
-            out: "BENCH_scenarios.json".into(),
+            out: None,
         }
     }
 }
@@ -165,7 +174,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.seed_given = true;
             }
             "--smoke" => o.smoke = true,
-            "--out" => o.out = take()?.clone(),
+            "--out" => o.out = Some(take()?.clone()),
             "--coordinator-id" => o.coordinator_id = num(take()?)?,
             "--deadline-ms" => o.deadline_ms = num(take()?)?,
             "--estimator" => {
@@ -258,16 +267,26 @@ fn run_role(role: &str, o: Options) -> Result<(), String> {
         }
         Ok::<_, String>(out)
     })?;
+    let mut aborted = 0usize;
     for out in &outcomes {
-        println!(
-            "session {:#x} node {} L={} M={} N={} key {}",
-            out.session,
-            out.node,
-            out.l,
-            out.m,
-            out.n_packets,
-            key_hex(out)
-        );
+        match &out.abort {
+            Some(reason) => {
+                aborted += 1;
+                println!("session {:#x} node {} ABORTED: {reason}", out.session, out.node);
+            }
+            None => println!(
+                "session {:#x} node {} L={} M={} N={} key {}",
+                out.session,
+                out.node,
+                out.l,
+                out.m,
+                out.n_packets,
+                key_hex(out)
+            ),
+        }
+    }
+    if aborted > 0 {
+        return Err(format!("{aborted} session(s) aborted"));
     }
     Ok(())
 }
@@ -286,17 +305,25 @@ fn run_demo(o: Options) -> Result<(), String> {
     let mut ok = true;
     for outcomes in &all {
         for out in outcomes {
-            println!(
-                "session {:#x} node {} L={} M={} key {}",
-                out.session,
-                out.node,
-                out.l,
-                out.m,
-                key_hex(out)
-            );
+            match &out.abort {
+                Some(reason) => {
+                    println!("session {:#x} node {} ABORTED: {reason}", out.session, out.node)
+                }
+                None => println!(
+                    "session {:#x} node {} L={} M={} key {}",
+                    out.session,
+                    out.node,
+                    out.l,
+                    out.m,
+                    key_hex(out)
+                ),
+            }
         }
         let first = &outcomes[0];
-        if !outcomes.iter().all(|t| t.secret == first.secret) {
+        if outcomes.iter().any(|t| t.abort.is_some()) {
+            eprintln!("session {:#x}: ABORTED", first.session);
+            ok = false;
+        } else if !outcomes.iter().all(|t| t.secret == first.secret) {
             eprintln!("session {:#x}: SECRET MISMATCH", first.session);
             ok = false;
         } else if first.l > 0 {
@@ -344,9 +371,43 @@ fn run_bench_scenario(o: Options) -> Result<(), String> {
         }
     }
     print!("{}", summary_table(&ok));
-    let path = std::path::Path::new(&o.out);
-    write_json(path, &ok).map_err(|e| format!("write {}: {e}", o.out))?;
-    eprintln!("wrote {}", o.out);
+    let out = o.out.unwrap_or_else(|| "BENCH_scenarios.json".into());
+    write_json(std::path::Path::new(&out), &ok).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn run_bench_soak(o: Options) -> Result<(), String> {
+    // Reproducible by default, like bench-scenario.
+    let seed = if o.seed_given { o.seed } else { 1 };
+    let sessions = o.sessions.clamp(1, u32::MAX as u64) as u32;
+    let mut specs = if o.smoke { soak_smoke_specs(seed) } else { soak_specs(seed, 60) };
+    if o.sessions_given {
+        for spec in &mut specs {
+            spec.sessions = sessions;
+        }
+    }
+    let total: u32 = specs.iter().map(|s| s.sessions).sum();
+    eprintln!(
+        "thinaird bench-soak: {} fault cell(s), {total} session(s) total, seed {seed}",
+        specs.len(),
+    );
+    let results = run_soak_specs(&specs);
+    let mut ok = Vec::with_capacity(results.len());
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Ok(r) => ok.push(r),
+            Err(e) => return Err(format!("soak cell {}: {e}", spec.name)),
+        }
+    }
+    print!("{}", soak_summary_table(&ok));
+    let violations: u32 = ok.iter().map(|r| r.violations).sum();
+    let out = o.out.unwrap_or_else(|| "BENCH_soak.json".into());
+    write_soak_json(std::path::Path::new(&out), &ok).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    if violations > 0 {
+        return Err(format!("SAFETY INVARIANT VIOLATED in {violations} session(s)"));
+    }
     Ok(())
 }
 
@@ -368,6 +429,7 @@ fn main() -> ExitCode {
         "coordinator" | "terminal" => run_role(cmd, parsed),
         "demo" => run_demo(parsed),
         "bench-scenario" => run_bench_scenario(parsed),
+        "bench-soak" => run_bench_soak(parsed),
         other => Err(format!("unknown subcommand {other}")),
     };
     match result {

@@ -6,7 +6,7 @@
 //! axis changes which seed each point gets but the same grid always
 //! expands identically).
 
-use thinair_netsim::{splitmix64, ErasureModel};
+use thinair_netsim::{splitmix64, ErasureModel, FaultPlan};
 
 use crate::spec::{EstimatorSpec, EveSpec, ScenarioSpec};
 
@@ -23,6 +23,9 @@ pub struct ScenarioGrid {
     pub erasure: Vec<ErasureModel>,
     /// Eve observation models to sweep.
     pub eve: Vec<EveSpec>,
+    /// Chaos-layer fault schedules to sweep (default: just the clean
+    /// plan). The soak harness crosses this axis.
+    pub faults: Vec<FaultPlan>,
     /// Estimator (one per grid; sweeps rarely cross this axis).
     pub estimator: EstimatorSpec,
     /// Concurrent sessions per point.
@@ -39,6 +42,7 @@ impl Default for ScenarioGrid {
             payload_len: vec![32],
             erasure: vec![ErasureModel::Iid { p: 0.5 }],
             eve: vec![EveSpec::default()],
+            faults: vec![FaultPlan::none()],
             estimator: EstimatorSpec::LeaveOneOut,
             sessions: 2,
             seed: 1,
@@ -54,6 +58,7 @@ impl ScenarioGrid {
             * self.payload_len.len()
             * self.erasure.len()
             * self.eve.len()
+            * self.faults.len()
     }
 
     /// Whether the grid is empty.
@@ -73,23 +78,32 @@ impl ScenarioGrid {
                 for &payload_len in &self.payload_len {
                     for &erasure in &self.erasure {
                         for &eve in &self.eve {
-                            let index = specs.len() as u64;
-                            let base =
-                                point_name(terminals, x_packets, payload_len, &erasure, &eve);
-                            let count = seen.entry(base.clone()).or_insert(0);
-                            *count += 1;
-                            let name = if *count == 1 { base } else { format!("{base}#{count}") };
-                            specs.push(ScenarioSpec {
-                                name,
-                                terminals,
-                                x_packets,
-                                payload_len,
-                                erasure,
-                                eve,
-                                estimator: self.estimator,
-                                sessions: self.sessions,
-                                seed: mix(self.seed, index),
-                            });
+                            for &faults in &self.faults {
+                                let index = specs.len() as u64;
+                                let mut base =
+                                    point_name(terminals, x_packets, payload_len, &erasure, &eve);
+                                if !faults.is_none() {
+                                    base.push('_');
+                                    base.push_str(&faults.tag());
+                                }
+                                let count = seen.entry(base.clone()).or_insert(0);
+                                *count += 1;
+                                let name =
+                                    if *count == 1 { base } else { format!("{base}#{count}") };
+                                specs.push(ScenarioSpec {
+                                    name,
+                                    terminals,
+                                    x_packets,
+                                    payload_len,
+                                    erasure,
+                                    eve,
+                                    estimator: self.estimator,
+                                    sessions: self.sessions,
+                                    seed: mix(self.seed, index),
+                                    faults,
+                                    ..ScenarioSpec::default()
+                                });
+                            }
                         }
                     }
                 }
@@ -196,6 +210,7 @@ pub fn full_grid(seed: u64, sessions: u32) -> ScenarioGrid {
             },
         ],
         eve: vec![EveSpec::default()],
+        faults: vec![FaultPlan::none()],
         estimator: EstimatorSpec::LeaveOneOut,
         sessions,
         seed,

@@ -61,9 +61,14 @@
 pub mod grid;
 pub mod report;
 pub mod run;
+pub mod soak;
 pub mod spec;
 
 pub use grid::{full_grid, golden_spec, smoke_specs, ScenarioGrid};
 pub use report::{render_json, summary_table, write_json, SCHEMA};
 pub use run::{run_scenario, run_specs, ScenarioError, ScenarioResult, SessionMeasurement};
+pub use soak::{
+    audit_session, render_soak_json, run_soak, run_soak_specs, soak_smoke_specs, soak_specs,
+    soak_summary_table, write_soak_json, SessionVerdict, SoakResult, SOAK_SCHEMA,
+};
 pub use spec::{EstimatorSpec, EveSpec, ScenarioSpec};

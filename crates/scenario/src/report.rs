@@ -21,11 +21,11 @@ use crate::run::ScenarioResult;
 /// Artifact schema tag.
 pub const SCHEMA: &str = "thinair-scenarios/1";
 
-fn f6(v: f64) -> String {
+pub(crate) fn f6(v: f64) -> String {
     format!("{v:.6}")
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),

@@ -26,8 +26,8 @@ use std::time::Instant;
 use thinair_core::eve::EveLedger;
 use thinair_core::ProtocolError;
 use thinair_model::{predict, Prediction};
-use thinair_net::driver::drive_sim;
-use thinair_net::session::{derive_plan, NetError, SessionTrace};
+use thinair_net::driver::drive_sim_chaos;
+use thinair_net::session::{derive_plan, AbortReason, NetError, SessionTrace};
 use thinair_netsim::IidMedium;
 use thinair_testbed::parallel_map;
 
@@ -47,6 +47,18 @@ pub enum ScenarioError {
         /// The session whose secrets split.
         session: u64,
     },
+    /// A session aborted instead of completing. `run_scenario` measures
+    /// completed rounds only; fault schedules that can abort belong in
+    /// the soak harness ([`crate::soak`]), which audits aborts instead
+    /// of failing on them.
+    Aborted {
+        /// The aborted session.
+        session: u64,
+        /// The first aborting node.
+        node: u8,
+        /// Its structured reason.
+        reason: AbortReason,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -57,6 +69,9 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Protocol(e) => write!(f, "audit failed: {e}"),
             ScenarioError::Disagreement { session } => {
                 write!(f, "nodes disagree on the secret of session {session:#x}")
+            }
+            ScenarioError::Aborted { session, node, reason } => {
+                write!(f, "session {session:#x} aborted on node {node}: {reason}")
             }
         }
     }
@@ -193,17 +208,26 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError
     // frame/bit counters remain scheduler-sensitive and are reported as
     // timing-class measurements).
     let started = Instant::now();
-    let run = drive_sim(
+    let run = drive_sim_chaos(
         IidMedium::symmetric(spec.terminals as usize, 0.0, spec.seed),
         &cfg,
         &sessions,
         spec.seed,
+        spec.faults,
+        spec.fault_seed(),
     )?;
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let mut per_session = Vec::with_capacity(sessions.len());
     let mut secret_bits = 0u64;
     for (outcomes, &session) in run.outcomes.iter().zip(sessions.iter()) {
+        if let Some(aborted) = outcomes.iter().find(|o| o.abort.is_some()) {
+            return Err(ScenarioError::Aborted {
+                session,
+                node: aborted.node,
+                reason: aborted.abort.clone().expect("found by abort"),
+            });
+        }
         let coordinator = &outcomes[cfg.coordinator as usize];
         if outcomes.iter().any(|o| o.secret != coordinator.secret) {
             return Err(ScenarioError::Disagreement { session });

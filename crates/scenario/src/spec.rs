@@ -14,7 +14,7 @@ use thinair_core::construct::PlanParams;
 use thinair_core::estimate::{Estimator, Tuning};
 use thinair_core::round::XSchedule;
 use thinair_net::session::SessionConfig;
-use thinair_netsim::{splitmix64, ErasureModel};
+use thinair_netsim::{splitmix64, ErasureModel, FaultPlan};
 
 /// How the eavesdropper listens to a scenario.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -87,6 +87,16 @@ pub struct ScenarioSpec {
     /// Root seed: every payload byte, plan seed and erasure chain in the
     /// run derives from it deterministically.
     pub seed: u64,
+    /// Adversarial chaos-layer schedule (reorder, duplication,
+    /// corruption, delay jitter, partitions, terminal crash/late-join).
+    /// Defaults to no faults; its own seed derives from [`Self::seed`]
+    /// (see [`Self::fault_seed`]).
+    pub faults: FaultPlan,
+    /// Per-session deadline in milliseconds. The default (120 s) gives
+    /// fault-free runs enormous headroom; soak specs with lifecycle
+    /// faults use a short deadline, because every crashed session burns
+    /// exactly this long before its survivors abort.
+    pub deadline_ms: u64,
 }
 
 impl Default for ScenarioSpec {
@@ -101,6 +111,8 @@ impl Default for ScenarioSpec {
             estimator: EstimatorSpec::LeaveOneOut,
             sessions: 2,
             seed: 1,
+            faults: FaultPlan::none(),
+            deadline_ms: 120_000,
         }
     }
 }
@@ -128,6 +140,10 @@ impl ScenarioSpec {
             if !(0.0..=1.0).contains(&f) {
                 return Err("fixed fraction out of range");
             }
+        }
+        self.faults.validate()?;
+        if self.deadline_ms < 500 {
+            return Err("deadline_ms must be at least 500");
         }
         self.session_config().validate().map_err(|_| "session config rejected")?;
         Ok(())
@@ -171,9 +187,16 @@ impl ScenarioSpec {
             // receiver needs ~z_count/(1−p) fountain combos; 4096 covers
             // p beyond 0.95 instead of the daemon default's 400.
             max_attempts: 4096,
-            deadline: Duration::from_secs(120),
+            deadline: Duration::from_millis(self.deadline_ms),
             ..SessionConfig::default()
         }
+    }
+
+    /// The chaos layer's seed: mixed from the root seed with a
+    /// fault-only salt, so fault schedules are independent of the
+    /// payload and erasure streams yet fully reproducible.
+    pub fn fault_seed(&self) -> u64 {
+        splitmix64(self.seed ^ 0xFAu64.wrapping_mul(0x9FB2_1C65_1E98_DF25))
     }
 
     /// The session ids a run drives (1-based, contiguous).

@@ -1,0 +1,99 @@
+//! The determinism contract of the soak artifact: the same specs +
+//! seeds must render a byte-identical `BENCH_soak.json` modulo the
+//! timing-class fields (`wall_ms`, `frames_sent`, `bits_transmitted`,
+//! `faults_injected`), which `render_soak_json(_, false)` excludes —
+//! the same pattern `BENCH_scenarios.json` pins in `determinism.rs`.
+//!
+//! This is the load-bearing property of the chaos layer: fault verdicts
+//! are keyed by frame identity, crashes by protocol milestones, and
+//! erasures by packet id, so *which* sessions agree, *which* abort (and
+//! why), and every secret byte are pure functions of the spec.
+
+use thinair_netsim::{CrashSpec, DelaySpec, FaultPlan};
+use thinair_scenario::{render_soak_json, run_soak_specs, ScenarioSpec, SoakResult};
+
+fn sweep() -> Vec<ScenarioSpec> {
+    // A miniature fault grid: one survivable cell, one aborting cell.
+    let base = ScenarioSpec {
+        terminals: 3,
+        x_packets: 30,
+        payload_len: 8,
+        sessions: 4,
+        deadline_ms: 2_000,
+        ..Default::default()
+    };
+    vec![
+        ScenarioSpec {
+            name: "chaos-survivable".into(),
+            faults: FaultPlan {
+                reorder: 0.25,
+                duplicate: 0.25,
+                delay: Some(DelaySpec { prob: 0.2, max_frames: 4 }),
+                ..FaultPlan::none()
+            },
+            seed: 31,
+            ..base.clone()
+        },
+        ScenarioSpec {
+            name: "chaos-crash".into(),
+            faults: FaultPlan {
+                crash: Some(CrashSpec { prob: 0.5, node: None, after_seq: 1 }),
+                ..FaultPlan::none()
+            },
+            seed: 32,
+            ..base
+        },
+    ]
+}
+
+fn soak_once() -> Vec<SoakResult> {
+    run_soak_specs(&sweep()).into_iter().collect::<Result<_, _>>().expect("every cell completes")
+}
+
+#[test]
+fn same_specs_same_seed_render_byte_identical_soak_json() {
+    let first = soak_once();
+    let second = soak_once();
+    assert_eq!(
+        render_soak_json(&first, false),
+        render_soak_json(&second, false),
+        "deterministic soak render must be byte-identical across runs"
+    );
+    // The grid must exercise both outcome classes, and the invariant
+    // must hold.
+    let survivable = &first[0];
+    assert_eq!(survivable.agreed, survivable.spec.sessions, "survivable cell agrees everywhere");
+    let crashy = &first[1];
+    assert!(crashy.aborted > 0, "crash cell must produce aborted sessions");
+    assert_eq!(crashy.agreed + crashy.aborted, crashy.spec.sessions, "every session classified");
+    for r in &first {
+        assert_eq!(r.violations, 0, "{}: safety invariant violated", r.spec.name);
+    }
+    // Abort reasons are part of the deterministic contract.
+    assert!(!crashy.abort_reasons.is_empty());
+}
+
+#[test]
+fn timing_fields_are_separable_from_the_soak_contract() {
+    let results = soak_once();
+    let with = render_soak_json(&results, true);
+    let without = render_soak_json(&results, false);
+    for field in ["wall_ms", "frames_sent", "bits_transmitted", "faults_injected"] {
+        assert!(with.contains(field), "{field} missing from timing render");
+        assert!(!without.contains(field), "{field} leaked into deterministic render");
+    }
+    for field in ["agreed", "aborted", "violations", "abort_reasons", "mean_l"] {
+        assert!(without.contains(field), "deterministic render missing {field}");
+    }
+}
+
+#[test]
+fn a_different_fault_seed_reshuffles_the_schedule() {
+    let specs = sweep();
+    let reseeded: Vec<ScenarioSpec> =
+        specs.iter().map(|s| ScenarioSpec { seed: s.seed ^ 0xBEEF, ..s.clone() }).collect();
+    let a: Vec<_> = run_soak_specs(&specs).into_iter().collect::<Result<_, _>>().expect("baseline");
+    let b: Vec<_> =
+        run_soak_specs(&reseeded).into_iter().collect::<Result<_, _>>().expect("reseed");
+    assert_ne!(render_soak_json(&a, false), render_soak_json(&b, false));
+}
