@@ -73,6 +73,13 @@ pub async fn run_coordinator<T: Transport>(
     cfg: SessionConfig,
     seed: u64,
 ) -> Result<SessionOutcome, NetError> {
+    // Wire-width bounds are a *clean abort*, not an error: an x-pool
+    // that cannot ride the u16 fields must terminate with a structured
+    // reason instead of announcing a truncated plan.
+    if let Err(reason) = cfg.plan_bounds() {
+        let me = cfg.coordinator;
+        return Ok(SessionOutcome::aborted(session, me, cfg.n_packets(), reason, None));
+    }
     cfg.validate()?;
     let me = cfg.coordinator;
     let n = cfg.n_nodes;
@@ -95,6 +102,9 @@ pub async fn run_coordinator<T: Transport>(
 
     let deadline = Instant::now() + cfg.deadline;
     let tick = cfg.retransmit.min(Duration::from_millis(10));
+    // Socket send failures are counted node-wide by the transport; the
+    // session's trace carries the delta over its own lifetime.
+    let send_errors_at_start = t.send_errors();
 
     let start_seq = rel.send(&t, session, NetPayload::Start { digest: cfg.digest() }, &targets)?;
     let mut phase = Phase::StartBarrier { start_seq };
@@ -105,10 +115,12 @@ pub async fn run_coordinator<T: Transport>(
     let abort = |reason: AbortReason,
                  reports: &[Option<Vec<u8>>],
                  outcome: Option<SessionOutcome>,
-                 z_sent: u32| {
+                 z_sent: u32,
+                 send_errors: u64| {
         let trace = match outcome.and_then(|o| o.trace) {
             Some(mut t) => {
                 t.z_sent = z_sent;
+                t.send_errors = send_errors;
                 t.abort = Some(reason.clone());
                 t
             }
@@ -116,6 +128,7 @@ pub async fn run_coordinator<T: Transport>(
                 plan_seed: 0,
                 reports: reports.iter().map(|r| r.clone().unwrap_or_default()).collect(),
                 z_sent,
+                send_errors,
                 abort: Some(reason.clone()),
             },
         };
@@ -129,22 +142,26 @@ pub async fn run_coordinator<T: Transport>(
     // guard. (A terminal that never *received* Fin still aborts on its
     // side: it cannot know the group converged. That asymmetry is the
     // Two Generals residue documented in docs/ARCHITECTURE.md.)
-    let finish = |mut out: SessionOutcome, z_sent: u32| {
+    let finish = |mut out: SessionOutcome, z_sent: u32, send_errors: u64| {
         if let Some(trace) = out.trace.as_mut() {
             trace.z_sent = z_sent;
+            trace.send_errors = send_errors;
         }
         out
     };
+    // The send-error delta this session will report, read lazily so
+    // every exit path shares one expression.
+    let send_errs = |t: &SharedTransport<T>| t.send_errors().saturating_sub(send_errors_at_start);
 
     loop {
         if Instant::now() > deadline {
             if matches!(phase, Phase::FinBarrier { .. }) {
                 if let Some(out) = outcome.take() {
-                    return Ok(finish(out, z_sent));
+                    return Ok(finish(out, z_sent, send_errs(&t)));
                 }
             }
             let reason = AbortReason::Deadline { phase: phase.name() };
-            return Ok(abort(reason, &reports, outcome, z_sent));
+            return Ok(abort(reason, &reports, outcome, z_sent, send_errs(&t)));
         }
 
         match rt::timeout(tick, rx.recv()).await {
@@ -194,7 +211,9 @@ pub async fn run_coordinator<T: Transport>(
                     reports[me as usize] = Some(bitmap.clone());
                     let msg = Message::ReceptionReport {
                         terminal: me,
-                        n_packets: n_packets as u16,
+                        // In range: plan_bounds() aborted before this
+                        // point when the pool exceeds u16.
+                        n_packets: u16::try_from(n_packets).expect("bounded by plan_bounds"),
                         bitmap,
                     };
                     rel.send(&t, session, NetPayload::Proto(msg), &targets)?;
@@ -208,7 +227,27 @@ pub async fn run_coordinator<T: Transport>(
                     let plan_seed: u64 = rng.gen();
                     let plan = derive_plan(&cfg, &flat, plan_seed)?;
                     let (m, l) = (plan.m(), plan.l);
-                    let msg = Message::PlanAnnounce { seed: plan_seed, m: m as u16, l: l as u16 };
+                    // The announcement carries (m, l) as u16; a plan too
+                    // large for the wire is a structured abort, never a
+                    // truncated announcement every terminal would
+                    // mis-rebuild against.
+                    let (m16, l16) = match (u16::try_from(m), u16::try_from(l)) {
+                        (Ok(m16), Ok(l16)) => (m16, l16),
+                        _ => {
+                            // Label and value must describe the same
+                            // dimension (m takes precedence when both
+                            // overflow).
+                            let (what, value) =
+                                if m > u16::MAX as usize { ("plan m", m) } else { ("plan l", l) };
+                            let reason = AbortReason::PlanOverflow {
+                                what,
+                                value: value as u64,
+                                limit: u16::MAX as u64,
+                            };
+                            return Ok(abort(reason, &reports, outcome, z_sent, send_errs(&t)));
+                        }
+                    };
+                    let msg = Message::PlanAnnounce { seed: plan_seed, m: m16, l: l16 };
                     rel.send(&t, session, NetPayload::Proto(msg), &targets)?;
                     // The coordinator decodes every row directly.
                     let secret = if l > 0 {
@@ -225,8 +264,13 @@ pub async fn run_coordinator<T: Transport>(
                     } else {
                         Vec::new()
                     };
-                    let trace =
-                        Some(SessionTrace { plan_seed, reports: flat, z_sent: 0, abort: None });
+                    let trace = Some(SessionTrace {
+                        plan_seed,
+                        reports: flat,
+                        z_sent: 0,
+                        send_errors: 0,
+                        abort: None,
+                    });
                     outcome = Some(SessionOutcome {
                         session,
                         node: me,
@@ -249,13 +293,26 @@ pub async fn run_coordinator<T: Transport>(
                         let missing: Vec<u8> =
                             targets.iter().copied().filter(|p| !done.contains(p)).collect();
                         let reason = AbortReason::Unreachable { missing, attempts: z_sent };
-                        return Ok(abort(reason, &reports, outcome, z_sent));
+                        return Ok(abort(reason, &reports, outcome, z_sent, send_errs(&t)));
                     }
                     // An initial burst covers the worst-case missing-row
                     // count; afterwards one combo per tick tops up losses.
                     let burst = if z_sent == 0 { (fountain.z_count() + 3) as u32 } else { 1 };
                     for _ in 0..burst {
-                        fountain.send_combo(&t, session, z_sent, &mut rng)?;
+                        // Combo indices ride the wire as u16; a fountain
+                        // that outlives the index space (only reachable
+                        // with max_attempts > 65536) aborts cleanly
+                        // instead of wrapping — a wrapped index would
+                        // collide erasure-injection decisions.
+                        let Ok(index) = u16::try_from(z_sent) else {
+                            let reason = AbortReason::PlanOverflow {
+                                what: "fountain index",
+                                value: z_sent as u64,
+                                limit: u16::MAX as u64,
+                            };
+                            return Ok(abort(reason, &reports, outcome, z_sent, send_errs(&t)));
+                        };
+                        fountain.send_combo(&t, session, index, &mut rng)?;
                         z_sent += 1;
                     }
                     phase = Phase::Fountain { next_combo: now + cfg.retransmit };
@@ -264,7 +321,7 @@ pub async fn run_coordinator<T: Transport>(
             Phase::FinBarrier { fin_seq } => {
                 if rel.acked(*fin_seq) {
                     let out = outcome.take().expect("outcome set before fin");
-                    return Ok(finish(out, z_sent));
+                    return Ok(finish(out, z_sent, send_errs(&t)));
                 }
             }
         }
@@ -272,11 +329,11 @@ pub async fn run_coordinator<T: Transport>(
         if let Err(u) = rel.tick(&t, Instant::now())? {
             if matches!(phase, Phase::FinBarrier { .. }) {
                 if let Some(out) = outcome.take() {
-                    return Ok(finish(out, z_sent));
+                    return Ok(finish(out, z_sent, send_errs(&t)));
                 }
             }
             let reason = AbortReason::Unreachable { missing: u.missing, attempts: u.attempts };
-            return Ok(abort(reason, &reports, outcome, z_sent));
+            return Ok(abort(reason, &reports, outcome, z_sent, send_errs(&t)));
         }
     }
 }
@@ -310,7 +367,7 @@ impl FountainState {
         &mut self,
         t: &SharedTransport<T>,
         session: u64,
-        z_seq: u32,
+        z_seq: u16,
         rng: &mut StdRng,
     ) -> Result<(), NetError> {
         let me = t.local_node();
@@ -327,19 +384,21 @@ impl FountainState {
         for (k, &qk) in self.q.iter().enumerate() {
             kernel::axpy(&mut self.acc, self.z.row(k), qk);
         }
-        let msg = Message::ZPacket {
-            index: z_seq as u16,
-            coeffs: self.q.clone(),
-            payload: self.acc.clone(),
-        };
+        let msg =
+            Message::ZPacket { index: z_seq, coeffs: self.q.clone(), payload: self.acc.clone() };
         // z-combos are unreliable, so they carry their combo index as
         // the frame seq instead of consuming reliable-layer sequence
         // numbers: the fountain's length is timing-dependent (top-ups),
         // and burning shared seqs on it would make every later control
         // frame's identity — and its chaos-layer fault verdict —
         // timing-dependent too.
-        let frame =
-            Frame { flags: 0, sender: me, session, seq: z_seq, payload: NetPayload::Proto(msg) };
+        let frame = Frame {
+            flags: 0,
+            sender: me,
+            session,
+            seq: z_seq as u32,
+            payload: NetPayload::Proto(msg),
+        };
         t.broadcast(&frame)?;
         Ok(())
     }

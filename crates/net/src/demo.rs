@@ -32,6 +32,8 @@ pub fn loopback_sessions(
     seed: u64,
 ) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
     let n = cfg.n_nodes as usize;
+    // `n <= 256` by type (`n_nodes: u8`), so the `i as u8` node ids
+    // below cannot wrap; larger rosters fail in `UdpTransport::new`.
     // Bind first so the full roster is known to every node.
     let socks: Vec<AsyncUdpSocket> =
         (0..n).map(|_| AsyncUdpSocket::bind("127.0.0.1:0")).collect::<std::io::Result<_>>()?;

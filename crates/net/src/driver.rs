@@ -63,6 +63,11 @@ pub fn drive_nodes<T: Transport + 'static>(
 ) -> Result<Vec<Vec<SessionOutcome>>, NetError> {
     let n = cfg.n_nodes as usize;
     assert_eq!(nodes.len(), n, "one node per roster slot");
+    // Node ids ride the wire as u8. `cfg.n_nodes` is itself a u8, so the
+    // `i as u8` casts below cannot wrap; rosters beyond 256 nodes are
+    // rejected at transport construction (`UdpTransport::new`,
+    // `SimNet::build`) — a construction-time error, never a wrap.
+    debug_assert!(n <= u8::MAX as usize + 1);
     rt::block_on(async {
         for node in nodes {
             node.start_pump();

@@ -229,6 +229,19 @@ impl Frame {
         (self.encode().len() * 8) as u64
     }
 
+    /// The transmitted-bit ledger class of this frame: x-packets and
+    /// z-combos are data plane, ACKs are ACKs, everything else (start
+    /// barrier, reports, plan announcements, done/fin) is control.
+    pub fn tx_class(&self) -> thinair_netsim::stats::TxClass {
+        use thinair_netsim::stats::TxClass;
+        match &self.payload {
+            NetPayload::Proto(Message::XPacket { .. })
+            | NetPayload::Proto(Message::ZPacket { .. }) => TxClass::Data,
+            NetPayload::Ack { .. } => TxClass::Ack,
+            _ => TxClass::Control,
+        }
+    }
+
     /// Parses one datagram. Never panics on any input.
     pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
         if buf.len() < HEADER_LEN + TRAILER_LEN {

@@ -32,6 +32,11 @@
 //! * [`coordinator`] / [`terminal`] — the two role state machines.
 //! * [`node`] — one socket, many concurrent sessions (session-id
 //!   routing), the daemon building block.
+//! * [`serve`] — the long-lived daemon layer: a [`serve::Server`]
+//!   auto-admits terminal sessions initiated by a coordinator, with
+//!   admission caps, idle eviction and terminal-state GC
+//!   ([`serve::SessionRegistry`]) — thousands of concurrent sessions
+//!   multiplexed over one socket.
 //! * [`driver`] — the multi-session experiment driver: a batch of
 //!   concurrent sessions over prepared nodes or a simulated medium, with
 //!   bit/frame measurements (`thinair-scenario`'s substrate).
@@ -66,6 +71,7 @@ pub mod frame;
 pub mod node;
 pub mod reliable;
 pub mod rt;
+pub mod serve;
 pub mod session;
 pub mod terminal;
 pub mod transport;
@@ -75,5 +81,6 @@ pub use chaos::FaultStats;
 pub use driver::{drive_nodes, drive_sim, drive_sim_chaos, SimRun};
 pub use frame::{Frame, NetPayload};
 pub use node::Node;
+pub use serve::{ServeHandle, ServeLimits, ServeStats, Server, SessionRegistry};
 pub use session::{AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace};
 pub use transport::{SharedTransport, SimNet, SimTransport, Transport, UdpTransport};

@@ -38,10 +38,13 @@ impl<T> Clone for Node<T> {
 impl<T: Transport + 'static> Node<T> {
     /// Wraps a transport.
     pub fn new(transport: T) -> Self {
-        Node {
-            t: SharedTransport::new(transport),
-            routes: Rc::new(RefCell::new(Routes { by_session: HashMap::new(), orphans: 0 })),
-        }
+        Self::new_shared(SharedTransport::new(transport))
+    }
+
+    /// Wraps an already-shared transport (e.g. when a harness keeps its
+    /// own handle to read counters after the node is done).
+    pub fn new_shared(t: SharedTransport<T>) -> Self {
+        Node { t, routes: Rc::new(RefCell::new(Routes { by_session: HashMap::new(), orphans: 0 })) }
     }
 
     /// The underlying shared transport.
@@ -58,13 +61,19 @@ impl<T: Transport + 'static> Node<T> {
     /// the socket fails. On a socket error every open session's channel
     /// is closed, so sessions fail promptly with [`NetError::Closed`]
     /// instead of idling to their deadline.
+    ///
+    /// Receives are batched: one wakeup drains everything the transport
+    /// has ready (up to [`crate::transport::DEFAULT_RECV_BATCH`] frames)
+    /// and routes the whole batch under a single borrow, so a busy
+    /// multiplexed socket pays per-batch, not per-frame, scheduling
+    /// overhead.
     pub fn start_pump(&self) -> rt::JoinHandle<std::io::Result<()>> {
         let t = self.t.clone();
         let routes = self.routes.clone();
         rt::spawn(async move {
             loop {
-                let frame = match t.recv().await {
-                    Ok(frame) => frame,
+                let batch = match t.recv_batch(crate::transport::DEFAULT_RECV_BATCH).await {
+                    Ok(batch) => batch,
                     Err(e) => {
                         eprintln!("thinair-net: receive pump failed: {e}");
                         routes.borrow_mut().by_session.clear();
@@ -72,9 +81,11 @@ impl<T: Transport + 'static> Node<T> {
                     }
                 };
                 let mut r = routes.borrow_mut();
-                match r.by_session.get(&frame.session) {
-                    Some(tx) => tx.send(frame),
-                    None => r.orphans += 1,
+                for frame in batch {
+                    match r.by_session.get(&frame.session) {
+                        Some(tx) => tx.send(frame),
+                        None => r.orphans += 1,
+                    }
                 }
             }
         })

@@ -1,0 +1,534 @@
+//! Serve mode: one long-lived daemon, one socket, thousands of
+//! concurrent auto-admitted sessions.
+//!
+//! [`crate::node::Node`] multiplexes sessions a caller *opens
+//! explicitly*. A deployment at the paper's pitch — cheap secret
+//! agreement for many device pairs on a shared medium — needs the dual:
+//! a terminal daemon that sits on its socket and serves whatever group
+//! rounds coordinators initiate, without a human opening each one. That
+//! is [`Server`]:
+//!
+//! * **Admission** — a frame for an unknown session spawns a terminal
+//!   state machine iff it is a `Start` from the configured coordinator
+//!   and the registry has capacity ([`ServeLimits::max_sessions`]);
+//!   anything else is counted and dropped. A rejected session costs the
+//!   coordinator a retransmitted start barrier, nothing more — it can
+//!   be re-admitted the moment load drains.
+//! * **Budgets** — every admitted session inherits the
+//!   [`SessionConfig`] deadline / attempt budgets, so no session can
+//!   outlive its configured worst case.
+//! * **Idle eviction** — a session whose peer went silent (crashed
+//!   coordinator, dead link) is evicted after
+//!   [`ServeLimits::idle_timeout`] without traffic: its channel closes,
+//!   the state machine terminates with [`NetError::Closed`], and the
+//!   slot frees *before* the protocol deadline would have reclaimed it.
+//! * **Terminal-state GC** — completed or aborted sessions leave the
+//!   registry immediately (their outcome goes to the
+//!   [`Server::outcomes`] channel), so registry size tracks *live*
+//!   sessions only.
+//!
+//! The pump is batched ([`SharedTransport::recv_batch`]): one wakeup
+//! drains the whole socket backlog and routes it under a single borrow.
+//! Combined with the waker-based executor ([`crate::rt`]), an idle
+//! daemon with thousands of open sessions polls O(1) tasks per tick.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use crate::driver::task_seed;
+use crate::frame::{Frame, NetPayload};
+use crate::rt;
+use crate::rt::chan::{channel, Receiver, Sender};
+use crate::session::{NetError, SessionConfig, SessionOutcome};
+use crate::terminal::run_terminal;
+use crate::transport::{SharedTransport, Transport, DEFAULT_RECV_BATCH};
+
+/// Resource limits of one serve daemon.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeLimits {
+    /// Most sessions live at once; `Start`s beyond it are rejected
+    /// (counted, re-admittable on the coordinator's retransmit).
+    pub max_sessions: usize,
+    /// Evict a session after this long without a single frame.
+    pub idle_timeout: Duration,
+    /// Most frames one pump pass drains (bounds per-pass latency).
+    pub recv_batch: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_sessions: 8192,
+            idle_timeout: Duration::from_secs(10),
+            recv_batch: DEFAULT_RECV_BATCH,
+        }
+    }
+}
+
+/// Aggregate counters of one daemon's lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions admitted (a terminal task was spawned).
+    pub admitted: u64,
+    /// `Start`s refused because the registry was at capacity.
+    pub rejected: u64,
+    /// Admitted sessions that completed with a usable outcome.
+    pub completed: u64,
+    /// Admitted sessions that terminated with a clean structured abort.
+    pub aborted: u64,
+    /// Sessions evicted for idleness.
+    pub evicted: u64,
+    /// Admitted sessions that died on an infrastructure error.
+    pub failed: u64,
+    /// Frames dropped because they belonged to no session and could not
+    /// admit one (wrong kind, wrong sender, or already terminated).
+    pub orphans: u64,
+    /// High-water mark of concurrently open sessions.
+    pub peak_open: u64,
+}
+
+struct Entry {
+    tx: Sender<Frame>,
+    last_frame: Instant,
+}
+
+/// The daemon's session table: admission, routing, eviction, GC.
+///
+/// Exposed (behind `Rc<RefCell>`) so harnesses can inspect live load;
+/// the [`Server`] owns all mutation.
+pub struct SessionRegistry {
+    open: HashMap<u64, Entry>,
+    /// Recently terminated/evicted session ids (bounded FIFO window):
+    /// a duplicated or chaos-delayed `Start` copy arriving after its
+    /// session already finished must NOT re-admit a ghost session —
+    /// the replay would occupy a slot until eviction and could emit a
+    /// spurious abort outcome for a session that already agreed.
+    spent: HashSet<u64>,
+    spent_order: VecDeque<u64>,
+    limits: ServeLimits,
+    stats: ServeStats,
+}
+
+/// How many terminated session ids the replay window remembers. Start
+/// duplicates arrive within a retransmit window of the original, so a
+/// shallow-but-wide FIFO is plenty; ids falling off the window behave
+/// like unknown sessions again (admissible), keeping memory O(window).
+const SPENT_WINDOW: usize = 8192;
+
+impl SessionRegistry {
+    fn new(limits: ServeLimits) -> Self {
+        SessionRegistry {
+            open: HashMap::new(),
+            spent: HashSet::new(),
+            spent_order: VecDeque::new(),
+            limits,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Records a session id as terminated (no re-admission while it
+    /// stays inside the replay window).
+    fn mark_spent(&mut self, session: u64) {
+        if self.spent.insert(session) {
+            self.spent_order.push_back(session);
+            if self.spent_order.len() > SPENT_WINDOW {
+                let old = self.spent_order.pop_front().expect("nonempty");
+                self.spent.remove(&old);
+            }
+        }
+    }
+
+    /// Currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.clone()
+    }
+
+    /// Routes `frame` to its open session; `false` if none is open.
+    fn route(&mut self, frame: Frame, now: Instant) -> Result<(), Frame> {
+        match self.open.get_mut(&frame.session) {
+            Some(e) => {
+                e.last_frame = now;
+                e.tx.send(frame);
+                Ok(())
+            }
+            None => Err(frame),
+        }
+    }
+
+    /// Opens a slot for `session` if capacity allows and the id is not
+    /// a replay of a terminated session.
+    fn admit(&mut self, session: u64, now: Instant) -> Option<Receiver<Frame>> {
+        if self.spent.contains(&session) {
+            self.stats.orphans += 1;
+            return None;
+        }
+        if self.open.len() >= self.limits.max_sessions {
+            self.stats.rejected += 1;
+            return None;
+        }
+        let (tx, rx) = channel();
+        self.open.insert(session, Entry { tx, last_frame: now });
+        self.stats.admitted += 1;
+        self.stats.peak_open = self.stats.peak_open.max(self.open.len() as u64);
+        Some(rx)
+    }
+
+    /// Removes a terminated session's slot (terminal-state GC) and
+    /// remembers the id so Start replays cannot resurrect it.
+    fn finish(&mut self, session: u64, outcome: &Result<SessionOutcome, NetError>) {
+        let was_open = self.open.remove(&session).is_some();
+        self.mark_spent(session);
+        // A session whose slot is already gone was evicted (counted as
+        // `evicted`) or swept on socket death — its late outcome,
+        // whatever its shape (an eviction usually terminates with
+        // `Closed`, but a protocol deadline can race the idle sweep and
+        // deliver an `Ok` abort), must not be counted a second time:
+        // the stat buckets partition `admitted`.
+        if !was_open {
+            return;
+        }
+        match outcome {
+            Ok(out) if out.completed() => self.stats.completed += 1,
+            Ok(_) => self.stats.aborted += 1,
+            Err(_) => self.stats.failed += 1,
+        }
+    }
+
+    /// Drops every session idle longer than the limit; their channels
+    /// close and the state machines terminate with [`NetError::Closed`].
+    /// An evicted id is spent too: its peer is presumed dead (a live
+    /// coordinator would have kept the entry fresh with retransmits).
+    fn evict_idle(&mut self, now: Instant) {
+        let timeout = self.limits.idle_timeout;
+        let mut evicted = Vec::new();
+        self.open.retain(|&session, e| {
+            let keep = now.duration_since(e.last_frame) < timeout;
+            if !keep {
+                evicted.push(session);
+            }
+            keep
+        });
+        self.stats.evicted += evicted.len() as u64;
+        for session in evicted {
+            self.mark_spent(session);
+        }
+    }
+}
+
+/// Shared control handle of a running [`Server`]: stop it, watch it.
+pub struct ServeHandle {
+    stop: Rc<Cell<bool>>,
+    registry: Rc<RefCell<SessionRegistry>>,
+}
+
+impl Clone for ServeHandle {
+    fn clone(&self) -> Self {
+        ServeHandle { stop: self.stop.clone(), registry: self.registry.clone() }
+    }
+}
+
+impl ServeHandle {
+    /// Asks the serve loop to exit after its current pass.
+    pub fn stop(&self) {
+        self.stop.set(true);
+    }
+
+    /// Currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.registry.borrow().open_sessions()
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.registry.borrow().stats()
+    }
+}
+
+/// A serve daemon: auto-admits terminal sessions over one transport.
+pub struct Server<T> {
+    t: SharedTransport<T>,
+    cfg: SessionConfig,
+    seed: u64,
+    registry: Rc<RefCell<SessionRegistry>>,
+    stop: Rc<Cell<bool>>,
+    outcomes: Option<Sender<SessionOutcome>>,
+}
+
+impl<T: Transport + 'static> Server<T> {
+    /// Builds a daemon for this node. `cfg` is the session
+    /// configuration every admitted round must match (the start-barrier
+    /// digest check rejects coordinators that disagree); `seed` feeds
+    /// per-session local randomness via [`task_seed`].
+    ///
+    /// # Panics
+    /// Panics when the transport's node *is* the configured coordinator
+    /// — a serve daemon answers rounds, it does not initiate them.
+    pub fn new(t: SharedTransport<T>, cfg: SessionConfig, seed: u64, limits: ServeLimits) -> Self {
+        assert_ne!(
+            t.local_node(),
+            cfg.coordinator,
+            "serve daemons are terminals; run the coordinator role to initiate rounds"
+        );
+        Server {
+            t,
+            cfg,
+            seed,
+            registry: Rc::new(RefCell::new(SessionRegistry::new(limits))),
+            stop: Rc::new(Cell::new(false)),
+            outcomes: None,
+        }
+    }
+
+    /// A control handle (clone freely).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { stop: self.stop.clone(), registry: self.registry.clone() }
+    }
+
+    /// Creates the outcome stream: every terminated session's
+    /// [`SessionOutcome`] is delivered here (terminations from eviction
+    /// and socket errors are not — they carry no outcome).
+    pub fn outcomes(&mut self) -> Receiver<SessionOutcome> {
+        let (tx, rx) = channel();
+        self.outcomes = Some(tx);
+        rx
+    }
+
+    /// Runs the daemon until [`ServeHandle::stop`] or a socket error.
+    /// Returns the lifetime stats.
+    pub async fn run(self) -> io::Result<ServeStats> {
+        let Server { t, cfg, seed, registry, stop, outcomes } = self;
+        let me = t.local_node();
+        let limits = registry.borrow().limits;
+        // Eviction sweeps ride the pump's timeout so an idle daemon
+        // wakes a few times a second, not per tick — and a *busy* pump
+        // (woken per batch, not per timeout) still sweeps only once per
+        // interval: the sweep is an O(open-sessions) scan, which must
+        // not run per received batch.
+        let sweep =
+            (limits.idle_timeout / 4).clamp(Duration::from_millis(50), Duration::from_secs(1));
+        let mut last_sweep = Instant::now();
+        loop {
+            if stop.get() {
+                return Ok(registry.borrow().stats());
+            }
+            let batch = match rt::timeout(sweep, t.recv_batch(limits.recv_batch)).await {
+                Err(rt::Elapsed) => Vec::new(),
+                Ok(Err(e)) => {
+                    // Socket death: close every session promptly (they
+                    // terminate with NetError::Closed) and report.
+                    registry.borrow_mut().open.clear();
+                    return Err(e);
+                }
+                Ok(Ok(batch)) => batch,
+            };
+            let now = Instant::now();
+            for frame in batch {
+                let mut reg = registry.borrow_mut();
+                let frame = match reg.route(frame, now) {
+                    Ok(()) => continue,
+                    Err(frame) => frame,
+                };
+                // Unknown session: only a Start from the coordinator
+                // admits one (any other frame kind means the session
+                // is stale, spoofed, or already terminated here).
+                let admissible = frame.sender == cfg.coordinator
+                    && matches!(frame.payload, NetPayload::Start { .. });
+                if !admissible {
+                    reg.stats.orphans += 1;
+                    continue;
+                }
+                let session = frame.session;
+                let Some(rx) = reg.admit(session, now) else { continue };
+                reg.route(frame, now).expect("slot just opened");
+                drop(reg);
+                let t = t.clone();
+                let cfg = cfg.clone();
+                let registry = registry.clone();
+                let outcomes = outcomes.clone();
+                rt::spawn(async move {
+                    let result =
+                        run_terminal(t, rx, session, cfg, task_seed(seed, session, me)).await;
+                    registry.borrow_mut().finish(session, &result);
+                    if let (Some(tx), Ok(out)) = (outcomes, result) {
+                        tx.send(out);
+                    }
+                });
+            }
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= sweep {
+                last_sweep = now;
+                registry.borrow_mut().evict_idle(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimNet;
+    use thinair_netsim::IidMedium;
+
+    fn small_cfg(n_nodes: u8) -> SessionConfig {
+        SessionConfig {
+            n_nodes,
+            payload_len: 4,
+            drop_prob: 0.0,
+            schedule: thinair_core::round::XSchedule::CoordinatorOnly(6),
+            x_settle: Duration::from_millis(20),
+            deadline: Duration::from_secs(5),
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn registry_admits_routes_and_caps() {
+        let limits = ServeLimits { max_sessions: 2, ..ServeLimits::default() };
+        let mut reg = SessionRegistry::new(limits);
+        let now = Instant::now();
+        let _rx1 = reg.admit(1, now).expect("capacity");
+        let _rx2 = reg.admit(2, now).expect("capacity");
+        assert!(reg.admit(3, now).is_none(), "over capacity");
+        assert_eq!(reg.stats().rejected, 1);
+        assert_eq!(reg.stats().peak_open, 2);
+        let frame = Frame { flags: 0, sender: 0, session: 1, seq: 9, payload: NetPayload::Fin };
+        assert!(reg.route(frame.clone(), now).is_ok());
+        let stray = Frame { session: 99, ..frame };
+        assert!(reg.route(stray, now).is_err());
+    }
+
+    #[test]
+    fn registry_evicts_idle_sessions_and_closes_their_channels() {
+        let limits = ServeLimits {
+            max_sessions: 8,
+            idle_timeout: Duration::from_millis(10),
+            ..ServeLimits::default()
+        };
+        let mut reg = SessionRegistry::new(limits);
+        let t0 = Instant::now();
+        let mut rx = reg.admit(7, t0).expect("capacity");
+        reg.evict_idle(t0 + Duration::from_millis(5));
+        assert_eq!(reg.open_sessions(), 1, "young session survives");
+        reg.evict_idle(t0 + Duration::from_millis(50));
+        assert_eq!(reg.open_sessions(), 0, "idle session evicted");
+        assert_eq!(reg.stats().evicted, 1);
+        // The channel closed with the entry: the session task sees None
+        // and terminates with NetError::Closed.
+        rt::block_on(async { assert_eq!(rx.recv().await, None) });
+        // Its termination is not double-counted as a failure.
+        reg.finish(7, &Err(NetError::Closed));
+        assert_eq!(reg.stats().failed, 0);
+        // And a replayed Start for the evicted id cannot resurrect it.
+        assert!(reg.admit(7, t0).is_none(), "spent ids are not re-admissible");
+        assert_eq!(reg.stats().orphans, 1);
+        // A protocol-deadline abort racing the idle sweep is not
+        // double-counted: once evicted, the late outcome is dropped.
+        let _rx2 = reg.admit(8, t0).expect("capacity");
+        reg.evict_idle(t0 + Duration::from_millis(50));
+        let late = crate::session::SessionOutcome::aborted(
+            8,
+            1,
+            4,
+            crate::session::AbortReason::Deadline { phase: "x settle" },
+            None,
+        );
+        reg.finish(8, &Ok(late));
+        assert_eq!(reg.stats().aborted, 0, "evicted sessions count once, as evicted");
+        assert_eq!(reg.stats().evicted, 2);
+    }
+
+    /// A duplicated/delayed `Start` arriving after its session finished
+    /// must not re-admit a ghost session under the same id.
+    #[test]
+    fn registry_refuses_start_replays_of_finished_sessions() {
+        let mut reg = SessionRegistry::new(ServeLimits::default());
+        let now = Instant::now();
+        let _rx = reg.admit(42, now).expect("capacity");
+        let outcome = SessionOutcome {
+            session: 42,
+            node: 1,
+            l: 1,
+            m: 2,
+            n_packets: 4,
+            secret: Vec::new(),
+            abort: None,
+            trace: None,
+        };
+        reg.finish(42, &Ok(outcome));
+        assert_eq!(reg.open_sessions(), 0);
+        assert!(reg.admit(42, now).is_none(), "finished ids are spent");
+        assert_eq!(reg.stats().admitted, 1, "the replay admitted nothing");
+        // Fresh ids are unaffected, and the window is bounded.
+        assert!(reg.admit(43, now).is_some());
+        for s in 100..100 + (SPENT_WINDOW as u64) + 10 {
+            reg.mark_spent(s);
+        }
+        assert!(reg.spent.len() <= SPENT_WINDOW);
+    }
+
+    /// End-to-end over the simulator: a coordinator drives concurrent
+    /// sessions against a serve daemon that knew nothing in advance.
+    #[test]
+    fn serve_daemon_completes_auto_admitted_sessions() {
+        let cfg = small_cfg(2);
+        let net = SimNet::new(IidMedium::symmetric(2, 0.0, 1), 2);
+        let coord = crate::node::Node::new(net.transport(0));
+        let mut server = Server::new(
+            SharedTransport::new(net.transport(1)),
+            cfg.clone(),
+            11,
+            ServeLimits::default(),
+        );
+        let handle = server.handle();
+        let mut outcomes = server.outcomes();
+        const SESSIONS: u64 = 8;
+        let got = rt::block_on(async move {
+            coord.start_pump();
+            rt::spawn(server.run());
+            let mut coords = Vec::new();
+            for s in 1..=SESSIONS {
+                let coord = coord.clone();
+                let cfg = cfg.clone();
+                coords.push(rt::spawn(async move {
+                    coord.coordinate(s, cfg, task_seed(11, s, 0)).await
+                }));
+            }
+            let mut got = Vec::new();
+            for c in coords {
+                let out = c.await.expect("coordinator side runs cleanly");
+                assert!(out.completed(), "coordinator aborted: {:?}", out.abort);
+                got.push(out);
+            }
+            // Collect the daemon's outcomes for the same sessions.
+            let mut served = Vec::new();
+            while served.len() < SESSIONS as usize {
+                let out = rt::timeout(Duration::from_secs(5), outcomes.recv())
+                    .await
+                    .expect("daemon outcomes arrive")
+                    .expect("stream open");
+                assert!(out.completed(), "daemon side aborted: {:?}", out.abort);
+                served.push(out);
+            }
+            handle.stop();
+            let stats = handle.stats();
+            assert_eq!(stats.admitted, SESSIONS);
+            assert_eq!(stats.completed, SESSIONS);
+            assert_eq!(stats.rejected, 0);
+            (got, served)
+        });
+        let (coord_outs, served) = got;
+        // Every pair agrees on the secret.
+        for co in &coord_outs {
+            let so = served.iter().find(|o| o.session == co.session).expect("served");
+            assert_eq!(so.secret, co.secret, "session {:#x} diverged", co.session);
+        }
+    }
+}

@@ -165,6 +165,24 @@ impl SessionConfig {
         self.x_counts().iter().sum()
     }
 
+    /// Checks the parameters that must ride `u16` wire fields. A
+    /// violation is not an infrastructure error but a *clean abort*:
+    /// both role state machines call this on entry and terminate with
+    /// the structured [`AbortReason::PlanOverflow`] instead of
+    /// announcing a silently truncated plan (the pre-fix behavior was
+    /// an unchecked `as u16` cast).
+    pub fn plan_bounds(&self) -> Result<(), AbortReason> {
+        let n_packets = self.n_packets();
+        if n_packets > u16::MAX as usize {
+            return Err(AbortReason::PlanOverflow {
+                what: "n_packets",
+                value: n_packets as u64,
+                limit: u16::MAX as u64,
+            });
+        }
+        Ok(())
+    }
+
     /// Checks the configuration against the codec's and protocol's hard
     /// limits, so a bad `--payload-len` fails fast with a named error
     /// instead of silently emitting frames every receiver rejects
@@ -445,7 +463,10 @@ impl XState {
                 continue;
             }
             let payload = random_payload_bytes(self.cfg.payload_len, rng);
-            let msg = Message::XPacket { id: id as u16, owner: self.me, payload: payload.clone() };
+            // In range: the state machines abort (PlanOverflow) before
+            // broadcasting when the x-pool exceeds the u16 id space.
+            let id16 = u16::try_from(id).expect("x ids bounded by plan_bounds");
+            let msg = Message::XPacket { id: id16, owner: self.me, payload: payload.clone() };
             self.store.insert(id, payload);
             let frame = Frame {
                 flags: 0,
@@ -538,6 +559,19 @@ pub enum AbortReason {
     },
     /// The locally rebuilt plan disagrees with the announced `(m, l)`.
     PlanMismatch,
+    /// A session parameter outgrew the `u16` field that carries it on
+    /// the wire (x-pool size, plan dimensions, fountain index). The
+    /// session aborts with the offending value named instead of
+    /// announcing a silently truncated plan.
+    PlanOverflow {
+        /// Which quantity overflowed (`"n_packets"`, `"plan m"`,
+        /// `"plan l"`, `"fountain index"`).
+        what: &'static str,
+        /// The value that did not fit.
+        value: u64,
+        /// The wire field's maximum.
+        limit: u64,
+    },
 }
 
 impl AbortReason {
@@ -550,6 +584,7 @@ impl AbortReason {
             AbortReason::Unreachable { .. } => "unreachable".into(),
             AbortReason::ConfigMismatch { .. } => "config-mismatch".into(),
             AbortReason::PlanMismatch => "plan-mismatch".into(),
+            AbortReason::PlanOverflow { what, .. } => format!("plan-overflow:{what}"),
         }
     }
 }
@@ -567,6 +602,9 @@ impl std::fmt::Display for AbortReason {
                 write!(f, "config digest mismatch: coordinator {got:#018x}, local {want:#018x}")
             }
             AbortReason::PlanMismatch => write!(f, "rebuilt plan disagrees with announcement"),
+            AbortReason::PlanOverflow { what, value, limit } => {
+                write!(f, "{what} = {value} exceeds the wire limit {limit}")
+            }
         }
     }
 }
@@ -610,6 +648,12 @@ pub struct SessionTrace {
     pub reports: Vec<Vec<u8>>,
     /// z-combos the fountain streamed before every terminal was done.
     pub z_sent: u32,
+    /// Sends the transport's socket refused or dropped while this
+    /// session ran (delta of [`crate::transport::Transport::send_errors`]
+    /// between session start and end; 0 on the simulator). The counter
+    /// is node-wide, so under concurrent sessions it attributes shared
+    /// socket pressure to every session that lived through it.
+    pub send_errors: u64,
     /// Why the coordinator aborted, when it did.
     pub abort: Option<AbortReason>,
 }

@@ -45,8 +45,13 @@ pub async fn run_terminal<T: Transport>(
     cfg: SessionConfig,
     seed: u64,
 ) -> Result<SessionOutcome, NetError> {
-    cfg.validate()?;
     let me = t.local_node();
+    // Wire-width bounds abort cleanly (mirroring the coordinator): the
+    // u16 fields cannot carry this session's parameters.
+    if let Err(reason) = cfg.plan_bounds() {
+        return Ok(SessionOutcome::aborted(session, me, cfg.n_packets(), reason, None));
+    }
+    cfg.validate()?;
     assert_ne!(me, cfg.coordinator, "coordinator must run run_coordinator");
     let n = cfg.n_nodes;
     let peers: Vec<u8> = (0..n).filter(|&p| p != me).collect();
@@ -160,8 +165,12 @@ pub async fn run_terminal<T: Transport>(
             if !report_sent && now >= at {
                 let bitmap = xs.report_bitmap();
                 reports[me as usize] = Some(bitmap.clone());
-                let msg =
-                    Message::ReceptionReport { terminal: me, n_packets: n_packets as u16, bitmap };
+                let msg = Message::ReceptionReport {
+                    terminal: me,
+                    // In range: plan_bounds() aborted on entry otherwise.
+                    n_packets: u16::try_from(n_packets).expect("bounded by plan_bounds"),
+                    bitmap,
+                };
                 rel.send(&t, session, NetPayload::Proto(msg), &peers)?;
                 report_sent = true;
             }

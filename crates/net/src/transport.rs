@@ -15,6 +15,25 @@
 //!
 //! Frames that fail to decode are dropped at this layer (counted, not
 //! propagated): a malformed datagram must never wedge a session.
+//!
+//! # Wakeups
+//!
+//! Both transports integrate with the waker-based executor in
+//! [`crate::rt`]: a simulated delivery wakes exactly the receiving
+//! node's pump, and the UDP transport — which has no readiness
+//! notification without a reactor — bridges the gap by registering a
+//! short re-poll timer whose interval backs off adaptively while the
+//! socket is quiet. Idle nodes therefore cost (nearly) zero CPU.
+//!
+//! # Send errors
+//!
+//! A UDP send can fail (full socket buffer, transient network error).
+//! The session hot path must neither crash on those — the
+//! retransmission layer absorbs them like any other loss — nor let them
+//! vanish: [`UdpTransport`] counts every failed or dropped send into a
+//! [`TxStats`] send-error ledger, surfaced through
+//! [`Transport::send_errors`] and, per session, in
+//! [`crate::session::SessionTrace`].
 
 use std::cell::RefCell;
 use std::future::Future;
@@ -22,13 +41,19 @@ use std::io;
 use std::net::SocketAddr;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
 use thinair_netsim::{FaultPlan, Medium, TxStats};
 
 use crate::chaos::{ChaosState, FaultStats};
 use crate::frame::{Frame, MAX_PAYLOAD};
+use crate::rt;
 use crate::udp::AsyncUdpSocket;
+
+/// Most frames a single [`SharedTransport::recv_batch`] returns — bounds
+/// the latency one pump pass can add for other tasks.
+pub const DEFAULT_RECV_BATCH: usize = 256;
 
 /// A frame-level packet interface for one node.
 pub trait Transport {
@@ -43,20 +68,60 @@ pub trait Transport {
 
     /// Sends a frame to every peer (default: unicast fan-out).
     fn broadcast(&mut self, frame: &Frame) -> io::Result<()> {
-        let me = self.local_node();
-        for peer in 0..self.node_count() as u8 {
+        // Iterate in usize: `node_count() as u8` would wrap to 0 on a
+        // full 256-node roster and silently broadcast to nobody.
+        let me = self.local_node() as usize;
+        for peer in 0..self.node_count() {
             if peer != me {
-                self.send_to(peer, frame)?;
+                self.send_to(peer as u8, frame)?;
             }
         }
         Ok(())
     }
 
-    /// Polls for the next valid frame addressed to this node.
+    /// Polls for the next valid frame addressed to this node. On
+    /// `Pending` the implementation must arrange a wakeup (waker
+    /// registration or a re-poll timer).
     fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<Frame>>;
+
+    /// Drains every frame currently deliverable into `out` (up to
+    /// `max`), so a busy pump pays one poll per *batch* instead of one
+    /// per frame. Returns the number appended; `Pending` only when
+    /// nothing was ready.
+    fn poll_recv_batch(
+        &mut self,
+        cx: &mut Context<'_>,
+        out: &mut Vec<Frame>,
+        max: usize,
+    ) -> Poll<io::Result<usize>> {
+        let mut n = 0;
+        while n < max {
+            match self.poll_recv(cx) {
+                Poll::Ready(Ok(frame)) => {
+                    out.push(frame);
+                    n += 1;
+                }
+                Poll::Ready(Err(e)) => {
+                    return if n > 0 { Poll::Ready(Ok(n)) } else { Poll::Ready(Err(e)) };
+                }
+                Poll::Pending => break,
+            }
+        }
+        if n > 0 {
+            Poll::Ready(Ok(n))
+        } else {
+            Poll::Pending
+        }
+    }
 
     /// Datagrams dropped because they failed frame validation.
     fn invalid_frames(&self) -> u64;
+
+    /// Sends that failed or were dropped at the socket (0 where sends
+    /// cannot fail, e.g. the simulator).
+    fn send_errors(&self) -> u64 {
+        0
+    }
 }
 
 /// Shared handle so the receive pump and many session tasks can use one
@@ -100,6 +165,11 @@ impl<T: Transport> SharedTransport<T> {
         self.0.borrow().invalid_frames()
     }
 
+    /// Sends that failed or were dropped at the socket so far.
+    pub fn send_errors(&self) -> u64 {
+        self.0.borrow().send_errors()
+    }
+
     /// Borrows the inner transport (e.g. to read sim-side statistics).
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         f(&self.0.borrow())
@@ -108,6 +178,13 @@ impl<T: Transport> SharedTransport<T> {
     /// The next valid incoming frame.
     pub fn recv(&self) -> RecvFrame<T> {
         RecvFrame { t: self.0.clone() }
+    }
+
+    /// Every frame deliverable right now (at most `max`); completes with
+    /// at least one frame. The batched shape the serve pump uses: one
+    /// wakeup drains the whole socket backlog.
+    pub fn recv_batch(&self, max: usize) -> RecvBatch<T> {
+        RecvBatch { t: self.0.clone(), max }
     }
 }
 
@@ -123,32 +200,86 @@ impl<T: Transport> Future for RecvFrame<T> {
     }
 }
 
+/// Future returned by [`SharedTransport::recv_batch`]; `Unpin`.
+pub struct RecvBatch<T> {
+    t: Rc<RefCell<T>>,
+    max: usize,
+}
+
+impl<T: Transport> Future for RecvBatch<T> {
+    type Output = io::Result<Vec<Frame>>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let max = self.max;
+        let mut out = Vec::new();
+        match self.t.borrow_mut().poll_recv_batch(cx, &mut out, max) {
+            Poll::Ready(Ok(_)) => Poll::Ready(Ok(out)),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // UDP
 // ---------------------------------------------------------------------------
 
+/// Ceiling of the UDP re-poll back-off: a quiet socket is still checked
+/// this often, so first-frame latency after an idle spell is bounded.
+const UDP_POLL_MAX: Duration = Duration::from_millis(1);
+
 /// Real-socket transport: one UDP socket, a static peer roster indexed
 /// by node id.
+///
+/// Keeps a [`TxStats`] ledger mirroring the simulator's accounting:
+/// transmitted bits by class (data / control / ack, keyed off the frame
+/// payload) plus the send-error counters — every datagram the socket
+/// refused or dropped is charged to the *destination* node, so a flaky
+/// peer link shows up in the ledger instead of vanishing.
 pub struct UdpTransport {
     socket: AsyncUdpSocket,
     peers: Vec<SocketAddr>,
     node: u8,
     invalid: u64,
     recv_buf: Box<[u8]>,
+    stats: TxStats,
+    /// Adaptive re-poll interval (socket readiness bridge): reset to
+    /// [`rt::TICK`] whenever a datagram arrives, doubled up to
+    /// [`UDP_POLL_MAX`] while the socket stays quiet.
+    poll_interval: Duration,
+    /// Deadline of the currently armed re-poll timer, if any. At most
+    /// one timer chain stays armed per transport: arming a fresh one on
+    /// *every* `Pending` would let each spurious wake (e.g. a stale
+    /// `timeout` entry) spawn another self-sustaining chain, compounding
+    /// the poll rate over a daemon's lifetime.
+    next_poll_due: Option<Instant>,
 }
 
 impl UdpTransport {
     /// Creates a transport for node `node`; `peers[i]` is node `i`'s
     /// address (the entry for `node` itself is unused but keeps the
     /// roster dense).
+    ///
+    /// # Panics
+    /// Panics when `node` is outside the roster or the roster exceeds
+    /// 256 nodes (node ids ride the wire as `u8`; a larger roster must
+    /// fail at construction, not wrap at runtime).
     pub fn new(socket: AsyncUdpSocket, peers: Vec<SocketAddr>, node: u8) -> Self {
+        assert!(
+            peers.len() <= u8::MAX as usize + 1,
+            "roster of {} nodes exceeds the u8 node-id space",
+            peers.len()
+        );
         assert!((node as usize) < peers.len(), "node id outside roster");
+        let stats = TxStats::new(peers.len());
         UdpTransport {
             socket,
             peers,
             node,
             invalid: 0,
             recv_buf: vec![0u8; MAX_PAYLOAD + 1024].into_boxed_slice(),
+            stats,
+            poll_interval: rt::TICK,
+            next_poll_due: None,
         }
     }
 
@@ -160,6 +291,32 @@ impl UdpTransport {
     /// The bound local address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.socket.local_addr()
+    }
+
+    /// The transmitted-bit / send-error ledger (destination-indexed for
+    /// errors, sender-charged for bits — this node is the only sender).
+    pub fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    /// Sends `bytes` (the encoded `frame`) to peer `to`, charging the
+    /// ledger. Transient socket failures are counted, not propagated:
+    /// the reliable layer treats them as loss. Only a roster violation
+    /// is a hard error.
+    fn send_bytes(&mut self, to: u8, frame: &Frame, bytes: &[u8]) -> io::Result<()> {
+        let addr = *self
+            .peers
+            .get(to as usize)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "peer outside roster"))?;
+        match self.socket.send_to(bytes, addr) {
+            // `Ok(0)` is the socket's "buffer full, datagram dropped".
+            Ok(0) => self.stats.record_send_error(to as usize),
+            Ok(_) => {
+                self.stats.record(self.node as usize, frame.tx_class(), (bytes.len() * 8) as u64)
+            }
+            Err(_) => self.stats.record_send_error(to as usize),
+        }
+        Ok(())
     }
 }
 
@@ -173,48 +330,66 @@ impl Transport for UdpTransport {
     }
 
     fn send_to(&mut self, to: u8, frame: &Frame) -> io::Result<()> {
-        let addr = *self
-            .peers
-            .get(to as usize)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "peer outside roster"))?;
-        self.socket.send_to(&frame.encode(), addr)?;
-        Ok(())
+        let bytes = frame.encode();
+        self.send_bytes(to, frame, &bytes)
     }
 
     fn broadcast(&mut self, frame: &Frame) -> io::Result<()> {
-        // Encode once; fan the same bytes out to every peer.
+        // Encode once; fan the same bytes out to every peer. Iterate in
+        // usize: `len() as u8` wraps to 0 on a full 256-node roster.
         let bytes = frame.encode();
-        for (peer, &addr) in self.peers.iter().enumerate() {
+        for peer in 0..self.peers.len() {
             if peer != self.node as usize {
-                self.socket.send_to(&bytes, addr)?;
+                self.send_bytes(peer as u8, frame, &bytes)?;
             }
         }
         Ok(())
     }
 
-    fn poll_recv(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
+    fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
         loop {
             match self.socket.try_recv_from(&mut self.recv_buf) {
-                Ok(Some((n, from))) => match Frame::decode(&self.recv_buf[..n]) {
-                    // The claimed sender id must match the datagram's
-                    // source address in the roster — otherwise any host
-                    // that can reach the port could impersonate any
-                    // node. (No cryptographic authentication yet; see
-                    // `thinair_core::auth` for the bootstrap-secret
-                    // layer a future PR can wire in.)
-                    Ok(frame)
-                        if (frame.sender as usize) < self.peers.len()
-                            && self.peers[frame.sender as usize] == from =>
-                    {
-                        return Poll::Ready(Ok(frame));
+                Ok(Some((n, from))) => {
+                    // Data: back to the hot poll interval, and let the
+                    // next Pending arm a fresh (faster) timer even if a
+                    // slower one is still in flight — the stale one
+                    // fires once and is absorbed by the due-check below.
+                    self.poll_interval = rt::TICK;
+                    self.next_poll_due = None;
+                    match Frame::decode(&self.recv_buf[..n]) {
+                        // The claimed sender id must match the datagram's
+                        // source address in the roster — otherwise any host
+                        // that can reach the port could impersonate any
+                        // node. (No cryptographic authentication yet; see
+                        // `thinair_core::auth` for the bootstrap-secret
+                        // layer a future PR can wire in.)
+                        Ok(frame)
+                            if (frame.sender as usize) < self.peers.len()
+                                && self.peers[frame.sender as usize] == from =>
+                        {
+                            return Poll::Ready(Ok(frame));
+                        }
+                        _ => {
+                            // Malformed, impossible sender, or spoofed
+                            // source: drop and keep draining the socket.
+                            self.invalid += 1;
+                        }
                     }
-                    _ => {
-                        // Malformed, impossible sender, or spoofed
-                        // source: drop and keep draining the socket.
-                        self.invalid += 1;
+                }
+                Ok(None) => {
+                    // No reactor: bridge socket readiness with a re-poll
+                    // timer, backing off while the socket stays quiet.
+                    // Arm only when no armed timer is still pending, so
+                    // spurious wakes cannot multiply timer chains.
+                    let now = Instant::now();
+                    if self.next_poll_due.is_none_or(|t| t <= now) {
+                        let at = now + self.poll_interval;
+                        self.next_poll_due = Some(at);
+                        rt::register_timer(at, cx.waker());
+                        self.poll_interval = (self.poll_interval * 2).min(UDP_POLL_MAX);
                     }
-                },
-                Ok(None) => return Poll::Pending,
+                    return Poll::Pending;
+                }
                 Err(e) => return Poll::Ready(Err(e)),
             }
         }
@@ -222,6 +397,10 @@ impl Transport for UdpTransport {
 
     fn invalid_frames(&self) -> u64 {
         self.invalid
+    }
+
+    fn send_errors(&self) -> u64 {
+        self.stats.send_errors_total()
     }
 }
 
@@ -232,10 +411,21 @@ impl Transport for UdpTransport {
 struct SimHub<M: Medium> {
     medium: M,
     queues: Vec<std::collections::VecDeque<Frame>>,
+    /// Waker of each node's blocked receive, woken on delivery.
+    wakers: Vec<Option<Waker>>,
     stats: TxStats,
     frames: u64,
     /// Chaos layer (adversarial fault injection); `None` = clean net.
     chaos: Option<ChaosState>,
+}
+
+/// Wakes the receive pump parked on `wakers[rx]`, if any. A free
+/// function over the waker column only, so callers can hold disjoint
+/// borrows of the hub's other fields (the chaos state in particular).
+fn wake_node(wakers: &mut [Option<Waker>], rx: usize) {
+    if let Some(w) = wakers[rx].take() {
+        w.wake();
+    }
 }
 
 /// A shared simulated network that hands out per-node [`SimTransport`]s.
@@ -272,11 +462,18 @@ impl<M: Medium> SimNet<M> {
 
     fn build(medium: M, n_nodes: usize, chaos: Option<ChaosState>) -> Self {
         assert!(medium.node_count() >= n_nodes, "medium smaller than roster");
+        // Node ids ride the wire as u8: a larger roster is a
+        // construction-time error, never a silent wrap.
+        assert!(
+            n_nodes <= u8::MAX as usize + 1,
+            "roster of {n_nodes} nodes exceeds the u8 node-id space"
+        );
         let stats = TxStats::new(medium.node_count());
         SimNet {
             hub: Rc::new(RefCell::new(SimHub {
                 medium,
                 queues: (0..n_nodes).map(|_| Default::default()).collect(),
+                wakers: (0..n_nodes).map(|_| None).collect(),
                 stats,
                 frames: 0,
                 chaos,
@@ -351,13 +548,13 @@ impl<M: Medium> SimTransport<M> {
             match hub.chaos.as_mut() {
                 None => {
                     hub.queues[rx].push_back(frame.clone());
-                    crate::rt::notify();
+                    wake_node(&mut hub.wakers, rx);
                 }
                 Some(chaos) => {
                     for (delay, copy) in chaos.deliver(frame, self.node, rx as u8) {
                         if delay == 0 {
                             hub.queues[rx].push_back(copy);
-                            crate::rt::notify();
+                            wake_node(&mut hub.wakers, rx);
                         } else {
                             chaos.hold(delay, rx as u8, copy);
                         }
@@ -374,7 +571,7 @@ impl<M: Medium> SimTransport<M> {
         if let Some(chaos) = hub.chaos.as_mut() {
             for (rx, f) in chaos.due() {
                 hub.queues[rx as usize].push_back(f);
-                crate::rt::notify();
+                wake_node(&mut hub.wakers, rx as usize);
             }
         }
     }
@@ -401,10 +598,26 @@ impl<M: Medium> Transport for SimTransport<M> {
         Ok(())
     }
 
-    fn poll_recv(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
-        match self.hub.borrow_mut().queues[self.node as usize].pop_front() {
+    fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
+        let mut hub = self.hub.borrow_mut();
+        match hub.queues[self.node as usize].pop_front() {
             Some(f) => Poll::Ready(Ok(f)),
-            None => Poll::Pending,
+            None => {
+                // Chaos hold-back frames are released (and their
+                // receiver woken, via `flush_due` → `wake_node`) inside
+                // later `transmit` calls — the delay clock counts
+                // transmissions, not time, and the reliable layer's
+                // retransmission timers guarantee those transmissions
+                // keep coming while any session is live. The waker slot
+                // alone therefore suffices; no re-poll timer needed.
+                let me = self.node as usize;
+                let slot = &mut hub.wakers[me];
+                match slot.as_ref() {
+                    Some(w) if w.will_wake(cx.waker()) => {}
+                    _ => *slot = Some(cx.waker().clone()),
+                }
+                Poll::Pending
+            }
         }
     }
 
@@ -456,6 +669,36 @@ mod tests {
     }
 
     #[test]
+    fn sim_delivery_wakes_blocked_receiver() {
+        // The receiver parks first; only the delivery wake resumes it.
+        let net = SimNet::new(IidMedium::symmetric(3, 0.0, 1), 2);
+        let t0 = net.transport(0);
+        let t1 = SharedTransport::new(net.transport(1));
+        let got = rt::block_on(async {
+            let rx_task = rt::spawn(async move { t1.recv().await.unwrap().seq });
+            rt::spawn(async move {
+                rt::sleep(std::time::Duration::from_millis(2)).await;
+                let mut t0 = t0;
+                t0.broadcast(&frame(0, 42)).unwrap();
+            });
+            rx_task.await
+        });
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn recv_batch_drains_backlog_in_one_poll() {
+        let net = SimNet::new(IidMedium::symmetric(3, 0.0, 1), 2);
+        let mut t0 = net.transport(0);
+        for seq in 1..=5 {
+            t0.broadcast(&frame(0, seq)).unwrap();
+        }
+        let t1 = SharedTransport::new(net.transport(1));
+        let batch = rt::block_on(async { t1.recv_batch(DEFAULT_RECV_BATCH).await.unwrap() });
+        assert_eq!(batch.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
     fn udp_transport_filters_garbage() {
         rt::block_on(async {
             let a = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
@@ -474,5 +717,21 @@ mod tests {
             assert_eq!(got.seq, 3);
             assert_eq!(shared.invalid_frames(), 1);
         });
+    }
+
+    #[test]
+    fn udp_send_errors_are_counted_not_fatal() {
+        let a = AsyncUdpSocket::bind("127.0.0.1:0").unwrap();
+        let a_addr = a.local_addr().unwrap();
+        // Destination port 0 is invalid for sendto on every mainstream
+        // OS: the send fails, the counter ticks, the call stays Ok.
+        let bogus: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let mut t = UdpTransport::new(a, vec![a_addr, bogus], 0);
+        assert_eq!(t.send_errors(), 0);
+        t.send_to(1, &frame(0, 1)).expect("send error must not kill the session");
+        assert_eq!(t.send_errors(), 1);
+        assert_eq!(t.stats().send_errors(1), 1);
+        // A roster violation is still a hard error.
+        assert!(t.send_to(9, &frame(0, 1)).is_err());
     }
 }

@@ -24,8 +24,10 @@ impl AsyncUdpSocket {
     }
 
     /// Sends one datagram. UDP sends don't meaningfully block; a full
-    /// socket buffer drops the datagram, which the retransmission layer
-    /// absorbs like any other loss.
+    /// socket buffer drops the datagram (reported as `Ok(0)`), which
+    /// the retransmission layer absorbs like any other loss —
+    /// [`crate::transport::UdpTransport`] counts both that and outright
+    /// send errors into its send-error ledger so they never vanish.
     pub fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
         match self.inner.send_to(buf, addr) {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),

@@ -35,9 +35,11 @@ use thinair_net::node::Node;
 use thinair_net::rt;
 use thinair_net::session::SessionConfig;
 use thinair_net::transport::UdpTransport;
+use thinair_net::{ServeLimits, Server};
 use thinair_scenario::{
-    full_grid, run_soak_specs, run_specs, smoke_specs, soak_smoke_specs, soak_specs,
-    soak_summary_table, summary_table, write_json, write_soak_json,
+    full_grid, run_serve_wave, run_soak_specs, run_specs, serve_ramp_specs, serve_smoke_specs,
+    serve_summary_table, smoke_specs, soak_smoke_specs, soak_specs, soak_summary_table,
+    summary_table, write_json, write_serve_json, write_soak_json,
 };
 
 const USAGE: &str = "\
@@ -45,13 +47,19 @@ thinaird — thinair node daemon (secret agreement over UDP)
 
 USAGE:
     thinaird <coordinator|terminal> --node <ID> --peers <A0,A1,...> [OPTIONS]
+    thinaird serve --node <ID> --peers <A0,A1,...> [OPTIONS]
     thinaird demo [OPTIONS]
     thinaird bench-scenario [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-soak [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
+    thinaird bench-serve [--smoke] [--out <PATH>] [--seed <S>]
 
 ROLES:
     coordinator        run node <ID> as the round coordinator (Alice)
-    terminal           run node <ID> as a terminal
+    terminal           run node <ID> as a terminal (one session batch, then exit)
+    serve              run node <ID> as a long-lived terminal daemon:
+                       every session a coordinator starts is auto-admitted
+                       (capacity permitting), multiplexed over one socket,
+                       idle-evicted, and GC'd on termination
     demo               run all nodes in-process over loopback sockets
     bench-scenario     sweep scenario configs (many concurrent simulated
                        sessions each), compare measured efficiency against
@@ -60,6 +68,11 @@ ROLES:
                        fault grid (reorder, duplication, corruption, delay
                        jitter, partitions, crash, late join), audit the
                        safety invariant per session, write BENCH_soak.json
+    bench-serve        ramp concurrent sessions (100 -> 1k -> 5k full, smaller
+                       with --smoke) against in-process serve daemons over
+                       loopback UDP and a chaos-faulted simulator; audit
+                       every session, measure sessions/sec + p50/p99 latency
+                       + executor polls saved, write BENCH_serve.json
 
 OPTIONS:
     --node <ID>        this node's id (index into --peers)       [required for roles]
@@ -77,9 +90,11 @@ OPTIONS:
     --coordinator-id <ID>  which node coordinates                 [default: 0]
     --deadline-ms <MS> session deadline                           [default: 30000]
     --estimator <E>    leave-one-out | fraction:<F>               [default: leave-one-out]
+    --max-sessions <N> serve: admission cap on concurrent sessions [default: 8192]
+    --idle-ms <MS>     serve: evict sessions idle this long        [default: 10000]
     --smoke            bench-*: the small CI sweep instead of the full grid
-    --out <PATH>       bench-*: artifact path
-                       [default: BENCH_scenarios.json / BENCH_soak.json]
+    --out <PATH>       bench-*: artifact path [default:
+                       BENCH_scenarios.json / BENCH_soak.json / BENCH_serve.json]
     -h, --help         print this help
 ";
 
@@ -100,6 +115,8 @@ struct Options {
     coordinator_id: u8,
     deadline_ms: u64,
     estimator: Estimator,
+    max_sessions: usize,
+    idle_ms: u64,
     smoke: bool,
     out: Option<String>,
 }
@@ -137,6 +154,8 @@ impl Default for Options {
             coordinator_id: 0,
             deadline_ms: 30_000,
             estimator: Estimator::LeaveOneOut(Tuning::default()),
+            max_sessions: 8192,
+            idle_ms: 10_000,
             smoke: false,
             out: None,
         }
@@ -173,6 +192,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.seed = num(take()?)?;
                 o.seed_given = true;
             }
+            "--max-sessions" => o.max_sessions = num(take()?)?,
+            "--idle-ms" => o.idle_ms = num(take()?)?,
             "--smoke" => o.smoke = true,
             "--out" => o.out = Some(take()?.clone()),
             "--coordinator-id" => o.coordinator_id = num(take()?)?,
@@ -225,11 +246,22 @@ fn key_hex(outcome: &thinair_net::SessionOutcome) -> String {
     }
 }
 
-fn run_role(role: &str, o: Options) -> Result<(), String> {
-    let node = o.node.ok_or("--node is required")?;
-    if o.peers.len() < 2 {
+fn check_roster(peers: &[SocketAddr]) -> Result<(), String> {
+    if peers.len() < 2 {
         return Err("--peers must list at least two addresses".into());
     }
+    // `SessionConfig::n_nodes` is a u8 (node ids ride the wire as u8):
+    // reject oversized rosters at startup instead of wrapping to a
+    // 0-node session config that fails every round.
+    if peers.len() > u8::MAX as usize {
+        return Err(format!("--peers lists {} addresses; at most 255 supported", peers.len()));
+    }
+    Ok(())
+}
+
+fn run_role(role: &str, o: Options) -> Result<(), String> {
+    let node = o.node.ok_or("--node is required")?;
+    check_roster(&o.peers)?;
     if node as usize >= o.peers.len() {
         return Err("--node must index into --peers".into());
     }
@@ -254,16 +286,26 @@ fn run_role(role: &str, o: Options) -> Result<(), String> {
     );
     let outcomes = rt::block_on(async {
         node_handle.start_pump();
-        let mut out = Vec::new();
+        // Sessions run concurrently, multiplexed by session id over the
+        // one socket — the same shape a serve daemon handles them in.
+        let mut tasks = Vec::with_capacity(o.sessions as usize);
         for s in 0..o.sessions {
             let session = o.session_id + s;
             let seed = task_seed(o.seed, session, node);
-            let r = if is_coordinator {
-                node_handle.coordinate(session, cfg.clone(), seed).await
-            } else {
-                node_handle.participate(session, cfg.clone(), seed).await
-            };
-            out.push(r.map_err(|e| format!("session {session}: {e}"))?);
+            let node_handle = node_handle.clone();
+            let cfg = cfg.clone();
+            tasks.push(rt::spawn(async move {
+                if is_coordinator {
+                    node_handle.coordinate(session, cfg, seed).await
+                } else {
+                    node_handle.participate(session, cfg, seed).await
+                }
+            }));
+        }
+        let mut out = Vec::new();
+        for (s, t) in tasks.into_iter().enumerate() {
+            let session = o.session_id + s as u64;
+            out.push(t.await.map_err(|e| format!("session {session}: {e}"))?);
         }
         Ok::<_, String>(out)
     })?;
@@ -287,6 +329,91 @@ fn run_role(role: &str, o: Options) -> Result<(), String> {
     }
     if aborted > 0 {
         return Err(format!("{aborted} session(s) aborted"));
+    }
+    Ok(())
+}
+
+fn run_serve(o: Options) -> Result<(), String> {
+    let node = o.node.ok_or("--node is required")?;
+    check_roster(&o.peers)?;
+    if node as usize >= o.peers.len() {
+        return Err("--node must index into --peers".into());
+    }
+    if node == o.coordinator_id {
+        return Err("serve runs terminals; the coordinator initiates rounds".into());
+    }
+    let cfg = session_config(&o, o.peers.len() as u8);
+    let bind = o.bind.unwrap_or(o.peers[node as usize]);
+    let transport =
+        UdpTransport::bind(bind, o.peers.clone(), node).map_err(|e| format!("bind {bind}: {e}"))?;
+    let limits = ServeLimits {
+        max_sessions: o.max_sessions,
+        idle_timeout: Duration::from_millis(o.idle_ms),
+        ..ServeLimits::default()
+    };
+    eprintln!(
+        "thinaird serve: node {node} on {bind}, {} peers, cap {} sessions, idle evict {} ms, \
+         digest {:#018x}",
+        o.peers.len(),
+        o.max_sessions,
+        o.idle_ms,
+        cfg.digest()
+    );
+    let mut server = Server::new(thinair_net::SharedTransport::new(transport), cfg, o.seed, limits);
+    let handle = server.handle();
+    let mut outcomes = server.outcomes();
+    let result: std::io::Result<_> = rt::block_on(async move {
+        rt::spawn(async move {
+            while let Some(out) = outcomes.recv().await {
+                match &out.abort {
+                    Some(reason) => {
+                        println!("session {:#x} node {} ABORTED: {reason}", out.session, out.node)
+                    }
+                    None => println!(
+                        "session {:#x} node {} L={} M={} key {}",
+                        out.session,
+                        out.node,
+                        out.l,
+                        out.m,
+                        key_hex(&out)
+                    ),
+                }
+            }
+        });
+        server.run().await
+    });
+    let stats = handle.stats();
+    eprintln!(
+        "thinaird serve: exiting; admitted {} completed {} aborted {} evicted {} rejected {}",
+        stats.admitted, stats.completed, stats.aborted, stats.evicted, stats.rejected
+    );
+    result.map(|_| ()).map_err(|e| format!("serve loop failed: {e}"))
+}
+
+fn run_bench_serve(o: Options) -> Result<(), String> {
+    // Reproducible by default, like the other benches.
+    let seed = if o.seed_given { o.seed } else { 1 };
+    let specs = if o.smoke { serve_smoke_specs(seed) } else { serve_ramp_specs(seed) };
+    eprintln!(
+        "thinaird bench-serve: {} wave(s), up to {} concurrent sessions, seed {seed}",
+        specs.len(),
+        specs.iter().map(|s| s.concurrency).max().unwrap_or(0),
+    );
+    // Waves run serially: each saturates the machine by design, and the
+    // latency numbers would be meaningless under co-scheduled waves.
+    let mut results = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        eprintln!("  wave {} ({} sessions)...", spec.name, spec.concurrency);
+        results.push(run_serve_wave(spec).map_err(|e| format!("wave {}: {e}", spec.name))?);
+    }
+    print!("{}", serve_summary_table(&results));
+    let violations: u32 = results.iter().map(|r| r.violations).sum();
+    let out = o.out.unwrap_or_else(|| "BENCH_serve.json".into());
+    write_serve_json(std::path::Path::new(&out), &results)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    if violations > 0 {
+        return Err(format!("SAFETY INVARIANT VIOLATED in {violations} session(s)"));
     }
     Ok(())
 }
@@ -427,9 +554,11 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "coordinator" | "terminal" => run_role(cmd, parsed),
+        "serve" => run_serve(parsed),
         "demo" => run_demo(parsed),
         "bench-scenario" => run_bench_scenario(parsed),
         "bench-soak" => run_bench_soak(parsed),
+        "bench-serve" => run_bench_serve(parsed),
         other => Err(format!("unknown subcommand {other}")),
     };
     match result {

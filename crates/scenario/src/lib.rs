@@ -61,12 +61,18 @@
 pub mod grid;
 pub mod report;
 pub mod run;
+pub mod serve_bench;
 pub mod soak;
 pub mod spec;
 
 pub use grid::{full_grid, golden_spec, smoke_specs, ScenarioGrid};
 pub use report::{render_json, summary_table, write_json, SCHEMA};
 pub use run::{run_scenario, run_specs, ScenarioError, ScenarioResult, SessionMeasurement};
+pub use serve_bench::{
+    render_serve_json, run_serve_wave, serve_chaos_plan, serve_ramp_specs, serve_smoke_specs,
+    serve_summary_table, write_serve_json, ServeBackend, ServeWaveResult, ServeWaveSpec,
+    SERVE_SCHEMA,
+};
 pub use soak::{
     audit_session, render_soak_json, run_soak, run_soak_specs, soak_smoke_specs, soak_specs,
     soak_summary_table, write_soak_json, SessionVerdict, SoakResult, SOAK_SCHEMA,
