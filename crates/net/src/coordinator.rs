@@ -57,6 +57,18 @@ impl Phase {
     }
 }
 
+/// Settles the telemetry for a phase transition: the `old` phase's
+/// duration lands in its `phase.coord.*` histogram, the span clock
+/// restarts, and the trace records entering `new`.
+fn note_phase(session: u64, me: u8, old: &'static str, new: &'static str, entered: &mut Instant) {
+    crate::telemetry::observe(
+        crate::telemetry::phase_metric("coord", old),
+        entered.elapsed().as_micros() as u64,
+    );
+    *entered = Instant::now();
+    crate::telemetry::trace_phase(session, me, new);
+}
+
 /// Runs one session as the coordinator. `seed` feeds all local
 /// randomness (x payloads, the plan seed, fountain coefficients).
 ///
@@ -108,6 +120,9 @@ pub async fn run_coordinator<T: Transport>(
 
     let start_seq = rel.send(&t, session, NetPayload::Start { digest: cfg.digest() }, &targets)?;
     let mut phase = Phase::StartBarrier { start_seq };
+    let mut phase_entered = Instant::now();
+    crate::telemetry::trace_session_start(session, me, "coordinator");
+    crate::telemetry::trace_phase(session, me, phase.name());
 
     // Builds the clean-abort outcome: the trace carries whatever was
     // collected (reports so far, empty bitmaps for the missing ones) so
@@ -132,6 +147,8 @@ pub async fn run_coordinator<T: Transport>(
                 abort: Some(reason.clone()),
             },
         };
+        crate::telemetry::trace_abort(session, me, reason.kind());
+        crate::telemetry::trace_end(session, me, false, 0);
         SessionOutcome::aborted(session, me, n_packets, reason, Some(trace))
     };
 
@@ -147,6 +164,7 @@ pub async fn run_coordinator<T: Transport>(
             trace.z_sent = z_sent;
             trace.send_errors = send_errors;
         }
+        crate::telemetry::trace_end(session, me, true, out.l as u32);
         out
     };
     // The send-error delta this session will report, read lazily so
@@ -202,7 +220,9 @@ pub async fn run_coordinator<T: Transport>(
                 if rel.acked(*start_seq) {
                     // Broadcast this node's share of the x-pool.
                     xs.broadcast_own(&t, &mut rel, &mut rng)?;
+                    let prev = phase.name();
                     phase = Phase::XSettle { until: now + cfg.x_settle };
+                    note_phase(session, me, prev, phase.name(), &mut phase_entered);
                 }
             }
             Phase::XSettle { until } => {
@@ -217,7 +237,9 @@ pub async fn run_coordinator<T: Transport>(
                         bitmap,
                     };
                     rel.send(&t, session, NetPayload::Proto(msg), &targets)?;
+                    let prev = phase.name();
                     phase = Phase::AwaitReports;
+                    note_phase(session, me, prev, phase.name(), &mut phase_entered);
                 }
             }
             Phase::AwaitReports => {
@@ -281,13 +303,17 @@ pub async fn run_coordinator<T: Transport>(
                         abort: None,
                         trace,
                     });
+                    let prev = phase.name();
                     phase = Phase::Fountain { next_combo: now };
+                    note_phase(session, me, prev, phase.name(), &mut phase_entered);
                 }
             }
             Phase::Fountain { next_combo } => {
                 if targets.iter().all(|p| done.contains(p)) {
                     let fin_seq = rel.send(&t, session, NetPayload::Fin, &targets)?;
+                    let prev = phase.name();
                     phase = Phase::FinBarrier { fin_seq };
+                    note_phase(session, me, prev, phase.name(), &mut phase_entered);
                 } else if now >= *next_combo && !fountain.is_empty() {
                     if z_sent >= cfg.max_attempts {
                         let missing: Vec<u8> =
@@ -320,6 +346,12 @@ pub async fn run_coordinator<T: Transport>(
             }
             Phase::FinBarrier { fin_seq } => {
                 if rel.acked(*fin_seq) {
+                    // The terminal span of a completed session: settle
+                    // the fin-barrier histogram before returning.
+                    crate::telemetry::observe(
+                        crate::telemetry::phase_metric("coord", phase.name()),
+                        phase_entered.elapsed().as_micros() as u64,
+                    );
                     let out = outcome.take().expect("outcome set before fin");
                     return Ok(finish(out, z_sent, send_errs(&t)));
                 }

@@ -40,6 +40,10 @@
 //! * [`driver`] — the multi-session experiment driver: a batch of
 //!   concurrent sessions over prepared nodes or a simulated medium, with
 //!   bit/frame measurements (`thinair-scenario`'s substrate).
+//! * [`telemetry`] — the unified observability registry: named
+//!   counters/gauges, log2-bucketed histograms with bounded-error
+//!   percentiles, and a per-session span/event trace with JSONL
+//!   export — the sink every other module's instrumentation feeds.
 //!
 //! The `thinaird` binary wraps this into a deployable daemon with
 //! `coordinator`, `terminal`, and `demo` subcommands; see the README's
@@ -73,6 +77,7 @@ pub mod reliable;
 pub mod rt;
 pub mod serve;
 pub mod session;
+pub mod telemetry;
 pub mod terminal;
 pub mod transport;
 pub mod udp;
@@ -83,4 +88,5 @@ pub use frame::{Frame, NetPayload};
 pub use node::Node;
 pub use serve::{ServeHandle, ServeLimits, ServeStats, Server, SessionRegistry};
 pub use session::{AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace};
+pub use telemetry::{Histogram, Snapshot, TraceEvent, TraceKind};
 pub use transport::{SharedTransport, SimNet, SimTransport, Transport, UdpTransport};

@@ -43,6 +43,9 @@ struct Entry {
     pending: BTreeSet<u8>,
     due: Instant,
     attempts: u32,
+    /// When the first copy went out — the anchor for the ACK-RTT
+    /// histogram (`net.ack.rtt_us`).
+    first_sent: Instant,
 }
 
 /// Sender-side reliability state for one session.
@@ -102,21 +105,33 @@ impl Reliable {
         for &to in targets {
             t.send_to(to, &frame)?;
         }
+        let now = Instant::now();
         self.entries.push(Entry {
             seq,
             frame,
             pending: targets.iter().copied().collect(),
-            due: Instant::now() + self.interval,
+            due: now + self.interval,
             attempts: 1,
+            first_sent: now,
         });
         Ok(seq)
     }
 
     /// Records an ACK from `from` for `seq`.
     pub fn on_ack(&mut self, from: u8, seq: u32) {
+        let now = Instant::now();
         self.entries.retain_mut(|e| {
             if e.seq == seq {
                 e.pending.remove(&from);
+                if e.pending.is_empty() {
+                    // Fully acknowledged: settle the frame's telemetry.
+                    // RTT is first-send → last-ACK, so a retransmitted
+                    // frame's RTT includes the retransmit delay — that
+                    // is the latency the protocol actually experienced.
+                    let rtt = now.saturating_duration_since(e.first_sent);
+                    crate::telemetry::observe("net.ack.rtt_us", rtt.as_micros() as u64);
+                    crate::telemetry::observe("net.reliable.attempts", e.attempts as u64);
+                }
             }
             !e.pending.is_empty()
         });
@@ -151,6 +166,13 @@ impl Reliable {
             }
             e.attempts += 1;
             e.due = now + self.interval;
+            crate::telemetry::counter_add("net.retransmit.frames", 1);
+            crate::telemetry::trace_retransmit(
+                e.frame.session,
+                t.local_node(),
+                e.seq as u64,
+                e.attempts,
+            );
             for &to in e.pending.iter() {
                 t.send_to(to, &e.frame)?;
             }

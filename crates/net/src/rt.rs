@@ -92,6 +92,10 @@ impl ReadyQueue {
         self.inner.lock().expect("ready queue poisoned").queue.is_empty()
     }
 
+    fn len(&self) -> usize {
+        self.inner.lock().expect("ready queue poisoned").queue.len()
+    }
+
     fn wakes(&self) -> u64 {
         self.inner.lock().expect("ready queue poisoned").wakes
     }
@@ -161,6 +165,11 @@ struct Executor {
 /// `bench-serve` harness reports it per session, and the regression
 /// test `idle_tasks_poll_o1` pins that an idle 1k-task executor adds
 /// O(1) polls per pass.
+///
+/// Counters are **per-`block_on`** (each entry builds a fresh
+/// executor). For intervals *within* one `block_on` — a bench wave, a
+/// stats window — take a baseline snapshot and subtract with
+/// [`Metrics::delta`] rather than reading the cumulative values.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Scheduler passes (each drains the ready queue once).
@@ -173,6 +182,22 @@ pub struct Metrics {
     pub wakes: u64,
     /// High-water mark of concurrently live spawned tasks.
     pub max_tasks: u64,
+}
+
+impl Metrics {
+    /// The work done since `earlier` (a previous [`metrics`] snapshot
+    /// from the same `block_on`): event counters subtract;
+    /// `max_tasks`, a high-water mark rather than a count, keeps the
+    /// later (higher) value.
+    pub fn delta(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            passes: self.passes.saturating_sub(earlier.passes),
+            task_polls: self.task_polls.saturating_sub(earlier.task_polls),
+            timer_fires: self.timer_fires.saturating_sub(earlier.timer_fires),
+            wakes: self.wakes.saturating_sub(earlier.wakes),
+            max_tasks: self.max_tasks,
+        }
+    }
 }
 
 thread_local! {
@@ -302,6 +327,11 @@ pub fn block_on<F: Future>(main_fut: F) -> F::Output {
     ex.ready.push(ROOT_ID);
 
     loop {
+        // Timing histograms (poll latency, ready depth, timer lag) take
+        // an `Instant::now` per event, so they are opt-in per thread
+        // (`telemetry::set_timing`); counters stay always-on.
+        let timing = crate::telemetry::timing_enabled();
+
         // Fire every due timer; their wakes land in the ready queue.
         let now = Instant::now();
         loop {
@@ -314,6 +344,10 @@ pub fn block_on<F: Future>(main_fut: F) -> F::Output {
             };
             match due {
                 Some(Reverse(entry)) => {
+                    if timing {
+                        let lag = now.saturating_duration_since(entry.deadline);
+                        crate::telemetry::observe("rt.timer_lag_us", lag.as_micros() as u64);
+                    }
                     entry.waker.wake();
                     let mut m = ex.metrics.get();
                     m.timer_fires += 1;
@@ -329,13 +363,21 @@ pub fn block_on<F: Future>(main_fut: F) -> F::Output {
             m.passes += 1;
             ex.metrics.set(m);
         }
+        if timing {
+            crate::telemetry::observe("rt.ready_depth", ex.ready.len() as u64);
+        }
         while let Some(id) = ex.ready.pop() {
             let mut m = ex.metrics.get();
             m.task_polls += 1;
             ex.metrics.set(m);
+            let poll_start = if timing { Some(Instant::now()) } else { None };
             if id == ROOT_ID {
                 let mut cx = Context::from_waker(&root_waker);
-                if let Poll::Ready(out) = main_fut.as_mut().poll(&mut cx) {
+                let res = main_fut.as_mut().poll(&mut cx);
+                if let Some(t0) = poll_start {
+                    crate::telemetry::observe("rt.poll_us", t0.elapsed().as_micros() as u64);
+                }
+                if let Poll::Ready(out) = res {
                     return out;
                 }
                 continue;
@@ -352,6 +394,9 @@ pub fn block_on<F: Future>(main_fut: F) -> F::Output {
                     ex.live.set(ex.live.get() - 1);
                 }
                 Poll::Pending => ex.tasks.borrow_mut()[id] = Some(slot),
+            }
+            if let Some(t0) = poll_start {
+                crate::telemetry::observe("rt.poll_us", t0.elapsed().as_micros() as u64);
             }
         }
 

@@ -93,6 +93,9 @@ pub struct ServeStats {
 struct Entry {
     tx: Sender<Frame>,
     last_frame: Instant,
+    /// Admission time — anchors the `serve.session_us` duration
+    /// histogram when the session terminates.
+    admitted_at: Instant,
 }
 
 /// The daemon's session table: admission, routing, eviction, GC.
@@ -168,23 +171,27 @@ impl SessionRegistry {
     fn admit(&mut self, session: u64, now: Instant) -> Option<Receiver<Frame>> {
         if self.spent.contains(&session) {
             self.stats.orphans += 1;
+            crate::telemetry::counter_add("serve.orphans", 1);
             return None;
         }
         if self.open.len() >= self.limits.max_sessions {
             self.stats.rejected += 1;
+            crate::telemetry::counter_add("serve.rejected", 1);
             return None;
         }
         let (tx, rx) = channel();
-        self.open.insert(session, Entry { tx, last_frame: now });
+        self.open.insert(session, Entry { tx, last_frame: now, admitted_at: now });
         self.stats.admitted += 1;
         self.stats.peak_open = self.stats.peak_open.max(self.open.len() as u64);
+        crate::telemetry::counter_add("serve.admitted", 1);
+        crate::telemetry::gauge_set("serve.open", self.open.len() as u64);
         Some(rx)
     }
 
     /// Removes a terminated session's slot (terminal-state GC) and
     /// remembers the id so Start replays cannot resurrect it.
     fn finish(&mut self, session: u64, outcome: &Result<SessionOutcome, NetError>) {
-        let was_open = self.open.remove(&session).is_some();
+        let entry = self.open.remove(&session);
         self.mark_spent(session);
         // A session whose slot is already gone was evicted (counted as
         // `evicted`) or swept on socket death — its late outcome,
@@ -192,9 +199,12 @@ impl SessionRegistry {
         // `Closed`, but a protocol deadline can race the idle sweep and
         // deliver an `Ok` abort), must not be counted a second time:
         // the stat buckets partition `admitted`.
-        if !was_open {
-            return;
-        }
+        let Some(entry) = entry else { return };
+        crate::telemetry::observe(
+            "serve.session_us",
+            entry.admitted_at.elapsed().as_micros() as u64,
+        );
+        crate::telemetry::gauge_set("serve.open", self.open.len() as u64);
         match outcome {
             Ok(out) if out.completed() => self.stats.completed += 1,
             Ok(_) => self.stats.aborted += 1,
@@ -217,6 +227,10 @@ impl SessionRegistry {
             keep
         });
         self.stats.evicted += evicted.len() as u64;
+        if !evicted.is_empty() {
+            crate::telemetry::counter_add("serve.evicted", evicted.len() as u64);
+            crate::telemetry::gauge_set("serve.open", self.open.len() as u64);
+        }
         for session in evicted {
             self.mark_spent(session);
         }
@@ -343,6 +357,7 @@ impl<T: Transport + 'static> Server<T> {
                     && matches!(frame.payload, NetPayload::Start { .. });
                 if !admissible {
                     reg.stats.orphans += 1;
+                    crate::telemetry::counter_add("serve.orphans", 1);
                     continue;
                 }
                 let session = frame.session;

@@ -1,0 +1,304 @@
+//! A log2-bucketed histogram for latency and queue-depth distributions.
+//!
+//! The serve harness needs percentiles over millions of samples without
+//! keeping (or sorting) the samples: a fixed array of counts whose
+//! buckets grow geometrically. The layout is the HDR-style
+//! "sub-bucketed octave" scheme:
+//!
+//! * values below [`SUB_BUCKETS`] (16) land in their own bucket —
+//!   **exact**;
+//! * every larger value lands in one of 16 equal-width sub-buckets of
+//!   its power-of-two octave, so bucket width is always ≤ 1/16 of the
+//!   bucket's lower bound.
+//!
+//! [`Histogram::percentile`] answers from the bucket containing the
+//! requested rank, using the bucket midpoint. The estimate therefore
+//! carries a **bounded relative error of 1/16 (6.25 %)** of the true
+//! value (exact below 16) — the precision bound every artifact field
+//! derived from a histogram cites. `tests/telemetry_obs.rs` pins the
+//! bound against an exactly-sorted reference.
+//!
+//! All state is plain counts, so histograms can be cloned for
+//! snapshots, merged across sources, and subtracted for per-interval
+//! deltas.
+
+/// Sub-buckets per power-of-two octave. Also the first-exact-bucket
+/// count: values `< SUB_BUCKETS` are recorded exactly.
+pub const SUB_BUCKETS: u64 = 16;
+
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+
+/// Bucket count covering the full `u64` range: 16 exact buckets plus
+/// 16 sub-buckets for each octave `2^4 ..= 2^63`.
+pub const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) + (64 - SUB_BITS as usize) * 16;
+
+/// A fixed-size log2-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of `v` (total order, contiguous from 0).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1)) as usize;
+        ((msb - SUB_BITS) as usize) * 16 + SUB_BUCKETS as usize + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `idx`.
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        idx as u64
+    } else {
+        let octave = (idx / 16 - 1) as u32 + SUB_BITS;
+        let sub = (idx % 16) as u64;
+        (1u64 << octave) + (sub << (octave - SUB_BITS))
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` (its width is `1/16` of its
+/// lower octave).
+fn bucket_hi(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        idx as u64
+    } else {
+        let octave = (idx / 16 - 1) as u32 + SUB_BITS;
+        bucket_lo(idx) + ((1u64 << (octave - SUB_BITS)) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: Box::new([0; NUM_BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-quantile estimate (`0.0 ..= 1.0`): the midpoint of the
+    /// bucket holding the sample of that rank. Relative error is
+    /// bounded by 1/16 of the true value (exact for values below 16);
+    /// the exact `min`/`max` clamp the tails.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_lo(idx) + (bucket_hi(idx) - bucket_lo(idx)) / 2;
+                // The exact extremes are known; never estimate outside
+                // them.
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded since `earlier` (a previous snapshot of the
+    /// same histogram). Bucket counts subtract exactly; `min`/`max` are
+    /// re-derived from the delta's nonzero buckets (bucket-precision,
+    /// not exact — the exact extremes belong to the cumulative
+    /// histogram).
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (idx, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            let d = a.saturating_sub(*b);
+            if d > 0 {
+                out.counts[idx] = d;
+                out.count += d;
+                out.min = out.min.min(bucket_lo(idx));
+                out.max = out.max.max(bucket_hi(idx));
+            }
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// Renders the summary as a JSON object fragment:
+    /// `{"count": N, "min": .., "p50": .., "p90": .., "p99": ..,
+    /// "p999": .., "max": .., "mean": ..}` — values in the unit the
+    /// samples were recorded in.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+             \"p999\": {}, \"max\": {}, \"mean\": {:.1}}}",
+            self.count,
+            self.min(),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.percentile(0.999),
+            self.max,
+            self.mean(),
+        )
+    }
+}
+
+/// Exposed for boundary tests: `(index, lower, upper)` of the bucket
+/// holding `v`.
+pub fn bucket_of(v: u64) -> (usize, u64, u64) {
+    let idx = bucket_index(v);
+    (idx, bucket_lo(idx), bucket_hi(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket indices are monotone in the value.
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            255,
+            256,
+            257,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut last_idx = 0usize;
+        for &v in &probes {
+            let (idx, lo, hi) = bucket_of(v);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+            assert!(idx >= last_idx, "bucket order broken at {v}");
+            assert!(idx < NUM_BUCKETS);
+            last_idx = idx;
+        }
+        // Bucket width never exceeds 1/16 of the lower bound (for
+        // values past the exact range).
+        for idx in SUB_BUCKETS as usize..NUM_BUCKETS {
+            let (lo, hi) = (bucket_lo(idx), bucket_hi(idx));
+            assert!(hi - lo <= lo.div_ceil(16), "bucket {idx} too wide: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for p in [0.01, 0.25, 0.5, 0.75, 1.0] {
+            let est = h.percentile(p);
+            assert!(est < 16, "exact-range estimate escaped: {est}");
+        }
+        let mut single = Histogram::new();
+        single.record(7);
+        assert_eq!(single.percentile(0.5), 7);
+        assert_eq!(single.min(), 7);
+        assert_eq!(single.max(), 7);
+    }
+
+    #[test]
+    fn merge_and_delta_roundtrip() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3u64, 100, 10_000] {
+            a.record(v);
+        }
+        for v in [5u64, 1_000_000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        let d = merged.delta(&a);
+        assert_eq!(d.count(), b.count());
+        // The delta's percentile matches b's within bucket precision.
+        let (db, bb) = (d.percentile(1.0) as f64, b.percentile(1.0) as f64);
+        assert!((db - bb).abs() <= bb / 16.0 + 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+}

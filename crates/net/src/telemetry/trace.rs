@@ -1,0 +1,239 @@
+//! Per-session span/event recording: the trace side of the telemetry
+//! registry.
+//!
+//! Every instrumented state machine emits [`TraceEvent`]s through the
+//! registry (`telemetry::trace_*` helpers); they accumulate in a
+//! bounded [`TraceRing`] that callers drain (`telemetry::take_events`)
+//! and append to a JSONL file. One line per event:
+//!
+//! ```json
+//! {"ts_us": 1234, "session": 7, "node": 0, "event": "phase", "phase": "z fountain"}
+//! ```
+//!
+//! The required fields on every line are `ts_us`, `session`, `node`,
+//! `event`; the rest depend on the event kind. A session's span is the
+//! bracket from its `session_start` line to its `session_end` line,
+//! with `phase` lines marking the state-machine transitions between
+//! them.
+//!
+//! **Determinism classes.** The *sequence* of `session_start`, `phase`,
+//! `abort` and `session_end` events per `(session, node)` is a pure
+//! function of the spec + seed when run over the simulated medium;
+//! `retransmit` events and every `ts_us` value are timing-class
+//! (scheduling-dependent) and excluded from the determinism contract —
+//! the same split `soak_determinism.rs` pins for artifact fields.
+
+use std::collections::VecDeque;
+
+/// What happened. Each variant renders as a distinct `event` string.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A session's state machine came up (coordinator admitted /
+    /// terminal started).
+    SessionStart {
+        /// `"coordinator"` or `"terminal"`.
+        role: &'static str,
+    },
+    /// The state machine entered a named phase.
+    Phase {
+        /// Phase name, e.g. `"z fountain"` — the same names
+        /// `AbortReason::Deadline` carries.
+        phase: &'static str,
+    },
+    /// The reliable layer resent a frame (timing-class).
+    Retransmit {
+        /// Sequence number of the resent frame.
+        seq: u64,
+        /// Attempt count after this send.
+        attempt: u32,
+    },
+    /// The session aborted cleanly.
+    Abort {
+        /// Structured reason kind, e.g. `"deadline:z fountain"`.
+        kind: String,
+    },
+    /// The session's state machine finished.
+    SessionEnd {
+        /// Whether the protocol completed (false ⇒ aborted).
+        completed: bool,
+        /// Secret blocks agreed (`l`); 0 on abort.
+        l: u32,
+    },
+}
+
+impl TraceKind {
+    /// The `event` field value for this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::SessionStart { .. } => "session_start",
+            TraceKind::Phase { .. } => "phase",
+            TraceKind::Retransmit { .. } => "retransmit",
+            TraceKind::Abort { .. } => "abort",
+            TraceKind::SessionEnd { .. } => "session_end",
+        }
+    }
+
+    /// Whether this event's *occurrence* depends on scheduling/timing
+    /// (retransmits do; the state-machine milestones don't).
+    pub fn is_timing_class(&self) -> bool {
+        matches!(self, TraceKind::Retransmit { .. })
+    }
+}
+
+/// One trace line: where, when, what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since the registry was reset (timing-class).
+    pub ts_us: u64,
+    /// Session id.
+    pub session: u64,
+    /// Emitting node id.
+    pub node: u8,
+    /// The event payload.
+    pub kind: TraceKind,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let head = format!(
+            "{{\"ts_us\": {}, \"session\": {}, \"node\": {}, \"event\": \"{}\"",
+            self.ts_us,
+            self.session,
+            self.node,
+            self.kind.name()
+        );
+        let tail = match &self.kind {
+            TraceKind::SessionStart { role } => format!(", \"role\": \"{role}\"}}"),
+            TraceKind::Phase { phase } => format!(", \"phase\": \"{phase}\"}}"),
+            TraceKind::Retransmit { seq, attempt } => {
+                format!(", \"seq\": {seq}, \"attempt\": {attempt}}}")
+            }
+            TraceKind::Abort { kind } => format!(", \"kind\": \"{}\"}}", escape(kind)),
+            TraceKind::SessionEnd { completed, l } => {
+                format!(", \"completed\": {completed}, \"l\": {l}}}")
+            }
+        };
+        head + &tail
+    }
+}
+
+/// A bounded event buffer: pushes past capacity drop the *oldest*
+/// events and count them, so a stalled drain loses history rather than
+/// memory.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default ring capacity (events) when tracing is enabled without an
+/// explicit size.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing { buf: VecDeque::new(), capacity: capacity.max(1), dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events evicted by overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(session: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: session,
+            session,
+            node: 0,
+            kind: TraceKind::Phase { phase: "x settle" },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = TraceRing::new(3);
+        for s in 0..5 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.drain().into_iter().map(|e| e.session).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn jsonl_has_required_fields_and_escapes() {
+        let e = TraceEvent {
+            ts_us: 42,
+            session: 9,
+            node: 2,
+            kind: TraceKind::Abort { kind: "deadline:\"x\"".into() },
+        };
+        let line = e.to_jsonl();
+        for needle in ["\"ts_us\": 42", "\"session\": 9", "\"node\": 2", "\"event\": \"abort\""] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        assert!(line.contains("deadline:\\\"x\\\""));
+    }
+
+    #[test]
+    fn timing_class_split() {
+        assert!(TraceKind::Retransmit { seq: 1, attempt: 2 }.is_timing_class());
+        for k in [
+            TraceKind::SessionStart { role: "terminal" },
+            TraceKind::Phase { phase: "z fountain" },
+            TraceKind::Abort { kind: "unreachable".into() },
+            TraceKind::SessionEnd { completed: true, l: 3 },
+        ] {
+            assert!(!k.is_timing_class(), "{} misclassified", k.name());
+        }
+    }
+}

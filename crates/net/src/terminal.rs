@@ -75,8 +75,16 @@ pub async fn run_terminal<T: Transport>(
     let deadline = Instant::now() + cfg.deadline;
     let tick = cfg.retransmit.min(Duration::from_millis(10));
 
-    let aborted =
-        |reason: AbortReason| SessionOutcome::aborted(session, me, n_packets, reason, None);
+    let aborted = |reason: AbortReason| {
+        crate::telemetry::trace_abort(session, me, reason.kind());
+        crate::telemetry::trace_end(session, me, false, 0);
+        SessionOutcome::aborted(session, me, n_packets, reason, None)
+    };
+
+    let mut cur_phase = phase_name(false, false, false, false);
+    let mut phase_entered = Instant::now();
+    crate::telemetry::trace_session_start(session, me, "terminal");
+    crate::telemetry::trace_phase(session, me, cur_phase);
 
     loop {
         if Instant::now() > deadline {
@@ -85,6 +93,7 @@ pub async fn run_terminal<T: Transport>(
             // retroactively abort it.
             if fin_seen {
                 if let Some(out) = outcome.take() {
+                    note_complete(session, me, cur_phase, phase_entered, out.l as u32);
                     return Ok(out);
                 }
             }
@@ -233,6 +242,20 @@ pub async fn run_terminal<T: Transport>(
             }
         }
 
+        // The terminal's phases are implicit in its flags; diff the
+        // derived name once per iteration so spans and the trace follow
+        // the same milestones the deadline abort reports.
+        let phase_now = phase_name(started, report_sent, announce.is_some(), outcome.is_some());
+        if phase_now != cur_phase {
+            crate::telemetry::observe(
+                crate::telemetry::phase_metric("term", cur_phase),
+                phase_entered.elapsed().as_micros() as u64,
+            );
+            phase_entered = Instant::now();
+            cur_phase = phase_now;
+            crate::telemetry::trace_phase(session, me, cur_phase);
+        }
+
         // After Fin, linger briefly (re-acking Fin retransmissions via
         // `dedup.admit`) so a lost Fin-ack cannot strand the
         // coordinator's fin barrier — the UDP equivalent of TIME_WAIT.
@@ -240,7 +263,9 @@ pub async fn run_terminal<T: Transport>(
             match linger_until {
                 None => linger_until = Some(now + cfg.retransmit * 12),
                 Some(until) if now >= until => {
-                    return Ok(outcome.take().expect("outcome set"));
+                    let out = outcome.take().expect("outcome set");
+                    note_complete(session, me, cur_phase, phase_entered, out.l as u32);
+                    return Ok(out);
                 }
                 Some(_) => {}
             }
@@ -253,6 +278,7 @@ pub async fn run_terminal<T: Transport>(
             // secret.
             if fin_seen {
                 if let Some(out) = outcome.take() {
+                    note_complete(session, me, cur_phase, phase_entered, out.l as u32);
                     return Ok(out);
                 }
             }
@@ -260,6 +286,17 @@ pub async fn run_terminal<T: Transport>(
             return Ok(aborted(reason));
         }
     }
+}
+
+/// Settles telemetry for a completed terminal session: the final
+/// phase's span lands in its `phase.term.*` histogram and the trace
+/// records the successful end.
+fn note_complete(session: u64, me: u8, phase: &'static str, entered: Instant, l: u32) {
+    crate::telemetry::observe(
+        crate::telemetry::phase_metric("term", phase),
+        entered.elapsed().as_micros() as u64,
+    );
+    crate::telemetry::trace_end(session, me, true, l);
 }
 
 fn phase_name(started: bool, report_sent: bool, announced: bool, derived: bool) -> &'static str {

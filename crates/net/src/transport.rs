@@ -212,7 +212,13 @@ impl<T: Transport> Future for RecvBatch<T> {
         let max = self.max;
         let mut out = Vec::new();
         match self.t.borrow_mut().poll_recv_batch(cx, &mut out, max) {
-            Poll::Ready(Ok(_)) => Poll::Ready(Ok(out)),
+            Poll::Ready(Ok(_)) => {
+                // The one choke point every batched drain passes
+                // through: the drain-size distribution says whether the
+                // pump amortizes (deep batches) or thrashes (size-1).
+                crate::telemetry::observe("net.rx.batch", out.len() as u64);
+                Poll::Ready(Ok(out))
+            }
             Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
             Poll::Pending => Poll::Pending,
         }
@@ -310,11 +316,18 @@ impl UdpTransport {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "peer outside roster"))?;
         match self.socket.send_to(bytes, addr) {
             // `Ok(0)` is the socket's "buffer full, datagram dropped".
-            Ok(0) => self.stats.record_send_error(to as usize),
-            Ok(_) => {
-                self.stats.record(self.node as usize, frame.tx_class(), (bytes.len() * 8) as u64)
+            Ok(0) => {
+                self.stats.record_send_error(to as usize);
+                crate::telemetry::counter_add("net.tx.send_errors", 1);
             }
-            Err(_) => self.stats.record_send_error(to as usize),
+            Ok(_) => {
+                self.stats.record(self.node as usize, frame.tx_class(), (bytes.len() * 8) as u64);
+                crate::telemetry::counter_add("net.tx.frames", 1);
+            }
+            Err(_) => {
+                self.stats.record_send_error(to as usize);
+                crate::telemetry::counter_add("net.tx.send_errors", 1);
+            }
         }
         Ok(())
     }
@@ -367,12 +380,14 @@ impl Transport for UdpTransport {
                             if (frame.sender as usize) < self.peers.len()
                                 && self.peers[frame.sender as usize] == from =>
                         {
+                            crate::telemetry::counter_add("net.rx.frames", 1);
                             return Poll::Ready(Ok(frame));
                         }
                         _ => {
                             // Malformed, impossible sender, or spoofed
                             // source: drop and keep draining the socket.
                             self.invalid += 1;
+                            crate::telemetry::counter_add("net.rx.invalid", 1);
                         }
                     }
                 }
@@ -536,6 +551,7 @@ impl<M: Medium> SimTransport<M> {
         let delivery = hub.medium.transmit(self.node as usize, bits);
         hub.stats.record(self.node as usize, thinair_netsim::stats::TxClass::Data, bits);
         hub.frames += 1;
+        crate::telemetry::counter_add("net.tx.frames", 1);
         for rx in 0..self.n_nodes {
             if rx == self.node as usize || !delivery.got(rx) {
                 continue;
@@ -601,7 +617,10 @@ impl<M: Medium> Transport for SimTransport<M> {
     fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
         let mut hub = self.hub.borrow_mut();
         match hub.queues[self.node as usize].pop_front() {
-            Some(f) => Poll::Ready(Ok(f)),
+            Some(f) => {
+                crate::telemetry::counter_add("net.rx.frames", 1);
+                Poll::Ready(Ok(f))
+            }
             None => {
                 // Chaos hold-back frames are released (and their
                 // receiver woken, via `flush_due` → `wake_node`) inside

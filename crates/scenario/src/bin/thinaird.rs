@@ -34,12 +34,13 @@ use thinair_net::demo::{loopback_sessions, task_seed};
 use thinair_net::node::Node;
 use thinair_net::rt;
 use thinair_net::session::SessionConfig;
+use thinair_net::telemetry;
 use thinair_net::transport::UdpTransport;
 use thinair_net::{ServeLimits, Server};
 use thinair_scenario::{
-    full_grid, run_serve_wave, run_soak_specs, run_specs, serve_ramp_specs, serve_smoke_specs,
-    serve_summary_table, smoke_specs, soak_smoke_specs, soak_specs, soak_summary_table,
-    summary_table, write_json, write_serve_json, write_soak_json,
+    check_trace, full_grid, run_serve_wave, run_soak_specs, run_specs, serve_ramp_specs,
+    serve_smoke_specs, serve_summary_table, smoke_specs, soak_smoke_specs, soak_specs,
+    soak_summary_table, summary_table, write_json, write_serve_json, write_soak_json,
 };
 
 const USAGE: &str = "\
@@ -52,6 +53,7 @@ USAGE:
     thinaird bench-scenario [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-soak [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-serve [--smoke] [--out <PATH>] [--seed <S>]
+    thinaird trace-validate <FILE.jsonl>...
 
 ROLES:
     coordinator        run node <ID> as the round coordinator (Alice)
@@ -71,8 +73,13 @@ ROLES:
     bench-serve        ramp concurrent sessions (100 -> 1k -> 5k full, smaller
                        with --smoke) against in-process serve daemons over
                        loopback UDP and a chaos-faulted simulator; audit
-                       every session, measure sessions/sec + p50/p99 latency
-                       + executor polls saved, write BENCH_serve.json
+                       every session, measure sessions/sec + p50..p999
+                       latency + per-phase telemetry histograms + executor
+                       polls saved, write BENCH_serve.json
+    trace-validate     check an exported telemetry trace (--trace-out):
+                       every line parses as flat JSON, the required fields
+                       and per-kind tails are present, and every session
+                       span opens with a session_start line
 
 OPTIONS:
     --node <ID>        this node's id (index into --peers)       [required for roles]
@@ -92,6 +99,13 @@ OPTIONS:
     --estimator <E>    leave-one-out | fraction:<F>               [default: leave-one-out]
     --max-sessions <N> serve: admission cap on concurrent sessions [default: 8192]
     --idle-ms <MS>     serve: evict sessions idle this long        [default: 10000]
+    --stats-every-ms <MS>  serve: every MS, dump the interval's telemetry
+                       delta (counters/gauges/histogram summaries, JSON)
+                       to stderr
+    --trace-out <PATH> serve: export per-session span/event traces as
+                       JSONL to PATH (flushed periodically and on exit)
+    --run-for-ms <MS>  serve: stop the daemon after MS (smoke/CI runs;
+                       default: run until killed)
     --smoke            bench-*: the small CI sweep instead of the full grid
     --out <PATH>       bench-*: artifact path [default:
                        BENCH_scenarios.json / BENCH_soak.json / BENCH_serve.json]
@@ -117,6 +131,9 @@ struct Options {
     estimator: Estimator,
     max_sessions: usize,
     idle_ms: u64,
+    stats_every_ms: Option<u64>,
+    trace_out: Option<String>,
+    run_for_ms: Option<u64>,
     smoke: bool,
     out: Option<String>,
 }
@@ -156,6 +173,9 @@ impl Default for Options {
             estimator: Estimator::LeaveOneOut(Tuning::default()),
             max_sessions: 8192,
             idle_ms: 10_000,
+            stats_every_ms: None,
+            trace_out: None,
+            run_for_ms: None,
             smoke: false,
             out: None,
         }
@@ -194,6 +214,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--max-sessions" => o.max_sessions = num(take()?)?,
             "--idle-ms" => o.idle_ms = num(take()?)?,
+            "--stats-every-ms" => o.stats_every_ms = Some(num(take()?)?),
+            "--trace-out" => o.trace_out = Some(take()?.clone()),
+            "--run-for-ms" => o.run_for_ms = Some(num(take()?)?),
             "--smoke" => o.smoke = true,
             "--out" => o.out = Some(take()?.clone()),
             "--coordinator-id" => o.coordinator_id = num(take()?)?,
@@ -359,9 +382,23 @@ fn run_serve(o: Options) -> Result<(), String> {
         o.idle_ms,
         cfg.digest()
     );
+    // Observability: the daemon's state machines all run on this
+    // thread's executor, so the thread-local registry sees every
+    // session. Tracing and the periodic dumps are both opt-in.
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, "").map_err(|e| format!("create {path}: {e}"))?;
+        telemetry::enable_trace(telemetry::DEFAULT_TRACE_CAPACITY);
+    }
+    if o.stats_every_ms.is_some() {
+        telemetry::set_timing(true);
+    }
     let mut server = Server::new(thinair_net::SharedTransport::new(transport), cfg, o.seed, limits);
     let handle = server.handle();
+    let stop_handle = handle.clone();
     let mut outcomes = server.outcomes();
+    let stats_every_ms = o.stats_every_ms;
+    let trace_out = o.trace_out.clone();
+    let run_for_ms = o.run_for_ms;
     let result: std::io::Result<_> = rt::block_on(async move {
         rt::spawn(async move {
             while let Some(out) = outcomes.recv().await {
@@ -380,14 +417,96 @@ fn run_serve(o: Options) -> Result<(), String> {
                 }
             }
         });
+        if let Some(ms) = run_for_ms {
+            rt::spawn(async move {
+                rt::sleep(Duration::from_millis(ms)).await;
+                stop_handle.stop();
+            });
+        }
+        if stats_every_ms.is_some() || trace_out.is_some() {
+            rt::spawn(async move {
+                // Trace flushes ride the stats cadence (default 500 ms)
+                // so a killed daemon loses at most one interval.
+                let tick = Duration::from_millis(stats_every_ms.unwrap_or(500));
+                let mut last = telemetry::snapshot();
+                loop {
+                    rt::sleep(tick).await;
+                    if let Some(path) = &trace_out {
+                        flush_trace(path);
+                    }
+                    if stats_every_ms.is_some() {
+                        let now = telemetry::snapshot();
+                        eprintln!("thinaird stats: {}", now.delta(&last).to_json());
+                        last = now;
+                    }
+                }
+            });
+        }
         server.run().await
     });
+    if let Some(path) = &o.trace_out {
+        flush_trace(path);
+        let dropped = telemetry::trace_dropped();
+        if dropped > 0 {
+            eprintln!("thinaird serve: trace {path}: {dropped} event(s) lost to ring overflow");
+        }
+        eprintln!("thinaird serve: trace written to {path}");
+    }
     let stats = handle.stats();
     eprintln!(
         "thinaird serve: exiting; admitted {} completed {} aborted {} evicted {} rejected {}",
         stats.admitted, stats.completed, stats.aborted, stats.evicted, stats.rejected
     );
     result.map(|_| ()).map_err(|e| format!("serve loop failed: {e}"))
+}
+
+/// Drains the thread's trace ring and appends the events to `path` as
+/// JSONL. Errors are reported, not fatal: a failed flush must not take
+/// the daemon down.
+fn flush_trace(path: &str) {
+    use std::io::Write;
+    let events = telemetry::take_events();
+    if events.is_empty() {
+        return;
+    }
+    let mut buf = String::with_capacity(events.len() * 96);
+    for ev in &events {
+        buf.push_str(&ev.to_jsonl());
+        buf.push('\n');
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(buf.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("thinaird serve: trace write {path}: {e}");
+    }
+}
+
+fn run_trace_validate(files: &[String]) -> Result<(), String> {
+    if files.is_empty() || files.iter().any(|f| f.starts_with('-')) {
+        return Err("trace-validate takes one or more <FILE.jsonl> paths".into());
+    }
+    let mut failed = 0usize;
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let report = check_trace(&text);
+        println!("{path}: {}", report.summary());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        if report.violation_count > report.violations.len() {
+            eprintln!("  ... and {} more", report.violation_count - report.violations.len());
+        }
+        if !report.ok() {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} trace file(s) violate the schema"));
+    }
+    Ok(())
 }
 
 fn run_bench_serve(o: Options) -> Result<(), String> {
@@ -545,6 +664,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let (cmd, rest) = args.split_first().expect("nonempty checked");
+    // trace-validate takes positional file paths, not options.
+    if cmd == "trace-validate" {
+        return match run_trace_validate(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("thinaird: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let parsed = match parse_args(rest) {
         Ok(o) => o,
         Err(e) => {

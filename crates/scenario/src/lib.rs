@@ -64,6 +64,7 @@ pub mod run;
 pub mod serve_bench;
 pub mod soak;
 pub mod spec;
+pub mod trace_check;
 
 pub use grid::{full_grid, golden_spec, smoke_specs, ScenarioGrid};
 pub use report::{render_json, summary_table, write_json, SCHEMA};
@@ -78,3 +79,4 @@ pub use soak::{
     soak_summary_table, write_soak_json, SessionVerdict, SoakResult, SOAK_SCHEMA,
 };
 pub use spec::{EstimatorSpec, EveSpec, ScenarioSpec};
+pub use trace_check::{check_trace, TraceReport};

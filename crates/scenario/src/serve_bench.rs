@@ -14,13 +14,19 @@
 //! `violations` must be 0 in every wave.
 //!
 //! The artifact (`BENCH_serve.json`) records, per wave: sessions/sec,
-//! p50/p99 session latency, admission/eviction counters, socket
-//! send-error counts, and the executor's work counters
-//! ([`thinair_net::rt::Metrics`]). `naive_polls` is what the pre-waker
-//! polling executor would have spent (every live task re-polled every
-//! pass); `polls_saved` is the measured savings of waker-based
-//! readiness — the "idle sessions cost zero CPU" claim, quantified.
+//! p50/p90/p99/p999 session latency (from the shared
+//! [`thinair_net::telemetry`] histogram — bucket precision, not sorted
+//! vecs), an abort-reason breakdown, admission/eviction counters,
+//! socket send-error counts, the executor's *per-wave* work-counter
+//! deltas ([`thinair_net::rt::Metrics::delta`]), and a full telemetry
+//! snapshot whose `phase.*` histograms decompose each wave's latency
+//! per protocol phase — `dominant_phase` names the biggest
+//! contributor. `naive_polls` is what the pre-waker polling executor
+//! would have spent (every live task re-polled every pass);
+//! `polls_saved` is the measured savings of waker-based readiness —
+//! the "idle sessions cost zero CPU" claim, quantified.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -28,10 +34,12 @@ use std::time::{Duration, Instant};
 use thinair_core::round::XSchedule;
 use thinair_net::driver::task_seed;
 use thinair_net::rt;
+use thinair_net::telemetry;
 use thinair_net::transport::{SimNet, UdpTransport};
 use thinair_net::udp::AsyncUdpSocket;
 use thinair_net::{
-    NetError, Node, ServeLimits, Server, SessionConfig, SessionOutcome, SharedTransport, Transport,
+    Histogram, NetError, Node, ServeLimits, Server, SessionConfig, SessionOutcome, SharedTransport,
+    Snapshot, Transport,
 };
 use thinair_netsim::{DelaySpec, FaultPlan, IidMedium};
 
@@ -143,12 +151,30 @@ pub struct ServeWaveResult {
     /// Completed-session throughput (timing).
     pub sessions_per_sec: f64,
     /// Median session latency, launch → coordinator outcome, ms.
+    /// Estimated from the shared telemetry histogram: relative error is
+    /// bounded by 1/16 (6.25 %) of the true value (exact below 16 µs).
     pub latency_ms_p50: f64,
-    /// 99th-percentile session latency, ms.
+    /// 90th-percentile session latency, ms (same 6.25 % bucket bound).
+    pub latency_ms_p90: f64,
+    /// 99th-percentile session latency, ms (same 6.25 % bucket bound).
     pub latency_ms_p99: f64,
-    /// Executor task polls spent on the wave (timing).
+    /// 99.9th-percentile session latency, ms (same 6.25 % bucket
+    /// bound).
+    pub latency_ms_p999: f64,
+    /// Abort-reason kind → sessions affected (a session counts once
+    /// per distinct kind among its aborting nodes, so the sum can
+    /// exceed `aborted` when a session aborts for mixed reasons).
+    pub abort_reasons: BTreeMap<String, u32>,
+    /// The driving thread's telemetry for this wave interval (registry
+    /// reset at wave start): `net.*` / `rt.*` / `serve.*` counters and
+    /// the `phase.*` per-phase latency histograms (µs samples, 6.25 %
+    /// bucket bound on percentiles).
+    pub telemetry: Snapshot,
+    /// Executor task polls spent on the wave — a per-wave delta
+    /// ([`thinair_net::rt::Metrics::delta`]), not the thread's
+    /// cumulative count (timing).
     pub task_polls: u64,
-    /// Executor scheduler passes (timing).
+    /// Executor scheduler passes, per-wave delta (timing).
     pub executor_passes: u64,
     /// Peak live tasks on the runtime.
     pub peak_tasks: u64,
@@ -160,18 +186,29 @@ pub struct ServeWaveResult {
     pub polls_saved: u64,
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
+impl ServeWaveResult {
+    /// The `phase.*` histogram with the largest total recorded time —
+    /// the wave's dominant per-phase latency contributor.
+    pub fn dominant_phase(&self) -> Option<(&str, &Histogram)> {
+        self.telemetry
+            .hists
+            .iter()
+            .filter(|(name, _)| name.starts_with("phase."))
+            .max_by_key(|(_, h)| h.sum())
+            .map(|(name, h)| (name.as_str(), h))
     }
-    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
 /// Runs one wave: builds the nodes, launches the load, audits every
 /// session, measures the runtime.
 pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioError> {
     spec.validate().map_err(ScenarioError::Invalid)?;
+    // The wave owns the driving thread's telemetry: reset at the start
+    // so the snapshot taken after the wave is a pure per-wave interval
+    // (waves on other threads are independent — the registry is
+    // thread-local).
+    telemetry::reset();
+    telemetry::set_timing(true);
     let cfg = spec.session_config();
     let n = spec.terminals as usize;
 
@@ -220,7 +257,11 @@ pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioE
     let seed = spec.seed;
     let started = Instant::now();
 
-    let (coord_outs, served, latencies_ms, metrics, send_errors) = rt::block_on(async move {
+    let (coord_outs, served, lat_us, metrics, send_errors) = rt::block_on(async move {
+        // Baseline for the per-wave executor delta (satellite fix:
+        // `rt::metrics()` alone is cumulative over the executor's
+        // lifetime, which conflates waves sharing a thread).
+        let rt_base = rt::metrics();
         coordinator.start_pump();
         for d in daemons {
             rt::spawn(d.run());
@@ -241,11 +282,11 @@ pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioE
             }
         }
         let mut coord_outs = Vec::with_capacity(tasks.len());
-        let mut latencies_ms = Vec::with_capacity(tasks.len());
+        let mut lat_us = Histogram::new();
         for t in tasks {
             let (out, dt) = t.await;
             let out = out.map_err(ScenarioError::Net)?;
-            latencies_ms.push(dt.as_secs_f64() * 1e3);
+            lat_us.record(dt.as_micros() as u64);
             coord_outs.push(out);
         }
         // The coordinators are done; give every daemon a short grace
@@ -261,26 +302,32 @@ pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioE
             h.stop();
         }
         let send_errors: u64 = taps.iter().map(|t| t.send_errors()).sum();
-        let metrics = rt::metrics();
-        Ok::<_, ScenarioError>((coord_outs, served, latencies_ms, metrics, send_errors))
+        let metrics = rt::metrics().delta(&rt_base);
+        Ok::<_, ScenarioError>((coord_outs, served, lat_us, metrics, send_errors))
     })?;
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    telemetry::set_timing(false);
+    let wave_telemetry = telemetry::snapshot();
 
     // Audit each session over every outcome collected for it.
     let (mut agreed, mut aborted, mut violations) = (0u32, 0u32, 0u32);
+    let mut abort_reasons: BTreeMap<String, u32> = BTreeMap::new();
     for co in &coord_outs {
         let mut outs: Vec<SessionOutcome> =
             served.iter().filter(|o| o.session == co.session).cloned().collect();
         outs.push(co.clone());
         match audit_session(&outs) {
             SessionVerdict::Agreed { .. } => agreed += 1,
-            SessionVerdict::AbortedClean { .. } => aborted += 1,
+            SessionVerdict::AbortedClean { reasons } => {
+                aborted += 1;
+                for kind in reasons.keys() {
+                    *abort_reasons.entry(kind.clone()).or_insert(0) += 1;
+                }
+            }
             SessionVerdict::Violation { .. } => violations += 1,
         }
     }
 
-    let mut sorted = latencies_ms.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let (mut rejected, mut evicted, mut peak_open) = (0u64, 0u64, 0u64);
     for h in &post_handles {
         let s = h.stats();
@@ -300,8 +347,12 @@ pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioE
         send_errors,
         wall_ms,
         sessions_per_sec: if wall_ms > 0.0 { agreed as f64 / (wall_ms / 1e3) } else { 0.0 },
-        latency_ms_p50: percentile(&sorted, 0.50),
-        latency_ms_p99: percentile(&sorted, 0.99),
+        latency_ms_p50: lat_us.percentile(0.50) as f64 / 1e3,
+        latency_ms_p90: lat_us.percentile(0.90) as f64 / 1e3,
+        latency_ms_p99: lat_us.percentile(0.99) as f64 / 1e3,
+        latency_ms_p999: lat_us.percentile(0.999) as f64 / 1e3,
+        abort_reasons,
+        telemetry: wave_telemetry,
         task_polls: metrics.task_polls,
         executor_passes: metrics.passes,
         peak_tasks: metrics.max_tasks,
@@ -480,6 +531,12 @@ pub fn serve_smoke_specs(seed: u64) -> Vec<ServeWaveSpec> {
 
 fn wave_json(r: &ServeWaveResult) -> String {
     let spec = &r.spec;
+    let reasons = r
+        .abort_reasons
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+        .collect::<Vec<_>>()
+        .join(", ");
     let fields = vec![
         format!("\"name\": \"{}\"", json_escape(&spec.name)),
         format!("\"backend\": \"{}\"", json_escape(&spec.backend.tag())),
@@ -492,6 +549,7 @@ fn wave_json(r: &ServeWaveResult) -> String {
         format!("\"agreed\": {}", r.agreed),
         format!("\"aborted\": {}", r.aborted),
         format!("\"violations\": {}", r.violations),
+        format!("\"abort_reasons\": {{{reasons}}}"),
         format!("\"rejected\": {}", r.rejected),
         format!("\"evicted\": {}", r.evicted),
         format!("\"peak_open\": {}", r.peak_open),
@@ -499,12 +557,19 @@ fn wave_json(r: &ServeWaveResult) -> String {
         format!("\"wall_ms\": {:.1}", r.wall_ms),
         format!("\"sessions_per_sec\": {:.1}", r.sessions_per_sec),
         format!("\"latency_ms_p50\": {:.1}", r.latency_ms_p50),
+        format!("\"latency_ms_p90\": {:.1}", r.latency_ms_p90),
         format!("\"latency_ms_p99\": {:.1}", r.latency_ms_p99),
+        format!("\"latency_ms_p999\": {:.1}", r.latency_ms_p999),
         format!("\"task_polls\": {}", r.task_polls),
         format!("\"executor_passes\": {}", r.executor_passes),
         format!("\"peak_tasks\": {}", r.peak_tasks),
         format!("\"naive_polls\": {}", r.naive_polls),
         format!("\"polls_saved\": {}", r.polls_saved),
+        format!(
+            "\"dominant_phase\": \"{}\"",
+            json_escape(r.dominant_phase().map(|(name, _)| name).unwrap_or(""))
+        ),
+        format!("\"telemetry\": {}", r.telemetry.to_json()),
     ];
     format!("    {{{}}}", fields.join(", "))
 }
@@ -532,12 +597,21 @@ pub fn write_serve_json(path: &Path, results: &[ServeWaveResult]) -> io::Result<
 pub fn serve_summary_table(results: &[ServeWaveResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>6} {:>7} {:>8} {:>5} {:>9} {:>9} {:>9} {:>12}\n",
-        "wave", "conc", "agreed", "aborted", "viol", "sess/s", "p50 ms", "p99 ms", "polls saved"
+        "{:<22} {:>6} {:>7} {:>8} {:>5} {:>9} {:>9} {:>9} {:>12}  {}\n",
+        "wave",
+        "conc",
+        "agreed",
+        "aborted",
+        "viol",
+        "sess/s",
+        "p50 ms",
+        "p99 ms",
+        "polls saved",
+        "dominant phase"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<22} {:>6} {:>7} {:>8} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>12}\n",
+            "{:<22} {:>6} {:>7} {:>8} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>12}  {}\n",
             r.spec.name,
             r.spec.concurrency,
             r.agreed,
@@ -547,6 +621,7 @@ pub fn serve_summary_table(results: &[ServeWaveResult]) -> String {
             r.latency_ms_p50,
             r.latency_ms_p99,
             r.polls_saved,
+            r.dominant_phase().map(|(name, _)| name).unwrap_or("-"),
         ));
     }
     out
@@ -589,8 +664,16 @@ mod tests {
         assert_eq!(r.violations, 0);
         assert_eq!(r.agreed + r.aborted, 10);
         assert!(r.agreed >= 8, "loopback sessions should mostly agree: {r:?}");
-        assert!(r.latency_ms_p99 >= r.latency_ms_p50);
+        assert!(r.latency_ms_p90 >= r.latency_ms_p50);
+        assert!(r.latency_ms_p99 >= r.latency_ms_p90);
+        assert!(r.latency_ms_p999 >= r.latency_ms_p99);
         assert!(r.polls_saved > 0, "waker executor must beat the naive baseline");
+        // The wave snapshot carries the per-layer breakdown: frames on
+        // the wire, and phase histograms naming a dominant contributor.
+        assert!(r.telemetry.counters.get("net.tx.frames").copied().unwrap_or(0) > 0);
+        let (phase, hist) = r.dominant_phase().expect("phase histograms recorded");
+        assert!(phase.starts_with("phase."));
+        assert!(hist.count() > 0);
     }
 
     /// The serve soak smoke the ISSUE asks for: 200 concurrent sessions
@@ -615,14 +698,33 @@ mod tests {
         // the bulk must still agree.
         assert!(r.agreed > 140, "survivable chaos should mostly agree: {r:?}");
         assert!(r.peak_open <= 200);
+        // Every aborted session must surface at least one structured
+        // reason kind in the per-wave breakdown.
+        assert!(
+            r.abort_reasons.values().sum::<u32>() >= r.aborted,
+            "abort breakdown incomplete: {:?} vs {} aborted",
+            r.abort_reasons,
+            r.aborted
+        );
     }
 
+    /// Latency percentiles now come from the shared bucketed histogram:
+    /// pin the documented 6.25 % relative-error bound on a known
+    /// distribution instead of the old exact sorted-vec behavior.
     #[test]
-    fn percentiles_are_sane() {
-        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&v, 0.5), 50.0);
-        assert_eq!(percentile(&v, 0.99), 99.0);
-        assert_eq!(percentile(&v, 1.0), 100.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+    fn latency_percentiles_respect_the_bucket_bound() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v * 100); // 100 µs .. 100 ms, uniform
+        }
+        for (p, exact) in [(0.50, 50_000.0), (0.90, 90_000.0), (0.99, 99_000.0)] {
+            let est = h.percentile(p) as f64;
+            assert!(
+                (est - exact).abs() <= exact / 16.0 + 1.0,
+                "p{p}: estimate {est} strays beyond the 1/16 bound from {exact}"
+            );
+        }
+        assert!(h.percentile(0.999) <= h.max());
+        assert_eq!(Histogram::new().percentile(0.5), 0);
     }
 }

@@ -126,6 +126,11 @@ pub struct SoakResult {
     pub violations: u32,
     /// Abort-reason kind → total node count, across sessions.
     pub abort_reasons: BTreeMap<String, u32>,
+    /// Abort-reason kind → sessions affected: the session-level
+    /// companion of the node-level `abort_reasons`. A session counts
+    /// once per distinct kind among its aborting nodes, so the sum can
+    /// exceed `aborted` when one session aborts for mixed reasons.
+    pub abort_sessions: BTreeMap<String, u32>,
     /// Mean secret length over agreed sessions.
     pub mean_l: f64,
     /// Mean y-row count over agreed sessions.
@@ -163,6 +168,7 @@ pub fn run_soak(spec: &ScenarioSpec) -> Result<SoakResult, ScenarioError> {
     let mut verdicts = Vec::with_capacity(sessions.len());
     let (mut agreed, mut aborted, mut violations) = (0u32, 0u32, 0u32);
     let mut abort_reasons: BTreeMap<String, u32> = BTreeMap::new();
+    let mut abort_sessions: BTreeMap<String, u32> = BTreeMap::new();
     let (mut sum_l, mut sum_m) = (0usize, 0usize);
     let mut secret_bits = 0u64;
     for outcomes in &run.outcomes {
@@ -178,6 +184,7 @@ pub fn run_soak(spec: &ScenarioSpec) -> Result<SoakResult, ScenarioError> {
                 aborted += 1;
                 for (kind, count) in reasons {
                     *abort_reasons.entry(kind.clone()).or_insert(0) += count;
+                    *abort_sessions.entry(kind.clone()).or_insert(0) += 1;
                 }
             }
             SessionVerdict::Violation { .. } => violations += 1,
@@ -193,6 +200,7 @@ pub fn run_soak(spec: &ScenarioSpec) -> Result<SoakResult, ScenarioError> {
         aborted,
         violations,
         abort_reasons,
+        abort_sessions,
         mean_l: if agreed > 0 { sum_l as f64 / agreed as f64 } else { 0.0 },
         mean_m: if agreed > 0 { sum_m as f64 / agreed as f64 } else { 0.0 },
         secret_bits,
@@ -324,12 +332,11 @@ fn soak_specs_for(
 fn result_json(r: &SoakResult, include_timing: bool) -> String {
     let spec = &r.spec;
     let fault_params = spec.faults.params().iter().map(|p| f6(*p)).collect::<Vec<_>>().join(", ");
-    let reasons = r
-        .abort_reasons
-        .iter()
-        .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let reason_map = |m: &BTreeMap<String, u32>| {
+        m.iter().map(|(k, v)| format!("\"{}\": {v}", json_escape(k))).collect::<Vec<_>>().join(", ")
+    };
+    let reasons = reason_map(&r.abort_reasons);
+    let reason_sessions = reason_map(&r.abort_sessions);
     let mut fields = vec![
         format!("\"name\": \"{}\"", json_escape(&spec.name)),
         format!("\"terminals\": {}", spec.terminals),
@@ -353,6 +360,7 @@ fn result_json(r: &SoakResult, include_timing: bool) -> String {
         format!("\"aborted\": {}", r.aborted),
         format!("\"violations\": {}", r.violations),
         format!("\"abort_reasons\": {{{reasons}}}"),
+        format!("\"abort_sessions\": {{{reason_sessions}}}"),
         format!("\"mean_l\": {}", f6(r.mean_l)),
         format!("\"mean_m\": {}", f6(r.mean_m)),
         format!("\"secret_bits\": {}", r.secret_bits),

@@ -1,0 +1,417 @@
+//! JSONL trace-schema validation: the consumer-side contract of
+//! [`thinair_net::telemetry`]'s trace export.
+//!
+//! A trace file is one JSON object per line, flat (no nesting), with
+//! the required fields `ts_us`, `session`, `node`, `event` on every
+//! line plus the event-kind-specific tail
+//! ([`thinair_net::TraceEvent::to_jsonl`] is the producer). The
+//! validator re-parses every line with a hand-rolled scanner (the
+//! offline build has no `serde_json`), checks the per-kind schema, and
+//! checks the span property the serve acceptance cares about: every
+//! `(session, node)` pair that appears in the trace carries a
+//! `session_start` line — a session the daemon admitted but whose span
+//! never opened is a violation.
+//!
+//! Missing `session_end` lines are *counted but not violations*: a
+//! daemon stopped mid-session (or a ring overflow, reported by the
+//! producer) legitimately truncates span tails, while a missing start
+//! means the recorder itself is broken.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A scalar JSON value on a trace line (traces are flat by contract).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number (trace fields all fit f64's integer range).
+    Num(f64),
+    /// A JSON string, unescaped.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Null => "null",
+        }
+    }
+}
+
+/// Parses one flat JSON object line into its fields. Rejects nested
+/// objects/arrays (trace lines are flat by contract), trailing junk,
+/// and malformed escapes.
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            out.insert(key, val);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                got => return Err(format!("expected ',' or '}}', got {got:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at offset {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            got => Err(format!("expected {:?}, got {got:?}", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+                        let hex = end
+                            .and_then(|e| std::str::from_utf8(&self.bytes[self.pos..e]).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).ok_or("\\u escape is not a scalar")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                // Multi-byte UTF-8: copy the char through verbatim.
+                Some(b) if b >= 0x80 => {
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+                Some(b) if b < 0x20 => return Err("raw control byte in string".into()),
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err("nested values are not allowed on trace lines".into()),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if !matches!(b, b',' | b'}' | b' ' | b'\t')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in number")?;
+                text.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("bad number {text:?}"))
+            }
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: JsonValue) -> Result<JsonValue, String> {
+        let end = self.pos + word.len();
+        if self.bytes.len() >= end && &self.bytes[self.pos..end] == word.as_bytes() {
+            self.pos = end;
+            Ok(val)
+        } else {
+            Err(format!("bad literal (expected {word})"))
+        }
+    }
+}
+
+/// Aggregated validation result over one JSONL trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Non-empty lines examined.
+    pub lines: usize,
+    /// Lines that parsed and passed the schema.
+    pub events: usize,
+    /// Distinct session ids observed.
+    pub sessions: usize,
+    /// Event kind → line count.
+    pub events_by_kind: BTreeMap<String, usize>,
+    /// `(session, node)` spans with no `session_end` (truncation —
+    /// informational, not a violation).
+    pub spans_without_end: usize,
+    /// Schema violations, capped at [`MAX_REPORTED_VIOLATIONS`]
+    /// messages; `violation_count` has the true total.
+    pub violations: Vec<String>,
+    /// Total violations, including ones past the reporting cap.
+    pub violation_count: usize,
+}
+
+/// Cap on individually-reported violation messages.
+pub const MAX_REPORTED_VIOLATIONS: usize = 20;
+
+impl TraceReport {
+    /// Whether the trace is schema-valid (zero violations).
+    pub fn ok(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        let kinds = self
+            .events_by_kind
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "{} line(s), {} event(s), {} session(s), {} span(s) without end, {} violation(s) [{}]",
+            self.lines,
+            self.events,
+            self.sessions,
+            self.spans_without_end,
+            self.violation_count,
+            kinds
+        )
+    }
+
+    fn violate(&mut self, msg: String) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_REPORTED_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+}
+
+fn require<'a>(
+    fields: &'a BTreeMap<String, JsonValue>,
+    name: &str,
+) -> Result<&'a JsonValue, String> {
+    fields.get(name).ok_or_else(|| format!("missing required field {name:?}"))
+}
+
+fn require_num(fields: &BTreeMap<String, JsonValue>, name: &str) -> Result<f64, String> {
+    match require(fields, name)? {
+        JsonValue::Num(v) => Ok(*v),
+        other => Err(format!("field {name:?} must be a number, got {}", other.type_name())),
+    }
+}
+
+fn require_str<'a>(fields: &'a BTreeMap<String, JsonValue>, name: &str) -> Result<&'a str, String> {
+    match require(fields, name)? {
+        JsonValue::Str(s) => Ok(s),
+        other => Err(format!("field {name:?} must be a string, got {}", other.type_name())),
+    }
+}
+
+fn require_bool(fields: &BTreeMap<String, JsonValue>, name: &str) -> Result<bool, String> {
+    match require(fields, name)? {
+        JsonValue::Bool(b) => Ok(*b),
+        other => Err(format!("field {name:?} must be a bool, got {}", other.type_name())),
+    }
+}
+
+/// Per-kind tail schema on top of the required head fields.
+fn check_kind(event: &str, fields: &BTreeMap<String, JsonValue>) -> Result<(), String> {
+    match event {
+        "session_start" => require_str(fields, "role").map(|_| ()),
+        "phase" => require_str(fields, "phase").map(|_| ()),
+        "retransmit" => {
+            require_num(fields, "seq")?;
+            require_num(fields, "attempt").map(|_| ())
+        }
+        "abort" => require_str(fields, "kind").map(|_| ()),
+        "session_end" => {
+            require_bool(fields, "completed")?;
+            require_num(fields, "l").map(|_| ())
+        }
+        other => Err(format!("unknown event kind {other:?}")),
+    }
+}
+
+/// Validates a whole JSONL trace (newline-separated; blank lines are
+/// skipped). Checks, per line: it parses as a flat JSON object, the
+/// required head fields `ts_us` / `session` / `node` / `event` are
+/// present with the right types, and the kind-specific tail matches.
+/// Checks, per `(session, node)` span: a `session_start` line exists.
+pub fn check_trace(input: &str) -> TraceReport {
+    let mut report = TraceReport::default();
+    let mut started: BTreeSet<(u64, u8)> = BTreeSet::new();
+    let mut ended: BTreeSet<(u64, u8)> = BTreeSet::new();
+    let mut seen: BTreeSet<(u64, u8)> = BTreeSet::new();
+    let mut session_ids: BTreeSet<u64> = BTreeSet::new();
+
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        let checked = parse_flat_object(line).and_then(|fields| {
+            require_num(&fields, "ts_us")?;
+            let session = require_num(&fields, "session")? as u64;
+            let node = require_num(&fields, "node")? as u8;
+            let event = require_str(&fields, "event")?.to_string();
+            check_kind(&event, &fields)?;
+            Ok((session, node, event))
+        });
+        match checked {
+            Ok((session, node, event)) => {
+                report.events += 1;
+                *report.events_by_kind.entry(event.clone()).or_insert(0) += 1;
+                session_ids.insert(session);
+                seen.insert((session, node));
+                match event.as_str() {
+                    "session_start" => {
+                        started.insert((session, node));
+                    }
+                    "session_end" => {
+                        ended.insert((session, node));
+                    }
+                    _ => {}
+                }
+            }
+            Err(e) => report.violate(format!("line {}: {e}", lineno + 1)),
+        }
+    }
+
+    report.sessions = session_ids.len();
+    for &(session, node) in &seen {
+        if !started.contains(&(session, node)) {
+            report.violate(format!(
+                "session {session:#x} node {node}: events without a session_start span"
+            ));
+        }
+    }
+    report.spans_without_end = seen.iter().filter(|k| !ended.contains(k)).count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinair_net::{TraceEvent, TraceKind};
+
+    #[test]
+    fn producer_lines_round_trip_through_the_validator() {
+        let kinds = [
+            TraceKind::SessionStart { role: "terminal" },
+            TraceKind::Phase { phase: "z fountain" },
+            TraceKind::Retransmit { seq: 5, attempt: 2 },
+            TraceKind::Abort { kind: "deadline:\"x settle\"".into() },
+            TraceKind::SessionEnd { completed: true, l: 3 },
+        ];
+        let trace: String = kinds
+            .into_iter()
+            .map(|kind| TraceEvent { ts_us: 1, session: 9, node: 2, kind }.to_jsonl() + "\n")
+            .collect();
+        let report = check_trace(&trace);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.events, 5);
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.spans_without_end, 0);
+        assert_eq!(report.events_by_kind["phase"], 1);
+    }
+
+    #[test]
+    fn schema_violations_are_caught() {
+        let bad = "\
+{\"ts_us\": 1, \"session\": 2, \"node\": 0, \"event\": \"phase\"}
+not json at all
+{\"ts_us\": 1, \"session\": 2, \"node\": 0, \"event\": \"warp\"}
+{\"session\": 2, \"node\": 0, \"event\": \"phase\", \"phase\": \"x settle\"}
+{\"ts_us\": 1, \"session\": 2, \"node\": 0, \"event\": \"session_end\", \"completed\": \"yes\", \"l\": 0}
+";
+        let report = check_trace(bad);
+        assert!(!report.ok());
+        // Every line fails its own check: 1 lacks the phase tail, 2 is
+        // not JSON, 3 has an unknown kind, 4 misses ts_us, 5 types
+        // `completed` wrong. (No line passes, so no span is tracked.)
+        assert_eq!(report.violation_count, 5, "got {:?}", report.violations);
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn missing_end_is_informational_missing_start_is_not() {
+        let truncated = "\
+{\"ts_us\": 1, \"session\": 2, \"node\": 0, \"event\": \"session_start\", \"role\": \"terminal\"}
+{\"ts_us\": 2, \"session\": 2, \"node\": 0, \"event\": \"phase\", \"phase\": \"x settle\"}
+";
+        let report = check_trace(truncated);
+        assert!(report.ok(), "truncated tail must not violate: {:?}", report.violations);
+        assert_eq!(report.spans_without_end, 1);
+
+        let headless = "\
+{\"ts_us\": 2, \"session\": 3, \"node\": 1, \"event\": \"phase\", \"phase\": \"x settle\"}
+";
+        assert!(!check_trace(headless).ok(), "span without start must violate");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_nesting() {
+        let obj = parse_flat_object(
+            "{\"kind\": \"deadline:\\\"x\\\"\\u0021\", \"n\": -3.5, \"b\": false}",
+        )
+        .expect("parses");
+        assert_eq!(obj["kind"], JsonValue::Str("deadline:\"x\"!".into()));
+        assert_eq!(obj["n"], JsonValue::Num(-3.5));
+        assert_eq!(obj["b"], JsonValue::Bool(false));
+        assert!(parse_flat_object("{\"a\": {\"b\": 1}}").is_err());
+        assert!(parse_flat_object("{\"a\": 1} trailing").is_err());
+        assert!(parse_flat_object("{\"a\": 1").is_err());
+    }
+}

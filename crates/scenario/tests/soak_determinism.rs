@@ -69,8 +69,11 @@ fn same_specs_same_seed_render_byte_identical_soak_json() {
     for r in &first {
         assert_eq!(r.violations, 0, "{}: safety invariant violated", r.spec.name);
     }
-    // Abort reasons are part of the deterministic contract.
+    // Abort reasons are part of the deterministic contract — at both
+    // granularities (node counts and sessions affected).
     assert!(!crashy.abort_reasons.is_empty());
+    assert!(!crashy.abort_sessions.is_empty());
+    assert!(crashy.abort_sessions.values().sum::<u32>() >= crashy.aborted);
 }
 
 #[test]
@@ -82,7 +85,7 @@ fn timing_fields_are_separable_from_the_soak_contract() {
         assert!(with.contains(field), "{field} missing from timing render");
         assert!(!without.contains(field), "{field} leaked into deterministic render");
     }
-    for field in ["agreed", "aborted", "violations", "abort_reasons", "mean_l"] {
+    for field in ["agreed", "aborted", "violations", "abort_reasons", "abort_sessions", "mean_l"] {
         assert!(without.contains(field), "deterministic render missing {field}");
     }
 }
