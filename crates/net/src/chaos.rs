@@ -20,7 +20,10 @@
 //! * crash and late-join are session-scoped node lifecycle faults,
 //!   triggered at protocol milestones (sender sequence numbers), so the
 //!   injection point is reproducible;
-//! * burst partitions black out a directed link for a whole session.
+//! * burst partitions black out a directed link for a whole session;
+//! * ACK-loss bursts swallow the first N acknowledgement frames on a
+//!   directed link (data flows, receipts don't) — the targeted attack
+//!   on the reliable layer's RTT estimator and backoff re-arm.
 //!
 //! Everything injected is counted in [`FaultStats`]. The counters are
 //! timing-class measurements: retransmissions re-draw their (identical)
@@ -59,6 +62,8 @@ pub struct FaultStats {
     pub crash_dropped: u64,
     /// Deliveries suppressed before a late-joining node woke up.
     pub prejoin_dropped: u64,
+    /// ACK frames suppressed by a per-link ACK-loss burst.
+    pub ack_burst_dropped: u64,
 }
 
 impl FaultStats {
@@ -72,6 +77,7 @@ impl FaultStats {
             + self.partition_dropped
             + self.crash_dropped
             + self.prejoin_dropped
+            + self.ack_burst_dropped
     }
 }
 
@@ -94,6 +100,11 @@ pub struct ChaosState {
     sleeping: HashMap<(u64, u8), u32>,
     /// `(session, node)` late-joiners that have woken up.
     joined: HashSet<(u64, u8)>,
+    /// `(session, link)` ACK bursts in progress → ACKs suppressed so
+    /// far. Removed once the burst has run its configured length.
+    ack_bursting: HashMap<(u64, (u8, u8)), u32>,
+    /// `(session, link)` ACK bursts that have completed (link healed).
+    ack_healed: HashSet<(u64, (u8, u8))>,
     /// Hold-back buffer for delayed frames.
     held: Vec<Held>,
     /// Global transmission counter (drives delay release).
@@ -128,6 +139,8 @@ impl ChaosState {
             crashed: HashSet::new(),
             sleeping: HashMap::new(),
             joined: HashSet::new(),
+            ack_bursting: HashMap::new(),
+            ack_healed: HashSet::new(),
             held: Vec::new(),
             clock: 0,
             stats: FaultStats::default(),
@@ -160,6 +173,31 @@ impl ChaosState {
         if count {
             *suppressed += 1;
         }
+        true
+    }
+
+    /// Whether the `(session, link)` ACK burst is still active — counts
+    /// the suppression and heals the link once the configured burst
+    /// length has been consumed (mirroring the late-join counter: the
+    /// burst is measured in suppressed deliveries, so it cannot be
+    /// waited out without the reliable layer actually retransmitting).
+    fn ack_bursting(&mut self, session: u64, link: (u8, u8)) -> bool {
+        let key = (session, link);
+        if self.ack_healed.contains(&key) {
+            return false;
+        }
+        let Some(len) =
+            self.plan.ack_burst_len(self.seed, (link.0 as usize, link.1 as usize), session)
+        else {
+            return false;
+        };
+        let suppressed = self.ack_bursting.entry(key).or_insert(0);
+        if *suppressed >= len {
+            self.ack_bursting.remove(&key);
+            self.ack_healed.insert(key);
+            return false;
+        }
+        *suppressed += 1;
         true
     }
 
@@ -211,6 +249,10 @@ impl ChaosState {
             return Vec::new();
         }
         let (class, index) = classify(frame);
+        if class == FrameClass::Ack && self.ack_bursting(session, (tx, rx)) {
+            self.stats.ack_burst_dropped += 1;
+            return Vec::new();
+        }
         let faults = self.plan.frame_faults(self.seed, link, session, index, class);
         if faults.drop {
             self.stats.dropped += 1;
@@ -357,6 +399,35 @@ mod tests {
         assert_eq!(c.stats.prejoin_dropped, 3);
         // Other sessions have their own sleep state.
         assert!(c.deliver(&frame(0, 5, 1), 0, 1).is_empty());
+    }
+
+    #[test]
+    fn ack_burst_drops_only_acks_then_heals() {
+        let plan = FaultPlan {
+            ack_burst: Some(thinair_netsim::AckBurstSpec { prob: 1.0, len: 3 }),
+            ..FaultPlan::none()
+        };
+        let mut c = ChaosState::new(plan, 5, 0);
+        let ack = |seq: u32| Frame {
+            flags: 0,
+            sender: 1,
+            session: 7,
+            seq: 0,
+            payload: NetPayload::Ack { seq },
+        };
+        // Non-ACK traffic on the bursting link is untouched.
+        assert_eq!(c.deliver(&frame(1, 7, 1), 1, 0).len(), 1);
+        // The first `len` ACK deliveries die, then the link heals.
+        for seq in 1..=3 {
+            assert!(c.deliver(&ack(seq), 1, 0).is_empty(), "burst swallows ack {seq}");
+        }
+        assert_eq!(c.deliver(&ack(4), 1, 0).len(), 1, "healed after the burst");
+        assert_eq!(c.deliver(&ack(1), 1, 0).len(), 1, "stays healed for retransmits");
+        assert_eq!(c.stats.ack_burst_dropped, 3);
+        // The reverse link and other sessions run their own bursts.
+        let rev = Frame { sender: 0, ..ack(1) };
+        assert!(c.deliver(&rev, 0, 1).is_empty(), "reverse link bursts independently");
+        assert!(c.deliver(&ack(9), 1, 0).len() == 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use thinair_core::wire::Message;
 use thinair_gf::{kernel, PayloadPlane};
 
 use crate::frame::{Frame, NetPayload};
-use crate::reliable::{Dedup, Reliable};
+use crate::reliable::{Dedup, Reliable, RetransmitPolicy};
 use crate::rt;
 use crate::rt::chan::Receiver;
 use crate::session::{
@@ -97,7 +97,12 @@ pub async fn run_coordinator<T: Transport>(
     let n = cfg.n_nodes;
     let targets: Vec<u8> = (0..n).filter(|&p| p != me).collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut rel = Reliable::new(cfg.retransmit, cfg.max_attempts);
+    let mut rel = Reliable::with_policy(RetransmitPolicy {
+        initial_rto: cfg.retransmit,
+        cap: cfg.rto_cap,
+        max_attempts: cfg.max_attempts,
+        seed,
+    });
     let mut dedup = Dedup::new(n as usize);
 
     // Ground truth this node holds: its own x payloads plus received ones.
@@ -208,6 +213,19 @@ pub async fn run_coordinator<T: Transport>(
                     NetPayload::Done if frame.sender != me => {
                         done.insert(frame.sender);
                     }
+                    NetPayload::Busy { retry_after_ms } => {
+                        // Explicit backpressure from an over-capacity
+                        // serve daemon: pause the start barrier for the
+                        // suggested delay (bounded — the field rides the
+                        // wire) instead of retransmitting blind. Paced
+                        // re-admission, not an abort: the deadline still
+                        // bounds the session.
+                        if let Phase::StartBarrier { start_seq } = phase {
+                            let wait = Duration::from_millis(retry_after_ms.min(10_000) as u64);
+                            rel.defer(start_seq, Instant::now() + wait);
+                            crate::telemetry::counter_add("net.busy.deferred", 1);
+                        }
+                    }
                     // Terminals never send plans, z-packets, Start or Fin.
                     _ => {}
                 }
@@ -315,7 +333,7 @@ pub async fn run_coordinator<T: Transport>(
                     phase = Phase::FinBarrier { fin_seq };
                     note_phase(session, me, prev, phase.name(), &mut phase_entered);
                 } else if now >= *next_combo && !fountain.is_empty() {
-                    if z_sent >= cfg.max_attempts {
+                    if z_sent >= cfg.z_budget {
                         let missing: Vec<u8> =
                             targets.iter().copied().filter(|p| !done.contains(p)).collect();
                         let reason = AbortReason::Unreachable { missing, attempts: z_sent };
@@ -327,7 +345,7 @@ pub async fn run_coordinator<T: Transport>(
                     for _ in 0..burst {
                         // Combo indices ride the wire as u16; a fountain
                         // that outlives the index space (only reachable
-                        // with max_attempts > 65536) aborts cleanly
+                        // with z_budget > 65536) aborts cleanly
                         // instead of wrapping — a wrapped index would
                         // collide erasure-injection decisions.
                         let Ok(index) = u16::try_from(z_sent) else {

@@ -66,6 +66,15 @@ pub enum NetPayload {
     /// Coordinator → terminals: every terminal reported `Done`; the
     /// session is complete.
     Fin,
+    /// Daemon → coordinator: the `Start` was seen but admission was
+    /// refused (registry at or near capacity). The coordinator should
+    /// pause the start barrier for `retry_after_ms` instead of
+    /// retransmitting blind — explicit backpressure replacing the old
+    /// silent drop.
+    Busy {
+        /// Suggested re-admission delay, scaled to the daemon's load.
+        retry_after_ms: u32,
+    },
 }
 
 const PTAG_PROTO: u8 = 0x01;
@@ -73,6 +82,7 @@ const PTAG_ACK: u8 = 0x02;
 const PTAG_START: u8 = 0x03;
 const PTAG_DONE: u8 = 0x04;
 const PTAG_FIN: u8 = 0x05;
+const PTAG_BUSY: u8 = 0x06;
 
 /// One framed datagram.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -172,6 +182,10 @@ impl NetPayload {
             }
             NetPayload::Done => b.put_u8(PTAG_DONE),
             NetPayload::Fin => b.put_u8(PTAG_FIN),
+            NetPayload::Busy { retry_after_ms } => {
+                b.put_u8(PTAG_BUSY);
+                b.put_u32(*retry_after_ms);
+            }
         }
     }
 
@@ -196,6 +210,12 @@ impl NetPayload {
             }
             PTAG_DONE => Ok(NetPayload::Done),
             PTAG_FIN => Ok(NetPayload::Fin),
+            PTAG_BUSY => {
+                if buf.remaining() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(NetPayload::Busy { retry_after_ms: buf.get_u32() })
+            }
             other => Err(FrameError::UnknownPayload(other)),
         }
     }
@@ -319,6 +339,13 @@ mod tests {
                 payload: NetPayload::Done,
             },
             Frame { flags: FLAG_RELIABLE, sender: 0, session: 5, seq: 2, payload: NetPayload::Fin },
+            Frame {
+                flags: 0,
+                sender: 1,
+                session: 5,
+                seq: 0,
+                payload: NetPayload::Busy { retry_after_ms: 250 },
+            },
         ]
     }
 

@@ -22,10 +22,14 @@
 //! * [`chaos`] — the fault-injection layer for simulated transports:
 //!   applies a deterministic `thinair_netsim::FaultPlan` (drop,
 //!   corrupt, duplicate, reorder, delay jitter, partitions, terminal
-//!   crash / late join) to every frame, with injection counters.
+//!   crash / late join, ACK-loss bursts) to every frame, with
+//!   injection counters.
 //! * [`reliable`] — per-peer ACK/retransmit for control frames,
 //!   mirroring `thinair_core::transport` semantics on real I/O, with
-//!   wraparound-safe anti-replay windows on the receive side.
+//!   wraparound-safe anti-replay windows on the receive side. Closed
+//!   loop since PR 7: RFC 6298-style per-peer RTO estimation, jittered
+//!   exponential backoff, and a node-wide AIMD in-flight budget
+//!   ([`reliable::FlowBudget`]) shared across sessions.
 //! * [`session`] — shared session configuration, deterministic plan
 //!   re-derivation, erasure injection (iid hash or pluggable per-receiver
 //!   [`thinair_netsim::ErasureModel`] chains), secret reconstruction.
@@ -86,6 +90,7 @@ pub use chaos::FaultStats;
 pub use driver::{drive_nodes, drive_sim, drive_sim_chaos, SimRun};
 pub use frame::{Frame, NetPayload};
 pub use node::Node;
+pub use reliable::{backoff_delay, FlowBudget, RetransmitPolicy};
 pub use serve::{ServeHandle, ServeLimits, ServeStats, Server, SessionRegistry};
 pub use session::{AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace};
 pub use telemetry::{Histogram, Snapshot, TraceEvent, TraceKind};

@@ -25,8 +25,10 @@
 //! (short-lived) in-flight list, which is wraparound-safe as long as
 //! fewer than 2³² frames are in flight at once.
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use crate::frame::{Frame, NetPayload, FLAG_RELIABLE};
@@ -35,6 +37,210 @@ use crate::transport::{SharedTransport, Transport};
 /// Width of the per-sender replay window, in sequence numbers.
 pub const DEDUP_WINDOW: u32 = 1024;
 
+/// Largest exponent the backoff schedule applies to the base RTO; the
+/// cap clamps the result long before this, it only guards the shift.
+const BACKOFF_MAX_SHIFT: u32 = 20;
+
+/// Jitter band of the backoff schedule: each delay is drawn uniformly
+/// from `base ± base/JITTER_DIV` (±25%), deterministically keyed by
+/// `(seed, peer, seq, attempt)`.
+pub const JITTER_DIV: u64 = 4;
+
+/// Starting congestion window of a node's [`FlowBudget`], in unACKed
+/// reliable frames. Sized for a node multiplexing hundreds of
+/// concurrent sessions — the window is per *node*, not per session.
+pub const FLOW_INITIAL_CWND: f64 = 256.0;
+/// Multiplicative decrease never shrinks the window below this.
+pub const FLOW_MIN_CWND: f64 = 32.0;
+/// Additive increase never grows the window beyond this.
+pub const FLOW_MAX_CWND: f64 = 8192.0;
+
+/// The jittered exponential-backoff schedule, as a pure function so
+/// property tests can pin it: the delay between transmission `attempt`
+/// and `attempt + 1` of frame `seq` to `peer`.
+///
+/// The base is `rto · 2^(attempt-1)` clamped to `cap`; on top rides a
+/// uniform ±`base`/[`JITTER_DIV`] jitter drawn from
+/// `splitmix64(seed, peer, seq, attempt)` — deterministic, so chaos and
+/// soak runs with a pinned seed reproduce the same schedule. With a 2×
+/// growth and a ±25% band, successive delays are strictly monotone
+/// until the base reaches the cap.
+pub fn backoff_delay(
+    rto: Duration,
+    attempt: u32,
+    cap: Duration,
+    seed: u64,
+    peer: u8,
+    seq: u32,
+) -> Duration {
+    let attempt = attempt.max(1);
+    let rto_us = (rto.as_micros() as u64).max(1);
+    let cap_us = (cap.as_micros() as u64).max(rto_us);
+    let shift = (attempt - 1).min(BACKOFF_MAX_SHIFT);
+    let base = rto_us.checked_shl(shift).unwrap_or(u64::MAX).min(cap_us);
+    let span = base / JITTER_DIV;
+    let key = seed
+        ^ (peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (seq as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (attempt as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    let h = thinair_netsim::erasure::splitmix64(key);
+    let jitter = if span == 0 { 0 } else { (h % (2 * span + 1)) as i64 - span as i64 };
+    Duration::from_micros((base as i64).saturating_add(jitter).max(1) as u64)
+}
+
+/// Per-node AIMD budget over unACKed reliable frames, shared by every
+/// session multiplexed over one transport (the handle lives in
+/// [`SharedTransport`]). Under overload a saturated link would otherwise
+/// compound: more sessions ⇒ more retransmits ⇒ more queueing ⇒ more
+/// timeouts. The budget closes the loop — frames ACKed cleanly grow the
+/// window additively, retransmit timeouts halve it (at most once per
+/// RTO), and session-opening `Start`s defer (admission pacing) while
+/// the window is full. Mid-session frames and retransmits are never
+/// blocked: a round past admission holds registry slots on every peer,
+/// so stalling its frames behind new launches would be a congestion
+/// collapse where demand only grows — they charge unconditionally
+/// (the window may over-commit) and the pressure throttles launches
+/// instead, so running sessions always drain the window back down.
+#[derive(Debug)]
+pub struct FlowBudget {
+    cwnd: f64,
+    in_flight: u64,
+    last_cut: Option<Instant>,
+}
+
+/// The shared handle: one per node, cloned into every session's
+/// [`Reliable`] on first use.
+pub type SharedFlow = Rc<RefCell<FlowBudget>>;
+
+impl Default for FlowBudget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowBudget {
+    /// A fresh budget at [`FLOW_INITIAL_CWND`].
+    pub fn new() -> Self {
+        FlowBudget { cwnd: FLOW_INITIAL_CWND, in_flight: 0, last_cut: None }
+    }
+
+    /// Current congestion window, in frames.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Reliable frames currently charged against the window.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn try_charge(&mut self) -> bool {
+        if self.in_flight < self.window() {
+            self.in_flight += 1;
+            crate::telemetry::gauge_set("net.inflight", self.in_flight);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Charges a frame against the window unconditionally — the
+    /// in-flight count may exceed the window. Reliable frames of
+    /// sessions already past admission use this: deferring them would
+    /// starve in-progress rounds behind new launches (open sessions
+    /// could never finish while `Start`s kept grabbing freed slots —
+    /// a congestion collapse where demand only ever grows). The
+    /// over-commit instead back-pressures [`FlowBudget::try_charge`],
+    /// throttling session *openings* until running work drains.
+    fn force_charge(&mut self) {
+        self.in_flight += 1;
+        crate::telemetry::gauge_set("net.inflight", self.in_flight);
+    }
+
+    fn release(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        crate::telemetry::gauge_set("net.inflight", self.in_flight);
+    }
+
+    /// Additive increase: +1 frame per window's worth of clean ACKs.
+    fn on_clean_ack(&mut self) {
+        if self.cwnd < FLOW_MAX_CWND {
+            self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(FLOW_MAX_CWND);
+            crate::telemetry::counter_add("net.cwnd.increase", 1);
+            crate::telemetry::gauge_set("net.cwnd", self.cwnd as u64);
+        }
+    }
+
+    /// Multiplicative decrease on a retransmit timeout, rate-limited to
+    /// one cut per `holdoff` so a burst of simultaneous timeouts (one
+    /// loss event) does not collapse the window to the floor.
+    ///
+    /// A timeout only counts as congestion while the window is at least
+    /// half loaded: with the pipe mostly idle, a timeout can only mean
+    /// random link loss, and halving a window nobody is filling would
+    /// let a lossy-but-uncongested path grind a many-session node down
+    /// to the floor.
+    fn on_loss(&mut self, now: Instant, holdoff: Duration) {
+        if self.in_flight * 2 < self.window() {
+            return;
+        }
+        let due = match self.last_cut {
+            None => true,
+            Some(t) => now.duration_since(t) >= holdoff,
+        };
+        if due {
+            self.last_cut = Some(now);
+            self.cwnd = (self.cwnd * 0.5).max(FLOW_MIN_CWND);
+            crate::telemetry::counter_add("net.cwnd.cut", 1);
+            crate::telemetry::gauge_set("net.cwnd", self.cwnd as u64);
+        }
+    }
+}
+
+/// RFC 6298-style smoothed RTT state for one peer.
+#[derive(Clone, Copy, Debug, Default)]
+struct PeerRtt {
+    srtt_us: u64,
+    rttvar_us: u64,
+    init: bool,
+}
+
+impl PeerRtt {
+    fn sample(&mut self, rtt_us: u64) {
+        if !self.init {
+            self.init = true;
+            self.srtt_us = rtt_us;
+            self.rttvar_us = rtt_us / 2;
+        } else {
+            let err = self.srtt_us.abs_diff(rtt_us);
+            self.rttvar_us = (3 * self.rttvar_us + err) / 4;
+            self.srtt_us = (7 * self.srtt_us + rtt_us) / 8;
+        }
+    }
+
+    fn rto_us(&self) -> u64 {
+        self.srtt_us + 4 * self.rttvar_us.max(1)
+    }
+}
+
+/// Retransmission policy of one [`Reliable`] instance.
+#[derive(Clone, Copy, Debug)]
+pub struct RetransmitPolicy {
+    /// RTO before any RTT sample exists; also anchors the RTO floor
+    /// (`initial_rto / 4`).
+    pub initial_rto: Duration,
+    /// Ceiling of the adaptive, exponentially backed-off delay.
+    pub cap: Duration,
+    /// Attempt budget per reliable frame.
+    pub max_attempts: u32,
+    /// Keys the deterministic jitter (see [`backoff_delay`]).
+    pub seed: u64,
+}
+
 /// One in-flight reliable frame.
 #[derive(Debug)]
 struct Entry {
@@ -42,18 +248,34 @@ struct Entry {
     frame: Frame,
     pending: BTreeSet<u8>,
     due: Instant,
+    /// Total transmissions — the [`RetransmitPolicy::max_attempts`]
+    /// budget and the Karn first-attempt test count these.
     attempts: u32,
+    /// Consecutive timeouts since the last forward progress — the
+    /// backoff exponent. Unlike `attempts` it *resets* whenever a new
+    /// peer acknowledges (RFC 6298 §5.3 re-arms the timer on an ACK of
+    /// new data): partial progress proves the path works, so the delay
+    /// must not keep compounding toward the stragglers.
+    level: u32,
     /// When the first copy went out — the anchor for the ACK-RTT
     /// histogram (`net.ack.rtt_us`).
     first_sent: Instant,
+    /// Whether this frame holds a slot in the node's [`FlowBudget`].
+    charged: bool,
 }
 
 /// Sender-side reliability state for one session.
 pub struct Reliable {
     next_seq: u32,
     entries: Vec<Entry>,
-    interval: Duration,
+    initial_rto: Duration,
+    cap: Duration,
     max_attempts: u32,
+    seed: u64,
+    /// Per-peer smoothed RTT state (peers are dense u8 node ids).
+    peers: BTreeMap<u8, PeerRtt>,
+    /// The node-wide budget, captured from the transport on first use.
+    flow: Option<SharedFlow>,
 }
 
 /// The retransmission budget for some peer ran out.
@@ -66,17 +288,43 @@ pub struct Unreachable {
 }
 
 impl Reliable {
-    /// Creates the bookkeeping with the given retransmit `interval` and
-    /// per-frame attempt budget.
-    pub fn new(interval: Duration, max_attempts: u32) -> Self {
-        Self::with_first_seq(interval, max_attempts, 1)
+    /// Creates the bookkeeping with the given initial retransmit
+    /// timeout and per-frame attempt budget (backoff cap 32× the
+    /// initial RTO, jitter seed 0).
+    pub fn new(initial_rto: Duration, max_attempts: u32) -> Self {
+        Self::with_first_seq(initial_rto, max_attempts, 1)
     }
 
     /// Like [`Reliable::new`] but starting the sequence counter at
     /// `first_seq` — lets tests pin wraparound behavior without sending
     /// 2³² frames.
-    pub fn with_first_seq(interval: Duration, max_attempts: u32, first_seq: u32) -> Self {
-        Reliable { next_seq: first_seq, entries: Vec::new(), interval, max_attempts }
+    pub fn with_first_seq(initial_rto: Duration, max_attempts: u32, first_seq: u32) -> Self {
+        let policy = RetransmitPolicy {
+            initial_rto,
+            cap: initial_rto.saturating_mul(32),
+            max_attempts,
+            seed: 0,
+        };
+        Self::with_policy_first_seq(policy, first_seq)
+    }
+
+    /// Full-policy constructor (the role state machines use this, with
+    /// the session seed keying the jitter).
+    pub fn with_policy(policy: RetransmitPolicy) -> Self {
+        Self::with_policy_first_seq(policy, 1)
+    }
+
+    fn with_policy_first_seq(policy: RetransmitPolicy, first_seq: u32) -> Self {
+        Reliable {
+            next_seq: first_seq,
+            entries: Vec::new(),
+            initial_rto: policy.initial_rto,
+            cap: policy.cap.max(policy.initial_rto),
+            max_attempts: policy.max_attempts,
+            seed: policy.seed,
+            peers: BTreeMap::new(),
+            flow: None,
+        }
     }
 
     /// Allocates the next sequence number (shared by unreliable frames
@@ -91,8 +339,54 @@ impl Reliable {
         s
     }
 
+    /// The adaptive RTO toward `peer`: smoothed RTT + 4·RTTVAR, clamped
+    /// between `initial_rto / 4` and the backoff cap; `initial_rto`
+    /// while no sample exists. `None` in the public accessor means no
+    /// RTT sample has been taken yet.
+    pub fn rto_estimate_us(&self, peer: u8) -> Option<u64> {
+        self.peers.get(&peer).map(|p| p.rto_us())
+    }
+
+    fn peer_rto_us(&self, peer: u8) -> u64 {
+        let init = (self.initial_rto.as_micros() as u64).max(1);
+        let clamp = |rto: u64| rto.clamp((init / 4).max(1), (self.cap.as_micros() as u64).max(1));
+        match self.peers.get(&peer) {
+            Some(p) => clamp(p.rto_us()),
+            // No sample for this peer yet: seed from the slowest peer
+            // that *has* been sampled — peers share the medium, so a
+            // measured path beats the configured cold-start guess (the
+            // same reasoning as TCP's per-destination RTT cache).
+            None => self.peers.values().map(|p| clamp(p.rto_us())).max().unwrap_or(init),
+        }
+    }
+
+    /// The delay until the next transmission of an entry at backoff
+    /// `level` (1 = freshly sent or just re-armed by partial progress).
+    /// The RTO is the slowest pending peer's (don't spam the
+    /// straggler); the jitter is keyed by the lowest pending peer id.
+    fn schedule(&self, pending: &BTreeSet<u8>, level: u32, seq: u32) -> Duration {
+        let peer = pending.iter().next().copied().unwrap_or(0);
+        let rto_us = pending
+            .iter()
+            .map(|&p| self.peer_rto_us(p))
+            .max()
+            .unwrap_or_else(|| (self.initial_rto.as_micros() as u64).max(1));
+        let d = backoff_delay(Duration::from_micros(rto_us), level, self.cap, self.seed, peer, seq);
+        if level > 1 {
+            crate::telemetry::counter_add("net.backoff.scheduled", 1);
+            crate::telemetry::observe("net.backoff.delay_us", d.as_micros() as u64);
+        }
+        d
+    }
+
+    fn flow<T: Transport>(&mut self, t: &SharedTransport<T>) -> SharedFlow {
+        self.flow.get_or_insert_with(|| t.flow()).clone()
+    }
+
     /// Sends `payload` reliably to `targets`, returning the assigned
-    /// sequence number.
+    /// sequence number. When the node's [`FlowBudget`] is exhausted the
+    /// first copy is deferred — [`Reliable::tick`] transmits it as soon
+    /// as the window has room (admission pacing, not an error).
     pub fn send<T: Transport>(
         &mut self,
         t: &SharedTransport<T>,
@@ -102,39 +396,101 @@ impl Reliable {
     ) -> io::Result<u32> {
         let seq = self.next_seq();
         let frame = Frame { flags: FLAG_RELIABLE, sender: t.local_node(), session, seq, payload };
-        for &to in targets {
-            t.send_to(to, &frame)?;
-        }
+        let flow = self.flow(t);
+        // Only session-*opening* frames contend for the window: a
+        // deferred `Start` merely delays a launch, while a deferred
+        // mid-session frame (plan chunk, report, fin) would stall a
+        // round that already holds registry slots on every peer. Those
+        // force-charge — their in-flight pressure throttles further
+        // launches instead, so running sessions always drain.
+        let charged = if matches!(frame.payload, NetPayload::Start { .. }) {
+            flow.borrow_mut().try_charge()
+        } else {
+            flow.borrow_mut().force_charge();
+            true
+        };
         let now = Instant::now();
-        self.entries.push(Entry {
+        let mut e = Entry {
             seq,
             frame,
             pending: targets.iter().copied().collect(),
-            due: now + self.interval,
-            attempts: 1,
+            due: now,
+            attempts: 0,
+            level: 0,
             first_sent: now,
-        });
+            charged,
+        };
+        if charged {
+            for &to in targets {
+                t.send_to(to, &e.frame)?;
+            }
+            e.attempts = 1;
+            e.level = 1;
+            e.due = now + self.schedule(&e.pending, 1, seq);
+        } else {
+            crate::telemetry::counter_add("net.backoff.admit_deferred", 1);
+        }
+        self.entries.push(e);
         Ok(seq)
     }
 
     /// Records an ACK from `from` for `seq`.
     pub fn on_ack(&mut self, from: u8, seq: u32) {
         let now = Instant::now();
-        self.entries.retain_mut(|e| {
-            if e.seq == seq {
-                e.pending.remove(&from);
-                if e.pending.is_empty() {
-                    // Fully acknowledged: settle the frame's telemetry.
-                    // RTT is first-send → last-ACK, so a retransmitted
-                    // frame's RTT includes the retransmit delay — that
-                    // is the latency the protocol actually experienced.
-                    let rtt = now.saturating_duration_since(e.first_sent);
-                    crate::telemetry::observe("net.ack.rtt_us", rtt.as_micros() as u64);
-                    crate::telemetry::observe("net.reliable.attempts", e.attempts as u64);
-                }
+        let Some(i) = self.entries.iter().position(|e| e.seq == seq) else {
+            return;
+        };
+        if !self.entries[i].pending.remove(&from) {
+            // Duplicate ACK: no new information, no re-arm.
+            return;
+        }
+        if self.entries[i].attempts == 1 {
+            // Karn's algorithm: only a frame ACKed on its first
+            // attempt yields an RTT sample — a retransmitted frame's
+            // ACK is ambiguous (it may answer any copy) and would
+            // poison the estimate with the retransmit delay itself.
+            let rtt_us =
+                now.saturating_duration_since(self.entries[i].first_sent).as_micros() as u64;
+            let p = self.peers.entry(from).or_default();
+            p.sample(rtt_us);
+            crate::telemetry::observe("net.ack.rtt_us", rtt_us);
+            crate::telemetry::observe("net.backoff.rto_us", p.rto_us());
+        }
+        if !self.entries[i].pending.is_empty() {
+            // Partial progress: re-arm the timer at the base RTO
+            // (RFC 6298 §5.3) — the backoff exponent must not keep a
+            // delay earned by a lost ACK compounding against the peers
+            // still pending.
+            let delay = self.schedule(&self.entries[i].pending, 1, seq);
+            let e = &mut self.entries[i];
+            e.level = 1;
+            e.due = now + delay;
+            return;
+        }
+        // Fully acknowledged: settle telemetry and the flow budget.
+        let mut e = self.entries.swap_remove(i);
+        crate::telemetry::observe("net.reliable.attempts", e.attempts.max(1) as u64);
+        if let Some(f) = &self.flow {
+            let mut f = f.borrow_mut();
+            if e.charged {
+                e.charged = false;
+                f.release();
             }
-            !e.pending.is_empty()
-        });
+            if e.attempts == 1 {
+                f.on_clean_ack();
+            }
+        }
+    }
+
+    /// Pushes `seq`'s next (re)transmission to at least `until` without
+    /// spending an attempt — paced re-admission when a serve daemon
+    /// answers `Start` with [`NetPayload::Busy`].
+    pub fn defer(&mut self, seq: u32, until: Instant) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            if e.due < until {
+                e.due = until;
+            }
+        }
     }
 
     /// Whether `seq` has been acknowledged by every target.
@@ -147,25 +503,64 @@ impl Reliable {
         self.entries.is_empty()
     }
 
-    /// Re-sends every due entry to its still-pending peers. Returns an
-    /// [`Unreachable`] error once an entry exhausts the attempt budget.
+    /// Re-sends every due entry to its still-pending peers. A timeout
+    /// halves the node's shared window (which gates admission of *new*
+    /// frames), and budget-deferred first copies transmit as soon as a
+    /// slot frees up. Returns an [`Unreachable`] error once an entry
+    /// exhausts the attempt budget.
     pub fn tick<T: Transport>(
         &mut self,
         t: &SharedTransport<T>,
         now: Instant,
     ) -> io::Result<Result<(), Unreachable>> {
-        for e in &mut self.entries {
-            if now < e.due {
+        let flow = self.flow(t);
+        for i in 0..self.entries.len() {
+            if self.entries[i].attempts == 0 {
+                // Budget-deferred first copy: transmit once a slot opens.
+                if !flow.borrow_mut().try_charge() {
+                    continue;
+                }
+                let e = &mut self.entries[i];
+                e.charged = true;
+                e.attempts = 1;
+                e.level = 1;
+                e.first_sent = now;
+                for &to in e.pending.iter() {
+                    t.send_to(to, &e.frame)?;
+                }
+                let delay = self.schedule(&self.entries[i].pending, 1, self.entries[i].seq);
+                self.entries[i].due = now + delay;
                 continue;
             }
-            if e.attempts >= self.max_attempts {
+            if now < self.entries[i].due {
+                continue;
+            }
+            if self.entries[i].attempts >= self.max_attempts {
+                let e = &self.entries[i];
                 return Ok(Err(Unreachable {
                     missing: e.pending.iter().copied().collect(),
                     attempts: e.attempts,
                 }));
             }
+            // A retransmit timeout is the loss signal: multiplicative
+            // decrease, rate-limited to one cut per entry RTO. The cut
+            // gates *admission* of new frames only — the retransmit
+            // itself always proceeds (its exponential backoff is the
+            // pacing): blocking retransmits on the window would
+            // livelock, since ACKing the frames already charged is the
+            // only way in-flight load drains.
+            let rto = Duration::from_micros(
+                self.entries[i]
+                    .pending
+                    .iter()
+                    .map(|&p| self.peer_rto_us(p))
+                    .max()
+                    .unwrap_or_else(|| (self.initial_rto.as_micros() as u64).max(1)),
+            );
+            flow.borrow_mut().on_loss(now, rto);
+            let e = &mut self.entries[i];
             e.attempts += 1;
-            e.due = now + self.interval;
+            e.level += 1;
             crate::telemetry::counter_add("net.retransmit.frames", 1);
             crate::telemetry::trace_retransmit(
                 e.frame.session,
@@ -176,8 +571,26 @@ impl Reliable {
             for &to in e.pending.iter() {
                 t.send_to(to, &e.frame)?;
             }
+            let (level, seq) = (self.entries[i].level, self.entries[i].seq);
+            let delay = self.schedule(&self.entries[i].pending, level, seq);
+            self.entries[i].due = now + delay;
         }
         Ok(Ok(()))
+    }
+}
+
+impl Drop for Reliable {
+    /// Releases any flow-budget slots still held by unACKed entries, so
+    /// an aborted session cannot leak window capacity node-wide.
+    fn drop(&mut self) {
+        if let Some(flow) = &self.flow {
+            let mut f = flow.borrow_mut();
+            for e in &self.entries {
+                if e.charged {
+                    f.release();
+                }
+            }
+        }
     }
 }
 

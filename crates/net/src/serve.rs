@@ -10,10 +10,23 @@
 //!
 //! * **Admission** — a frame for an unknown session spawns a terminal
 //!   state machine iff it is a `Start` from the configured coordinator
-//!   and the registry has capacity ([`ServeLimits::max_sessions`]);
-//!   anything else is counted and dropped. A rejected session costs the
-//!   coordinator a retransmitted start barrier, nothing more — it can
-//!   be re-admitted the moment load drains.
+//!   and the registry has room below its high-water mark (7/8 of
+//!   [`ServeLimits::max_sessions`] — shedding starts *before* the hard
+//!   cap so in-flight sessions keep headroom to finish). A refused
+//!   `Start` is answered with an explicit [`NetPayload::Busy`] whose
+//!   `retry_after_ms` scales with the overload, so the coordinator
+//!   paces re-admission instead of retransmitting blind; nothing is
+//!   dropped silently.
+//! * **FIFO re-admission** — a refused `Start` is also parked in a
+//!   bounded arrival-order queue and admitted from there as slots
+//!   free, without waiting for the coordinator's paced retry. The
+//!   ordering matters beyond latency: a group session needs a slot on
+//!   *every* terminal daemon at once, and refusal-only shedding lets
+//!   two saturated daemons fill with disjoint half-admitted sessions
+//!   — each holding a slot on one daemon while `Busy`'d on the other
+//!   — a cross-daemon admission deadlock. All daemons see the wave's
+//!   `Start`s in near-identical order, so FIFO re-admission keeps
+//!   their admitted sets aligned and half-admissions transient.
 //! * **Budgets** — every admitted session inherits the
 //!   [`SessionConfig`] deadline / attempt budgets, so no session can
 //!   outlive its configured worst case.
@@ -49,8 +62,9 @@ use crate::transport::{SharedTransport, Transport, DEFAULT_RECV_BATCH};
 /// Resource limits of one serve daemon.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeLimits {
-    /// Most sessions live at once; `Start`s beyond it are rejected
-    /// (counted, re-admittable on the coordinator's retransmit).
+    /// Most sessions live at once; `Start`s beyond 7/8 of it are
+    /// answered with `Busy { retry_after_ms }` and parked for FIFO
+    /// re-admission as slots free (counted, never silently dropped).
     pub max_sessions: usize,
     /// Evict a session after this long without a single frame.
     pub idle_timeout: Duration,
@@ -75,6 +89,11 @@ pub struct ServeStats {
     pub admitted: u64,
     /// `Start`s refused because the registry was at capacity.
     pub rejected: u64,
+    /// `Busy { retry_after_ms }` replies sent for refused `Start`s.
+    /// Equals `rejected` when every refusal was answered (the daemon
+    /// never sheds silently; a gap can only come from a socket error on
+    /// the reply itself).
+    pub busy: u64,
     /// Admitted sessions that completed with a usable outcome.
     pub completed: u64,
     /// Admitted sessions that terminated with a clean structured abort.
@@ -98,6 +117,33 @@ struct Entry {
     admitted_at: Instant,
 }
 
+/// A `Start` refused at the high-water mark, parked for FIFO
+/// re-admission when a slot frees.
+struct PendingStart {
+    frame: Frame,
+    /// Last time a `Start` copy for this session arrived. A live
+    /// coordinator refreshes it with every paced retry; an entry that
+    /// goes stale ([`QUEUE_STALE`]) belonged to a coordinator that gave
+    /// up and is dropped at drain time instead of wasting a slot.
+    refreshed: Instant,
+}
+
+/// Outcome of one admission attempt (see [`SessionRegistry::admit`]).
+enum Admission {
+    /// A slot was opened and the admitting `Start` already routed; the
+    /// session's frames flow through this.
+    Admitted(Receiver<Frame>),
+    /// Load-shed: the `Start` was parked in the re-admission queue;
+    /// answer the coordinator with `Busy { retry_after_ms }`.
+    Busy {
+        /// Suggested re-admission delay.
+        retry_after_ms: u32,
+    },
+    /// Replay of a terminated session id — dropped (a late duplicate,
+    /// not a live coordinator to pace).
+    Spent,
+}
+
 /// The daemon's session table: admission, routing, eviction, GC.
 ///
 /// Exposed (behind `Rc<RefCell>`) so harnesses can inspect live load;
@@ -113,6 +159,14 @@ pub struct SessionRegistry {
     spent_order: VecDeque<u64>,
     limits: ServeLimits,
     stats: ServeStats,
+    /// Arrival order of parked `Start`s (session ids; a popped id no
+    /// longer in `queued` is a tombstone of a session admitted
+    /// directly in the meantime).
+    queue: VecDeque<u64>,
+    /// Parked `Start`s by session id — the re-admission backlog. Its
+    /// depth scales `retry_after_ms` so paced-out coordinators spread
+    /// their retries instead of re-knocking in lockstep.
+    queued: HashMap<u64, PendingStart>,
 }
 
 /// How many terminated session ids the replay window remembers. Start
@@ -120,6 +174,18 @@ pub struct SessionRegistry {
 /// shallow-but-wide FIFO is plenty; ids falling off the window behave
 /// like unknown sessions again (admissible), keeping memory O(window).
 const SPENT_WINDOW: usize = 8192;
+
+/// Most `Start`s parked for re-admission at once; beyond it a refusal
+/// is answered with `Busy` alone and the coordinator's paced retry is
+/// the only re-admission path (pre-queue behaviour).
+const QUEUE_WINDOW: usize = 8192;
+
+/// A parked `Start` not refreshed by a retry within this window is
+/// dropped at drain time: its coordinator stopped re-knocking (aborted
+/// or died), so admitting it would only burn a slot until idle
+/// eviction. Live coordinators retry every few seconds at most
+/// (`retry_after_ms` caps at 2 s, the deferred retransmit at 10 s).
+const QUEUE_STALE: Duration = Duration::from_secs(20);
 
 impl SessionRegistry {
     fn new(limits: ServeLimits) -> Self {
@@ -129,6 +195,8 @@ impl SessionRegistry {
             spent_order: VecDeque::new(),
             limits,
             stats: ServeStats::default(),
+            queue: VecDeque::new(),
+            queued: HashMap::new(),
         }
     }
 
@@ -166,26 +234,100 @@ impl SessionRegistry {
         }
     }
 
-    /// Opens a slot for `session` if capacity allows and the id is not
-    /// a replay of a terminated session.
-    fn admit(&mut self, session: u64, now: Instant) -> Option<Receiver<Frame>> {
-        if self.spent.contains(&session) {
-            self.stats.orphans += 1;
-            crate::telemetry::counter_add("serve.orphans", 1);
-            return None;
-        }
-        if self.open.len() >= self.limits.max_sessions {
-            self.stats.rejected += 1;
-            crate::telemetry::counter_add("serve.rejected", 1);
-            return None;
-        }
+    /// High-water mark: admission stops 1/8 short of the hard cap, so
+    /// sessions already in flight keep headroom to finish (shed
+    /// earliest, not at the wall). Small caps are unaffected
+    /// (`max/8 == 0`).
+    fn admit_high(&self) -> usize {
+        self.limits.max_sessions - self.limits.max_sessions / 8
+    }
+
+    /// The `retry_after_ms` a refused `Start` is answered with: a base
+    /// pace scaled by the depth of the re-admission backlog (the
+    /// deeper the queue, the longer the suggested pause), plus a
+    /// per-session spread so paced coordinators do not re-knock in
+    /// lockstep.
+    fn retry_after_ms(&self, session: u64) -> u32 {
+        const BASE_MS: u64 = 25;
+        let high = self.admit_high().max(1) as u64;
+        let backlog = self.queued.len() as u64;
+        let scaled = BASE_MS + BASE_MS * backlog.saturating_mul(8) / high;
+        let spread = session % (BASE_MS + 1);
+        (scaled + spread).clamp(BASE_MS, 2_000) as u32
+    }
+
+    /// Opens a slot for `session` (caller has checked load and replay)
+    /// and returns the frame receiver for its terminal task.
+    fn open_slot(&mut self, session: u64, now: Instant) -> Receiver<Frame> {
         let (tx, rx) = channel();
         self.open.insert(session, Entry { tx, last_frame: now, admitted_at: now });
         self.stats.admitted += 1;
         self.stats.peak_open = self.stats.peak_open.max(self.open.len() as u64);
         crate::telemetry::counter_add("serve.admitted", 1);
         crate::telemetry::gauge_set("serve.open", self.open.len() as u64);
-        Some(rx)
+        rx
+    }
+
+    /// Parks a refused `Start` for FIFO re-admission (or refreshes the
+    /// liveness stamp of an already-parked copy).
+    fn enqueue(&mut self, frame: Frame, now: Instant) {
+        if let Some(p) = self.queued.get_mut(&frame.session) {
+            p.refreshed = now;
+        } else if self.queue.len() < QUEUE_WINDOW {
+            self.queue.push_back(frame.session);
+            self.queued.insert(frame.session, PendingStart { frame, refreshed: now });
+        }
+        crate::telemetry::gauge_set("serve.queue.depth", self.queued.len() as u64);
+    }
+
+    /// Admits the longest-parked queued `Start` if a slot is free:
+    /// opens its slot, routes the stored frame, and returns the
+    /// session id plus frame receiver for the caller to spawn. Stale
+    /// and spent entries are skipped. `None` when the registry is at
+    /// its high-water mark or the queue is drained.
+    fn pop_admission(&mut self, now: Instant) -> Option<(u64, Receiver<Frame>)> {
+        while self.open.len() < self.admit_high() {
+            let session = self.queue.pop_front()?;
+            let Some(pending) = self.queued.remove(&session) else { continue };
+            crate::telemetry::gauge_set("serve.queue.depth", self.queued.len() as u64);
+            if self.spent.contains(&session) || now.duration_since(pending.refreshed) > QUEUE_STALE
+            {
+                continue;
+            }
+            let rx = self.open_slot(session, now);
+            self.route(pending.frame, now).expect("slot just opened");
+            crate::telemetry::counter_add("serve.queue.admitted", 1);
+            return Some((session, rx));
+        }
+        None
+    }
+
+    /// Opens a slot for the session of this `Start` if load allows and
+    /// the id is not a replay of a terminated session; over the
+    /// high-water mark the frame is parked for FIFO re-admission and
+    /// the refusal answered with a pacing hint.
+    fn admit(&mut self, frame: Frame, now: Instant) -> Admission {
+        let session = frame.session;
+        if self.spent.contains(&session) {
+            self.stats.orphans += 1;
+            crate::telemetry::counter_add("serve.orphans", 1);
+            return Admission::Spent;
+        }
+        if self.open.len() >= self.admit_high() {
+            self.enqueue(frame, now);
+            let retry_after_ms = self.retry_after_ms(session);
+            self.stats.rejected += 1;
+            self.stats.busy += 1;
+            crate::telemetry::counter_add("serve.rejected", 1);
+            crate::telemetry::counter_add("serve.busy.sent", 1);
+            crate::telemetry::observe("serve.busy.retry_ms", retry_after_ms as u64);
+            return Admission::Busy { retry_after_ms };
+        }
+        // Tombstone any parked copy: the live admission supersedes it.
+        self.queued.remove(&session);
+        let rx = self.open_slot(session, now);
+        self.route(frame, now).expect("slot just opened");
+        Admission::Admitted(rx)
     }
 
     /// Removes a terminated session's slot (terminal-state GC) and
@@ -361,21 +503,39 @@ impl<T: Transport + 'static> Server<T> {
                     continue;
                 }
                 let session = frame.session;
-                let Some(rx) = reg.admit(session, now) else { continue };
-                reg.route(frame, now).expect("slot just opened");
-                drop(reg);
-                let t = t.clone();
-                let cfg = cfg.clone();
-                let registry = registry.clone();
-                let outcomes = outcomes.clone();
-                rt::spawn(async move {
-                    let result =
-                        run_terminal(t, rx, session, cfg, task_seed(seed, session, me)).await;
-                    registry.borrow_mut().finish(session, &result);
-                    if let (Some(tx), Ok(out)) = (outcomes, result) {
-                        tx.send(out);
+                let rx = match reg.admit(frame, now) {
+                    Admission::Admitted(rx) => rx,
+                    Admission::Busy { retry_after_ms } => {
+                        // Explicit backpressure instead of a silent
+                        // drop: tell the coordinator when to re-knock.
+                        // Best-effort — a lost reply just means one
+                        // more (paced by its own backoff) Start copy;
+                        // the parked frame re-admits meanwhile.
+                        let busy = Frame {
+                            flags: 0,
+                            sender: me,
+                            session,
+                            seq: 0,
+                            payload: NetPayload::Busy { retry_after_ms },
+                        };
+                        let _ = t.send_to(cfg.coordinator, &busy);
+                        continue;
                     }
-                });
+                    Admission::Spent => continue,
+                };
+                drop(reg);
+                spawn_session(&t, &cfg, &registry, &outcomes, seed, session, rx);
+            }
+            // Slots freed by terminal-state GC since the last pass are
+            // refilled from the parked-Start queue in arrival order —
+            // re-admission does not wait for the coordinator's paced
+            // retry, and FIFO order keeps sibling daemons' admitted
+            // sets aligned (see the module docs on the cross-daemon
+            // half-admission deadlock).
+            loop {
+                let popped = registry.borrow_mut().pop_admission(Instant::now());
+                let Some((session, rx)) = popped else { break };
+                spawn_session(&t, &cfg, &registry, &outcomes, seed, session, rx);
             }
             let now = Instant::now();
             if now.duration_since(last_sweep) >= sweep {
@@ -384,6 +544,31 @@ impl<T: Transport + 'static> Server<T> {
             }
         }
     }
+}
+
+/// Spawns the terminal task of a freshly admitted session (used by
+/// both direct admission and queue drain).
+fn spawn_session<T: Transport + 'static>(
+    t: &SharedTransport<T>,
+    cfg: &SessionConfig,
+    registry: &Rc<RefCell<SessionRegistry>>,
+    outcomes: &Option<Sender<SessionOutcome>>,
+    seed: u64,
+    session: u64,
+    rx: Receiver<Frame>,
+) {
+    let me = t.local_node();
+    let t = t.clone();
+    let cfg = cfg.clone();
+    let registry = registry.clone();
+    let outcomes = outcomes.clone();
+    rt::spawn(async move {
+        let result = run_terminal(t, rx, session, cfg, task_seed(seed, session, me)).await;
+        registry.borrow_mut().finish(session, &result);
+        if let (Some(tx), Ok(out)) = (outcomes, result) {
+            tx.send(out);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -404,15 +589,31 @@ mod tests {
         }
     }
 
+    fn start(session: u64) -> Frame {
+        Frame { flags: 0, sender: 0, session, seq: 0, payload: NetPayload::Start { digest: 7 } }
+    }
+
+    fn must_admit(reg: &mut SessionRegistry, session: u64, now: Instant) -> Receiver<Frame> {
+        match reg.admit(start(session), now) {
+            Admission::Admitted(rx) => rx,
+            Admission::Busy { .. } => panic!("session {session} refused: busy"),
+            Admission::Spent => panic!("session {session} refused: spent"),
+        }
+    }
+
     #[test]
     fn registry_admits_routes_and_caps() {
         let limits = ServeLimits { max_sessions: 2, ..ServeLimits::default() };
         let mut reg = SessionRegistry::new(limits);
         let now = Instant::now();
-        let _rx1 = reg.admit(1, now).expect("capacity");
-        let _rx2 = reg.admit(2, now).expect("capacity");
-        assert!(reg.admit(3, now).is_none(), "over capacity");
+        let _rx1 = must_admit(&mut reg, 1, now);
+        let _rx2 = must_admit(&mut reg, 2, now);
+        let Admission::Busy { retry_after_ms } = reg.admit(start(3), now) else {
+            panic!("over capacity must be Busy");
+        };
+        assert!(retry_after_ms > 0, "busy carries a positive pace");
         assert_eq!(reg.stats().rejected, 1);
+        assert_eq!(reg.stats().busy, 1, "every rejection is answered");
         assert_eq!(reg.stats().peak_open, 2);
         let frame = Frame { flags: 0, sender: 0, session: 1, seq: 9, payload: NetPayload::Fin };
         assert!(reg.route(frame.clone(), now).is_ok());
@@ -429,24 +630,34 @@ mod tests {
         };
         let mut reg = SessionRegistry::new(limits);
         let t0 = Instant::now();
-        let mut rx = reg.admit(7, t0).expect("capacity");
+        let mut rx = must_admit(&mut reg, 7, t0);
         reg.evict_idle(t0 + Duration::from_millis(5));
         assert_eq!(reg.open_sessions(), 1, "young session survives");
         reg.evict_idle(t0 + Duration::from_millis(50));
         assert_eq!(reg.open_sessions(), 0, "idle session evicted");
         assert_eq!(reg.stats().evicted, 1);
-        // The channel closed with the entry: the session task sees None
-        // and terminates with NetError::Closed.
-        rt::block_on(async { assert_eq!(rx.recv().await, None) });
+        // The channel closed with the entry: after the admitting Start
+        // (routed at admission), the session task sees None and
+        // terminates with NetError::Closed.
+        rt::block_on(async {
+            assert!(matches!(
+                rx.recv().await,
+                Some(Frame { payload: NetPayload::Start { .. }, .. })
+            ));
+            assert_eq!(rx.recv().await, None);
+        });
         // Its termination is not double-counted as a failure.
         reg.finish(7, &Err(NetError::Closed));
         assert_eq!(reg.stats().failed, 0);
         // And a replayed Start for the evicted id cannot resurrect it.
-        assert!(reg.admit(7, t0).is_none(), "spent ids are not re-admissible");
+        assert!(
+            matches!(reg.admit(start(7), t0), Admission::Spent),
+            "spent ids are not re-admissible"
+        );
         assert_eq!(reg.stats().orphans, 1);
         // A protocol-deadline abort racing the idle sweep is not
         // double-counted: once evicted, the late outcome is dropped.
-        let _rx2 = reg.admit(8, t0).expect("capacity");
+        let _rx2 = must_admit(&mut reg, 8, t0);
         reg.evict_idle(t0 + Duration::from_millis(50));
         let late = crate::session::SessionOutcome::aborted(
             8,
@@ -466,7 +677,7 @@ mod tests {
     fn registry_refuses_start_replays_of_finished_sessions() {
         let mut reg = SessionRegistry::new(ServeLimits::default());
         let now = Instant::now();
-        let _rx = reg.admit(42, now).expect("capacity");
+        let _rx = must_admit(&mut reg, 42, now);
         let outcome = SessionOutcome {
             session: 42,
             node: 1,
@@ -479,14 +690,73 @@ mod tests {
         };
         reg.finish(42, &Ok(outcome));
         assert_eq!(reg.open_sessions(), 0);
-        assert!(reg.admit(42, now).is_none(), "finished ids are spent");
+        assert!(matches!(reg.admit(start(42), now), Admission::Spent), "finished ids are spent");
         assert_eq!(reg.stats().admitted, 1, "the replay admitted nothing");
         // Fresh ids are unaffected, and the window is bounded.
-        assert!(reg.admit(43, now).is_some());
+        let _rx43 = must_admit(&mut reg, 43, now);
         for s in 100..100 + (SPENT_WINDOW as u64) + 10 {
             reg.mark_spent(s);
         }
         assert!(reg.spent.len() <= SPENT_WINDOW);
+    }
+
+    /// Shedding starts at the high-water mark (7/8 of the cap), not at
+    /// the wall, and the suggested pace grows with the overload.
+    #[test]
+    fn registry_sheds_early_with_load_scaled_pace() {
+        let limits = ServeLimits { max_sessions: 64, ..ServeLimits::default() };
+        let mut reg = SessionRegistry::new(limits);
+        let now = Instant::now();
+        let high = 64 - 64 / 8;
+        let mut rxs = Vec::new();
+        for s in 0..high as u64 {
+            rxs.push(must_admit(&mut reg, s, now));
+        }
+        assert_eq!(reg.open_sessions(), high, "full up to the high-water mark");
+        let Admission::Busy { retry_after_ms: at_high } = reg.admit(start(1_000), now) else {
+            panic!("the high-water mark sheds");
+        };
+        // As more coordinators pile up paced-out, the suggested pace
+        // grows (same session id, so the spread term is fixed).
+        for s in 1_001..1_400 {
+            assert!(matches!(reg.admit(start(s), now), Admission::Busy { .. }));
+        }
+        let Admission::Busy { retry_after_ms: deep } = reg.admit(start(1_000), now) else {
+            panic!("still shedding");
+        };
+        assert!(deep > at_high, "pace scales with backlog: {deep} vs {at_high}");
+        assert_eq!(reg.stats().busy, reg.stats().rejected);
+    }
+
+    /// A `Start` refused at the high-water mark is parked and admitted
+    /// from the queue — in arrival order — as slots free; stale
+    /// entries (coordinator stopped re-knocking) are dropped.
+    #[test]
+    fn registry_readmits_parked_starts_in_arrival_order() {
+        let limits = ServeLimits { max_sessions: 8, ..ServeLimits::default() };
+        let mut reg = SessionRegistry::new(limits);
+        let now = Instant::now();
+        let high = 8 - 8 / 8;
+        for s in 0..high as u64 {
+            let _rx = must_admit(&mut reg, s, now);
+        }
+        assert!(matches!(reg.admit(start(20), now), Admission::Busy { .. }));
+        assert!(matches!(reg.admit(start(21), now), Admission::Busy { .. }));
+        // Nothing drains while the registry sits at the high-water mark.
+        assert!(reg.pop_admission(now).is_none());
+        // One slot frees -> the longest-parked session (20) re-admits,
+        // and only that one (the mark is reached again).
+        reg.finish(0, &Err(NetError::Closed));
+        let (session, _rx20) = reg.pop_admission(now).expect("queued start re-admits");
+        assert_eq!(session, 20, "FIFO: arrival order");
+        assert!(reg.pop_admission(now).is_none());
+        // A parked entry whose coordinator stopped refreshing it is
+        // dropped at drain time instead of burning a slot.
+        reg.finish(1, &Err(NetError::Closed));
+        assert!(reg.pop_admission(now + QUEUE_STALE + Duration::from_secs(1)).is_none());
+        assert_eq!(reg.open_sessions(), high - 1, "stale entry admitted nothing");
+        // Refusals answered while parked still count 1:1.
+        assert_eq!(reg.stats().busy, reg.stats().rejected);
     }
 
     /// End-to-end over the simulator: a coordinator drives concurrent

@@ -118,15 +118,27 @@ pub struct SessionConfig {
     /// scheduling, exactly like the legacy hash. `None` keeps the
     /// single-probability iid hash driven by `drop_prob`.
     pub drop_models: Option<Vec<ErasureModel>>,
-    /// Retransmit interval for reliable control frames.
+    /// Initial retransmit timeout for reliable control frames: the RTO
+    /// before any RTT sample exists, and the anchor of the adaptive
+    /// RTO's floor (see [`crate::reliable`]).
     pub retransmit: Duration,
+    /// Ceiling of the adaptive, exponentially backed-off retransmit
+    /// delay.
+    pub rto_cap: Duration,
     /// How long after the start barrier the x phase is considered
     /// settled (reports are sent at this point).
     pub x_settle: Duration,
     /// Overall session deadline.
     pub deadline: Duration,
-    /// Attempt budget per reliable frame and for the z fountain.
+    /// Attempt budget per reliable frame.
     pub max_attempts: u32,
+    /// Fountain budget: most z-combos the coordinator streams in phase
+    /// 2, and the length of every node's deterministic z-erasure
+    /// pattern. Protocol-relevant (it bounds the shared fountain-index
+    /// space each node precomputes drops over), so it folds into the
+    /// config digest — unlike `max_attempts`, which is pure control-
+    /// plane timing and must stay free to tune.
+    pub z_budget: u32,
 }
 
 impl Default for SessionConfig {
@@ -142,9 +154,11 @@ impl Default for SessionConfig {
             drop_seed: 7,
             drop_models: None,
             retransmit: Duration::from_millis(25),
+            rto_cap: Duration::from_secs(1),
             x_settle: Duration::from_millis(150),
             deadline: Duration::from_secs(30),
             max_attempts: 400,
+            z_budget: 400,
         }
     }
 }
@@ -225,6 +239,9 @@ impl SessionConfig {
             // There is no ground-truth Eve on a real network.
             return Err(ProtocolError::BadConfig("oracle estimator is sim-only"));
         }
+        if self.z_budget == 0 {
+            return Err(ProtocolError::BadConfig("z_budget must be positive"));
+        }
         Ok(())
     }
 
@@ -270,6 +287,7 @@ impl SessionConfig {
         fold(self.plan_params.support_slack as u64);
         fold(self.drop_prob.to_bits());
         fold(self.drop_seed);
+        fold(self.z_budget as u64);
         if let Some(models) = &self.drop_models {
             fold(models.len() as u64);
             for m in models {
@@ -414,9 +432,9 @@ pub(crate) struct XState {
 impl XState {
     pub fn new(cfg: &SessionConfig, session: u64, me: u8) -> Self {
         let owners = cfg.owners();
-        // Fountain indices are capped by the attempt budget; the frame
+        // Fountain indices are capped by the fountain budget; the frame
         // carries them as u16.
-        let z_len = (cfg.max_attempts as usize).min(u16::MAX as usize + 1);
+        let z_len = (cfg.z_budget as usize).min(u16::MAX as usize + 1);
         let x_drops = drop_pattern(cfg, session, me, DataKind::X, owners.len());
         let z_drops = drop_pattern(cfg, session, me, DataKind::Z, z_len);
         XState {
@@ -838,7 +856,14 @@ mod tests {
         assert_ne!(a.digest(), c.digest());
         let mut d = cfg();
         d.retransmit = Duration::from_millis(1); // timing is not protocol-relevant
+        d.rto_cap = Duration::from_secs(9);
+        d.max_attempts = 7;
         assert_eq!(a.digest(), d.digest());
+        // The fountain budget bounds the shared z-erasure pattern, so it
+        // IS protocol-relevant.
+        let mut e = cfg();
+        e.z_budget = 128;
+        assert_ne!(a.digest(), e.digest());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use thinair_core::wire::Message;
 
 use crate::frame::{Frame, NetPayload};
-use crate::reliable::{Dedup, Reliable};
+use crate::reliable::{Dedup, Reliable, RetransmitPolicy};
 use crate::rt;
 use crate::rt::chan::Receiver;
 use crate::session::{
@@ -56,7 +56,12 @@ pub async fn run_terminal<T: Transport>(
     let n = cfg.n_nodes;
     let peers: Vec<u8> = (0..n).filter(|&p| p != me).collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut rel = Reliable::new(cfg.retransmit, cfg.max_attempts);
+    let mut rel = Reliable::with_policy(RetransmitPolicy {
+        initial_rto: cfg.retransmit,
+        cap: cfg.rto_cap,
+        max_attempts: cfg.max_attempts,
+        seed,
+    });
     let mut dedup = Dedup::new(n as usize);
 
     let mut xs = XState::new(&cfg, session, me);

@@ -125,66 +125,79 @@ pub trait Transport {
 }
 
 /// Shared handle so the receive pump and many session tasks can use one
-/// transport (single-threaded runtime ⇒ `Rc<RefCell>`).
-pub struct SharedTransport<T>(Rc<RefCell<T>>);
+/// transport (single-threaded runtime ⇒ `Rc<RefCell>`). Also carries
+/// the node's [`FlowBudget`]: every session cloned off one transport
+/// shares one AIMD window over its unACKed reliable frames.
+pub struct SharedTransport<T> {
+    inner: Rc<RefCell<T>>,
+    flow: crate::reliable::SharedFlow,
+}
 
 impl<T> Clone for SharedTransport<T> {
     fn clone(&self) -> Self {
-        SharedTransport(self.0.clone())
+        SharedTransport { inner: self.inner.clone(), flow: self.flow.clone() }
     }
 }
 
 impl<T: Transport> SharedTransport<T> {
-    /// Wraps a transport.
+    /// Wraps a transport (with a fresh node-wide flow budget).
     pub fn new(t: T) -> Self {
-        SharedTransport(Rc::new(RefCell::new(t)))
+        SharedTransport {
+            inner: Rc::new(RefCell::new(t)),
+            flow: Rc::new(RefCell::new(crate::reliable::FlowBudget::new())),
+        }
+    }
+
+    /// The node-wide AIMD in-flight budget (shared across sessions).
+    pub fn flow(&self) -> crate::reliable::SharedFlow {
+        self.flow.clone()
     }
 
     /// This node's dense id.
     pub fn local_node(&self) -> u8 {
-        self.0.borrow().local_node()
+        self.inner.borrow().local_node()
     }
 
     /// Number of nodes in the roster.
     pub fn node_count(&self) -> usize {
-        self.0.borrow().node_count()
+        self.inner.borrow().node_count()
     }
 
     /// Sends a frame to one peer.
     pub fn send_to(&self, to: u8, frame: &Frame) -> io::Result<()> {
-        self.0.borrow_mut().send_to(to, frame)
+        self.inner.borrow_mut().send_to(to, frame)
     }
 
     /// Sends a frame to every peer.
     pub fn broadcast(&self, frame: &Frame) -> io::Result<()> {
-        self.0.borrow_mut().broadcast(frame)
+        self.inner.borrow_mut().broadcast(frame)
     }
 
     /// Datagrams dropped by frame validation.
     pub fn invalid_frames(&self) -> u64 {
-        self.0.borrow().invalid_frames()
+        self.inner.borrow().invalid_frames()
     }
 
     /// Sends that failed or were dropped at the socket so far.
     pub fn send_errors(&self) -> u64 {
-        self.0.borrow().send_errors()
+        self.inner.borrow().send_errors()
     }
 
     /// Borrows the inner transport (e.g. to read sim-side statistics).
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.inner.borrow())
     }
 
     /// The next valid incoming frame.
     pub fn recv(&self) -> RecvFrame<T> {
-        RecvFrame { t: self.0.clone() }
+        RecvFrame { t: self.inner.clone() }
     }
 
     /// Every frame deliverable right now (at most `max`); completes with
     /// at least one frame. The batched shape the serve pump uses: one
     /// wakeup drains the whole socket backlog.
     pub fn recv_batch(&self, max: usize) -> RecvBatch<T> {
-        RecvBatch { t: self.0.clone(), max }
+        RecvBatch { t: self.inner.clone(), max }
     }
 }
 

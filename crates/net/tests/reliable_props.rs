@@ -1,12 +1,14 @@
 //! Property tests for the control-plane reliability layer: sequence
-//! wraparound, duplicate/reordered/forged ACKs, and replay-flood
-//! resistance of the receive-side dedup window.
+//! wraparound, duplicate/reordered/forged ACKs, replay-flood
+//! resistance of the receive-side dedup window, and the jittered
+//! exponential-backoff schedule (monotone bases, bounded jitter,
+//! byte-deterministic per `(seed, peer, seq)`).
 
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use thinair_net::frame::NetPayload;
-use thinair_net::reliable::{Dedup, Reliable, ReplayWindow, DEDUP_WINDOW};
+use thinair_net::reliable::{backoff_delay, Dedup, Reliable, ReplayWindow, DEDUP_WINDOW};
 use thinair_net::transport::{SharedTransport, SimNet};
 use thinair_netsim::IidMedium;
 
@@ -107,6 +109,74 @@ proptest! {
             let seq = rel.send(&t0, 1, NetPayload::Fin, &[1]).unwrap();
             prop_assert!(seq != 0, "seq 0 must stay reserved for acks");
             rel.on_ack(1, seq);
+        }
+    }
+
+    /// The backoff schedule's base doubles per attempt until it pins at
+    /// the cap, every drawn delay stays inside the documented ±25 %
+    /// jitter band around its base, and consecutive delays are strictly
+    /// monotone while the base is still doubling (a 2× step outgrows a
+    /// ±25 % band).
+    #[test]
+    fn backoff_bases_are_monotone_and_jitter_stays_in_band(
+        rto_ms in 1u64..200,
+        cap_ms in 200u64..5_000,
+        seed in any::<u64>(),
+        peer in any::<u8>(),
+        seq in any::<u32>(),
+    ) {
+        let rto = Duration::from_millis(rto_ms);
+        let cap = Duration::from_millis(cap_ms);
+        let (rto_us, cap_us) = (rto_ms * 1_000, cap_ms * 1_000);
+        let mut prev_base = 0u64;
+        let mut prev_delay = 0u64;
+        for attempt in 1..=24u32 {
+            let base = rto_us.checked_shl((attempt - 1).min(20)).unwrap_or(u64::MAX).min(cap_us);
+            let us = backoff_delay(rto, attempt, cap, seed, peer, seq).as_micros() as u64;
+            prop_assert!(
+                us >= (base - base / 4).max(1) && us <= base + base / 4,
+                "attempt {attempt}: delay {us} µs outside ±25% of base {base} µs"
+            );
+            prop_assert!(base >= prev_base, "base must never shrink");
+            if prev_base > 0 && base == prev_base * 2 {
+                prop_assert!(us > prev_delay, "delays must grow while the base doubles");
+            }
+            prev_base = base;
+            prev_delay = us;
+        }
+        prop_assert_eq!(prev_base, cap_us, "24 attempts must reach the cap");
+    }
+
+    /// The schedule is a pure function of `(rto, cap, seed, peer, seq,
+    /// attempt)`: replaying a run with a pinned seed reproduces the
+    /// exact same retransmission timeline, byte for byte.
+    #[test]
+    fn backoff_schedule_is_deterministic_per_key(
+        rto_ms in 1u64..500,
+        seed in any::<u64>(),
+        peer in any::<u8>(),
+        seq in any::<u32>(),
+    ) {
+        let rto = Duration::from_millis(rto_ms);
+        let cap = Duration::from_secs(2);
+        for attempt in 1..=12u32 {
+            let a = backoff_delay(rto, attempt, cap, seed, peer, seq);
+            let b = backoff_delay(rto, attempt, cap, seed, peer, seq);
+            prop_assert_eq!(a, b, "attempt {}: schedule must be replayable", attempt);
+        }
+        // ...and the jitter key actually covers its inputs: perturbing
+        // any one coordinate moves at least one of the first attempts.
+        let base: Vec<Duration> =
+            (1..=6).map(|a| backoff_delay(rto, a, cap, seed, peer, seq)).collect();
+        for (s2, p2, q2) in [
+            (seed ^ 1, peer, seq),
+            (seed, peer.wrapping_add(1), seq),
+            (seed, peer, seq.wrapping_add(1)),
+        ] {
+            let other: Vec<Duration> =
+                (1..=6).map(|a| backoff_delay(rto, a, cap, s2, p2, q2)).collect();
+            // Jitter must depend on every key coordinate.
+            prop_assert_ne!(&base, &other);
         }
     }
 }

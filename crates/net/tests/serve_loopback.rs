@@ -146,10 +146,14 @@ fn loopback_serve_rejects_at_capacity_and_evicts_idle() {
         assert_eq!(handle.open_sessions(), 1);
         // The admitted session never hears from its coordinator again:
         // the idle sweep evicts it well before the protocol deadline.
-        rt::sleep(Duration::from_millis(700)).await;
-        assert_eq!(handle.open_sessions(), 0, "idle session evicted");
+        // That frees the slot, so the refused Start — parked in the
+        // FIFO re-admission queue — is admitted in turn, and then
+        // evicted by the same sweep (its coordinator is just as dead).
+        rt::sleep(Duration::from_millis(900)).await;
+        assert_eq!(handle.open_sessions(), 0, "idle sessions evicted");
         let stats = handle.stats();
-        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.admitted, 2, "the parked Start re-admitted on the freed slot");
+        assert_eq!(stats.evicted, 2);
         assert_eq!(stats.failed, 0, "eviction is not a failure");
         handle.stop();
     });

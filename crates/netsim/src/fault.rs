@@ -114,6 +114,21 @@ pub struct JoinSpec {
     pub after_frames: u32,
 }
 
+/// ACK-loss burst knob: with probability `prob` per `(session, link)`,
+/// the first `len` acknowledgement frames delivered over that directed
+/// link are suppressed — the data got through, the receipts did not.
+/// This is the adversarial case for the sender's closed loop: Karn's
+/// rule forbids RTT samples from the retransmissions the burst forces,
+/// and the backoff must re-arm (not keep compounding) once the burst
+/// ends and ACKs flow again.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AckBurstSpec {
+    /// Probability that a given `(session, link)` suffers the burst.
+    pub prob: f64,
+    /// How many ACK deliveries are suppressed before the link heals.
+    pub len: u32,
+}
+
 /// A composable adversarial fault schedule.
 ///
 /// All probabilities are per-frame (or per `(session, link)` /
@@ -142,6 +157,8 @@ pub struct FaultPlan {
     pub crash: Option<CrashSpec>,
     /// Terminal joining late.
     pub late_join: Option<JoinSpec>,
+    /// A burst of pure ACK loss at the start of a directed link.
+    pub ack_burst: Option<AckBurstSpec>,
 }
 
 // Distinct salts per fault dimension so the decisions are independent.
@@ -153,6 +170,7 @@ const SALT_DELAY: u64 = 0xDE;
 const SALT_PARTITION: u64 = 0xBA;
 const SALT_CRASH: u64 = 0xCA;
 const SALT_JOIN: u64 = 0x10;
+const SALT_ACK_BURST: u64 = 0xAB;
 
 /// Mixes a fault-decision key. `index` is the frame's position in its
 /// sender's stream (its sequence number; for acks, the acked sequence).
@@ -237,6 +255,14 @@ impl FaultPlan {
                 return Err("late-join after_frames must be >= 1");
             }
         }
+        if let Some(a) = self.ack_burst {
+            if !unit_ok(a.prob) {
+                return Err("ack-burst probability out of range");
+            }
+            if a.len == 0 {
+                return Err("ack-burst len must be >= 1");
+            }
+        }
         Ok(())
     }
 
@@ -270,6 +296,9 @@ impl FaultPlan {
         if let Some(j) = self.late_join {
             parts.push(format!("lj{:.2}@{}", j.prob, j.after_frames));
         }
+        if let Some(a) = self.ack_burst {
+            parts.push(format!("ab{:.2}x{}", a.prob, a.len));
+        }
         parts.join("_")
     }
 
@@ -279,6 +308,8 @@ impl FaultPlan {
         let d = self.delay.unwrap_or(DelaySpec { prob: 0.0, max_frames: 0 });
         let c = self.crash.unwrap_or(CrashSpec { prob: 0.0, node: None, after_seq: 0 });
         let j = self.late_join.unwrap_or(JoinSpec { prob: 0.0, node: None, after_frames: 0 });
+        let a = self.ack_burst.unwrap_or(AckBurstSpec { prob: 0.0, len: 0 });
+        // New axes append at the end: digests of older plans stay stable.
         vec![
             self.drop,
             self.corrupt,
@@ -293,6 +324,8 @@ impl FaultPlan {
             j.prob,
             j.node.map(|n| n as f64).unwrap_or(-1.0),
             j.after_frames as f64,
+            a.prob,
+            a.len as f64,
         ]
     }
 
@@ -367,6 +400,14 @@ impl FaultPlan {
         }
         let h = key(seed, SALT_JOIN, (node, node), session, 0);
         (unit(h) < j.prob).then_some(j.after_frames)
+    }
+
+    /// If the directed link draws the ACK-loss burst for this session,
+    /// how many ACK deliveries are suppressed before the link heals.
+    pub fn ack_burst_len(&self, seed: u64, link: (usize, usize), session: u64) -> Option<u32> {
+        let a = self.ack_burst?;
+        let h = key(seed, SALT_ACK_BURST, link, session, 0);
+        (unit(h) < a.prob).then_some(a.len)
     }
 }
 
@@ -513,6 +554,7 @@ mod tests {
             partition: 0.1,
             crash: Some(CrashSpec { prob: 0.5, node: None, after_seq: 1 }),
             late_join: Some(JoinSpec { prob: 0.5, node: None, after_frames: 5 }),
+            ack_burst: Some(AckBurstSpec { prob: 0.5, len: 6 }),
         }
     }
 
@@ -528,6 +570,7 @@ mod tests {
         assert!(!p.partitioned(1, (0, 1), 9));
         assert_eq!(p.crash_after(1, 9, 2), None);
         assert_eq!(p.join_after(1, 9, 2), None);
+        assert_eq!(p.ack_burst_len(1, (0, 1), 9), None);
         assert_eq!(p.tag(), "clean");
     }
 
@@ -659,8 +702,29 @@ mod tests {
     #[test]
     fn tags_name_the_active_axes() {
         let t = busy_plan().tag();
-        for needle in ["dr0.20", "co0.10", "du0.30", "re0.20", "je0.25x4", "pa0.10", "cr", "lj"] {
+        let needles =
+            ["dr0.20", "co0.10", "du0.30", "re0.20", "je0.25x4", "pa0.10", "cr", "lj", "ab0.50x6"];
+        for needle in needles {
             assert!(t.contains(needle), "{t} missing {needle}");
         }
+    }
+
+    #[test]
+    fn ack_bursts_are_per_session_per_link() {
+        let p =
+            FaultPlan { ack_burst: Some(AckBurstSpec { prob: 0.5, len: 4 }), ..FaultPlan::none() };
+        for session in 1..=50u64 {
+            assert_eq!(p.ack_burst_len(3, (0, 1), session), p.ack_burst_len(3, (0, 1), session));
+        }
+        let hits = (1..=200u64).filter(|&s| p.ack_burst_len(3, (0, 1), s).is_some()).count();
+        assert!(hits > 60 && hits < 140, "ack-burst rate {hits}/200");
+        // Directionality matters: the receipts die on one leg only.
+        let fwd: Vec<bool> = (1..=50).map(|s| p.ack_burst_len(3, (0, 1), s).is_some()).collect();
+        let rev: Vec<bool> = (1..=50).map(|s| p.ack_burst_len(3, (1, 0), s).is_some()).collect();
+        assert_ne!(fwd, rev);
+        // Certainty heals after exactly `len` suppressions.
+        let sure =
+            FaultPlan { ack_burst: Some(AckBurstSpec { prob: 1.0, len: 4 }), ..FaultPlan::none() };
+        assert_eq!(sure.ack_burst_len(9, (2, 0), 7), Some(4));
     }
 }

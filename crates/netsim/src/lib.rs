@@ -81,7 +81,9 @@ pub mod trace;
 
 pub use channel::{GeoMedium, GeoMediumConfig};
 pub use erasure::{splitmix64, ErasureMedium, ErasureModel, ErasureProcess};
-pub use fault::{CrashSpec, DelaySpec, FaultPlan, FaultyMedium, FrameClass, FrameFaults, JoinSpec};
+pub use fault::{
+    AckBurstSpec, CrashSpec, DelaySpec, FaultPlan, FaultyMedium, FrameClass, FrameFaults, JoinSpec,
+};
 pub use geom::Point;
 pub use iid::IidMedium;
 pub use medium::{Delivery, Medium, NodeId};

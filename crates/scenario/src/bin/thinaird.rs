@@ -52,7 +52,8 @@ USAGE:
     thinaird demo [OPTIONS]
     thinaird bench-scenario [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-soak [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
-    thinaird bench-serve [--smoke] [--out <PATH>] [--seed <S>]
+    thinaird bench-serve [--smoke] [--out <PATH>] [--seed <S>] [--wave <NAME>]
+                         [--max-p99-ms <MS>]
     thinaird trace-validate <FILE.jsonl>...
 
 ROLES:
@@ -70,12 +71,15 @@ ROLES:
                        fault grid (reorder, duplication, corruption, delay
                        jitter, partitions, crash, late join), audit the
                        safety invariant per session, write BENCH_soak.json
-    bench-serve        ramp concurrent sessions (100 -> 1k -> 5k full, smaller
-                       with --smoke) against in-process serve daemons over
-                       loopback UDP and a chaos-faulted simulator; audit
-                       every session, measure sessions/sec + p50..p999
-                       latency + per-phase telemetry histograms + executor
-                       polls saved, write BENCH_serve.json
+    bench-serve        ramp concurrent sessions (100 -> 1k -> 5k -> 7.5k
+                       overload full, smaller with --smoke) against
+                       in-process serve daemons over loopback UDP and a
+                       chaos-faulted simulator; the overload wave caps
+                       daemon admission below the offered load so the
+                       surplus is paced through Busy retries; audit every
+                       session, measure sessions/sec + p50..p999 latency +
+                       per-phase telemetry histograms + executor polls
+                       saved, write BENCH_serve.json
     trace-validate     check an exported telemetry trace (--trace-out):
                        every line parses as flat JSON, the required fields
                        and per-kind tails are present, and every session
@@ -109,6 +113,10 @@ OPTIONS:
     --smoke            bench-*: the small CI sweep instead of the full grid
     --out <PATH>       bench-*: artifact path [default:
                        BENCH_scenarios.json / BENCH_soak.json / BENCH_serve.json]
+    --wave <NAME>      bench-serve: run only waves whose name contains NAME
+                       (error if nothing matches)
+    --max-p99-ms <MS>  bench-serve: exit nonzero if any executed wave's p99
+                       session latency exceeds MS (CI latency gate)
     -h, --help         print this help
 ";
 
@@ -136,6 +144,8 @@ struct Options {
     run_for_ms: Option<u64>,
     smoke: bool,
     out: Option<String>,
+    wave: Option<String>,
+    max_p99_ms: Option<f64>,
 }
 
 impl Default for Options {
@@ -178,6 +188,8 @@ impl Default for Options {
             run_for_ms: None,
             smoke: false,
             out: None,
+            wave: None,
+            max_p99_ms: None,
         }
     }
 }
@@ -219,6 +231,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--run-for-ms" => o.run_for_ms = Some(num(take()?)?),
             "--smoke" => o.smoke = true,
             "--out" => o.out = Some(take()?.clone()),
+            "--wave" => o.wave = Some(take()?.clone()),
+            "--max-p99-ms" => o.max_p99_ms = Some(fnum(take()?)?),
             "--coordinator-id" => o.coordinator_id = num(take()?)?,
             "--deadline-ms" => o.deadline_ms = num(take()?)?,
             "--estimator" => {
@@ -512,7 +526,13 @@ fn run_trace_validate(files: &[String]) -> Result<(), String> {
 fn run_bench_serve(o: Options) -> Result<(), String> {
     // Reproducible by default, like the other benches.
     let seed = if o.seed_given { o.seed } else { 1 };
-    let specs = if o.smoke { serve_smoke_specs(seed) } else { serve_ramp_specs(seed) };
+    let mut specs = if o.smoke { serve_smoke_specs(seed) } else { serve_ramp_specs(seed) };
+    if let Some(filter) = &o.wave {
+        specs.retain(|s| s.name.contains(filter.as_str()));
+        if specs.is_empty() {
+            return Err(format!("--wave {filter} matches no wave in this ramp"));
+        }
+    }
     eprintln!(
         "thinaird bench-serve: {} wave(s), up to {} concurrent sessions, seed {seed}",
         specs.len(),
@@ -533,6 +553,26 @@ fn run_bench_serve(o: Options) -> Result<(), String> {
     eprintln!("wrote {out}");
     if violations > 0 {
         return Err(format!("SAFETY INVARIANT VIOLATED in {violations} session(s)"));
+    }
+    // The daemons must never shed a Start silently: every capacity
+    // rejection is answered with an explicit Busy reply.
+    for r in &results {
+        if r.busy < r.rejected {
+            return Err(format!(
+                "wave {}: {} rejection(s) but only {} Busy replies — silent shed",
+                r.spec.name, r.rejected, r.busy
+            ));
+        }
+    }
+    if let Some(bound) = o.max_p99_ms {
+        for r in &results {
+            if r.latency_ms_p99 > bound {
+                return Err(format!(
+                    "wave {}: p99 {:.1} ms exceeds the --max-p99-ms bound {bound:.1}",
+                    r.spec.name, r.latency_ms_p99
+                ));
+            }
+        }
     }
     Ok(())
 }

@@ -93,6 +93,14 @@ pub struct ServeWaveSpec {
     pub drop_prob: f64,
     /// Per-session deadline in milliseconds.
     pub deadline_ms: u64,
+    /// Daemon-side admission cap ([`ServeLimits::max_sessions`]).
+    /// `None` sizes it to the wave with headroom above the registry's
+    /// 7/8 high-water shed (`⌈concurrency·8/7⌉`, min 64), so a
+    /// sized-to-fit wave measures protocol throughput, not admission
+    /// pacing; `Some(cap)` below `concurrency` makes this an
+    /// *overload* wave, where the surplus is paced through explicit
+    /// `Busy { retry_after_ms }` replies instead of being dropped.
+    pub max_sessions: Option<u32>,
     /// Root seed (payloads, plans, erasures, faults).
     pub seed: u64,
 }
@@ -122,6 +130,9 @@ impl ServeWaveSpec {
         if self.concurrency == 0 {
             return Err("need at least one session");
         }
+        if self.max_sessions == Some(0) {
+            return Err("admission cap must admit at least one session");
+        }
         self.session_config().validate().map_err(|_| "session config rejected")
     }
 }
@@ -140,6 +151,10 @@ pub struct ServeWaveResult {
     /// `Start`s the daemons rejected at capacity (re-admissions make
     /// this larger than the final deficit).
     pub rejected: u64,
+    /// `Busy { retry_after_ms }` replies sent for those rejections.
+    /// Must equal `rejected` on a healthy wave: the daemons never shed
+    /// a `Start` silently.
+    pub busy: u64,
     /// Sessions the daemons evicted for idleness.
     pub evicted: u64,
     /// Peak concurrently open sessions across all daemons.
@@ -328,10 +343,11 @@ pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioE
         }
     }
 
-    let (mut rejected, mut evicted, mut peak_open) = (0u64, 0u64, 0u64);
+    let (mut rejected, mut busy, mut evicted, mut peak_open) = (0u64, 0u64, 0u64, 0u64);
     for h in &post_handles {
         let s = h.stats();
         rejected += s.rejected;
+        busy += s.busy;
         evicted += s.evicted;
         peak_open = peak_open.max(s.peak_open);
     }
@@ -342,6 +358,7 @@ pub fn run_serve_wave(spec: &ServeWaveSpec) -> Result<ServeWaveResult, ScenarioE
         aborted,
         violations,
         rejected,
+        busy,
         evicted,
         peak_open,
         send_errors,
@@ -371,7 +388,10 @@ fn build_nodes(
     spec: &ServeWaveSpec,
 ) -> (Node<DynTransport>, Vec<Server<DynTransport>>, Vec<SharedTransport<DynTransport>>) {
     let limits = ServeLimits {
-        max_sessions: (spec.concurrency as usize).max(64),
+        max_sessions: spec
+            .max_sessions
+            .map(|m| m as usize)
+            .unwrap_or_else(|| (spec.concurrency as usize * 8).div_ceil(7).max(64)),
         idle_timeout: Duration::from_millis(spec.deadline_ms).max(Duration::from_secs(2)),
         ..ServeLimits::default()
     };
@@ -463,6 +483,7 @@ fn wave_base(seed: u64) -> ServeWaveSpec {
         payload_len: 8,
         drop_prob: 0.25,
         deadline_ms: 60_000,
+        max_sessions: None,
         seed,
     }
 }
@@ -481,8 +502,11 @@ pub fn serve_chaos_plan() -> FaultPlan {
 }
 
 /// The full serve ramp: loopback-UDP waves of 100 → 1 000 → 5 000
-/// concurrent sessions, plus a 200-session chaos wave over the
-/// simulator (the serve soak axis).
+/// concurrent sessions, a 200-session chaos wave over the simulator
+/// (the serve soak axis), and an *overload* wave — 7 500 sessions
+/// against daemons capped at 2 048, so ~3× the capacity must be paced
+/// through `Busy` retries rather than dropped (the graceful-degradation
+/// axis: throughput should slope, not cliff).
 pub fn serve_ramp_specs(seed: u64) -> Vec<ServeWaveSpec> {
     let base = wave_base(seed);
     let mut specs: Vec<ServeWaveSpec> = [100u32, 1_000, 5_000]
@@ -499,6 +523,16 @@ pub fn serve_ramp_specs(seed: u64) -> Vec<ServeWaveSpec> {
         backend: ServeBackend::Sim { faults: serve_chaos_plan() },
         concurrency: 200,
         deadline_ms: 20_000,
+        ..base.clone()
+    });
+    specs.push(ServeWaveSpec {
+        name: "serve_udp_overload_7500".into(),
+        concurrency: 7_500,
+        // Well below the wave's natural launch-gated equilibrium
+        // (~450 open), so the registry's Busy/park/re-admit path is
+        // genuinely exercised — a 15× oversubscription.
+        max_sessions: Some(512),
+        deadline_ms: 120_000,
         ..base.clone()
     });
     specs
@@ -520,6 +554,15 @@ pub fn serve_smoke_specs(seed: u64) -> Vec<ServeWaveSpec> {
             backend: ServeBackend::Sim { faults: serve_chaos_plan() },
             concurrency: 50,
             deadline_ms: 15_000,
+            ..base.clone()
+        },
+        // Miniature overload wave: 3× the admission cap, so the CI
+        // smoke run exercises the Busy/retry path end-to-end.
+        ServeWaveSpec {
+            name: "serve_udp_overload_150".into(),
+            concurrency: 150,
+            max_sessions: Some(48),
+            deadline_ms: 60_000,
             ..base.clone()
         },
     ]
@@ -545,12 +588,17 @@ fn wave_json(r: &ServeWaveResult) -> String {
         format!("\"x_packets\": {}", spec.x_packets),
         format!("\"payload_len\": {}", spec.payload_len),
         format!("\"drop_prob\": {}", f6(spec.drop_prob)),
+        format!(
+            "\"max_sessions\": {}",
+            spec.max_sessions.map(|m| m.to_string()).unwrap_or_else(|| "null".into())
+        ),
         format!("\"seed\": {}", spec.seed),
         format!("\"agreed\": {}", r.agreed),
         format!("\"aborted\": {}", r.aborted),
         format!("\"violations\": {}", r.violations),
         format!("\"abort_reasons\": {{{reasons}}}"),
         format!("\"rejected\": {}", r.rejected),
+        format!("\"busy\": {}", r.busy),
         format!("\"evicted\": {}", r.evicted),
         format!("\"peak_open\": {}", r.peak_open),
         format!("\"send_errors\": {}", r.send_errors),
@@ -597,12 +645,13 @@ pub fn write_serve_json(path: &Path, results: &[ServeWaveResult]) -> io::Result<
 pub fn serve_summary_table(results: &[ServeWaveResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>6} {:>7} {:>8} {:>5} {:>9} {:>9} {:>9} {:>12}  {}\n",
+        "{:<24} {:>6} {:>7} {:>8} {:>5} {:>8} {:>9} {:>9} {:>9} {:>12}  {}\n",
         "wave",
         "conc",
         "agreed",
         "aborted",
         "viol",
+        "busy",
         "sess/s",
         "p50 ms",
         "p99 ms",
@@ -611,12 +660,13 @@ pub fn serve_summary_table(results: &[ServeWaveResult]) -> String {
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<22} {:>6} {:>7} {:>8} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>12}  {}\n",
+            "{:<24} {:>6} {:>7} {:>8} {:>5} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>12}  {}\n",
             r.spec.name,
             r.spec.concurrency,
             r.agreed,
             r.aborted,
             r.violations,
+            r.busy,
             r.sessions_per_sec,
             r.latency_ms_p50,
             r.latency_ms_p99,
@@ -642,14 +692,21 @@ mod tests {
             let names: std::collections::BTreeSet<_> = specs.iter().map(|s| &s.name).collect();
             assert_eq!(names.len(), specs.len(), "wave names must be unique");
         }
-        // The acceptance ramp reaches 100 → 1k → 5k.
+        // The acceptance ramp reaches 100 → 1k → 5k, then the overload
+        // wave pushes past 5k against a daemon cap well below it.
         let full = serve_ramp_specs(1);
         let concs: Vec<u32> = full
             .iter()
             .filter(|s| s.backend == ServeBackend::UdpLoopback)
             .map(|s| s.concurrency)
             .collect();
-        assert_eq!(concs, vec![100, 1_000, 5_000]);
+        assert_eq!(concs, vec![100, 1_000, 5_000, 7_500]);
+        let overload = full.iter().find(|s| s.max_sessions.is_some()).expect("overload wave");
+        assert!(overload.concurrency >= 5_000);
+        assert!(overload.max_sessions.unwrap() < overload.concurrency);
+        // The smoke ramp carries a miniature overload wave too.
+        let smoke = serve_smoke_specs(1);
+        assert!(smoke.iter().any(|s| s.max_sessions.is_some_and(|m| m < s.concurrency)));
     }
 
     #[test]
@@ -706,6 +763,32 @@ mod tests {
             r.abort_reasons,
             r.aborted
         );
+    }
+
+    /// The graceful-degradation contract in miniature: 3× the admission
+    /// cap, every over-capacity `Start` answered with `Busy`, every
+    /// session eventually completing through paced retries — no silent
+    /// sheds, no violations, no cliff.
+    #[test]
+    fn overload_wave_paces_surplus_through_busy() {
+        let spec = ServeWaveSpec {
+            name: "test_udp_overload_60".into(),
+            concurrency: 60,
+            max_sessions: Some(20),
+            deadline_ms: 30_000,
+            ..wave_base(7)
+        };
+        let r = run_serve_wave(&spec).expect("wave runs");
+        assert_eq!(r.violations, 0, "safety invariant violated: {r:?}");
+        assert_eq!(r.agreed + r.aborted, 60);
+        assert!(r.agreed >= 48, "overload should degrade, not collapse: {r:?}");
+        // The cap actually bit: sessions beyond the high-water mark were
+        // refused — and every refusal was answered, never shed silently.
+        assert!(r.rejected > 0, "cap of 20 under 60 sessions must reject: {r:?}");
+        assert_eq!(r.busy, r.rejected, "every rejection must send Busy: {r:?}");
+        assert!(r.peak_open <= 20);
+        // The daemons' Busy counters flow into the wave telemetry.
+        assert!(r.telemetry.counters.get("serve.busy.sent").copied().unwrap_or(0) > 0);
     }
 
     /// Latency percentiles now come from the shared bucketed histogram:

@@ -47,7 +47,9 @@ use std::time::Instant;
 
 use thinair_net::driver::drive_sim_chaos;
 use thinair_net::SessionOutcome;
-use thinair_netsim::{CrashSpec, DelaySpec, ErasureModel, FaultPlan, IidMedium, JoinSpec};
+use thinair_netsim::{
+    AckBurstSpec, CrashSpec, DelaySpec, ErasureModel, FaultPlan, IidMedium, JoinSpec,
+};
 use thinair_testbed::parallel_map;
 
 use crate::report::{f6, json_escape};
@@ -234,12 +236,18 @@ fn soak_base(sessions: u32) -> ScenarioSpec {
     }
 }
 
-/// The grid's cells, labelled; the labels drive the smoke subset.
-fn soak_cells() -> Vec<(&'static str, FaultPlan)> {
+/// The grid's cells, labelled; the labels drive the smoke subset. The
+/// third element scales the cell's session count (the overload cell
+/// runs a multiple of the grid's base concurrency).
+fn soak_cells() -> Vec<(&'static str, FaultPlan, u32)> {
+    let one = |label, faults| (label, faults, 1);
     vec![
-        ("clean baseline", FaultPlan::none()),
-        ("reorder + duplicate", FaultPlan { reorder: 0.25, duplicate: 0.25, ..FaultPlan::none() }),
-        (
+        one("clean baseline", FaultPlan::none()),
+        one(
+            "reorder + duplicate",
+            FaultPlan { reorder: 0.25, duplicate: 0.25, ..FaultPlan::none() },
+        ),
+        one(
             "delay jitter + duplicate",
             FaultPlan {
                 delay: Some(DelaySpec { prob: 0.3, max_frames: 6 }),
@@ -247,31 +255,31 @@ fn soak_cells() -> Vec<(&'static str, FaultPlan)> {
                 ..FaultPlan::none()
             },
         ),
-        ("bit corruption", FaultPlan { corrupt: 0.02, ..FaultPlan::none() }),
-        ("frame drops", FaultPlan { drop: 0.03, ..FaultPlan::none() }),
-        ("burst partitions", FaultPlan { partition: 0.04, ..FaultPlan::none() }),
-        (
+        one("bit corruption", FaultPlan { corrupt: 0.02, ..FaultPlan::none() }),
+        one("frame drops", FaultPlan { drop: 0.03, ..FaultPlan::none() }),
+        one("burst partitions", FaultPlan { partition: 0.04, ..FaultPlan::none() }),
+        one(
             "crash at report",
             FaultPlan {
                 crash: Some(CrashSpec { prob: 0.35, node: None, after_seq: 1 }),
                 ..FaultPlan::none()
             },
         ),
-        (
+        one(
             "crash after done",
             FaultPlan {
                 crash: Some(CrashSpec { prob: 0.35, node: None, after_seq: 2 }),
                 ..FaultPlan::none()
             },
         ),
-        (
+        one(
             "late join",
             FaultPlan {
                 late_join: Some(JoinSpec { prob: 0.5, node: None, after_frames: 10 }),
                 ..FaultPlan::none()
             },
         ),
-        (
+        one(
             "kitchen sink",
             FaultPlan {
                 reorder: 0.15,
@@ -282,13 +290,25 @@ fn soak_cells() -> Vec<(&'static str, FaultPlan)> {
                 ..FaultPlan::none()
             },
         ),
+        // ACK-loss burst: data lands, receipts die — the targeted attack
+        // on the adaptive RTO / backoff re-arm path (Karn's rule bars
+        // RTT samples from the retransmissions the burst forces).
+        one(
+            "ack-loss burst",
+            FaultPlan { ack_burst: Some(AckBurstSpec { prob: 0.5, len: 8 }), ..FaultPlan::none() },
+        ),
+        // Overload surge: no injected faults, 3× the grid's concurrency
+        // — the soak-side companion of the serve bench's overload wave,
+        // exercising the per-node flow budget and admission pacing
+        // under contention. Audited by the same safety invariant.
+        ("overload surge", FaultPlan::none(), 3),
     ]
 }
 
 /// The soak fault grid: reorder × duplicate × corrupt × drop × jitter
-/// × partition × crash × late-join, `sessions` concurrent sessions per
-/// cell (plus a clean-baseline cell) — 10 cells, so
-/// `soak_specs(seed, 60)` drives 600 sessions.
+/// × partition × crash × late-join × ACK-loss burst, `sessions`
+/// concurrent sessions per cell (plus a clean-baseline cell and a 3×
+/// fault-free overload-surge cell) — 12 cells.
 pub fn soak_specs(seed: u64, sessions: u32) -> Vec<ScenarioSpec> {
     soak_specs_for(seed, sessions, |_| true)
 }
@@ -296,12 +316,13 @@ pub fn soak_specs(seed: u64, sessions: u32) -> Vec<ScenarioSpec> {
 /// The CI smoke subset: one cell per fault family, selected by label
 /// (per-cell seeds stay identical to the full grid's).
 pub fn soak_smoke_specs(seed: u64) -> Vec<ScenarioSpec> {
-    const SMOKE: [&str; 5] = [
+    const SMOKE: [&str; 6] = [
         "clean baseline",
         "reorder + duplicate",
         "bit corruption",
         "crash at report",
         "kitchen sink",
+        "ack-loss burst",
     ];
     soak_specs_for(seed, 8, |label| SMOKE.contains(&label))
 }
@@ -315,12 +336,21 @@ fn soak_specs_for(
     soak_cells()
         .into_iter()
         .enumerate()
-        .filter(|(_, (label, _))| select(label))
-        .map(|(i, (_, faults))| ScenarioSpec {
-            name: format!("soak_{}", if faults.is_none() { "clean".into() } else { faults.tag() }),
-            faults,
-            seed: thinair_netsim::splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            ..base.clone()
+        .filter(|(_, (label, _, _))| select(label))
+        .map(|(i, (_, faults, mult))| {
+            let tag: String = if faults.is_none() { "clean".into() } else { faults.tag() };
+            // Multiplied cells get a distinct name (the fault tag alone
+            // would collide with the single-concurrency cell's).
+            let name = if mult > 1 { format!("soak_{tag}_x{mult}") } else { format!("soak_{tag}") };
+            ScenarioSpec {
+                name,
+                faults,
+                sessions: base.sessions * mult,
+                seed: thinair_netsim::splitmix64(
+                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                ..base.clone()
+            }
         })
         .collect()
 }
@@ -479,6 +509,10 @@ mod tests {
         assert!(specs.iter().any(|s| s.faults.partition > 0.0));
         assert!(specs.iter().any(|s| s.faults.crash.is_some()));
         assert!(specs.iter().any(|s| s.faults.late_join.is_some()));
+        assert!(specs.iter().any(|s| s.faults.ack_burst.is_some()));
+        // The overload-surge cell runs at a multiple of the base
+        // concurrency, under a name distinct from the clean baseline's.
+        assert!(specs.iter().any(|s| s.faults.is_none() && s.sessions == 180));
         for s in &specs {
             assert_eq!(s.validate(), Ok(()), "{}", s.name);
         }
@@ -493,5 +527,6 @@ mod tests {
         assert!(specs.iter().any(|s| s.faults.is_none()));
         assert!(specs.iter().any(|s| s.faults.crash.is_some()));
         assert!(specs.iter().any(|s| s.faults.late_join.is_some()));
+        assert!(specs.iter().any(|s| s.faults.ack_burst.is_some()));
     }
 }
