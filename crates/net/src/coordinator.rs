@@ -65,7 +65,7 @@ fn note_phase(session: u64, me: u8, old: &'static str, new: &'static str, entere
         crate::telemetry::phase_metric("coord", old),
         entered.elapsed().as_micros() as u64,
     );
-    *entered = Instant::now();
+    *entered = rt::now();
     crate::telemetry::trace_phase(session, me, new);
 }
 
@@ -117,7 +117,7 @@ pub async fn run_coordinator<T: Transport>(
     let mut z_sent: u32 = 0;
     let mut outcome: Option<SessionOutcome> = None;
 
-    let deadline = Instant::now() + cfg.deadline;
+    let deadline = rt::now() + cfg.deadline;
     let tick = cfg.retransmit.min(Duration::from_millis(10));
     // Socket send failures are counted node-wide by the transport; the
     // session's trace carries the delta over its own lifetime.
@@ -125,7 +125,7 @@ pub async fn run_coordinator<T: Transport>(
 
     let start_seq = rel.send(&t, session, NetPayload::Start { digest: cfg.digest() }, &targets)?;
     let mut phase = Phase::StartBarrier { start_seq };
-    let mut phase_entered = Instant::now();
+    let mut phase_entered = rt::now();
     crate::telemetry::trace_session_start(session, me, "coordinator");
     crate::telemetry::trace_phase(session, me, phase.name());
 
@@ -177,7 +177,7 @@ pub async fn run_coordinator<T: Transport>(
     let send_errs = |t: &SharedTransport<T>| t.send_errors().saturating_sub(send_errors_at_start);
 
     loop {
-        if Instant::now() > deadline {
+        if rt::now() > deadline {
             if matches!(phase, Phase::FinBarrier { .. }) {
                 if let Some(out) = outcome.take() {
                     return Ok(finish(out, z_sent, send_errs(&t)));
@@ -222,7 +222,7 @@ pub async fn run_coordinator<T: Transport>(
                         // bounds the session.
                         if let Phase::StartBarrier { start_seq } = phase {
                             let wait = Duration::from_millis(retry_after_ms.min(10_000) as u64);
-                            rel.defer(start_seq, Instant::now() + wait);
+                            rel.defer(start_seq, rt::now() + wait);
                             crate::telemetry::counter_add("net.busy.deferred", 1);
                         }
                     }
@@ -232,7 +232,7 @@ pub async fn run_coordinator<T: Transport>(
             }
         }
 
-        let now = Instant::now();
+        let now = rt::now();
         match &phase {
             Phase::StartBarrier { start_seq } => {
                 if rel.acked(*start_seq) {
@@ -376,7 +376,7 @@ pub async fn run_coordinator<T: Transport>(
             }
         }
 
-        if let Err(u) = rel.tick(&t, Instant::now())? {
+        if let Err(u) = rel.tick(&t, rt::now())? {
             if matches!(phase, Phase::FinBarrier { .. }) {
                 if let Some(out) = outcome.take() {
                     return Ok(finish(out, z_sent, send_errs(&t)));

@@ -166,6 +166,29 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 impl NetPayload {
+    /// A short human label for traces and counterexample rendering:
+    /// the payload kind, with `Proto` resolved to its inner message
+    /// variant (`"ReceptionReport"`, `"PlanAnnounce"`, ...).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NetPayload::Proto(msg) => match msg {
+                Message::XPacket { .. } => "XPacket",
+                Message::ReceptionReport { .. } => "ReceptionReport",
+                Message::YAnnounce { .. } => "YAnnounce",
+                Message::ZPacket { .. } => "ZPacket",
+                Message::SAnnounce { .. } => "SAnnounce",
+                Message::PadDelivery { .. } => "PadDelivery",
+                Message::PlanAnnounce { .. } => "PlanAnnounce",
+                Message::Authenticated { .. } => "Authenticated",
+            },
+            NetPayload::Ack { .. } => "Ack",
+            NetPayload::Start { .. } => "Start",
+            NetPayload::Done => "Done",
+            NetPayload::Fin => "Fin",
+            NetPayload::Busy { .. } => "Busy",
+        }
+    }
+
     fn encode_into(&self, b: &mut BytesMut) {
         match self {
             NetPayload::Proto(msg) => {

@@ -94,4 +94,6 @@ pub use reliable::{backoff_delay, FlowBudget, RetransmitPolicy};
 pub use serve::{ServeHandle, ServeLimits, ServeStats, Server, SessionRegistry};
 pub use session::{AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace};
 pub use telemetry::{Histogram, Snapshot, TraceEvent, TraceKind};
-pub use transport::{SharedTransport, SimNet, SimTransport, Transport, UdpTransport};
+pub use transport::{
+    PendingDelivery, SharedTransport, SimNet, SimTransport, StepHandle, Transport, UdpTransport,
+};

@@ -134,11 +134,15 @@ impl FlowBudget {
         self.in_flight
     }
 
-    fn window(&self) -> u64 {
+    /// The integer window the charge check uses (`cwnd` truncated).
+    pub fn window(&self) -> u64 {
         self.cwnd as u64
     }
 
-    fn try_charge(&mut self) -> bool {
+    /// Charges one frame if the window has room; `false` means the
+    /// caller must defer (only session-opening `Start` frames take this
+    /// path — see [`FlowBudget::force_charge`]).
+    pub fn try_charge(&mut self) -> bool {
         if self.in_flight < self.window() {
             self.in_flight += 1;
             crate::telemetry::gauge_set("net.inflight", self.in_flight);
@@ -156,18 +160,20 @@ impl FlowBudget {
     /// a congestion collapse where demand only ever grows). The
     /// over-commit instead back-pressures [`FlowBudget::try_charge`],
     /// throttling session *openings* until running work drains.
-    fn force_charge(&mut self) {
+    pub fn force_charge(&mut self) {
         self.in_flight += 1;
         crate::telemetry::gauge_set("net.inflight", self.in_flight);
     }
 
-    fn release(&mut self) {
+    /// Returns one charged frame to the window (its ACK arrived or its
+    /// entry was abandoned).
+    pub fn release(&mut self) {
         self.in_flight = self.in_flight.saturating_sub(1);
         crate::telemetry::gauge_set("net.inflight", self.in_flight);
     }
 
     /// Additive increase: +1 frame per window's worth of clean ACKs.
-    fn on_clean_ack(&mut self) {
+    pub fn on_clean_ack(&mut self) {
         if self.cwnd < FLOW_MAX_CWND {
             self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(FLOW_MAX_CWND);
             crate::telemetry::counter_add("net.cwnd.increase", 1);
@@ -184,7 +190,7 @@ impl FlowBudget {
     /// random link loss, and halving a window nobody is filling would
     /// let a lossy-but-uncongested path grind a many-session node down
     /// to the floor.
-    fn on_loss(&mut self, now: Instant, holdoff: Duration) {
+    pub fn on_loss(&mut self, now: Instant, holdoff: Duration) {
         if self.in_flight * 2 < self.window() {
             return;
         }
@@ -409,7 +415,7 @@ impl Reliable {
             flow.borrow_mut().force_charge();
             true
         };
-        let now = Instant::now();
+        let now = crate::rt::now();
         let mut e = Entry {
             seq,
             frame,
@@ -436,7 +442,7 @@ impl Reliable {
 
     /// Records an ACK from `from` for `seq`.
     pub fn on_ack(&mut self, from: u8, seq: u32) {
-        let now = Instant::now();
+        let now = crate::rt::now();
         let Some(i) = self.entries.iter().position(|e| e.seq == seq) else {
             return;
         };

@@ -156,6 +156,9 @@ struct Executor {
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     timer_seq: Cell<u64>,
     metrics: Cell<Metrics>,
+    /// `Some` while running under [`block_on_virtual`]: the virtual
+    /// clock all timers and [`now`] read instead of the wall clock.
+    virtual_now: Cell<Option<Instant>>,
 }
 
 /// Executor work counters, cumulative since [`block_on`] entered.
@@ -227,6 +230,19 @@ pub fn metrics() -> Metrics {
 /// Panics outside [`block_on`].
 pub fn live_tasks() -> usize {
     current().live.get()
+}
+
+/// The runtime's notion of "now": the virtual clock under
+/// [`block_on_virtual`], the wall clock everywhere else (including
+/// outside any runtime).
+///
+/// Protocol code must read time through this — never `Instant::now()`
+/// directly — so the same state machines run unmodified under both real
+/// sockets and the exhaustive-exploration virtual clock.
+pub fn now() -> Instant {
+    EXECUTOR
+        .with(|e| e.borrow().as_ref().and_then(|ex| ex.virtual_now.get()))
+        .unwrap_or_else(Instant::now)
 }
 
 /// Registers a one-shot timer: `waker` is woken once `deadline` passes.
@@ -307,10 +323,47 @@ where
 /// # Panics
 /// Panics when called from within an active runtime on the same thread.
 pub fn block_on<F: Future>(main_fut: F) -> F::Output {
+    block_on_with(main_fut, None)
+}
+
+/// Runs `main_fut` under a **virtual clock** starting at `start`.
+///
+/// Time never passes on its own: whenever every task is blocked, the
+/// executor first calls `on_stall`. If the hook produces new work (a
+/// stepped transport delivering a frame, say) it returns `true` and the
+/// loop resumes without touching the clock; if it returns `false` the
+/// clock jumps straight to the earliest pending timer deadline. The run
+/// therefore never sleeps — wall-clock cost is pure CPU — and its
+/// schedule is a deterministic function of the tasks plus the hook's
+/// choices, which is what makes exhaustive interleaving exploration
+/// (`thinair-scenario`'s `explore` module) possible over the unmodified
+/// state machines.
+///
+/// # Panics
+/// Panics on a *virtual deadlock*: no ready tasks, no pending timers,
+/// and a stall hook that produced no work — under virtual time nothing
+/// external can ever unblock the run. Also panics when nested inside an
+/// active runtime, like [`block_on`].
+pub fn block_on_virtual<F: Future>(
+    main_fut: F,
+    start: Instant,
+    on_stall: &mut dyn FnMut() -> bool,
+) -> F::Output {
+    block_on_with(main_fut, Some((start, on_stall)))
+}
+
+fn block_on_with<F: Future>(
+    main_fut: F,
+    mut virt: Option<(Instant, &mut dyn FnMut() -> bool)>,
+) -> F::Output {
     EXECUTOR.with(|e| {
         let mut slot = e.borrow_mut();
         assert!(slot.is_none(), "nested rt::block_on is not supported");
-        *slot = Some(Rc::new(Executor::default()));
+        let ex = Executor::default();
+        if let Some((start, _)) = virt {
+            ex.virtual_now.set(Some(start));
+        }
+        *slot = Some(Rc::new(ex));
     });
     // Ensure the executor slot is cleared even on panic.
     struct Reset;
@@ -333,7 +386,7 @@ pub fn block_on<F: Future>(main_fut: F) -> F::Output {
         let timing = crate::telemetry::timing_enabled();
 
         // Fire every due timer; their wakes land in the ready queue.
-        let now = Instant::now();
+        let now = ex.virtual_now.get().unwrap_or_else(Instant::now);
         loop {
             let due = {
                 let mut timers = ex.timers.borrow_mut();
@@ -401,8 +454,28 @@ pub fn block_on<F: Future>(main_fut: F) -> F::Output {
         }
 
         // Nothing ready (a task's own wake during its poll re-enters the
-        // queue and is caught here): sleep until the earliest timer.
+        // queue and is caught here): sleep until the earliest timer — or,
+        // under a virtual clock, consult the stall hook and then *jump*
+        // to the earliest timer.
         if ex.ready.is_empty() {
+            if let Some((_, on_stall)) = virt.as_mut() {
+                if on_stall() {
+                    continue; // the hook woke something; no time passes
+                }
+                let next = ex.timers.borrow().peek().map(|Reverse(e)| e.deadline);
+                match next {
+                    Some(deadline) => {
+                        // Monotone: a due-now timer leaves the clock put.
+                        let now = ex.virtual_now.get().expect("virtual mode set");
+                        ex.virtual_now.set(Some(deadline.max(now)));
+                    }
+                    None => panic!(
+                        "virtual deadlock: no ready tasks, no timers, and the \
+                         stall hook produced no work"
+                    ),
+                }
+                continue;
+            }
             let next = ex.timers.borrow().peek().map(|Reverse(e)| e.deadline);
             let now = Instant::now();
             match next {
@@ -428,7 +501,7 @@ pub struct Sleep {
 impl Future for Sleep {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if Instant::now() >= self.deadline {
+        if now() >= self.deadline {
             Poll::Ready(())
         } else {
             // Register once: the deadline is fixed, so the single heap
@@ -448,7 +521,7 @@ impl Future for Sleep {
 
 /// Completes after `d`.
 pub fn sleep(d: Duration) -> Sleep {
-    Sleep { deadline: Instant::now() + d, registered: false }
+    Sleep { deadline: now() + d, registered: false }
 }
 
 /// Completes at `deadline`.
@@ -509,7 +582,7 @@ impl<F: Future + Unpin> Future for Timeout<F> {
         if let Poll::Ready(v) = Pin::new(&mut this.fut).poll(cx) {
             return Poll::Ready(Ok(v));
         }
-        if Instant::now() >= this.deadline {
+        if now() >= this.deadline {
             return Poll::Ready(Err(Elapsed));
         }
         // Register once per Timeout instance (see `Sleep::poll`): the
@@ -527,7 +600,7 @@ impl<F: Future + Unpin> Future for Timeout<F> {
 /// Limits `fut` to duration `d`. The future must be `Unpin` (wrap in
 /// `Box::pin` otherwise).
 pub fn timeout<F: Future + Unpin>(d: Duration, fut: F) -> Timeout<F> {
-    Timeout { fut, deadline: Instant::now() + d, registered: false }
+    Timeout { fut, deadline: now() + d, registered: false }
 }
 
 /// An unbounded single-threaded channel, in the mpsc shape the session
@@ -790,6 +863,72 @@ mod tests {
             assert!(metrics().max_tasks >= 2);
             assert_eq!(live_tasks(), 0);
         });
+    }
+
+    /// A virtual run never sleeps: an hour of virtual timers completes
+    /// in (wall-clock) microseconds, in deadline order, and `rt::now()`
+    /// tracks the virtual clock.
+    #[test]
+    fn virtual_clock_jumps_over_long_sleeps() {
+        let wall_start = Instant::now();
+        let base = Instant::now();
+        let order = block_on_virtual(
+            async move {
+                let start = now();
+                let order: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+                let (o1, o2) = (order.clone(), order.clone());
+                let h1 = spawn(async move {
+                    sleep(Duration::from_secs(3600)).await;
+                    o1.borrow_mut().push(2);
+                });
+                let h2 = spawn(async move {
+                    sleep(Duration::from_secs(60)).await;
+                    o2.borrow_mut().push(1);
+                });
+                h1.await;
+                h2.await;
+                assert!(now() >= start + Duration::from_secs(3600), "clock advanced");
+                Rc::try_unwrap(order).expect("sole owner").into_inner()
+            },
+            base,
+            &mut || false,
+        );
+        assert_eq!(order, vec![1, 2]);
+        assert!(wall_start.elapsed() < Duration::from_secs(10), "virtual run must not sleep");
+    }
+
+    /// The stall hook runs exactly at the quiescent points and can
+    /// inject work without letting time pass.
+    #[test]
+    fn stall_hook_injects_work_before_time_advances() {
+        let base = Instant::now();
+        let (tx, mut rx) = channel::<u8>();
+        let mut fed = false;
+        let got = block_on_virtual(
+            async move {
+                // Without the hook this would time out: nothing sends.
+                timeout(Duration::from_secs(5), rx.recv()).await
+            },
+            base,
+            &mut move || {
+                if fed {
+                    return false;
+                }
+                fed = true;
+                tx.send(42);
+                true
+            },
+        );
+        assert_eq!(got, Ok(Some(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual deadlock")]
+    fn virtual_deadlock_panics_instead_of_hanging() {
+        // The sender stays alive so the channel never closes: the root
+        // blocks forever with no timer, and the hook has nothing to add.
+        let (_tx, mut rx) = channel::<u8>();
+        block_on_virtual(async move { rx.recv().await }, Instant::now(), &mut || false);
     }
 
     #[test]

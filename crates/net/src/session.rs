@@ -139,6 +139,17 @@ pub struct SessionConfig {
     /// config digest — unlike `max_attempts`, which is pure control-
     /// plane timing and must stay free to tune.
     pub z_budget: u32,
+    /// **Test-only seeded bug** for validating the exhaustive
+    /// interleaving explorer (`thinair-scenario`'s `explore` module): a
+    /// terminal running with this flag rebuilds its plan as soon as its
+    /// own report plus the coordinator's announcement exist —
+    /// substituting empty bitmaps for peer reports it has not seen yet
+    /// and skipping the `(m, l)` cross-check — which is exactly the
+    /// kind of ordering bug the explorer must find and shrink. Never
+    /// set outside explorer self-tests; deliberately excluded from
+    /// [`SessionConfig::digest`] so a buggy terminal still pairs with a
+    /// correct coordinator (the bug is local, not a config mismatch).
+    pub bug_premature_plan: bool,
 }
 
 impl Default for SessionConfig {
@@ -159,6 +170,7 @@ impl Default for SessionConfig {
             deadline: Duration::from_secs(30),
             max_attempts: 400,
             z_budget: 400,
+            bug_premature_plan: false,
         }
     }
 }

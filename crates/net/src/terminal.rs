@@ -77,7 +77,7 @@ pub async fn run_terminal<T: Transport>(
     let mut fin_seen = false;
     let mut linger_until: Option<Instant> = None;
 
-    let deadline = Instant::now() + cfg.deadline;
+    let deadline = rt::now() + cfg.deadline;
     let tick = cfg.retransmit.min(Duration::from_millis(10));
 
     let aborted = |reason: AbortReason| {
@@ -87,12 +87,12 @@ pub async fn run_terminal<T: Transport>(
     };
 
     let mut cur_phase = phase_name(false, false, false, false);
-    let mut phase_entered = Instant::now();
+    let mut phase_entered = rt::now();
     crate::telemetry::trace_session_start(session, me, "terminal");
     crate::telemetry::trace_phase(session, me, cur_phase);
 
     loop {
-        if Instant::now() > deadline {
+        if rt::now() > deadline {
             // A terminal that derived its secret AND saw Fin has a
             // converged round — the deadline firing mid-linger must not
             // retroactively abort it.
@@ -122,7 +122,7 @@ pub async fn run_terminal<T: Transport>(
                             started = true;
                             // Contribute this terminal's x share, if any.
                             xs.broadcast_own(&t, &mut rel, &mut rng)?;
-                            report_at = Some(Instant::now() + cfg.x_settle);
+                            report_at = Some(rt::now() + cfg.x_settle);
                         }
                     }
                     NetPayload::Proto(Message::XPacket { .. }) => xs.on_frame(&frame),
@@ -172,7 +172,7 @@ pub async fn run_terminal<T: Transport>(
             }
         }
 
-        let now = Instant::now();
+        let now = rt::now();
 
         // Reception report, once the x phase has settled.
         if let Some(at) = report_at {
@@ -191,17 +191,24 @@ pub async fn run_terminal<T: Transport>(
         }
 
         // Plan reconstruction, once every report and the announcement
-        // are in.
-        if recon.is_none()
-            && outcome.is_none()
-            && report_sent
-            && reports.iter().all(|r| r.is_some())
-        {
+        // are in. The seeded explorer-validation bug
+        // (`cfg.bug_premature_plan`) relaxes the gate: it builds the
+        // plan as soon as the announcement lands, substituting all-zero
+        // bitmaps for reports it has not seen — an ordering bug only a
+        // reordered/dropped report schedule can expose.
+        let reports_ready =
+            reports.iter().all(|r| r.is_some()) || (cfg.bug_premature_plan && announce.is_some());
+        if recon.is_none() && outcome.is_none() && report_sent && reports_ready {
             if let Some((plan_seed, m, l)) = announce {
-                let flat: Vec<Vec<u8>> =
-                    reports.iter().map(|r| r.clone().expect("all present")).collect();
+                let flat: Vec<Vec<u8>> = reports
+                    .iter()
+                    .map(|r| r.clone().unwrap_or_else(|| vec![0u8; n_packets.div_ceil(8)]))
+                    .collect();
                 let plan = derive_plan(&cfg, &flat, plan_seed)?;
-                if plan.m() != m || plan.l != l {
+                // The seeded bug also skips the dimension cross-check —
+                // the safety net that would otherwise turn its premature
+                // plan into a clean PlanMismatch abort.
+                if !cfg.bug_premature_plan && (plan.m() != m || plan.l != l) {
                     return Ok(aborted(AbortReason::PlanMismatch));
                 }
                 if l == 0 {
@@ -256,7 +263,7 @@ pub async fn run_terminal<T: Transport>(
                 crate::telemetry::phase_metric("term", cur_phase),
                 phase_entered.elapsed().as_micros() as u64,
             );
-            phase_entered = Instant::now();
+            phase_entered = rt::now();
             cur_phase = phase_now;
             crate::telemetry::trace_phase(session, me, cur_phase);
         }
@@ -276,7 +283,7 @@ pub async fn run_terminal<T: Transport>(
             }
         }
 
-        if let Err(u) = rel.tick(&t, Instant::now())? {
+        if let Err(u) = rel.tick(&t, rt::now())? {
             // Same convergence guard as the deadline exit: after Fin the
             // round is known converged, so an exhausted attempt budget
             // (e.g. a permanently killed Done-ACK) must not discard the

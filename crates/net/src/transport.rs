@@ -44,7 +44,7 @@ use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
-use thinair_netsim::{FaultPlan, Medium, TxStats};
+use thinair_netsim::{FaultPlan, Medium, StepQueue, TxStats};
 
 use crate::chaos::{ChaosState, FaultStats};
 use crate::frame::{Frame, MAX_PAYLOAD};
@@ -445,6 +445,23 @@ struct SimHub<M: Medium> {
     frames: u64,
     /// Chaos layer (adversarial fault injection); `None` = clean net.
     chaos: Option<ChaosState>,
+    /// Stepped-delivery mode ([`SimNet::stepper`]): when `Some`, every
+    /// delivery the medium grants is parked here instead of landing in
+    /// a receiver queue, and the [`StepHandle`] decides which pending
+    /// frame fires next (or is dropped). `None` = normal FIFO delivery.
+    step: Option<StepQueue<PendingDelivery>>,
+}
+
+/// One in-flight frame delivery in a stepped net: the medium granted
+/// it, the scheduler has not fired it yet.
+#[derive(Clone, Debug)]
+pub struct PendingDelivery {
+    /// Emitting node.
+    pub src: u8,
+    /// Receiving node.
+    pub dst: u8,
+    /// The frame on the air.
+    pub frame: Frame,
 }
 
 /// Wakes the receive pump parked on `wakers[rx]`, if any. A free
@@ -505,9 +522,26 @@ impl<M: Medium> SimNet<M> {
                 stats,
                 frames: 0,
                 chaos,
+                step: None,
             })),
             n_nodes,
         }
+    }
+
+    /// Switches the net into **stepped-delivery** mode and returns the
+    /// scheduler handle. From this point on, frames the medium delivers
+    /// are parked in a pending set instead of reaching their receiver;
+    /// the handle enumerates them and picks — per frame — whether it is
+    /// delivered next or dropped. This is the scheduler hook the
+    /// exhaustive interleaving explorer drives; combined with
+    /// [`crate::rt::block_on_virtual`] it makes every delivery order a
+    /// reachable, replayable execution of the real state machines.
+    ///
+    /// Call before any traffic flows; mixing modes mid-run would let
+    /// early frames bypass the scheduler.
+    pub fn stepper(&self) -> StepHandle<M> {
+        self.hub.borrow_mut().step = Some(StepQueue::new());
+        StepHandle { hub: self.hub.clone() }
     }
 
     /// A transport endpoint for node `node`.
@@ -574,35 +608,135 @@ impl<M: Medium> SimTransport<M> {
                     continue;
                 }
             }
+            let mut immediate: Vec<Frame> = Vec::new();
             match hub.chaos.as_mut() {
-                None => {
-                    hub.queues[rx].push_back(frame.clone());
-                    wake_node(&mut hub.wakers, rx);
-                }
+                None => immediate.push(frame.clone()),
                 Some(chaos) => {
                     for (delay, copy) in chaos.deliver(frame, self.node, rx as u8) {
                         if delay == 0 {
-                            hub.queues[rx].push_back(copy);
-                            wake_node(&mut hub.wakers, rx);
+                            immediate.push(copy);
                         } else {
                             chaos.hold(delay, rx as u8, copy);
                         }
                     }
                 }
             }
+            for copy in immediate {
+                Self::deliver_or_park(hub, self.node, rx, copy);
+            }
         }
         Self::flush_due(hub);
+    }
+
+    /// The delivery choke point: in stepped mode the frame is parked
+    /// for the external scheduler; otherwise it lands in the receiver's
+    /// queue and wakes its pump.
+    fn deliver_or_park(hub: &mut SimHub<M>, src: u8, rx: usize, frame: Frame) {
+        match hub.step.as_mut() {
+            Some(step) => {
+                step.push(PendingDelivery { src, dst: rx as u8, frame });
+            }
+            None => {
+                hub.queues[rx].push_back(frame);
+                wake_node(&mut hub.wakers, rx);
+            }
+        }
     }
 
     /// Releases every held-back (delayed/reordered) frame whose release
     /// point has passed.
     fn flush_due(hub: &mut SimHub<M>) {
-        if let Some(chaos) = hub.chaos.as_mut() {
-            for (rx, f) in chaos.due() {
-                hub.queues[rx as usize].push_back(f);
-                wake_node(&mut hub.wakers, rx as usize);
-            }
+        let due: Vec<(u8, Frame)> = match hub.chaos.as_mut() {
+            Some(chaos) => chaos.due(),
+            None => return,
+        };
+        for (rx, f) in due {
+            let src = f.sender;
+            Self::deliver_or_park(hub, src, rx as usize, f);
         }
+    }
+}
+
+/// Scheduler handle for a stepped [`SimNet`] (see [`SimNet::stepper`]).
+///
+/// The explorer's view of the network: the set of frames the medium
+/// has granted but nobody has received yet. Each pending delivery has a
+/// stable **emission id**; at every quiescent point the explorer either
+/// [`deliver`](StepHandle::deliver)s one (any order — this is where
+/// interleavings branch), [`drop_frame`](StepHandle::drop_frame)s one
+/// (a fault placement), or falls back to
+/// [`deliver_oldest`](StepHandle::deliver_oldest), the deterministic
+/// FIFO default that reproduces normal sim behaviour.
+pub struct StepHandle<M: Medium> {
+    hub: Rc<RefCell<SimHub<M>>>,
+}
+
+impl<M: Medium> Clone for StepHandle<M> {
+    fn clone(&self) -> Self {
+        StepHandle { hub: self.hub.clone() }
+    }
+}
+
+impl<M: Medium> StepHandle<M> {
+    fn with_step<R>(&self, f: impl FnOnce(&mut SimHub<M>) -> R) -> R {
+        f(&mut self.hub.borrow_mut())
+    }
+
+    /// The pending deliveries, oldest first, with their emission ids.
+    pub fn pending(&self) -> Vec<(u64, PendingDelivery)> {
+        self.with_step(|hub| {
+            hub.step
+                .as_ref()
+                .map(|s| s.iter().map(|(id, p)| (id, p.clone())).collect())
+                .unwrap_or_default()
+        })
+    }
+
+    /// Number of pending deliveries.
+    pub fn len(&self) -> usize {
+        self.with_step(|hub| hub.step.as_ref().map(|s| s.len()).unwrap_or(0))
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total deliveries ever parked (the next emission id to be minted)
+    /// — a cheap component for execution fingerprints.
+    pub fn emitted(&self) -> u64 {
+        self.with_step(|hub| hub.step.as_ref().map(|s| s.pushed()).unwrap_or(0))
+    }
+
+    /// Fires pending delivery `id`: the frame lands in its receiver's
+    /// queue and the receiver's pump is woken. `false` if the id is
+    /// unknown (already fired or dropped).
+    pub fn deliver(&self, id: u64) -> bool {
+        self.with_step(|hub| {
+            let Some(p) = hub.step.as_mut().and_then(|s| s.remove(id)) else {
+                return false;
+            };
+            hub.queues[p.dst as usize].push_back(p.frame);
+            wake_node(&mut hub.wakers, p.dst as usize);
+            true
+        })
+    }
+
+    /// Drops pending delivery `id` — the explorer-placed erasure.
+    /// Returns what was dropped, or `None` if the id is unknown.
+    pub fn drop_frame(&self, id: u64) -> Option<PendingDelivery> {
+        self.with_step(|hub| hub.step.as_mut().and_then(|s| s.remove(id)))
+    }
+
+    /// Fires the oldest pending delivery (the FIFO default policy) and
+    /// returns its id, or `None` when nothing is pending.
+    pub fn deliver_oldest(&self) -> Option<u64> {
+        self.with_step(|hub| {
+            let (id, p) = hub.step.as_mut()?.pop_front()?;
+            hub.queues[p.dst as usize].push_back(p.frame);
+            wake_node(&mut hub.wakers, p.dst as usize);
+            Some(id)
+        })
     }
 }
 
@@ -728,6 +862,43 @@ mod tests {
         let t1 = SharedTransport::new(net.transport(1));
         let batch = rt::block_on(async { t1.recv_batch(DEFAULT_RECV_BATCH).await.unwrap() });
         assert_eq!(batch.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+
+    /// Stepped mode parks every delivery; the scheduler can reorder
+    /// across frames and place drops, and the receivers observe exactly
+    /// the chosen schedule.
+    #[test]
+    fn stepped_mode_lets_the_scheduler_reorder_and_drop() {
+        let net = SimNet::new(IidMedium::symmetric(4, 0.0, 1), 3);
+        let step = net.stepper();
+        let mut t0 = net.transport(0);
+        let t1 = SharedTransport::new(net.transport(1));
+        let t2 = SharedTransport::new(net.transport(2));
+        t0.broadcast(&frame(0, 1)).unwrap();
+        t0.broadcast(&frame(0, 2)).unwrap();
+        // 2 frames × 2 receivers parked, nothing delivered yet.
+        assert_eq!(step.len(), 4);
+        assert_eq!(step.emitted(), 4);
+        let pending = step.pending();
+        let find = |seq: u32, dst: u8| {
+            pending.iter().find(|(_, p)| p.frame.seq == seq && p.dst == dst).unwrap().0
+        };
+        // Node 1 sees seq 2 before seq 1 (reordered); node 2 loses seq 1
+        // entirely (an explorer-placed erasure) and gets seq 2 by the
+        // FIFO default.
+        assert!(step.deliver(find(2, 1)));
+        assert!(step.deliver(find(1, 1)));
+        let dropped = step.drop_frame(find(1, 2)).expect("pending drop");
+        assert_eq!((dropped.dst, dropped.frame.seq), (2, 1));
+        assert!(step.deliver_oldest().is_some());
+        assert!(step.is_empty());
+        rt::block_on(async {
+            assert_eq!(t1.recv().await.unwrap().seq, 2);
+            assert_eq!(t1.recv().await.unwrap().seq, 1);
+            assert_eq!(t2.recv().await.unwrap().seq, 2);
+        });
+        // Spent ids are gone for good.
+        assert!(!step.deliver(0));
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn arb_payload() -> impl Strategy<Value = NetPayload> {
         any::<u64>().prop_map(|digest| NetPayload::Start { digest }),
         Just(NetPayload::Done),
         Just(NetPayload::Fin),
+        any::<u32>().prop_map(|retry_after_ms| NetPayload::Busy { retry_after_ms }),
     ]
 }
 

@@ -8,7 +8,10 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use thinair_net::frame::NetPayload;
-use thinair_net::reliable::{backoff_delay, Dedup, Reliable, ReplayWindow, DEDUP_WINDOW};
+use thinair_net::reliable::{
+    backoff_delay, Dedup, FlowBudget, Reliable, ReplayWindow, DEDUP_WINDOW, FLOW_INITIAL_CWND,
+    FLOW_MAX_CWND, FLOW_MIN_CWND,
+};
 use thinair_net::transport::{SharedTransport, SimNet};
 use thinair_netsim::IidMedium;
 
@@ -177,6 +180,114 @@ proptest! {
                 (1..=6).map(|a| backoff_delay(rto, a, cap, s2, p2, q2)).collect();
             // Jitter must depend on every key coordinate.
             prop_assert_ne!(&base, &other);
+        }
+    }
+}
+
+/// One externally visible event against a [`FlowBudget`].
+#[derive(Clone, Copy, Debug)]
+enum FlowEvent {
+    CleanAck,
+    Loss,
+    Charge,
+    Release,
+}
+
+fn arb_flow_events() -> impl Strategy<Value = Vec<FlowEvent>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(FlowEvent::CleanAck),
+            1 => Just(FlowEvent::Loss),
+            2 => Just(FlowEvent::Charge),
+            2 => Just(FlowEvent::Release),
+        ],
+        0..400,
+    )
+}
+
+/// Applies event `i` of a sequence; losses are timestamped `i`
+/// milliseconds past `base` so replays see identical clocks.
+fn flow_step(b: &mut FlowBudget, e: FlowEvent, base: Instant, i: usize, holdoff: Duration) {
+    match e {
+        FlowEvent::CleanAck => b.on_clean_ack(),
+        FlowEvent::Loss => b.on_loss(base + Duration::from_millis(i as u64), holdoff),
+        FlowEvent::Charge => b.force_charge(),
+        FlowEvent::Release => b.release(),
+    }
+}
+
+proptest! {
+    /// AIMD bounds: no event sequence can push the window below the
+    /// floor or above the ceiling — the multiplicative cut saturates at
+    /// [`FLOW_MIN_CWND`] and additive increase at [`FLOW_MAX_CWND`].
+    #[test]
+    fn flow_window_stays_within_floor_and_ceiling(events in arb_flow_events()) {
+        let base = Instant::now();
+        let mut b = FlowBudget::new();
+        prop_assert!(FLOW_INITIAL_CWND >= FLOW_MIN_CWND && FLOW_INITIAL_CWND <= FLOW_MAX_CWND);
+        for (i, e) in events.iter().enumerate() {
+            flow_step(&mut b, *e, base, i, Duration::ZERO);
+            prop_assert!(
+                b.cwnd() >= FLOW_MIN_CWND && b.cwnd() <= FLOW_MAX_CWND,
+                "event {i} ({e:?}) left cwnd {} outside [{FLOW_MIN_CWND}, {FLOW_MAX_CWND}]",
+                b.cwnd()
+            );
+            prop_assert!(b.window() >= FLOW_MIN_CWND as u64);
+            prop_assert!(b.window() <= FLOW_MAX_CWND as u64);
+        }
+    }
+
+    /// A congestion-signalling loss halves the window (down to the
+    /// floor), and the additive recovery that follows is strictly
+    /// monotone below the ceiling — it climbs, never jumps or dips.
+    #[test]
+    fn flow_loss_halves_then_acks_recover_monotonically(
+        warm_acks in 0usize..2_000,
+        acks_after in 1usize..3_000,
+    ) {
+        let mut b = FlowBudget::new();
+        for _ in 0..warm_acks {
+            b.on_clean_ack();
+        }
+        // Saturate the pipe so the timeout reads as congestion, not
+        // idle-path link loss.
+        while b.try_charge() {}
+        let before = b.cwnd();
+        b.on_loss(Instant::now(), Duration::ZERO);
+        let expected = (before * 0.5).max(FLOW_MIN_CWND);
+        prop_assert!(
+            (b.cwnd() - expected).abs() < 1e-9,
+            "cut from {before} gave {}, expected {expected}",
+            b.cwnd()
+        );
+        let mut prev = b.cwnd();
+        for _ in 0..acks_after {
+            b.on_clean_ack();
+            if prev < FLOW_MAX_CWND {
+                prop_assert!(b.cwnd() > prev, "recovery must strictly climb below the ceiling");
+            } else {
+                prop_assert!(b.cwnd() == prev, "at the ceiling the window must hold");
+            }
+            prop_assert!(b.cwnd() <= FLOW_MAX_CWND);
+            prev = b.cwnd();
+        }
+    }
+
+    /// The budget is a pure function of its event sequence: two fresh
+    /// budgets fed the same events (with the same loss timestamps)
+    /// agree bit-for-bit after every step.
+    #[test]
+    fn flow_budget_is_deterministic_for_a_fixed_event_sequence(events in arb_flow_events()) {
+        let base = Instant::now();
+        let holdoff = Duration::from_millis(3);
+        let mut a = FlowBudget::new();
+        let mut b = FlowBudget::new();
+        for (i, e) in events.iter().enumerate() {
+            flow_step(&mut a, *e, base, i, holdoff);
+            flow_step(&mut b, *e, base, i, holdoff);
+            prop_assert_eq!(a.cwnd().to_bits(), b.cwnd().to_bits(), "cwnd diverged at event {}", i);
+            prop_assert_eq!(a.in_flight(), b.in_flight(), "in_flight diverged at event {}", i);
+            prop_assert_eq!(a.window(), b.window());
         }
     }
 }

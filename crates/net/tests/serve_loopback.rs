@@ -99,6 +99,78 @@ fn loopback_serve_sessions_agree() {
     });
 }
 
+/// Regression pin for FIFO re-admission: `Start`s refused at capacity
+/// are parked and re-admitted strictly in arrival order as slots free.
+/// The coordinators here are dead (a single hand-fed `Start` each, no
+/// paced retries), so the queue drain is the *only* re-admission path
+/// — a live retry racing a freed slot may legitimately jump ahead,
+/// which is exactly the noise this pin excludes. Admission order is
+/// observed from the coordinator's socket: a daemon terminal acks the
+/// reliable `Start` when its session task first processes it, i.e. at
+/// admission, so the order of first-acks per session IS the admission
+/// order. A LIFO (or otherwise reordered) queue permutes it.
+#[test]
+fn loopback_busy_readmission_is_fifo() {
+    const SESSIONS: [u64; 4] = [11, 12, 13, 14];
+    let cfg = cfg(2);
+    let (socks, addrs) = bind_roster(2);
+    let mut socks = socks.into_iter();
+    let coord = SharedTransport::new(UdpTransport::new(socks.next().unwrap(), addrs.clone(), 0));
+    let limits = ServeLimits {
+        max_sessions: 1,
+        idle_timeout: Duration::from_millis(200),
+        ..ServeLimits::default()
+    };
+    let server = Server::new(
+        SharedTransport::new(UdpTransport::new(socks.next().unwrap(), addrs.clone(), 1)),
+        cfg.clone(),
+        7,
+        limits,
+    );
+    let handle = server.handle();
+
+    rt::block_on(async move {
+        rt::spawn(server.run());
+        // Session 11 takes the only slot; 12..14 are Busy'd and parked
+        // in arrival order (pinned by the inter-send sleeps).
+        let digest = cfg.digest();
+        for session in SESSIONS {
+            let frame = Frame {
+                flags: thinair_net::frame::FLAG_RELIABLE,
+                sender: 0,
+                session,
+                seq: 1,
+                payload: NetPayload::Start { digest },
+            };
+            coord.send_to(1, &frame).unwrap();
+            rt::sleep(Duration::from_millis(20)).await;
+        }
+        // Each admitted session's coordinator stays silent, so the
+        // session dies (retransmits exhausted / idle eviction), the
+        // slot frees, and the next parked Start must pop — in FIFO
+        // order. Collect the admission acks as they arrive.
+        let mut admitted = Vec::new();
+        while admitted.len() < SESSIONS.len() {
+            let f = rt::timeout(Duration::from_secs(20), coord.recv())
+                .await
+                .expect("admission ack arrives")
+                .expect("socket open");
+            if matches!(f.payload, NetPayload::Ack { .. }) && !admitted.contains(&f.session) {
+                admitted.push(f.session);
+            }
+        }
+        assert_eq!(
+            admitted,
+            SESSIONS.to_vec(),
+            "re-admission must drain the parked Starts in arrival order"
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.admitted, SESSIONS.len() as u64);
+        assert_eq!(stats.rejected, (SESSIONS.len() - 1) as u64, "all but the first were parked");
+        handle.stop();
+    });
+}
+
 /// A daemon at capacity rejects `Start`s (counted), and a session whose
 /// coordinator goes silent is evicted by the idle timer — the two
 /// registry pressure valves, exercised over a real socket.

@@ -39,6 +39,10 @@
 //!   broadcasts".
 //! * [`stats`] — per-node transmitted-bit counters (the efficiency
 //!   denominator).
+//! * [`step`] — [`StepQueue`], the stable-id pending-delivery set behind
+//!   the stepped transport mode: an external scheduler (the exhaustive
+//!   interleaving explorer) enumerates in-flight frames and picks which
+//!   fires next instead of FIFO delivery.
 //! * [`trace`] — a bounded event log for debugging experiments.
 //!
 //! The simulator is deliberately synchronous and deterministic: every run
@@ -77,6 +81,7 @@ pub mod pathloss;
 pub mod per;
 pub mod reliable;
 pub mod stats;
+pub mod step;
 pub mod trace;
 
 pub use channel::{GeoMedium, GeoMediumConfig};
@@ -89,4 +94,5 @@ pub use iid::IidMedium;
 pub use medium::{Delivery, Medium, NodeId};
 pub use reliable::{reliable_broadcast, ReliableError, ReliableOutcome, ACK_BITS};
 pub use stats::TxStats;
+pub use step::StepQueue;
 pub use trace::TracedMedium;

@@ -1,0 +1,128 @@
+//! The stepped-delivery primitive behind exhaustive interleaving
+//! exploration.
+//!
+//! A [`StepQueue`] holds in-flight items (frame deliveries, in the
+//! `thinair-net` stepped transport) under **stable ids**: each `push`
+//! mints a monotonically increasing id that survives arbitrary
+//! removals, so an external scheduler can enumerate the pending set,
+//! pick any element to fire next — or drop it, modelling an erasure —
+//! and later name the same choice again when replaying or shrinking a
+//! schedule. Iteration order is FIFO (insertion order), which doubles
+//! as the deterministic default policy when no explicit choice is made.
+
+use std::collections::VecDeque;
+
+/// An id-addressable FIFO of pending items with stable ids.
+///
+/// ```
+/// use thinair_netsim::step::StepQueue;
+///
+/// let mut q = StepQueue::new();
+/// let a = q.push("to t1");
+/// let b = q.push("to t2");
+/// assert_eq!(q.remove(b), Some("to t2")); // out-of-order removal
+/// assert_eq!(q.pop_front(), Some((a, "to t1")));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct StepQueue<T> {
+    entries: VecDeque<(u64, T)>,
+    next_id: u64,
+}
+
+impl<T> Default for StepQueue<T> {
+    fn default() -> Self {
+        StepQueue::new()
+    }
+}
+
+impl<T> StepQueue<T> {
+    /// An empty queue; the first pushed item gets id 0.
+    pub fn new() -> Self {
+        StepQueue { entries: VecDeque::new(), next_id: 0 }
+    }
+
+    /// Appends `item` and returns its id. Ids are unique for the
+    /// lifetime of the queue and strictly increase in push order.
+    pub fn push(&mut self, item: T) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push_back((id, item));
+        id
+    }
+
+    /// Removes and returns the item with `id`, preserving the relative
+    /// order of everything else. `None` if it was already taken.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let pos = self.entries.iter().position(|(i, _)| *i == id)?;
+        self.entries.remove(pos).map(|(_, item)| item)
+    }
+
+    /// Removes and returns the oldest entry (FIFO head) with its id.
+    pub fn pop_front(&mut self) -> Option<(u64, T)> {
+        self.entries.pop_front()
+    }
+
+    /// The item with `id`, if still pending.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        self.entries.iter().find(|(i, _)| *i == id).map(|(_, item)| item)
+    }
+
+    /// Pending `(id, item)` pairs in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.entries.iter().map(|(id, item)| (*id, item))
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total items ever pushed (== the next id to be minted).
+    pub fn pushed(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_across_removals() {
+        let mut q = StepQueue::new();
+        let a = q.push('a');
+        let b = q.push('b');
+        let c = q.push('c');
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(q.remove(b), Some('b'));
+        assert_eq!(q.remove(b), None, "an id is spent once taken");
+        // Survivors keep their ids and order; new pushes never reuse ids.
+        let d = q.push('d');
+        assert_eq!(d, 3);
+        let order: Vec<_> = q.iter().map(|(id, &it)| (id, it)).collect();
+        assert_eq!(order, vec![(a, 'a'), (c, 'c'), (d, 'd')]);
+        assert_eq!(q.get(c), Some(&'c'));
+        assert_eq!(q.get(b), None);
+    }
+
+    #[test]
+    fn fifo_default_order() {
+        let mut q = StepQueue::new();
+        for i in 0..5u8 {
+            q.push(i);
+        }
+        let mut drained = Vec::new();
+        while let Some((id, item)) = q.pop_front() {
+            drained.push((id, item));
+        }
+        assert_eq!(drained, (0..5).map(|i| (i as u64, i)).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        assert_eq!(q.pushed(), 5);
+    }
+}

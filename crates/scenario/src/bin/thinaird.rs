@@ -38,9 +38,11 @@ use thinair_net::telemetry;
 use thinair_net::transport::UdpTransport;
 use thinair_net::{ServeLimits, Server};
 use thinair_scenario::{
-    check_trace, full_grid, run_serve_wave, run_soak_specs, run_specs, serve_ramp_specs,
-    serve_smoke_specs, serve_summary_table, smoke_specs, soak_smoke_specs, soak_specs,
-    soak_summary_table, summary_table, write_json, write_serve_json, write_soak_json,
+    check_trace, explore_default_spec, explore_range_specs, explore_smoke_spec,
+    explore_summary_table, full_grid, run_explore_specs, run_serve_wave, run_soak_specs, run_specs,
+    serve_ramp_specs, serve_smoke_specs, serve_summary_table, smoke_specs, soak_smoke_specs,
+    soak_specs, soak_summary_table, summary_table, write_explore_json, write_json,
+    write_serve_json, write_soak_json,
 };
 
 const USAGE: &str = "\
@@ -54,6 +56,8 @@ USAGE:
     thinaird bench-soak [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-serve [--smoke] [--out <PATH>] [--seed <S>] [--wave <NAME>]
                          [--max-p99-ms <MS>]
+    thinaird explore [--smoke] [--terminals <N>] [--depth <D>] [--drop-budget <K>]
+                     [--seed <S> | --seed-range <A..B>] [--out <PATH>]
     thinaird trace-validate <FILE.jsonl>...
 
 ROLES:
@@ -80,6 +84,14 @@ ROLES:
                        session, measure sessions/sec + p50..p999 latency +
                        per-phase telemetry histograms + executor polls
                        saved, write BENCH_serve.json
+    explore            exhaustively enumerate the delivery interleavings and
+                       drop placements of one small session over the real
+                       state machines (stepped transport + virtual clock),
+                       with partial-order reduction and fingerprint pruning;
+                       audit every schedule against the safety invariant,
+                       shrink any violation to a minimal frame-level
+                       counterexample, write BENCH_explore.json; exits
+                       nonzero on violation
     trace-validate     check an exported telemetry trace (--trace-out):
                        every line parses as flat JSON, the required fields
                        and per-kind tails are present, and every session
@@ -115,6 +127,12 @@ OPTIONS:
                        BENCH_scenarios.json / BENCH_soak.json / BENCH_serve.json]
     --wave <NAME>      bench-serve: run only waves whose name contains NAME
                        (error if nothing matches)
+    --terminals <N>    explore: protocol nodes incl. the coordinator [default: 3]
+    --depth <D>        explore: decision horizon (first D scheduling
+                       decisions branch)                     [default: 15 / 12 smoke]
+    --drop-budget <K>  explore: most explorer-placed drops per schedule
+                                                             [default: 2 / 1 smoke]
+    --seed-range <A..B> explore: one exploration per seed in [A, B)
     --max-p99-ms <MS>  bench-serve: exit nonzero if any executed wave's p99
                        session latency exceeds MS (CI latency gate)
     -h, --help         print this help
@@ -146,6 +164,10 @@ struct Options {
     out: Option<String>,
     wave: Option<String>,
     max_p99_ms: Option<f64>,
+    terminals: Option<u8>,
+    depth: Option<usize>,
+    drop_budget: Option<usize>,
+    seed_range: Option<(u64, u64)>,
 }
 
 impl Default for Options {
@@ -190,6 +212,10 @@ impl Default for Options {
             out: None,
             wave: None,
             max_p99_ms: None,
+            terminals: None,
+            depth: None,
+            drop_budget: None,
+            seed_range: None,
         }
     }
 }
@@ -232,6 +258,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--smoke" => o.smoke = true,
             "--out" => o.out = Some(take()?.clone()),
             "--wave" => o.wave = Some(take()?.clone()),
+            "--terminals" => o.terminals = Some(num(take()?)?),
+            "--depth" => o.depth = Some(num(take()?)?),
+            "--drop-budget" => o.drop_budget = Some(num(take()?)?),
+            "--seed-range" => {
+                let v = take()?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad seed range {v}: expected A..B"))?;
+                let range = (num(a)?, num(b)?);
+                if range.0 >= range.1 {
+                    return Err(format!("bad seed range {v}: empty (A must be < B)"));
+                }
+                o.seed_range = Some(range);
+            }
             "--max-p99-ms" => o.max_p99_ms = Some(fnum(take()?)?),
             "--coordinator-id" => o.coordinator_id = num(take()?)?,
             "--deadline-ms" => o.deadline_ms = num(take()?)?,
@@ -697,6 +737,68 @@ fn run_bench_soak(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_explore(o: Options) -> Result<(), String> {
+    // Reproducible by default, like the benches.
+    let seed = if o.seed_given { o.seed } else { 1 };
+    let mut base = if o.smoke { explore_smoke_spec(seed) } else { explore_default_spec(seed) };
+    if let Some(t) = o.terminals {
+        base.terminals = t;
+    }
+    if let Some(d) = o.depth {
+        base.depth = d;
+    }
+    if let Some(k) = o.drop_budget {
+        base.drop_budget = k;
+    }
+    let specs = match o.seed_range {
+        Some((a, b)) => explore_range_specs(&base, a..b),
+        None => vec![base],
+    };
+    eprintln!(
+        "thinaird explore: {} exploration(s), terminals {}, depth {}, drop budget {}",
+        specs.len(),
+        specs[0].terminals,
+        specs[0].depth,
+        specs[0].drop_budget,
+    );
+    let results = run_explore_specs(&specs);
+    let mut ok = Vec::with_capacity(results.len());
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Ok(r) => ok.push(r),
+            Err(e) => return Err(format!("exploration {}: {e}", spec.name)),
+        }
+    }
+    print!("{}", explore_summary_table(&ok));
+    let out = o.out.unwrap_or_else(|| "BENCH_explore.json".into());
+    write_explore_json(std::path::Path::new(&out), &ok).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    // Surface every shrunk counterexample: the causal explanation on
+    // stderr, the frame-level telemetry trace as a sibling artifact
+    // (CI uploads both alongside the bench JSON).
+    let mut violations = 0u64;
+    for r in &ok {
+        for (i, cx) in r.violations.iter().enumerate() {
+            violations += 1;
+            eprintln!("\n=== counterexample {} #{i} ===\n{}", r.spec.name, cx.explanation);
+            let trace_path = format!("{out}.{}.cx{i}.jsonl", r.spec.name);
+            std::fs::write(&trace_path, &cx.trace_jsonl)
+                .map_err(|e| format!("write {trace_path}: {e}"))?;
+            eprintln!("wrote {trace_path}");
+        }
+        if !r.exhausted {
+            eprintln!(
+                "warning: {} hit its execution budget before exhausting the tree",
+                r.spec.name
+            );
+        }
+    }
+    if violations > 0 {
+        return Err(format!("SAFETY INVARIANT VIOLATED in {violations} schedule(s)"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
@@ -728,6 +830,7 @@ fn main() -> ExitCode {
         "bench-scenario" => run_bench_scenario(parsed),
         "bench-soak" => run_bench_soak(parsed),
         "bench-serve" => run_bench_serve(parsed),
+        "explore" => run_explore(parsed),
         other => Err(format!("unknown subcommand {other}")),
     };
     match result {

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod grid;
 pub mod report;
 pub mod run;
@@ -66,6 +67,11 @@ pub mod soak;
 pub mod spec;
 pub mod trace_check;
 
+pub use explore::{
+    explore, explore_bug_spec, explore_default_spec, explore_range_specs, explore_smoke_spec,
+    explore_summary_table, render_explore_json, run_explore_specs, write_explore_json, Choice,
+    Counterexample, ExploreEvent, ExploreResult, ExploreSpec, EXPLORE_SCHEMA,
+};
 pub use grid::{full_grid, golden_spec, smoke_specs, ScenarioGrid};
 pub use report::{render_json, summary_table, write_json, SCHEMA};
 pub use run::{run_scenario, run_specs, ScenarioError, ScenarioResult, SessionMeasurement};

@@ -1,0 +1,101 @@
+//! The determinism contract of the explore artifact: the same specs
+//! must render a byte-identical `BENCH_explore.json` modulo the one
+//! timing-class field (`wall_ms`), which `render_explore_json(_, false)`
+//! excludes — the same pattern `soak_determinism.rs` pins for
+//! `BENCH_soak.json`.
+//!
+//! This is the load-bearing property of the explorer: executions run
+//! under the virtual clock with a stepped transport, so the schedule
+//! tree, the behavior fingerprints, every prune decision, and — when a
+//! bug is planted — the shrunk counterexample are pure functions of
+//! the spec. A flaky explorer could not serve as a regression gate.
+
+use thinair_scenario::{
+    explore_bug_spec, explore_smoke_spec, render_explore_json, run_explore_specs, ExploreResult,
+    ExploreSpec,
+};
+
+fn sweep() -> Vec<ExploreSpec> {
+    // One clean exhaustive cell (kept shallow so debug builds stay
+    // fast) and one seeded-bug cell that must find and shrink a
+    // violation.
+    vec![ExploreSpec { depth: 10, ..explore_smoke_spec(5) }, explore_bug_spec(5)]
+}
+
+fn explore_once(specs: &[ExploreSpec]) -> Vec<ExploreResult> {
+    run_explore_specs(specs)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("every exploration completes")
+}
+
+#[test]
+fn same_specs_render_byte_identical_explore_json() {
+    let specs = sweep();
+    let first = explore_once(&specs);
+    let second = explore_once(&specs);
+    assert_eq!(
+        render_explore_json(&first, false),
+        render_explore_json(&second, false),
+        "deterministic explore render must be byte-identical across runs"
+    );
+    // The sweep must exercise both outcome classes.
+    let clean = &first[0];
+    assert!(clean.exhausted, "the clean cell must enumerate its whole tree");
+    assert!(clean.violations.is_empty(), "clean cell must not violate");
+    assert!(clean.distinct_schedules > 100, "the cell must actually branch");
+    let buggy = &first[1];
+    assert!(!buggy.violations.is_empty(), "the seeded bug must surface");
+    // The shrinker's output is part of the contract too — the minimal
+    // trace and its renderings, not just the counts. The telemetry
+    // trace's `ts_us` stamps are timing-class (the virtual clock is
+    // anchored at launch wall time); the event *sequence* is not.
+    let (a, b) = (&buggy.violations[0], &second[1].violations[0]);
+    assert_eq!(a.explanation, b.explanation, "shrunk explanation must be replayable");
+    assert_eq!(
+        strip_ts(&a.trace_jsonl),
+        strip_ts(&b.trace_jsonl),
+        "telemetry trace must be byte-identical modulo ts_us"
+    );
+}
+
+/// Drops the leading `"ts_us": N` field from every trace line.
+fn strip_ts(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .map(|l| match l.find(", \"session\"") {
+            Some(i) => format!("{{{}", &l[i + 2..]),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn timing_fields_are_separable_from_the_explore_contract() {
+    let results = explore_once(&[ExploreSpec { depth: 8, ..explore_smoke_spec(2) }]);
+    let with = render_explore_json(&results, true);
+    let without = render_explore_json(&results, false);
+    assert!(with.contains("wall_ms"), "wall_ms missing from timing render");
+    assert!(!without.contains("wall_ms"), "wall_ms leaked into deterministic render");
+    for field in [
+        "executions",
+        "distinct_schedules",
+        "states_visited",
+        "por_pruned",
+        "fp_pruned",
+        "reduction_factor",
+        "exhausted",
+        "violations",
+        "counterexamples",
+    ] {
+        assert!(without.contains(field), "deterministic render missing {field}");
+    }
+}
+
+#[test]
+fn a_different_seed_changes_the_exploration() {
+    let a = explore_once(&[ExploreSpec { depth: 8, ..explore_smoke_spec(2) }]);
+    let b = explore_once(&[ExploreSpec { depth: 8, ..explore_smoke_spec(3) }]);
+    assert_ne!(render_explore_json(&a, false), render_explore_json(&b, false));
+}
