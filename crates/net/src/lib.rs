@@ -8,7 +8,8 @@
 //! simulator for apples-to-apples validation.
 //!
 //! * [`rt`] — a minimal single-threaded async runtime (executor,
-//!   timers, channels). The build environment is offline, so this
+//!   timers, channels, and on Linux an epoll reactor so idle runtimes
+//!   sleep in `epoll_wait`). The build environment is offline, so this
 //!   stands in for tokio; the state machines only assume "futures +
 //!   timers" and port directly.
 //! * [`udp`] — nonblocking UDP for the runtime.
@@ -41,6 +42,13 @@
 //!   admission caps, idle eviction and terminal-state GC
 //!   ([`serve::SessionRegistry`]) — thousands of concurrent sessions
 //!   multiplexed over one socket.
+//! * [`shard`] — multi-core serve: N worker threads, each its own
+//!   runtime + registry + `SO_REUSEPORT` socket on one shared address,
+//!   with session-id-hash dispatch and cross-shard frame forwarding
+//!   (the kernel steers by 4-tuple, so userspace re-dispatches).
+//! * [`sys`] — the thin Linux FFI this rests on (epoll, eventfd,
+//!   `SO_REUSEPORT`); the only module allowed `unsafe`, with graceful
+//!   non-Linux fallbacks.
 //! * [`driver`] — the multi-session experiment driver: a batch of
 //!   concurrent sessions over prepared nodes or a simulated medium, with
 //!   bit/frame measurements (`thinair-scenario`'s substrate).
@@ -68,7 +76,10 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one exception is [`sys`], the thin Linux
+// FFI module (epoll / eventfd / SO_REUSEPORT), which opts back in with
+// a module-level `allow`. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
@@ -81,6 +92,8 @@ pub mod reliable;
 pub mod rt;
 pub mod serve;
 pub mod session;
+pub mod shard;
+pub mod sys;
 pub mod telemetry;
 pub mod terminal;
 pub mod transport;
@@ -93,6 +106,10 @@ pub use node::Node;
 pub use reliable::{backoff_delay, FlowBudget, RetransmitPolicy};
 pub use serve::{ServeHandle, ServeLimits, ServeStats, Server, SessionRegistry};
 pub use session::{AbortReason, NetError, SessionConfig, SessionOutcome, SessionTrace};
+pub use shard::{
+    bind_shard_sockets, run_sharded_serve, shard_group, shard_of, ShardReport, ShardTransport,
+    ShardedServeOptions,
+};
 pub use telemetry::{Histogram, Snapshot, TraceEvent, TraceKind};
 pub use transport::{
     PendingDelivery, SharedTransport, SimNet, SimTransport, StepHandle, Transport, UdpTransport,

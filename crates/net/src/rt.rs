@@ -20,26 +20,30 @@
 //! `idle_tasks_poll_o1` pins the fix.)
 //!
 //! When nothing is ready the executor sleeps until the earliest timer
-//! deadline. External input that cannot deliver a wakeup (a nonblocking
-//! UDP socket — there is no reactor without `epoll`) is bridged by the
-//! transport registering a short re-poll timer ([`register_timer`]), so
-//! socket latency is bounded by the transport's poll interval while
-//! every other task stays asleep.
+//! deadline — in `epoll_wait` when any I/O source has registered via
+//! [`register_fd_readable`] (a real reactor: a datagram's arrival ends
+//! the sleep immediately), in `thread::sleep` otherwise. On targets
+//! without epoll, or when the reactor is disabled
+//! ([`set_reactor_enabled`]), pollable-but-not-wakeable input falls
+//! back to the transport's adaptive re-poll timer ([`register_timer`]),
+//! bounding socket latency by the poll interval.
 //!
 //! Swapping in tokio later only requires replacing this module and the
 //! socket wrapper in [`crate::udp`]; the protocol state machines are
 //! executor-agnostic.
 //!
-//! Not thread-safe by design: one runtime per thread, tasks are
-//! `!Send`-friendly (`Rc` everywhere). Nested [`block_on`] is not
-//! allowed. (Wakers themselves are `Send` per the `std::task` contract
-//! — they only touch a mutex-guarded ready queue — but waking from
-//! another thread does not interrupt the executor's sleep and is not
-//! part of the supported surface.)
+//! Still one runtime per thread, tasks are `!Send`-friendly (`Rc`
+//! everywhere), and nested [`block_on`] is not allowed. Wakers are
+//! `Send` per the `std::task` contract — they only touch a
+//! mutex-guarded ready queue — and since the sharded serve layer
+//! ([`crate::shard`]) wakes sibling runtimes across threads, a wake
+//! from another thread *does* interrupt this executor's sleep: the
+//! ready queue rings an `eventfd` doorbell registered in the epoll set
+//! whenever it enqueues work while the executor is parked.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -70,6 +74,12 @@ struct ReadyInner {
     queue: VecDeque<usize>,
     queued: HashSet<usize>,
     wakes: u64,
+    /// True while the executor is parked in `epoll_wait`. Set and
+    /// cleared under this lock so a cross-thread `push` either lands
+    /// before the park decision or sees the flag and rings the doorbell.
+    sleeping: bool,
+    /// The reactor's eventfd, once one exists: readable ends the park.
+    doorbell: Option<Arc<crate::sys::EventFd>>,
 }
 
 impl ReadyQueue {
@@ -79,6 +89,34 @@ impl ReadyQueue {
         if inner.queued.insert(id) {
             inner.queue.push_back(id);
         }
+        if inner.sleeping {
+            // Another thread woke us mid-park (same-thread pushes can
+            // never observe `sleeping`): interrupt the epoll_wait.
+            if let Some(d) = &inner.doorbell {
+                d.signal();
+            }
+        }
+    }
+
+    fn set_doorbell(&self, d: Arc<crate::sys::EventFd>) {
+        self.inner.lock().expect("ready queue poisoned").doorbell = Some(d);
+    }
+
+    /// Atomically checks emptiness and marks the executor parked.
+    /// Returns false (and stays awake) if work arrived since the last
+    /// pop.
+    fn park_if_empty(&self) -> bool {
+        let mut inner = self.inner.lock().expect("ready queue poisoned");
+        if inner.queue.is_empty() {
+            inner.sleeping = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unpark(&self) {
+        self.inner.lock().expect("ready queue poisoned").sleeping = false;
     }
 
     fn pop(&self) -> Option<usize> {
@@ -146,6 +184,38 @@ struct TaskSlot {
     waker: Waker,
 }
 
+/// The executor's epoll reactor: fd-readability interest plus the
+/// cross-thread doorbell. Created lazily on the first
+/// [`register_fd_readable`] call, so sim-only and timer-only runs never
+/// open an epoll fd.
+struct Reactor {
+    epoll: crate::sys::Epoll,
+    doorbell: Arc<crate::sys::EventFd>,
+    /// Registered fds → the waker to fire on readability. `None` after
+    /// the event fired, until the owner re-registers on its next poll.
+    interest: RefCell<HashMap<i32, Option<Waker>>>,
+    /// Scratch for `epoll_wait` result tokens.
+    tokens: RefCell<Vec<u64>>,
+}
+
+/// Token the reactor's own doorbell registers under (fds are their own
+/// tokens; an fd can never be `u64::MAX`).
+const DOORBELL_TOKEN: u64 = u64::MAX;
+
+impl Reactor {
+    fn new() -> std::io::Result<Reactor> {
+        let epoll = crate::sys::Epoll::new()?;
+        let doorbell = Arc::new(crate::sys::EventFd::new()?);
+        epoll.add(doorbell.raw_fd(), DOORBELL_TOKEN)?;
+        Ok(Reactor {
+            epoll,
+            doorbell,
+            interest: RefCell::new(HashMap::new()),
+            tokens: RefCell::new(Vec::with_capacity(64)),
+        })
+    }
+}
+
 #[derive(Default)]
 struct Executor {
     /// Live tasks by id (`None` slots are free-listed).
@@ -159,6 +229,35 @@ struct Executor {
     /// `Some` while running under [`block_on_virtual`]: the virtual
     /// clock all timers and [`now`] read instead of the wall clock.
     virtual_now: Cell<Option<Instant>>,
+    /// Lazily created epoll reactor (`None` until the first fd
+    /// registration; stays `None` forever once creation failed).
+    reactor: RefCell<Option<Rc<Reactor>>>,
+    reactor_failed: Cell<bool>,
+}
+
+impl Executor {
+    /// The reactor, creating it on first use. `None` when unavailable
+    /// (non-Linux, resource exhaustion, or disabled for this thread).
+    fn reactor(&self) -> Option<Rc<Reactor>> {
+        if let Some(r) = self.reactor.borrow().as_ref() {
+            return Some(r.clone());
+        }
+        if self.reactor_failed.get() {
+            return None;
+        }
+        match Reactor::new() {
+            Ok(r) => {
+                let r = Rc::new(r);
+                self.ready.set_doorbell(r.doorbell.clone());
+                *self.reactor.borrow_mut() = Some(r.clone());
+                Some(r)
+            }
+            Err(_) => {
+                self.reactor_failed.set(true);
+                None
+            }
+        }
+    }
 }
 
 /// Executor work counters, cumulative since [`block_on`] entered.
@@ -185,6 +284,9 @@ pub struct Metrics {
     pub wakes: u64,
     /// High-water mark of concurrently live spawned tasks.
     pub max_tasks: u64,
+    /// Fd-readability wakeups delivered by the epoll reactor (doorbell
+    /// rings excluded). Zero means the run never left the timer bridge.
+    pub epoll_wakeups: u64,
 }
 
 impl Metrics {
@@ -199,7 +301,21 @@ impl Metrics {
             timer_fires: self.timer_fires.saturating_sub(earlier.timer_fires),
             wakes: self.wakes.saturating_sub(earlier.wakes),
             max_tasks: self.max_tasks,
+            epoll_wakeups: self.epoll_wakeups.saturating_sub(earlier.epoll_wakeups),
         }
+    }
+
+    /// Accumulates another runtime's counters into this one (the
+    /// multi-worker benches sum per-shard executors). Event counters
+    /// add; `max_tasks` adds too — the runtimes run on concurrent
+    /// threads, so the summed high-water marks bound the combined peak.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.passes += other.passes;
+        self.task_polls += other.task_polls;
+        self.timer_fires += other.timer_fires;
+        self.wakes += other.wakes;
+        self.max_tasks += other.max_tasks;
+        self.epoll_wakeups += other.epoll_wakeups;
     }
 }
 
@@ -254,6 +370,75 @@ pub fn register_timer(deadline: Instant, waker: &Waker) {
     let seq = ex.timer_seq.get();
     ex.timer_seq.set(seq + 1);
     ex.timers.borrow_mut().push(Reverse(TimerEntry { deadline, seq, waker: waker.clone() }));
+}
+
+thread_local! {
+    static REACTOR_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables the epoll reactor for runtimes on **this
+/// thread**. Disabling forces transports onto the adaptive re-poll
+/// timer bridge — the pre-reactor behavior — which the fallback-path
+/// tests and `THINAIR_NO_EPOLL=1` use. Takes effect for fds registered
+/// after the call; flip it before `block_on`.
+pub fn set_reactor_enabled(on: bool) {
+    REACTOR_ENABLED.with(|e| e.set(on));
+}
+
+/// Whether [`register_fd_readable`] may use the reactor on this thread
+/// (the per-thread switch AND no `THINAIR_NO_EPOLL=1` in the
+/// environment).
+pub fn reactor_enabled() -> bool {
+    REACTOR_ENABLED.with(|e| e.get()) && !std::env::var("THINAIR_NO_EPOLL").is_ok_and(|v| v == "1")
+}
+
+/// Registers one-shot read interest: `waker` fires when `fd` becomes
+/// readable. Returns `false` when no reactor is available (non-Linux,
+/// disabled via [`set_reactor_enabled`], or under a virtual clock) —
+/// the caller must then bridge with [`register_timer`] instead.
+///
+/// The interest is level-triggered but the waker is consumed on
+/// delivery, so the owner re-registers on every `Poll::Pending` (the
+/// same discipline as waker registration anywhere else). Re-registering
+/// an already-armed fd just refreshes the waker.
+pub fn register_fd_readable(fd: i32, waker: &Waker) -> bool {
+    let ex = current();
+    // Virtual time admits no real I/O: readiness would race the
+    // deterministic schedule the explorer replays.
+    if ex.virtual_now.get().is_some() || !reactor_enabled() {
+        return false;
+    }
+    let Some(reactor) = ex.reactor() else { return false };
+    let mut interest = reactor.interest.borrow_mut();
+    match interest.get_mut(&fd) {
+        Some(slot) => {
+            match slot {
+                Some(w) if w.will_wake(waker) => {}
+                _ => *slot = Some(waker.clone()),
+            }
+            true
+        }
+        None => {
+            if reactor.epoll.add(fd, fd as u64).is_err() {
+                return false;
+            }
+            interest.insert(fd, Some(waker.clone()));
+            true
+        }
+    }
+}
+
+/// Drops read interest in `fd` (e.g. from a transport's `Drop`). Safe
+/// to call outside any runtime or for an fd that was never registered —
+/// both are no-ops.
+pub fn deregister_fd(fd: i32) {
+    EXECUTOR.with(|e| {
+        let Some(ex) = e.borrow().clone() else { return };
+        let Some(reactor) = ex.reactor.borrow().clone() else { return };
+        if reactor.interest.borrow_mut().remove(&fd).is_some() {
+            reactor.epoll.del(fd);
+        }
+    });
 }
 
 /// Handle to a spawned task's result.
@@ -369,7 +554,12 @@ fn block_on_with<F: Future>(
     struct Reset;
     impl Drop for Reset {
         fn drop(&mut self) {
-            EXECUTOR.with(|e| *e.borrow_mut() = None);
+            // Take the executor out, then drop it *after* the slot
+            // borrow is released: dropping it drops its tasks, and a
+            // task's transport may call [`deregister_fd`], which
+            // re-borrows the slot.
+            let ex = EXECUTOR.with(|e| e.borrow_mut().take());
+            drop(ex);
         }
     }
     let _reset = Reset;
@@ -478,14 +668,65 @@ fn block_on_with<F: Future>(
             }
             let next = ex.timers.borrow().peek().map(|Reverse(e)| e.deadline);
             let now = Instant::now();
-            match next {
-                Some(deadline) if deadline > now => std::thread::sleep(deadline - now),
-                Some(_) => {} // a timer is already due: loop around
-                // No timers, no ready work: only an in-process event
-                // could unblock us, and none is coming — a genuine
-                // deadlock. Sleep a tick instead of spinning (matches
-                // the pre-waker executor's behavior).
-                None => std::thread::sleep(TICK),
+            let until_timer = match next {
+                Some(deadline) if deadline > now => Some(deadline - now),
+                Some(_) => continue, // a timer is already due: loop around
+                None => None,
+            };
+            // With a reactor live, park in epoll_wait: a datagram or a
+            // cross-thread wake (doorbell) ends the sleep immediately,
+            // and with no timer pending we can wait indefinitely — any
+            // wake reaches us through a registered fd. Without one,
+            // plain thread::sleep; a timerless idle is then a genuine
+            // deadlock and we tick rather than spin (the pre-waker
+            // executor's behavior).
+            let reactor = ex.reactor.borrow().clone();
+            match reactor {
+                Some(r) => {
+                    if !ex.ready.park_if_empty() {
+                        continue; // a wake slipped in; don't sleep
+                    }
+                    let mut tokens = r.tokens.borrow_mut();
+                    tokens.clear();
+                    let res = r.epoll.wait(until_timer, &mut tokens);
+                    ex.ready.unpark();
+                    if res.is_ok() {
+                        let mut fd_wakes = 0u64;
+                        for &token in tokens.iter() {
+                            if token == DOORBELL_TOKEN {
+                                r.doorbell.drain();
+                                continue;
+                            }
+                            let fd = token as i32;
+                            let mut interest = r.interest.borrow_mut();
+                            if let Some(slot) = interest.get_mut(&fd) {
+                                match slot.take() {
+                                    Some(w) => {
+                                        w.wake();
+                                        fd_wakes += 1;
+                                    }
+                                    None => {
+                                        // Readable but nobody listening:
+                                        // stop watching or the level-
+                                        // triggered event would fire on
+                                        // every park.
+                                        interest.remove(&fd);
+                                        r.epoll.del(fd);
+                                    }
+                                }
+                            }
+                        }
+                        if fd_wakes > 0 {
+                            let mut m = ex.metrics.get();
+                            m.epoll_wakeups += fd_wakes;
+                            ex.metrics.set(m);
+                        }
+                    }
+                }
+                None => match until_timer {
+                    Some(d) => std::thread::sleep(d),
+                    None => std::thread::sleep(TICK),
+                },
             }
         }
     }

@@ -109,6 +109,24 @@ pub struct ServeStats {
     pub peak_open: u64,
 }
 
+impl ServeStats {
+    /// Accumulates another daemon's (or shard's) counters into this
+    /// one. Counts add; `peak_open`, a per-registry high-water mark,
+    /// also adds — disjoint shards hold their peaks concurrently, so
+    /// the sum bounds the daemon-wide peak.
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.busy += other.busy;
+        self.completed += other.completed;
+        self.aborted += other.aborted;
+        self.evicted += other.evicted;
+        self.failed += other.failed;
+        self.orphans += other.orphans;
+        self.peak_open += other.peak_open;
+    }
+}
+
 struct Entry {
     tx: Sender<Frame>,
     last_frame: Instant,

@@ -1,0 +1,478 @@
+//! Multi-core sharded serve: session-id-hash dispatch across worker
+//! runtimes.
+//!
+//! One [`crate::serve::Server`] on one thread tops out on a single
+//! core. This module scales the daemon *horizontally on one address*:
+//! N worker threads, each with its own [`crate::rt`] executor (and
+//! epoll reactor), its own `SO_REUSEPORT` socket, its own
+//! [`crate::serve::SessionRegistry`] and
+//! [`crate::transport::SharedTransport`] + flow budget — **no shared
+//! mutable protocol state between shards**.
+//!
+//! # Dispatch rule
+//!
+//! A session lives on shard [`shard_of`]`(session_id, workers)` —
+//! a splitmix64 hash, so consecutive ids spread uniformly. The rule is
+//! per-process: every shard of one daemon agrees, and nothing
+//! cross-node depends on it (each node shards its own traffic).
+//!
+//! The kernel's `SO_REUSEPORT` steering hashes the *4-tuple*, so every
+//! datagram from one peer socket lands on **one** of our sockets — the
+//! kernel cannot dispatch by session id. The receiving shard therefore
+//! decodes each frame and forwards the ones it does not own to the
+//! owning sibling over an mpsc injection queue, ringing the sibling's
+//! waker (which interrupts its `epoll_wait` via the runtime's eventfd
+//! doorbell). Sends need no such hop: all shard sockets share the
+//! bound source address, so a frame sent from any shard passes the
+//! remote roster's source-address check identically.
+//!
+//! # Per-shard state & admission alignment
+//!
+//! Admission caps, the spent-session window, and the FIFO re-admission
+//! queue are all per-shard (each shard gets
+//! `max_sessions / workers`, rounded up). The cross-daemon FIFO
+//! alignment argument from [`crate::serve`] survives sharding because
+//! the shard function is identical on sibling daemons: the same
+//! session ids map to the same shard index everywhere, so shard *k* of
+//! every daemon sees the same Start sub-stream in near-identical order
+//! and re-admits in the same order.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use crate::frame::Frame;
+use crate::rt;
+use crate::serve::{ServeLimits, ServeStats, Server};
+use crate::session::{SessionConfig, SessionOutcome};
+use crate::transport::{SharedTransport, Transport, UdpTransport};
+use crate::udp::AsyncUdpSocket;
+
+/// Maps a session id to its owning worker shard. Deterministic per
+/// process — every shard of one daemon agrees, which is all the
+/// dispatch rule needs (no cross-node agreement is required: each node
+/// shards its own traffic independently).
+pub fn shard_of(session: u64, workers: usize) -> usize {
+    debug_assert!(workers > 0);
+    // splitmix64 finalizer: full-avalanche, so consecutive session ids
+    // spread uniformly across shards.
+    let mut z = session.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = z ^ (z >> 31);
+    (z % workers as u64) as usize
+}
+
+/// A sibling shard's frame-injection handle: enqueue a frame it owns,
+/// then wake its pump (the wake crosses threads — the target's ready
+/// queue is mutex-guarded and rings its eventfd doorbell if the target
+/// executor is parked in `epoll_wait`).
+struct ShardInjector {
+    tx: mpsc::Sender<Frame>,
+    wake: Arc<Mutex<Option<Waker>>>,
+}
+
+impl ShardInjector {
+    fn push(&self, frame: Frame) {
+        // A closed queue means the sibling already shut down; the frame
+        // is indistinguishable from one lost on the wire, which the
+        // protocol absorbs.
+        if self.tx.send(frame).is_err() {
+            return;
+        }
+        let waker = self.wake.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// One shard's transport: a `SO_REUSEPORT` UDP socket plus the
+/// cross-shard frame-forwarding fabric. Frames for sessions this shard
+/// does not own are handed to the owning sibling; frames injected by
+/// siblings surface here ahead of the socket.
+pub struct ShardTransport {
+    udp: UdpTransport,
+    shard: usize,
+    workers: usize,
+    rx: mpsc::Receiver<Frame>,
+    /// Injection handles indexed by shard (`None` at our own index).
+    siblings: Vec<Option<ShardInjector>>,
+    /// Our own wake slot, registered on every pending poll so siblings
+    /// can interrupt our executor.
+    wake: Arc<Mutex<Option<Waker>>>,
+    /// Frames received on our socket but owned (and handed to) another
+    /// shard.
+    forwarded: u64,
+    /// Frames a sibling handed to us.
+    injected: u64,
+}
+
+impl ShardTransport {
+    /// This transport's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of shards in the group.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The bound local address (all shards in a group share it).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.udp.local_addr()
+    }
+
+    /// Frames received here but owned by (and forwarded to) a sibling.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Frames a sibling forwarded to us.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn update_wake(&self, cx: &Context<'_>) {
+        let mut slot = self.wake.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match slot.as_ref() {
+            Some(w) if w.will_wake(cx.waker()) => {}
+            _ => *slot = Some(cx.waker().clone()),
+        }
+    }
+}
+
+impl Transport for ShardTransport {
+    fn local_node(&self) -> u8 {
+        self.udp.local_node()
+    }
+
+    fn node_count(&self) -> usize {
+        self.udp.node_count()
+    }
+
+    fn send_to(&mut self, to: u8, frame: &Frame) -> io::Result<()> {
+        self.udp.send_to(to, frame)
+    }
+
+    fn broadcast(&mut self, frame: &Frame) -> io::Result<()> {
+        self.udp.broadcast(frame)
+    }
+
+    fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<Frame>> {
+        loop {
+            // Sibling-injected frames first: they were already decoded,
+            // validated, and waited once on another shard's queue.
+            if let Ok(frame) = self.rx.try_recv() {
+                self.injected += 1;
+                crate::telemetry::counter_add("net.shard.injected", 1);
+                return Poll::Ready(Ok(frame));
+            }
+            // Arm the cross-shard wake slot before the final queue check
+            // below, so an injection racing this poll either lands in
+            // the queue in time or finds a waker to ring.
+            self.update_wake(cx);
+            match self.udp.poll_recv(cx) {
+                Poll::Ready(Ok(frame)) => {
+                    let owner = shard_of(frame.session, self.workers);
+                    if owner == self.shard {
+                        return Poll::Ready(Ok(frame));
+                    }
+                    self.forwarded += 1;
+                    crate::telemetry::counter_add("net.shard.forwarded", 1);
+                    if let Some(sib) = &self.siblings[owner] {
+                        sib.push(frame);
+                    }
+                }
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => {
+                    // Close the race window between the try_recv above
+                    // and the wake-slot update: an injection in that
+                    // window saw no waker, but we can still see the
+                    // frame.
+                    if let Ok(frame) = self.rx.try_recv() {
+                        self.injected += 1;
+                        crate::telemetry::counter_add("net.shard.injected", 1);
+                        return Poll::Ready(Ok(frame));
+                    }
+                    return Poll::Pending;
+                }
+            }
+        }
+    }
+
+    fn invalid_frames(&self) -> u64 {
+        self.udp.invalid_frames()
+    }
+
+    fn send_errors(&self) -> u64 {
+        self.udp.send_errors()
+    }
+}
+
+/// Binds `workers` sockets sharing one address via `SO_REUSEPORT`.
+/// With `bind` on port 0 the OS picks the port once (from the first
+/// socket) and the rest join it. A single worker binds one plain
+/// socket — no kernel port sharing, no forwarding fabric needed.
+pub fn bind_shard_sockets(bind: SocketAddr, workers: usize) -> io::Result<Vec<AsyncUdpSocket>> {
+    assert!(workers > 0, "at least one shard");
+    if workers == 1 {
+        return Ok(vec![AsyncUdpSocket::bind(bind)?]);
+    }
+    let first = AsyncUdpSocket::bind_reuseport(bind)?;
+    let addr = first.local_addr()?;
+    let mut sockets = vec![first];
+    for _ in 1..workers {
+        sockets.push(AsyncUdpSocket::bind_reuseport(addr)?);
+    }
+    Ok(sockets)
+}
+
+/// Wires `sockets` (one per shard, typically from
+/// [`bind_shard_sockets`]) into a group of [`ShardTransport`]s with
+/// the cross-shard forwarding fabric between them. Each transport is
+/// `Send` — move it to its worker thread and run a
+/// [`crate::serve::Server`] (or any other role) over it.
+pub fn shard_group(
+    sockets: Vec<AsyncUdpSocket>,
+    peers: Vec<SocketAddr>,
+    node: u8,
+) -> Vec<ShardTransport> {
+    let workers = sockets.len();
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    let mut wakes = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+        wakes.push(Arc::new(Mutex::new(None::<Waker>)));
+    }
+    sockets
+        .into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(i, (sock, rx))| {
+            let siblings = (0..workers)
+                .map(|j| {
+                    (j != i).then(|| ShardInjector { tx: txs[j].clone(), wake: wakes[j].clone() })
+                })
+                .collect();
+            ShardTransport {
+                udp: UdpTransport::new(sock, peers.clone(), node),
+                shard: i,
+                workers,
+                rx,
+                siblings,
+                wake: wakes[i].clone(),
+                forwarded: 0,
+                injected: 0,
+            }
+        })
+        .collect()
+}
+
+/// What one shard worker did over its lifetime (returned by
+/// [`run_sharded_serve`], one per shard).
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard's registry counters. Each admitted session is counted
+    /// on exactly one shard (the owner), so summing buckets across
+    /// reports partitions the daemon totals.
+    pub stats: ServeStats,
+    /// Outcomes of sessions served on this shard (empty unless
+    /// `collect_outcomes`).
+    pub outcomes: Vec<SessionOutcome>,
+    /// The worker thread's telemetry registry at exit (includes
+    /// `net.shard.forwarded` / `net.shard.injected`).
+    pub snapshot: crate::telemetry::Snapshot,
+    /// The worker runtime's executor counters at exit.
+    pub rt_metrics: rt::Metrics,
+    /// Socket sends on this shard that failed or were dropped.
+    pub send_errors: u64,
+}
+
+/// Per-outcome callback invoked on the worker thread as each session
+/// terminates, as `(shard, outcome)`.
+pub type OutcomeHook = Arc<dyn Fn(usize, &SessionOutcome) + Send + Sync>;
+
+/// Options for [`run_sharded_serve`].
+#[derive(Clone)]
+pub struct ShardedServeOptions {
+    /// Session configuration every admitted round must match.
+    pub cfg: SessionConfig,
+    /// Per-session local-randomness seed (same meaning as
+    /// [`Server::new`]; identical across shards — sessions are
+    /// disjoint, so seeds don't collide).
+    pub seed: u64,
+    /// Daemon-total limits; `max_sessions` splits across shards
+    /// (rounded up).
+    pub limits: ServeLimits,
+    /// Keep every session outcome in the [`ShardReport`] (benches and
+    /// tests audit them; a long-lived daemon should leave this off).
+    pub collect_outcomes: bool,
+    /// Invoked on the worker thread as each session terminates
+    /// (`(shard, outcome)`): the CLI's outcome printer.
+    pub on_outcome: Option<OutcomeHook>,
+    /// Enable per-thread telemetry timing histograms in each worker.
+    pub timing: bool,
+}
+
+/// Runs one serve daemon sharded across `sockets.len()` worker
+/// threads, blocking until `stop` is set (each worker notices within
+/// ~25 ms, drains, and reports). Returns one [`ShardReport`] per
+/// shard, index-aligned.
+///
+/// # Panics
+/// Panics if a worker thread panics (the panic propagates).
+pub fn run_sharded_serve(
+    sockets: Vec<AsyncUdpSocket>,
+    peers: Vec<SocketAddr>,
+    node: u8,
+    opts: ShardedServeOptions,
+    stop: Arc<AtomicBool>,
+) -> io::Result<Vec<ShardReport>> {
+    let workers = sockets.len();
+    let per_shard = ServeLimits {
+        max_sessions: opts.limits.max_sessions.div_ceil(workers).max(1),
+        ..opts.limits
+    };
+    let transports = shard_group(sockets, peers, node);
+    let mut reports: Vec<io::Result<ShardReport>> = std::thread::scope(|s| {
+        let handles: Vec<_> = transports
+            .into_iter()
+            .map(|t| {
+                let stop = stop.clone();
+                let opts = opts.clone();
+                s.spawn(move || shard_worker(t, opts, per_shard, stop))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(report) => report,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(workers);
+    for r in reports.drain(..) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// One worker: its own executor, reactor, registry, flow budget.
+fn shard_worker(
+    t: ShardTransport,
+    opts: ShardedServeOptions,
+    limits: ServeLimits,
+    stop: Arc<AtomicBool>,
+) -> io::Result<ShardReport> {
+    let shard = t.shard();
+    crate::telemetry::set_timing(opts.timing);
+    rt::block_on(async move {
+        let shared = SharedTransport::new(t);
+        // The server consumes the transport handle; keep a tap for the
+        // post-run send-error count.
+        let tap = shared.clone();
+        let mut server = Server::new(shared, opts.cfg.clone(), opts.seed, limits);
+        let handle = server.handle();
+        let mut outcomes_rx = server.outcomes();
+        let stop2 = stop.clone();
+        let stopper = rt::spawn(async move {
+            while !stop2.load(Ordering::Relaxed) {
+                rt::sleep(Duration::from_millis(25)).await;
+            }
+            handle.stop();
+        });
+        let run = rt::spawn(async move { server.run().await });
+        // Live outcome drain: keeps the channel bounded in practice and
+        // feeds the CLI printer while the daemon runs.
+        let mut outcomes = Vec::new();
+        loop {
+            match rt::timeout(Duration::from_millis(100), outcomes_rx.recv()).await {
+                Ok(Some(o)) => {
+                    if let Some(cb) = &opts.on_outcome {
+                        cb(shard, &o);
+                    }
+                    if opts.collect_outcomes {
+                        outcomes.push(o);
+                    }
+                }
+                Ok(None) => break,
+                Err(rt::Elapsed) => {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            }
+        }
+        let stats = run.await?;
+        stopper.await;
+        // Sessions that finished in the shutdown window still queued
+        // their outcomes; collect them before tearing down.
+        while let Some(o) = outcomes_rx.try_recv() {
+            if let Some(cb) = &opts.on_outcome {
+                cb(shard, &o);
+            }
+            if opts.collect_outcomes {
+                outcomes.push(o);
+            }
+        }
+        Ok(ShardReport {
+            shard,
+            stats,
+            outcomes,
+            snapshot: crate::telemetry::snapshot(),
+            rt_metrics: rt::metrics(),
+            send_errors: tap.send_errors(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for workers in 1..=8 {
+            for session in 0..1000u64 {
+                let a = shard_of(session, workers);
+                assert_eq!(a, shard_of(session, workers));
+                assert!(a < workers);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_consecutive_ids() {
+        let workers = 4;
+        let mut buckets = vec![0u32; workers];
+        for session in 0..4000u64 {
+            buckets[shard_of(session, workers)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            // Uniform would be 1000 per bucket; allow wide slack.
+            assert!((700..=1300).contains(&b), "bucket {i} holds {b} of 4000");
+        }
+    }
+
+    #[test]
+    fn group_sockets_share_one_port() {
+        let sockets =
+            bind_shard_sockets("127.0.0.1:0".parse().expect("addr"), 3).expect("bind group");
+        let port = sockets[0].local_addr().expect("addr").port();
+        for s in &sockets[1..] {
+            assert_eq!(s.local_addr().expect("addr").port(), port);
+        }
+    }
+}

@@ -16,15 +16,20 @@
 //! * **Trace** (`trace_*`) — per-session span events into a bounded
 //!   [`trace::TraceRing`], drained to JSONL by the CLI/benches.
 //!
-//! The registry is **thread-local**, matching the runtime's
-//! one-executor-per-thread design: no locks on the hot path, and each
-//! worker thread's view is merged explicitly by whoever owns the
-//! threads (the bench harness snapshots per wave on the driving
-//! thread). Counters and the trace are always cheap; the
-//! high-frequency *timing* instrumentation in the executor
-//! (`Instant::now` per poll) is additionally gated behind
-//! [`set_timing`] so tests and production paths that don't read it
-//! don't pay for it.
+//! The registry is **per-thread**, matching the runtime's
+//! one-executor-per-thread design: all writes go to the calling
+//! thread's own registry behind an uncontended mutex (no cross-thread
+//! contention on the hot path). Each thread's registry is also
+//! published to a process-wide list, so the daemon's stats reporter can
+//! gather every worker shard's view with [`snapshot_all`] — before
+//! this, stats recorded on worker threads silently vanished from the
+//! main thread's [`snapshot`]. (Bench harnesses that need strict
+//! isolation from unrelated threads instead collect each worker's own
+//! [`snapshot`] at join and combine them with [`Snapshot::merge`].)
+//! Counters and the trace are always cheap; the high-frequency *timing*
+//! instrumentation in the executor (`Instant::now` per poll) is
+//! additionally gated behind [`set_timing`] so tests and production
+//! paths that don't read it don't pay for it.
 //!
 //! Everything is read out via [`snapshot`]; [`Snapshot::delta`] gives
 //! per-interval views (satellite fix for `rt::metrics()` being
@@ -36,8 +41,8 @@ pub mod trace;
 pub use hist::Histogram;
 pub use trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAPACITY};
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
 struct Registry {
@@ -62,45 +67,67 @@ impl Registry {
     }
 }
 
+/// One thread's registry, shareable so [`snapshot_all`] can read it
+/// from the gathering thread. The mutex is uncontended in steady state
+/// (only the owning thread writes; readers are rare stats flushes).
+struct ThreadRegistry {
+    inner: Mutex<Registry>,
+}
+
+/// Every live thread's registry (weak: a finished thread's registry —
+/// and its data — goes away with the thread; collect its [`snapshot`]
+/// before joining it if the numbers must survive).
+static ALL_REGISTRIES: Mutex<Vec<Weak<ThreadRegistry>>> = Mutex::new(Vec::new());
+
 thread_local! {
-    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::new());
+    static REGISTRY: Arc<ThreadRegistry> = {
+        let tr = Arc::new(ThreadRegistry { inner: Mutex::new(Registry::new()) });
+        ALL_REGISTRIES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::downgrade(&tr));
+        tr
+    };
+}
+
+fn with_reg<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    REGISTRY.with(|r| f(&mut r.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)))
 }
 
 /// Adds `n` to the named counter (creating it at zero).
 pub fn counter_add(name: &'static str, n: u64) {
-    REGISTRY.with(|r| *r.borrow_mut().counters.entry(name).or_insert(0) += n);
+    with_reg(|reg| *reg.counters.entry(name).or_insert(0) += n);
 }
 
 /// Sets the named gauge to `v`.
 pub fn gauge_set(name: &'static str, v: u64) {
-    REGISTRY.with(|r| {
-        r.borrow_mut().gauges.insert(name, v);
+    with_reg(|reg| {
+        reg.gauges.insert(name, v);
     });
 }
 
 /// Records `v` into the named histogram (creating it empty).
 pub fn observe(name: &'static str, v: u64) {
-    REGISTRY.with(|r| r.borrow_mut().hists.entry(name).or_default().record(v));
+    with_reg(|reg| reg.hists.entry(name).or_default().record(v));
 }
 
 /// Enables or disables the high-frequency timing instrumentation
 /// (executor poll latency / timer lag — anything needing an
-/// `Instant::now` per event). Off by default.
+/// `Instant::now` per event). Off by default, per-thread.
 pub fn set_timing(on: bool) {
-    REGISTRY.with(|r| r.borrow_mut().timing = on);
+    with_reg(|reg| reg.timing = on);
 }
 
 /// Whether timing instrumentation is on for this thread.
 pub fn timing_enabled() -> bool {
-    REGISTRY.with(|r| r.borrow().timing)
+    with_reg(|reg| reg.timing)
 }
 
 /// Clears all counters, gauges, histograms and the trace ring, and
-/// restarts the trace clock. The timing flag and trace enablement are
-/// preserved.
+/// restarts the trace clock — **this thread only**. The timing flag
+/// and trace enablement are preserved.
 pub fn reset() {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
+    with_reg(|reg| {
         reg.counters.clear();
         reg.gauges.clear();
         reg.hists.clear();
@@ -114,27 +141,26 @@ pub fn reset() {
 /// Turns on event tracing with a ring of `capacity` events (replacing
 /// any existing ring).
 pub fn enable_trace(capacity: usize) {
-    REGISTRY.with(|r| r.borrow_mut().ring = Some(TraceRing::new(capacity)));
+    with_reg(|reg| reg.ring = Some(TraceRing::new(capacity)));
 }
 
 /// Whether event tracing is on for this thread.
 pub fn trace_enabled() -> bool {
-    REGISTRY.with(|r| r.borrow().ring.is_some())
+    with_reg(|reg| reg.ring.is_some())
 }
 
 /// Drains all buffered trace events (empty when tracing is off).
 pub fn take_events() -> Vec<TraceEvent> {
-    REGISTRY.with(|r| r.borrow_mut().ring.as_mut().map(|ring| ring.drain()).unwrap_or_default())
+    with_reg(|reg| reg.ring.as_mut().map(|ring| ring.drain()).unwrap_or_default())
 }
 
 /// Events lost to ring overflow since tracing was enabled.
 pub fn trace_dropped() -> u64 {
-    REGISTRY.with(|r| r.borrow().ring.as_ref().map(|ring| ring.dropped()).unwrap_or(0))
+    with_reg(|reg| reg.ring.as_ref().map(|ring| ring.dropped()).unwrap_or(0))
 }
 
 fn emit(session: u64, node: u8, kind: TraceKind) {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
+    with_reg(|reg| {
         if reg.ring.is_none() {
             return;
         }
@@ -201,16 +227,39 @@ pub struct Snapshot {
     pub hists: BTreeMap<String, Histogram>,
 }
 
-/// Copies the current registry contents.
+/// Copies the current thread's registry contents.
 pub fn snapshot() -> Snapshot {
-    REGISTRY.with(|r| {
-        let reg = r.borrow();
-        Snapshot {
+    with_reg(|reg| Snapshot {
+        counters: reg.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        gauges: reg.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        hists: reg.hists.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+    })
+}
+
+/// Gathers a merged [`Snapshot`] across **every live thread's**
+/// registry ([`Snapshot::merge`] semantics: counters and gauges add,
+/// histograms merge), pruning registries of threads that have exited.
+///
+/// This is the daemon stats path: the serve workers each run their own
+/// runtime on their own thread, and the reporter on the main thread
+/// would otherwise see only its own (empty) registry. Note it is
+/// process-wide — a test harness running unrelated threads in parallel
+/// should prefer per-thread [`snapshot`]s merged explicitly.
+pub fn snapshot_all() -> Snapshot {
+    let mut regs = ALL_REGISTRIES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = Snapshot::default();
+    regs.retain(|weak| {
+        let Some(tr) = weak.upgrade() else { return false };
+        let reg = tr.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let one = Snapshot {
             counters: reg.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             gauges: reg.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             hists: reg.hists.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
-        }
-    })
+        };
+        out.merge(&one);
+        true
+    });
+    out
 }
 
 impl Snapshot {
@@ -326,6 +375,34 @@ mod tests {
             assert_ne!(phase_metric(role, phase), "phase.other");
         }
         assert_eq!(phase_metric("coord", "nonsense"), "phase.other");
+    }
+
+    /// The worker-thread-stats bugfix pin: values recorded on a spawned
+    /// thread must be visible in the gathered snapshot while the worker
+    /// lives — before per-thread registration they vanished entirely.
+    #[test]
+    fn snapshot_all_sees_worker_thread_stats() {
+        counter_add("test.mt.main_counter", 2);
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            counter_add("test.mt.worker_counter", 41);
+            counter_add("test.mt.worker_counter", 1);
+            observe("test.mt.worker_hist", 7);
+            ready_tx.send(()).expect("main alive");
+            // Stay alive until the main thread has gathered: a dead
+            // thread's registry is pruned, by design.
+            done_rx.recv().ok();
+        });
+        ready_rx.recv().expect("worker recorded");
+        let all = snapshot_all();
+        assert_eq!(all.counters["test.mt.worker_counter"], 42);
+        assert_eq!(all.hists["test.mt.worker_hist"].count(), 1);
+        assert!(all.counters["test.mt.main_counter"] >= 2);
+        // The plain per-thread snapshot still does NOT see the worker.
+        assert!(!snapshot().counters.contains_key("test.mt.worker_counter"));
+        done_tx.send(()).expect("worker alive");
+        worker.join().expect("worker exits cleanly");
     }
 
     #[test]

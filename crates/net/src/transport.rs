@@ -405,16 +405,24 @@ impl Transport for UdpTransport {
                     }
                 }
                 Ok(None) => {
-                    // No reactor: bridge socket readiness with a re-poll
-                    // timer, backing off while the socket stays quiet.
-                    // Arm only when no armed timer is still pending, so
-                    // spurious wakes cannot multiply timer chains.
+                    // Preferred path: hand the socket fd to the epoll
+                    // reactor — the next datagram's arrival wakes us
+                    // directly, no timer, no poll latency.
+                    if rt::register_fd_readable(self.socket.raw_fd(), cx.waker()) {
+                        return Poll::Pending;
+                    }
+                    // No reactor (non-Linux, disabled, virtual clock):
+                    // bridge socket readiness with a re-poll timer,
+                    // backing off while the socket stays quiet. Arm only
+                    // when no armed timer is still pending, so spurious
+                    // wakes cannot multiply timer chains.
                     let now = Instant::now();
                     if self.next_poll_due.is_none_or(|t| t <= now) {
                         let at = now + self.poll_interval;
                         self.next_poll_due = Some(at);
                         rt::register_timer(at, cx.waker());
                         self.poll_interval = (self.poll_interval * 2).min(UDP_POLL_MAX);
+                        crate::telemetry::counter_add("net.udp.repoll_arms", 1);
                     }
                     return Poll::Pending;
                 }
@@ -429,6 +437,14 @@ impl Transport for UdpTransport {
 
     fn send_errors(&self) -> u64 {
         self.stats.send_errors_total()
+    }
+}
+
+impl Drop for UdpTransport {
+    fn drop(&mut self) {
+        // Drop reactor interest in the fd before the socket closes (a
+        // no-op outside a runtime or when never registered).
+        rt::deregister_fd(self.socket.raw_fd());
     }
 }
 

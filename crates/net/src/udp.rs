@@ -17,6 +17,31 @@ impl AsyncUdpSocket {
         Ok(AsyncUdpSocket { inner })
     }
 
+    /// Binds with `SO_REUSEPORT` (see [`crate::sys::bind_reuseport`]):
+    /// several sockets — one per worker shard — share one address, all
+    /// sending with the same source address so roster validation on the
+    /// remote side is indifferent to which shard sent a frame.
+    pub fn bind_reuseport(addr: SocketAddr) -> io::Result<Self> {
+        let inner = crate::sys::bind_reuseport(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(AsyncUdpSocket { inner })
+    }
+
+    /// The raw fd, for reactor registration
+    /// ([`crate::rt::register_fd_readable`]).
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> i32 {
+        use std::os::fd::AsRawFd;
+        self.inner.as_raw_fd()
+    }
+
+    /// Non-unix: no usable fd (`-1` makes reactor registration fail
+    /// harmlessly into the timer fallback).
+    #[cfg(not(unix))]
+    pub fn raw_fd(&self) -> i32 {
+        -1
+    }
+
     /// The bound local address (with the OS-assigned port when bound to
     /// port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {

@@ -26,6 +26,8 @@
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use thinair_core::estimate::{Estimator, Tuning};
@@ -36,7 +38,10 @@ use thinair_net::rt;
 use thinair_net::session::SessionConfig;
 use thinair_net::telemetry;
 use thinair_net::transport::UdpTransport;
-use thinair_net::{ServeLimits, Server};
+use thinair_net::{
+    bind_shard_sockets, run_sharded_serve, ServeLimits, ServeStats, Server, ShardedServeOptions,
+};
+use thinair_scenario::ServeBackend;
 use thinair_scenario::{
     check_trace, explore_default_spec, explore_range_specs, explore_smoke_spec,
     explore_summary_table, full_grid, run_explore_specs, run_serve_wave, run_soak_specs, run_specs,
@@ -55,7 +60,7 @@ USAGE:
     thinaird bench-scenario [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-soak [--smoke] [--out <PATH>] [--seed <S>] [--sessions <K>]
     thinaird bench-serve [--smoke] [--out <PATH>] [--seed <S>] [--wave <NAME>]
-                         [--max-p99-ms <MS>]
+                         [--max-p99-ms <MS>] [--workers <N>]
     thinaird explore [--smoke] [--terminals <N>] [--depth <D>] [--drop-budget <K>]
                      [--seed <S> | --seed-range <A..B>] [--out <PATH>]
     thinaird trace-validate <FILE.jsonl>...
@@ -114,6 +119,12 @@ OPTIONS:
     --deadline-ms <MS> session deadline                           [default: 30000]
     --estimator <E>    leave-one-out | fraction:<F>               [default: leave-one-out]
     --max-sessions <N> serve: admission cap on concurrent sessions [default: 8192]
+    --workers <N>      serve: shard the daemon across N worker threads, each
+                       its own runtime + epoll reactor + SO_REUSEPORT socket
+                       + session registry, dispatching by session-id hash
+                       (--max-sessions splits across shards)    [default: 1]
+                       bench-serve: force the workers axis of every
+                       UDP-loopback wave
     --idle-ms <MS>     serve: evict sessions idle this long        [default: 10000]
     --stats-every-ms <MS>  serve: every MS, dump the interval's telemetry
                        delta (counters/gauges/histogram summaries, JSON)
@@ -138,6 +149,7 @@ OPTIONS:
     -h, --help         print this help
 ";
 
+#[derive(Debug)]
 struct Options {
     node: Option<u8>,
     peers: Vec<SocketAddr>,
@@ -156,6 +168,8 @@ struct Options {
     deadline_ms: u64,
     estimator: Estimator,
     max_sessions: usize,
+    workers: usize,
+    workers_given: bool,
     idle_ms: u64,
     stats_every_ms: Option<u64>,
     trace_out: Option<String>,
@@ -204,6 +218,8 @@ impl Default for Options {
             deadline_ms: 30_000,
             estimator: Estimator::LeaveOneOut(Tuning::default()),
             max_sessions: 8192,
+            workers: 1,
+            workers_given: false,
             idle_ms: 10_000,
             stats_every_ms: None,
             trace_out: None,
@@ -251,6 +267,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.seed_given = true;
             }
             "--max-sessions" => o.max_sessions = num(take()?)?,
+            "--workers" => {
+                o.workers = num(take()?)?;
+                o.workers_given = true;
+                if o.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
             "--idle-ms" => o.idle_ms = num(take()?)?,
             "--stats-every-ms" => o.stats_every_ms = Some(num(take()?)?),
             "--trace-out" => o.trace_out = Some(take()?.clone()),
@@ -421,13 +444,16 @@ fn run_serve(o: Options) -> Result<(), String> {
     }
     let cfg = session_config(&o, o.peers.len() as u8);
     let bind = o.bind.unwrap_or(o.peers[node as usize]);
-    let transport =
-        UdpTransport::bind(bind, o.peers.clone(), node).map_err(|e| format!("bind {bind}: {e}"))?;
     let limits = ServeLimits {
         max_sessions: o.max_sessions,
         idle_timeout: Duration::from_millis(o.idle_ms),
         ..ServeLimits::default()
     };
+    if o.workers > 1 {
+        return run_serve_sharded(&o, node, cfg, bind, limits);
+    }
+    let transport =
+        UdpTransport::bind(bind, o.peers.clone(), node).map_err(|e| format!("bind {bind}: {e}"))?;
     eprintln!(
         "thinaird serve: node {node} on {bind}, {} peers, cap {} sessions, idle evict {} ms, \
          digest {:#018x}",
@@ -514,6 +540,97 @@ fn run_serve(o: Options) -> Result<(), String> {
     result.map(|_| ()).map_err(|e| format!("serve loop failed: {e}"))
 }
 
+/// `serve --workers N`: the daemon sharded across N worker threads —
+/// one `SO_REUSEPORT` socket, executor (epoll reactor), registry and
+/// flow budget per worker, with session-id-hash dispatch and
+/// cross-shard frame forwarding. Blocks until `--run-for-ms` elapses
+/// (or forever, until killed).
+fn run_serve_sharded(
+    o: &Options,
+    node: u8,
+    cfg: SessionConfig,
+    bind: SocketAddr,
+    limits: ServeLimits,
+) -> Result<(), String> {
+    if o.trace_out.is_some() {
+        // The trace ring is per worker thread and the export cadence is
+        // wired into the single-runtime loop; refuse rather than write
+        // a silently incomplete trace.
+        return Err("--trace-out requires --workers 1".into());
+    }
+    let sockets = bind_shard_sockets(bind, o.workers).map_err(|e| format!("bind {bind}: {e}"))?;
+    eprintln!(
+        "thinaird serve: node {node} on {bind}, {} peers, {} workers, cap {} sessions \
+         ({} per shard), idle evict {} ms, digest {:#018x}",
+        o.peers.len(),
+        o.workers,
+        o.max_sessions,
+        o.max_sessions.div_ceil(o.workers).max(1),
+        o.idle_ms,
+        cfg.digest()
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Some(ms) = o.run_for_ms {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+    if let Some(every) = o.stats_every_ms {
+        // The workers' registries are per-thread; the merged
+        // process-wide gather is what the periodic dump wants.
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut last = telemetry::snapshot_all();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(every));
+                let now = telemetry::snapshot_all();
+                eprintln!("thinaird stats: {}", now.delta(&last).to_json());
+                last = now;
+            }
+        });
+    }
+    let opts = ShardedServeOptions {
+        cfg,
+        seed: o.seed,
+        limits,
+        collect_outcomes: false,
+        on_outcome: Some(Arc::new(|shard, out| match &out.abort {
+            Some(reason) => println!(
+                "session {:#x} node {} shard {shard} ABORTED: {reason}",
+                out.session, out.node
+            ),
+            None => println!(
+                "session {:#x} node {} shard {shard} L={} M={} key {}",
+                out.session,
+                out.node,
+                out.l,
+                out.m,
+                key_hex(out)
+            ),
+        })),
+        timing: o.stats_every_ms.is_some(),
+    };
+    let reports = run_sharded_serve(sockets, o.peers.clone(), node, opts, stop)
+        .map_err(|e| format!("serve loop failed: {e}"))?;
+    let mut stats = ServeStats::default();
+    for r in &reports {
+        stats.absorb(&r.stats);
+    }
+    eprintln!(
+        "thinaird serve: exiting; admitted {} completed {} aborted {} evicted {} rejected {} \
+         across {} shards",
+        stats.admitted,
+        stats.completed,
+        stats.aborted,
+        stats.evicted,
+        stats.rejected,
+        reports.len()
+    );
+    Ok(())
+}
+
 /// Drains the thread's trace ring and appends the events to `path` as
 /// JSONL. Errors are reported, not fatal: a failed flush must not take
 /// the daemon down.
@@ -571,6 +688,16 @@ fn run_bench_serve(o: Options) -> Result<(), String> {
         specs.retain(|s| s.name.contains(filter.as_str()));
         if specs.is_empty() {
             return Err(format!("--wave {filter} matches no wave in this ramp"));
+        }
+    }
+    if o.workers_given {
+        // Force the workers axis of every UDP-loopback wave (the sim
+        // backend has no kernel to steer SO_REUSEPORT packets, so sim
+        // waves keep their single runtime).
+        for spec in &mut specs {
+            if spec.backend == ServeBackend::UdpLoopback {
+                spec.workers = o.workers;
+            }
         }
     }
     eprintln!(
@@ -820,7 +947,10 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("thinaird: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            // Usage errors exit 2 (the conventional "bad invocation"
+            // code); runtime failures below keep exiting 1 so scripts
+            // can tell a typo'd flag from a failed round.
+            return ExitCode::from(2);
         }
     };
     let result = match cmd.as_str() {
@@ -839,5 +969,111 @@ fn main() -> ExitCode {
             eprintln!("thinaird: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Every numeric flag of `serve`, `bench-serve` and `explore` (the
+    /// integer ones, the float ones, and `--seed-range`'s pair), so a
+    /// new flag wired through [`num`]/[`fnum`] inherits the contract:
+    /// malformed values produce a parse `Err` (exit 2 in `main`), never
+    /// a panic and never a silently defaulted value.
+    const INT_FLAGS: &[&str] = &[
+        // serve (and the shared role/demo options it accepts)
+        "--node",
+        "--nodes",
+        "--sessions",
+        "--session-id",
+        "--n-packets",
+        "--payload-len",
+        "--drop-seed",
+        "--seed",
+        "--coordinator-id",
+        "--deadline-ms",
+        "--max-sessions",
+        "--workers",
+        "--idle-ms",
+        "--stats-every-ms",
+        "--run-for-ms",
+        // explore
+        "--terminals",
+        "--depth",
+        "--drop-budget",
+    ];
+    const FLOAT_FLAGS: &[&str] = &["--drop", "--max-p99-ms"];
+
+    #[test]
+    fn every_numeric_flag_rejects_malformed_values() {
+        for flag in INT_FLAGS {
+            for bad in ["abc", "12abc", "-1", ""] {
+                let err = parse_args(&args(&[flag, bad]))
+                    .expect_err(&format!("{flag} {bad:?} must not parse"));
+                assert!(err.contains("bad number"), "{flag} {bad:?}: {err}");
+            }
+        }
+        for flag in FLOAT_FLAGS {
+            let err = parse_args(&args(&[flag, "abc"])).expect_err("float flag must not parse");
+            assert!(err.contains("bad float"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn every_numeric_flag_rejects_a_missing_value() {
+        for flag in INT_FLAGS.iter().chain(FLOAT_FLAGS).chain(&["--seed-range"]) {
+            let err = parse_args(&args(&[flag])).expect_err("dangling flag must not parse");
+            assert!(err.contains("missing value"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn seed_range_rejects_malformed_and_empty_ranges() {
+        for bad in ["5", "5..x", "x..5", "7..7", "9..3"] {
+            assert!(
+                parse_args(&args(&["--seed-range", bad])).is_err(),
+                "--seed-range {bad:?} must not parse"
+            );
+        }
+        let o = parse_args(&args(&["--seed-range", "3..9"])).expect("valid range parses");
+        assert_eq!(o.seed_range, Some((3, 9)));
+    }
+
+    #[test]
+    fn workers_must_be_positive() {
+        let err = parse_args(&args(&["--workers", "0"])).expect_err("0 workers rejected");
+        assert!(err.contains("at least 1"), "{err}");
+        let o = parse_args(&args(&["--workers", "4"])).expect("valid workers parse");
+        assert_eq!(o.workers, 4);
+        assert!(o.workers_given);
+        assert!(!parse_args(&args(&[])).expect("empty ok").workers_given);
+    }
+
+    #[test]
+    fn well_formed_serve_invocation_parses() {
+        let o = parse_args(&args(&[
+            "--node",
+            "1",
+            "--peers",
+            "127.0.0.1:7400,127.0.0.1:7401",
+            "--max-sessions",
+            "128",
+            "--workers",
+            "4",
+            "--idle-ms",
+            "5000",
+            "--run-for-ms",
+            "1000",
+        ]))
+        .expect("well-formed serve args parse");
+        assert_eq!(o.node, Some(1));
+        assert_eq!(o.peers.len(), 2);
+        assert_eq!((o.max_sessions, o.workers, o.idle_ms), (128, 4, 5000));
+        assert_eq!(o.run_for_ms, Some(1000));
     }
 }

@@ -1,0 +1,61 @@
+//! `thinaird` exit-code contract, end to end on the real binary.
+//!
+//! Usage errors (malformed flags, unknown options, missing values)
+//! exit **2** with the usage text on stderr; runtime failures exit 1;
+//! `--help` exits 0. Scripts and CI gates rely on the distinction —
+//! a typo'd flag must not be mistaken for a failed round.
+
+use std::process::{Command, Output};
+
+fn thinaird(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_thinaird")).args(args).output().expect("spawn thinaird")
+}
+
+#[test]
+fn malformed_numeric_flags_exit_2_with_usage() {
+    // One representative numeric flag per subcommand family (the full
+    // per-flag matrix is unit-tested against `parse_args` in the bin).
+    let cases = [
+        ["serve", "--max-sessions", "abc"],
+        ["serve", "--workers", "4x"],
+        ["serve", "--idle-ms", "-5"],
+        ["bench-serve", "--seed", "1.5"],
+        ["bench-serve", "--max-p99-ms", "abc"],
+        ["explore", "--depth", "deep"],
+        ["explore", "--terminals", ""],
+        ["explore", "--seed-range", "9..3"],
+    ];
+    for case in &cases {
+        let out = thinaird(case);
+        assert_eq!(out.status.code(), Some(2), "{case:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("bad "), "{case:?}: diagnostic missing: {err}");
+        assert!(err.contains("USAGE"), "{case:?}: usage text missing");
+    }
+}
+
+#[test]
+fn missing_value_and_unknown_option_exit_2() {
+    let dangling = thinaird(&["serve", "--max-sessions"]);
+    assert_eq!(dangling.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&dangling.stderr).contains("missing value"));
+
+    let unknown = thinaird(&["serve", "--bogus"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown option"));
+}
+
+#[test]
+fn runtime_failures_still_exit_1() {
+    // Parses fine, then fails in run_serve: node 0 is the coordinator
+    // id, and serve runs terminals. No socket is ever bound.
+    let out = thinaird(&["serve", "--node", "0", "--peers", "127.0.0.1:7610,127.0.0.1:7611"]);
+    assert_eq!(out.status.code(), Some(1), "runtime errors keep exiting 1");
+}
+
+#[test]
+fn help_exits_0() {
+    let out = thinaird(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -37,22 +37,45 @@ pub fn sweep_placements(placements: &[Placement], cfg: &TestbedConfig) -> Vec<Ex
 /// whenever `f` is.
 ///
 /// # Panics
-/// Panics when a worker thread panics (i.e. when `f` does).
+/// Panics when a worker thread panics (i.e. when `f` does), re-raising
+/// the **worker's own panic payload** after every thread has joined —
+/// the assertion message from the failing closure reaches the caller
+/// intact. (The previous implementation leaned on the scope's implicit
+/// join, which swallows the payload and panics with an opaque "a
+/// scoped thread panicked"; the caller saw *that* a shard died but
+/// never *why*, and the surviving shards' results were discarded
+/// undiagnosed.)
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
     let chunk = items.len().div_ceil(workers).max(1);
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let f = &f;
-    thread::scope(|s| {
-        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            s.spawn(move |_| {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk.iter()) {
-                    *slot = Some(f(item));
-                }
-            });
+    let first_panic = thread::scope(|s| {
+        let handles: Vec<_> = results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .map(|(slot_chunk, item_chunk)| {
+                s.spawn(move |_| {
+                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk.iter()) {
+                        *slot = Some(f(item));
+                    }
+                })
+            })
+            .collect();
+        // Join every worker before deciding the outcome, keeping the
+        // first panic payload (input order) to re-raise.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
         }
+        first_panic
     })
-    .expect("worker thread panicked");
+    .unwrap_or_else(Some);
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
@@ -81,5 +104,48 @@ mod tests {
         let parallel = sweep_placements(&placements, &cfg);
         let serial: Vec<_> = placements.iter().map(|p| run_experiment(&cfg, p).unwrap()).collect();
         assert_eq!(parallel, serial);
+    }
+
+    /// The panic-propagation regression pin: one panicking closure must
+    /// fail the whole map — promptly, with the *original* panic message
+    /// (not a generic "a scoped thread panicked"), never a hang or a
+    /// silently truncated result vector.
+    #[test]
+    fn one_panicking_closure_fails_the_whole_map() {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&i| {
+                if i == 13 {
+                    panic!("boom on item {i}");
+                }
+                i * 2
+            })
+        })
+        .expect_err("the map must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(msg.contains("boom on item 13"), "original payload lost: {msg:?}");
+    }
+
+    /// Panics in several workers at once still produce exactly one
+    /// propagated panic (the first in input order), after all threads
+    /// joined — no abort from a double panic, no lost join.
+    #[test]
+    fn multiple_panics_propagate_one_payload() {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&i| {
+                if i % 7 == 3 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        })
+        .expect_err("the map must panic");
+        let msg = caught.downcast_ref::<String>().cloned().expect("message payload");
+        assert!(msg.starts_with("boom "), "unexpected payload: {msg:?}");
     }
 }
