@@ -48,7 +48,7 @@
 //! gives Bob and Calvin a common y₁. The greedy below therefore builds
 //! supports from the deepest intersections outward.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 use rand::Rng;
 use thinair_gf::{Gf256, Matrix};
@@ -418,7 +418,7 @@ pub fn build_plan(
     // 3. Greedy support selection: deepest intersections first.
     let mut supports: Vec<Vec<usize>> = Vec::new(); // chosen rows' supports
     let mut counts = vec![0usize; n]; // rows decodable per terminal
-    let mut seen_supports: HashSet<Vec<usize>> = HashSet::new();
+    let mut seen_supports: BTreeSet<Vec<usize>> = BTreeSet::new();
     'levels: for g in (1..=others.len()).rev() {
         // All supports arising as K_c ∩ ⋂_{i ∈ S} K_i for |S| = g.
         let mut level: Vec<(Vec<usize>, Vec<usize>)> = Vec::new(); // (support, decoders)

@@ -1,0 +1,75 @@
+//! `thinair-lint` — run the workspace invariant rules from the shell.
+//!
+//! ```text
+//! thinair-lint [--root DIR] [--rule ID] [--list-rules]
+//! ```
+//!
+//! Exit status: `0` clean, `1` at least one unallowed finding, `2`
+//! usage or I/O error. CI runs this before the test jobs (`lint-smoke`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: thinair-lint [--root DIR] [--rule ID] [--list-rules]\n\
+         rules: {}",
+        thinair_lint::rules::RULE_IDS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut rule_filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--rule" => match args.next() {
+                Some(id) if thinair_lint::rules::RULE_IDS.contains(&id.as_str()) => {
+                    rule_filter = Some(id)
+                }
+                Some(id) => {
+                    eprintln!("thinair-lint: unknown rule `{id}`");
+                    return usage();
+                }
+                None => return usage(),
+            },
+            "--list-rules" => {
+                for id in thinair_lint::rules::RULE_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let files = match thinair_lint::load_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("thinair-lint: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = thinair_lint::check_files(&files);
+    if let Some(rule) = &rule_filter {
+        findings.retain(|f| f.rule == rule.as_str());
+    }
+    if findings.is_empty() {
+        println!(
+            "thinair-lint: clean ({} files, {} rules)",
+            files.len(),
+            thinair_lint::rules::RULE_IDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{}", thinair_lint::render(&findings));
+        println!("thinair-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

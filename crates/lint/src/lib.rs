@@ -1,0 +1,132 @@
+//! `thinair-lint` — the workspace invariant checker.
+//!
+//! The workspace's correctness story rests on invariants the compiler
+//! never checks: chaos verdicts and the interleaving explorer must be
+//! pure functions of seeds (no wall clock, no hash-order iteration),
+//! `unsafe` stays confined to `net::sys` and the offline `compat`
+//! shims, and the serve hot path must not panic under a malformed
+//! datagram or a saturated queue. This crate turns those prose
+//! invariants (lib.rs doc-comments, ARCHITECTURE.md promises) into a
+//! machine-checked gate: a hand-rolled token scanner ([`scan`]) feeds
+//! a set of named, allowlistable rules ([`rules`]), and any unallowed
+//! finding makes the `thinair-lint` binary (or `thinaird lint`) exit
+//! nonzero.
+//!
+//! Division of labor: `cargo clippy -D warnings` owns *language*
+//! lints; this crate owns *project* invariants clippy cannot know
+//! about. See the [`rules`] module docs for the rule table and the
+//! allowlist syntax.
+//!
+//! ```
+//! let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+//! let findings = thinair_lint::check_workspace(&root).expect("workspace readable");
+//! assert!(findings.is_empty(), "{}", thinair_lint::render(&findings));
+//! ```
+
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use scan::ScanLine;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (see [`rules::RULE_IDS`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One-line explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// A scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Per-line scan facts.
+    pub lines: Vec<ScanLine>,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Workspace-relative prefixes excluded from the walk. The lint's own
+/// test fixtures contain *seeded* violations; scanning them from the
+/// workspace gate would defeat their purpose.
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/tests/fixtures"];
+
+/// Recursively collects and scans every `.rs` file under `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+                continue;
+            }
+            if !name.ends_with(".rs") {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            let src = fs::read_to_string(&path)?;
+            files.push(SourceFile { rel, lines: scan::scan(&src) });
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// Runs every rule over already-loaded files.
+pub fn check_files(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut metric_names: BTreeMap<String, Vec<(&'static str, String, usize)>> = BTreeMap::new();
+    for file in files {
+        rules::determinism(file, &mut findings);
+        rules::unsafe_confinement(file, &mut findings);
+        rules::panic_free_hot_path(file, &mut findings);
+        rules::telemetry_names(file, &mut metric_names, &mut findings);
+    }
+    rules::telemetry_kinds(&metric_names, &mut findings);
+    rules::wire_tags(files, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Walks `root` and runs every rule: the one-call workspace gate.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(check_files(&load_workspace(root)?))
+}
+
+/// Renders findings one per line, ready for a terminal.
+pub fn render(findings: &[Finding]) -> String {
+    findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+}

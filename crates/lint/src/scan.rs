@@ -1,0 +1,383 @@
+//! A hand-rolled Rust *surface* scanner.
+//!
+//! The lint rules don't need a full parser — they need to know, per
+//! source line, (a) what is **code** (with comment text and string /
+//! char literal *contents* blanked out, so `"Instant::now"` inside a
+//! string never trips the determinism rule), (b) what is **comment**
+//! text (so `// SAFETY:` and `// lint: allow(...)` annotations can be
+//! found), (c) the **string literal values** on the line (so the
+//! telemetry-name rule can validate metric names), and (d) whether the
+//! line sits inside a `#[cfg(test)]` region (rules about production
+//! paths skip test code).
+//!
+//! The scanner handles line comments, nested block comments, plain and
+//! raw (`r#"…"#`) string literals, byte strings, char literals vs.
+//! lifetimes, and escape sequences. It is deliberately line-oriented:
+//! every rule reports `file:line`, so the scan keeps that shape.
+
+/// One scanned source line.
+#[derive(Clone, Debug, Default)]
+pub struct ScanLine {
+    /// The line with comments removed and string/char contents blanked
+    /// (quotes preserved). Identifier and operator structure intact.
+    pub code: String,
+    /// Concatenated comment text found on this line (both `//` and the
+    /// portion of any `/* … */` that crosses it), without the markers.
+    pub comment: String,
+    /// String literal values completed on this line, in order.
+    pub strings: Vec<String>,
+    /// True when the line is inside a `#[cfg(test)]`-gated brace region.
+    pub in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside `/* … */`; the payload is the nesting depth.
+    Block(u32),
+    /// Inside `"…"` (or `b"…"`). Plain strings may span lines.
+    Str,
+    /// Inside `r##"…"##`; payload is the number of `#`s.
+    RawStr(u8),
+    /// Inside `'…'`.
+    Char,
+}
+
+/// Scans a whole file into per-line surface facts.
+pub fn scan(src: &str) -> Vec<ScanLine> {
+    let bytes = src.as_bytes();
+    let mut out: Vec<ScanLine> = Vec::new();
+    let mut cur = ScanLine::default();
+    let mut cur_string = String::new();
+    let mut mode = Mode::Code;
+
+    // `#[cfg(test)]` region tracking. `pending_test` latches when an
+    // attribute line mentions a test cfg; the next opening brace starts
+    // a test region ending when the depth drops back below it.
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut test_region_depth: Option<i64> = None;
+    let mut line_touched_test_region = false;
+
+    let mut i = 0usize;
+    while i <= bytes.len() {
+        // End of line (or end of file): flush the accumulated line.
+        if i == bytes.len() || bytes[i] == b'\n' {
+            if mode == Mode::Char {
+                mode = Mode::Code; // char literals cannot span lines
+            }
+            let attr_line = is_test_attr(&cur.code);
+            if attr_line && test_region_depth.is_none() {
+                pending_test = true;
+            } else if pending_test
+                && test_region_depth.is_none()
+                && !attr_line
+                && cur.code.trim_end().ends_with(';')
+            {
+                // `#[cfg(test)]` followed by `use …;` — the gated item
+                // ended without a brace; nothing to region-track.
+                pending_test = false;
+            }
+            cur.in_test = test_region_depth.is_some() || line_touched_test_region;
+            out.push(std::mem::take(&mut cur));
+            line_touched_test_region = false;
+            if i == bytes.len() {
+                break;
+            }
+            i += 1;
+            continue;
+        }
+        let c = bytes[i];
+        match mode {
+            Mode::Code => {
+                match c {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        // Line comment: rest of line is comment text.
+                        let start = i + 2;
+                        let end =
+                            src[start..].find('\n').map(|off| start + off).unwrap_or(bytes.len());
+                        cur.comment.push_str(src[start..end].trim_start_matches(['/', '!']));
+                        i = end;
+                        continue;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        mode = Mode::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    b'"' => {
+                        cur.code.push('"');
+                        cur_string.clear();
+                        mode = Mode::Str;
+                    }
+                    b'r' | b'b' if !prev_is_word(&cur.code) => {
+                        // Possible raw-string or byte-literal prefix.
+                        if let Some((hashes, consumed)) = raw_prefix(&bytes[i..]) {
+                            cur.code.push('"');
+                            cur_string.clear();
+                            mode = Mode::RawStr(hashes);
+                            i += consumed;
+                            continue;
+                        }
+                        if c == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                            cur.code.push('\'');
+                            mode = Mode::Char;
+                            i += 2;
+                            continue;
+                        }
+                        cur.code.push(c as char);
+                    }
+                    b'\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`).
+                        let next_word = bytes
+                            .get(i + 1)
+                            .is_some_and(|&n| n.is_ascii_alphanumeric() || n == b'_');
+                        let closes = bytes.get(i + 2) == Some(&b'\'');
+                        if next_word && !closes {
+                            cur.code.push('\''); // lifetime marker
+                        } else {
+                            cur.code.push('\'');
+                            mode = Mode::Char;
+                        }
+                    }
+                    b'{' => {
+                        // `pending_test` covers the attr-on-previous-line
+                        // case; checking the current line's code covers
+                        // `#[cfg(test)] mod t {` on a single line.
+                        if test_region_depth.is_none() && (pending_test || is_test_attr(&cur.code))
+                        {
+                            test_region_depth = Some(depth);
+                            pending_test = false;
+                            line_touched_test_region = true;
+                        }
+                        depth += 1;
+                        cur.code.push('{');
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if test_region_depth.is_some_and(|d| depth <= d) {
+                            test_region_depth = None;
+                            line_touched_test_region = true;
+                        }
+                        cur.code.push('}');
+                    }
+                    _ => cur.code.push(c as char),
+                }
+                i += 1;
+            }
+            Mode::Block(d) => {
+                if c == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if d == 1 { Mode::Code } else { Mode::Block(d - 1) };
+                    i += 2;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(d + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c as char);
+                    i += 1;
+                }
+            }
+            Mode::Str => match c {
+                b'\\' => match bytes.get(i + 1) {
+                    // `\` + newline is a line continuation: consume only
+                    // the backslash so the newline flushes the line.
+                    Some(&b'\n') | None => i += 1,
+                    Some(_) => {
+                        cur_string.push('?');
+                        i += 2;
+                    }
+                },
+                b'"' => {
+                    cur.code.push('"');
+                    cur.strings.push(std::mem::take(&mut cur_string));
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => {
+                    cur_string.push(c as char);
+                    i += 1;
+                }
+            },
+            Mode::RawStr(hashes) => {
+                if c == b'"' && closes_raw(&bytes[i + 1..], hashes) {
+                    cur.code.push('"');
+                    cur.strings.push(std::mem::take(&mut cur_string));
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur_string.push(c as char);
+                    i += 1;
+                }
+            }
+            Mode::Char => match c {
+                b'\\' => i += 2,
+                b'\'' => {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+    out
+}
+
+/// Whether a code line carries a test-gating attribute.
+fn is_test_attr(code: &str) -> bool {
+    code.contains("#[cfg(test")
+        || code.contains("#[cfg(all(test")
+        || code.contains("#[cfg(any(test")
+}
+
+/// Whether the last code character continues an identifier (so an `r`
+/// here is part of a word like `for`, not a raw-string prefix).
+fn prev_is_word(code: &str) -> bool {
+    code.chars().next_back().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Matches `r"`, `r#"`, `br##"`, … at the start of `b`. Returns the
+/// hash count and bytes consumed up to and including the opening quote.
+fn raw_prefix(b: &[u8]) -> Option<(u8, usize)> {
+    let mut j = 0usize;
+    if b.first() == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u8;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether `hashes` `#`s follow (closing a raw string whose `"` was
+/// just seen).
+fn closes_raw(after_quote: &[u8], hashes: u8) -> bool {
+    let n = hashes as usize;
+    after_quote.len() >= n && after_quote[..n].iter().all(|&c| c == b'#')
+}
+
+/// True when `needle` occurs in `hay` as a standalone token. Identifier
+/// boundaries are only enforced on the sides of the needle that are
+/// themselves identifier characters, so needles like `.unwrap()` or
+/// `observe(` work naturally.
+pub fn has_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle).is_some()
+}
+
+/// Byte offset of the first standalone-token occurrence of `needle`.
+pub fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let guard_front = needle.chars().next().is_some_and(is_word);
+    let guard_back = needle.chars().next_back().is_some_and(is_word);
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok =
+            !guard_front || at == 0 || !hay[..at].chars().next_back().is_some_and(is_word);
+        let after = at + needle.len();
+        let after_ok =
+            !guard_back || after >= hay.len() || !hay[after..].chars().next().is_some_and(is_word);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lines = scan("let x = \"Instant::now\"; // Instant::now here\n");
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert_eq!(lines[0].strings, vec!["Instant::now".to_string()]);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lines = scan("let s = r#\"a \"quoted\" HashMap\"#; let t = \"\\\"esc\\\"\";\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert_eq!(lines[0].strings.len(), 2);
+        assert!(lines[0].strings[0].contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scan("a /* x /* y */ z */ b\nc\n");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[0].comment.contains('y'));
+        assert_eq!(lines[1].code, "c");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'q';\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert!(!lines[1].code.contains('q'));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test, "mod tests opening line is test code");
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace line is test code");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_use_item_does_not_latch() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { x.unwrap(); }\n";
+        let lines = scan(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_region() {
+        let src = "#[cfg(all(test, target_os = \"linux\"))]\nmod tests {\nbad();\n}\n";
+        let lines = scan(src);
+        assert!(lines[2].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("let m = HashMap::new();", "HashMap"));
+        assert!(!has_word("allow(unsafe_code)", "unsafe"));
+        assert!(has_word("unsafe { f() }", "unsafe"));
+        assert!(!has_word("MyHashMap::new()", "HashMap"));
+        assert!(has_word("telemetry::observe(name, v)", "observe("));
+        assert!(!has_word("self.observed(x)", "observe("));
+        assert!(has_word("x.unwrap();", ".unwrap()"));
+        assert!(!has_word("x.unwrap_or(0);", ".unwrap()"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "let s = \"line one\nline two\";\nlet x = 1;\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 4); // 3 lines + trailing empty flush
+        assert!(lines[2].code.contains("let x"));
+        assert_eq!(lines[1].strings.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: wire codec with a duplicated tag value (seeded), an
+//! allowlisted legacy alias, and a variant the fuzz corpus misses.
+
+const TAG_PING: u8 = 0x01;
+const TAG_PONG: u8 = 0x01;
+// lint: allow(wire): fixture keeps a legacy alias value on purpose
+const TAG_PING_OLD: u8 = 0x03;
+
+pub enum Message {
+    Ping,
+    Pong,
+}
+
+pub fn encode(m: &Message) -> u8 {
+    match m {
+        Message::Ping => TAG_PING,
+        Message::Pong => TAG_PONG,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Message> {
+    match tag {
+        TAG_PING => Some(Message::Ping),
+        TAG_PONG => Some(Message::Pong),
+        TAG_PING_OLD => Some(Message::Ping),
+        _ => None,
+    }
+}

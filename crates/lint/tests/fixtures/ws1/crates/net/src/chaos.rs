@@ -1,0 +1,12 @@
+//! Fixture: a determinism-critical module with one seeded violation
+//! and one allowlisted occurrence. Never compiled — only scanned.
+
+pub fn verdict_time() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub fn scratch() {
+    // lint: allow(determinism): scratch map, never iterated
+    let _m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+}

@@ -1,0 +1,9 @@
+//! Fixture: telemetry name shapes and kind conflicts.
+
+pub fn emit() {
+    crate::telemetry::counter_add("BadName", 1);
+    // lint: allow(telemetry): legacy dashboard name kept verbatim
+    crate::telemetry::gauge_set("LegacyName", 2);
+    crate::telemetry::counter_add("dup.kind", 1);
+    crate::telemetry::observe("dup.kind", 9);
+}

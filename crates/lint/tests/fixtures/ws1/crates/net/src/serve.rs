@@ -1,0 +1,20 @@
+//! Fixture: a hot-path module with one seeded panic finding, one
+//! allowlisted panic, one seeded unsafe escape, one allowlisted escape.
+
+pub fn hot(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn annotated(v: Option<u8>) -> u8 {
+    // lint: allow(panic): fixture-justified unreachable
+    v.expect("never")
+}
+
+pub fn escape(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn escape_allowed(p: *const u8) -> u8 {
+    // lint: allow(unsafe): fixture demonstrates the annotation
+    unsafe { *p }
+}

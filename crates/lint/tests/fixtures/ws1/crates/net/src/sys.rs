@@ -1,0 +1,11 @@
+//! Fixture: the unsafe-confinement zone. One block is justified, one
+//! is missing its `// SAFETY:` comment.
+
+pub fn justified(p: *const u8) -> u8 {
+    // SAFETY: fixture pointer is valid by construction.
+    unsafe { *p }
+}
+
+pub fn unjustified(p: *const u8) -> u8 {
+    unsafe { *p }
+}

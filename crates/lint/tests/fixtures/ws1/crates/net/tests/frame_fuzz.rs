@@ -1,0 +1,6 @@
+//! Fixture: a fuzz corpus that exercises `Message::Ping` but forgot
+//! the other variant — wire-tags must flag the gap.
+
+pub fn corpus() -> Vec<Message> {
+    vec![Message::Ping]
+}

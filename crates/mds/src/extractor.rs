@@ -181,7 +181,7 @@ mod tests {
         // unknowns).
         let e = Extractor::new(1, 3).unwrap();
         let known = [vec![Gf256(7)], vec![Gf256(9)]]; // x0, x1 fixed
-        let mut outputs = std::collections::HashSet::new();
+        let mut outputs = std::collections::BTreeSet::new();
         for v in 0..=255u8 {
             let shared = vec![known[0].clone(), known[1].clone(), vec![Gf256(v)]];
             let out = e.extract(&shared);

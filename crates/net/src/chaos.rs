@@ -30,7 +30,7 @@
 //! verdicts, so the totals depend on how often the reliable layer had
 //! to retry.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use thinair_core::wire::Message;
 use thinair_netsim::fault::corrupt_bit_seed;
@@ -94,17 +94,17 @@ pub struct ChaosState {
     seed: u64,
     coordinator: u8,
     /// `(session, node)` pairs that have crashed.
-    crashed: HashSet<(u64, u8)>,
+    crashed: BTreeSet<(u64, u8)>,
     /// `(session, node)` late-joiners → deliveries suppressed so far.
     /// Removed from the map once awake.
-    sleeping: HashMap<(u64, u8), u32>,
+    sleeping: BTreeMap<(u64, u8), u32>,
     /// `(session, node)` late-joiners that have woken up.
-    joined: HashSet<(u64, u8)>,
+    joined: BTreeSet<(u64, u8)>,
     /// `(session, link)` ACK bursts in progress → ACKs suppressed so
     /// far. Removed once the burst has run its configured length.
-    ack_bursting: HashMap<(u64, (u8, u8)), u32>,
+    ack_bursting: BTreeMap<(u64, (u8, u8)), u32>,
     /// `(session, link)` ACK bursts that have completed (link healed).
-    ack_healed: HashSet<(u64, (u8, u8))>,
+    ack_healed: BTreeSet<(u64, (u8, u8))>,
     /// Hold-back buffer for delayed frames.
     held: Vec<Held>,
     /// Global transmission counter (drives delay release).
@@ -136,11 +136,11 @@ impl ChaosState {
             plan,
             seed,
             coordinator,
-            crashed: HashSet::new(),
-            sleeping: HashMap::new(),
-            joined: HashSet::new(),
-            ack_bursting: HashMap::new(),
-            ack_healed: HashSet::new(),
+            crashed: BTreeSet::new(),
+            sleeping: BTreeMap::new(),
+            joined: BTreeSet::new(),
+            ack_bursting: BTreeMap::new(),
+            ack_healed: BTreeSet::new(),
             held: Vec::new(),
             clock: 0,
             stats: FaultStats::default(),

@@ -7,7 +7,7 @@
 //! dropped and counted.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::coordinator::run_coordinator;
@@ -19,7 +19,7 @@ use crate::terminal::run_terminal;
 use crate::transport::{SharedTransport, Transport};
 
 struct Routes {
-    by_session: HashMap<u64, Sender<Frame>>,
+    by_session: BTreeMap<u64, Sender<Frame>>,
     orphans: u64,
 }
 
@@ -44,7 +44,10 @@ impl<T: Transport + 'static> Node<T> {
     /// Wraps an already-shared transport (e.g. when a harness keeps its
     /// own handle to read counters after the node is done).
     pub fn new_shared(t: SharedTransport<T>) -> Self {
-        Node { t, routes: Rc::new(RefCell::new(Routes { by_session: HashMap::new(), orphans: 0 })) }
+        Node {
+            t,
+            routes: Rc::new(RefCell::new(Routes { by_session: BTreeMap::new(), orphans: 0 })),
+        }
     }
 
     /// The underlying shared transport.

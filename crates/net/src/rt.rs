@@ -43,7 +43,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -72,7 +72,7 @@ struct ReadyQueue {
 #[derive(Default)]
 struct ReadyInner {
     queue: VecDeque<usize>,
-    queued: HashSet<usize>,
+    queued: BTreeSet<usize>,
     wakes: u64,
     /// True while the executor is parked in `epoll_wait`. Set and
     /// cleared under this lock so a cross-thread `push` either lands
@@ -83,8 +83,15 @@ struct ReadyInner {
 }
 
 impl ReadyQueue {
+    /// Locks the inner state, recovering from poisoning: the queue's
+    /// data (ids + counters) is valid regardless of where a panicking
+    /// thread left off, and the executor must keep draining tasks.
+    fn lock(&self) -> std::sync::MutexGuard<'_, ReadyInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn push(&self, id: usize) {
-        let mut inner = self.inner.lock().expect("ready queue poisoned");
+        let mut inner = self.lock();
         inner.wakes += 1;
         if inner.queued.insert(id) {
             inner.queue.push_back(id);
@@ -99,14 +106,14 @@ impl ReadyQueue {
     }
 
     fn set_doorbell(&self, d: Arc<crate::sys::EventFd>) {
-        self.inner.lock().expect("ready queue poisoned").doorbell = Some(d);
+        self.lock().doorbell = Some(d);
     }
 
     /// Atomically checks emptiness and marks the executor parked.
     /// Returns false (and stays awake) if work arrived since the last
     /// pop.
     fn park_if_empty(&self) -> bool {
-        let mut inner = self.inner.lock().expect("ready queue poisoned");
+        let mut inner = self.lock();
         if inner.queue.is_empty() {
             inner.sleeping = true;
             true
@@ -116,26 +123,26 @@ impl ReadyQueue {
     }
 
     fn unpark(&self) {
-        self.inner.lock().expect("ready queue poisoned").sleeping = false;
+        self.lock().sleeping = false;
     }
 
     fn pop(&self) -> Option<usize> {
-        let mut inner = self.inner.lock().expect("ready queue poisoned");
+        let mut inner = self.lock();
         let id = inner.queue.pop_front()?;
         inner.queued.remove(&id);
         Some(id)
     }
 
     fn is_empty(&self) -> bool {
-        self.inner.lock().expect("ready queue poisoned").queue.is_empty()
+        self.lock().queue.is_empty()
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("ready queue poisoned").queue.len()
+        self.lock().queue.len()
     }
 
     fn wakes(&self) -> u64 {
-        self.inner.lock().expect("ready queue poisoned").wakes
+        self.lock().wakes
     }
 }
 
@@ -193,7 +200,7 @@ struct Reactor {
     doorbell: Arc<crate::sys::EventFd>,
     /// Registered fds → the waker to fire on readability. `None` after
     /// the event fired, until the owner re-registers on its next poll.
-    interest: RefCell<HashMap<i32, Option<Waker>>>,
+    interest: RefCell<BTreeMap<i32, Option<Waker>>>,
     /// Scratch for `epoll_wait` result tokens.
     tokens: RefCell<Vec<u64>>,
 }
@@ -210,7 +217,7 @@ impl Reactor {
         Ok(Reactor {
             epoll,
             doorbell,
-            interest: RefCell::new(HashMap::new()),
+            interest: RefCell::new(BTreeMap::new()),
             tokens: RefCell::new(Vec::with_capacity(64)),
         })
     }
@@ -325,6 +332,9 @@ thread_local! {
 
 fn current() -> Rc<Executor> {
     EXECUTOR.with(|e| {
+        // lint: allow(panic): documented API contract — every rt entry
+        // point requires an ambient executor; this is a programmer
+        // error at development time, never a runtime input.
         e.borrow().clone().expect("no runtime: call from within thinair_net::rt::block_on")
     })
 }
@@ -656,9 +666,15 @@ fn block_on_with<F: Future>(
                 match next {
                     Some(deadline) => {
                         // Monotone: a due-now timer leaves the clock put.
+                        // lint: allow(panic): `virt.is_some()` on this
+                        // branch implies `virtual_now` was seeded by
+                        // `block_on_virtual`; never reachable in serve.
                         let now = ex.virtual_now.get().expect("virtual mode set");
                         ex.virtual_now.set(Some(deadline.max(now)));
                     }
+                    // lint: allow(panic): virtual-time (test/explore)
+                    // mode only — a stuck schedule must fail loudly,
+                    // and the wall-clock serve path never enters here.
                     None => panic!(
                         "virtual deadlock: no ready tasks, no timers, and the \
                          stall hook produced no work"

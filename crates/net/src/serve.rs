@@ -46,7 +46,7 @@
 //! daemon with thousands of open sessions polls O(1) tasks per tick.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -167,13 +167,13 @@ enum Admission {
 /// Exposed (behind `Rc<RefCell>`) so harnesses can inspect live load;
 /// the [`Server`] owns all mutation.
 pub struct SessionRegistry {
-    open: HashMap<u64, Entry>,
+    open: BTreeMap<u64, Entry>,
     /// Recently terminated/evicted session ids (bounded FIFO window):
     /// a duplicated or chaos-delayed `Start` copy arriving after its
     /// session already finished must NOT re-admit a ghost session —
     /// the replay would occupy a slot until eviction and could emit a
     /// spurious abort outcome for a session that already agreed.
-    spent: HashSet<u64>,
+    spent: BTreeSet<u64>,
     spent_order: VecDeque<u64>,
     limits: ServeLimits,
     stats: ServeStats,
@@ -184,7 +184,7 @@ pub struct SessionRegistry {
     /// Parked `Start`s by session id — the re-admission backlog. Its
     /// depth scales `retry_after_ms` so paced-out coordinators spread
     /// their retries instead of re-knocking in lockstep.
-    queued: HashMap<u64, PendingStart>,
+    queued: BTreeMap<u64, PendingStart>,
 }
 
 /// How many terminated session ids the replay window remembers. Start
@@ -208,13 +208,13 @@ const QUEUE_STALE: Duration = Duration::from_secs(20);
 impl SessionRegistry {
     fn new(limits: ServeLimits) -> Self {
         SessionRegistry {
-            open: HashMap::new(),
-            spent: HashSet::new(),
+            open: BTreeMap::new(),
+            spent: BTreeSet::new(),
             spent_order: VecDeque::new(),
             limits,
             stats: ServeStats::default(),
             queue: VecDeque::new(),
-            queued: HashMap::new(),
+            queued: BTreeMap::new(),
         }
     }
 
@@ -224,8 +224,9 @@ impl SessionRegistry {
         if self.spent.insert(session) {
             self.spent_order.push_back(session);
             if self.spent_order.len() > SPENT_WINDOW {
-                let old = self.spent_order.pop_front().expect("nonempty");
-                self.spent.remove(&old);
+                if let Some(old) = self.spent_order.pop_front() {
+                    self.spent.remove(&old);
+                }
             }
         }
     }
@@ -313,7 +314,11 @@ impl SessionRegistry {
                 continue;
             }
             let rx = self.open_slot(session, now);
-            self.route(pending.frame, now).expect("slot just opened");
+            if self.route(pending.frame, now).is_err() {
+                // Unreachable (the slot was opened on the line above),
+                // but dropping the Start is safe: the peer retransmits.
+                crate::telemetry::counter_add("serve.route.lost", 1);
+            }
             crate::telemetry::counter_add("serve.queue.admitted", 1);
             return Some((session, rx));
         }
@@ -344,7 +349,11 @@ impl SessionRegistry {
         // Tombstone any parked copy: the live admission supersedes it.
         self.queued.remove(&session);
         let rx = self.open_slot(session, now);
-        self.route(frame, now).expect("slot just opened");
+        if self.route(frame, now).is_err() {
+            // Unreachable (the slot was opened on the line above), but
+            // dropping the Start is safe: the peer retransmits.
+            crate::telemetry::counter_add("serve.route.lost", 1);
+        }
         Admission::Admitted(rx)
     }
 
@@ -637,6 +646,32 @@ mod tests {
         assert!(reg.route(frame.clone(), now).is_ok());
         let stray = Frame { session: 99, ..frame };
         assert!(reg.route(stray, now).is_err());
+    }
+
+    #[test]
+    fn eviction_sweep_order_is_session_id_order() {
+        // Regression: the registry's session table used to be a
+        // HashMap, so a sweep that evicted several idle sessions at
+        // once marked them spent in RandomState iteration order —
+        // different per process, and visible downstream (spent-window
+        // rotation, `serve.evicted` interleaving in traces). The table
+        // is a BTreeMap now; a batch eviction must walk ascending
+        // session ids no matter what order admission happened in.
+        let limits = ServeLimits {
+            max_sessions: 16,
+            idle_timeout: Duration::from_millis(10),
+            ..ServeLimits::default()
+        };
+        let mut reg = SessionRegistry::new(limits);
+        let t0 = Instant::now();
+        let scrambled = [11u64, 3, 42, 7, 29, 5];
+        let _rxs: Vec<_> = scrambled.iter().map(|&s| must_admit(&mut reg, s, t0)).collect();
+        reg.evict_idle(t0 + Duration::from_millis(50));
+        assert_eq!(reg.stats().evicted, scrambled.len() as u64);
+        let spent: Vec<u64> = reg.spent_order.iter().copied().collect();
+        let mut sorted = scrambled.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(spent, sorted, "batch eviction must mark spent in ascending id order");
     }
 
     #[test]

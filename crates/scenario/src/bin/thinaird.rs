@@ -64,6 +64,7 @@ USAGE:
     thinaird explore [--smoke] [--terminals <N>] [--depth <D>] [--drop-budget <K>]
                      [--seed <S> | --seed-range <A..B>] [--out <PATH>]
     thinaird trace-validate <FILE.jsonl>...
+    thinaird lint [ROOT]
 
 ROLES:
     coordinator        run node <ID> as the round coordinator (Alice)
@@ -101,6 +102,10 @@ ROLES:
                        every line parses as flat JSON, the required fields
                        and per-kind tails are present, and every session
                        span opens with a session_start line
+    lint               run the workspace invariant rules (determinism,
+                       unsafe confinement, panic-free hot paths, telemetry
+                       names, wire tags) over ROOT (default `.`); exits
+                       nonzero on unallowed findings
 
 OPTIONS:
     --node <ID>        this node's id (index into --peers)       [required for roles]
@@ -926,6 +931,41 @@ fn run_explore(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `thinaird lint [ROOT]` — run the workspace invariant rules
+/// ([`thinair_lint`]) over `ROOT` (default `.`). Same findings and exit
+/// convention as the standalone `thinair-lint` binary: `0` clean, `1`
+/// unallowed findings, `2` bad invocation or unreadable root.
+fn run_lint(rest: &[String]) -> ExitCode {
+    let root = match rest {
+        [] => std::path::PathBuf::from("."),
+        [dir] => std::path::PathBuf::from(dir),
+        _ => {
+            eprintln!("thinaird: lint takes at most one root directory");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match thinair_lint::load_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("thinaird: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = thinair_lint::check_files(&files);
+    if findings.is_empty() {
+        println!(
+            "thinaird lint: clean ({} files, {} rules)",
+            files.len(),
+            thinair_lint::rules::RULE_IDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{}", thinair_lint::render(&findings));
+        println!("thinaird lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
@@ -942,6 +982,10 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    // lint takes an optional positional root dir, not the shared options.
+    if cmd == "lint" {
+        return run_lint(rest);
     }
     let parsed = match parse_args(rest) {
         Ok(o) => o,

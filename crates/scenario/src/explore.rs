@@ -61,11 +61,11 @@
 //! duplicates collapsed) and as TraceEvent JSONL from the telemetry
 //! ring.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::io;
 use std::ops::Range;
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use thinair_core::estimate::Estimator;
 use thinair_core::round::XSchedule;
@@ -443,8 +443,14 @@ fn step_once(
 
 /// Runs one session to completion under the given choice path (FIFO
 /// default past its end). Deterministic: same spec + path ⇒ identical
-/// record and outcomes.
-fn run_one(spec: &ExploreSpec, path: &[Choice]) -> (RunRecord, Vec<SessionOutcome>) {
+/// record and outcomes. `base` seeds the virtual clock — every run in a
+/// batch shares the caller's stopwatch base, so `run_one` itself never
+/// reads the wall clock.
+fn run_one(
+    spec: &ExploreSpec,
+    path: &[Choice],
+    base: std::time::Instant,
+) -> (RunRecord, Vec<SessionOutcome>) {
     let cfg = spec.session_config();
     let n = cfg.n_nodes as usize;
     let net = SimNet::new(IidMedium::symmetric(n, 0.0, spec.seed), n);
@@ -480,7 +486,7 @@ fn run_one(spec: &ExploreSpec, path: &[Choice]) -> (RunRecord, Vec<SessionOutcom
                 }
                 outs
             },
-            Instant::now(),
+            base,
             &mut hook,
         )
     };
@@ -524,9 +530,9 @@ fn alternatives_below(rec: &RunRecord, from: usize, depth: usize) -> u64 {
 /// execution; violations are shrunk to minimal counterexamples.
 pub fn explore(spec: &ExploreSpec) -> Result<ExploreResult, ScenarioError> {
     spec.validate().map_err(ScenarioError::Invalid)?;
-    let started = Instant::now();
+    let clock = crate::timing::Stopwatch::start();
     let mut stack: Vec<Vec<Choice>> = vec![Vec::new()];
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
     let (mut executions, mut states_visited) = (0u64, 0u64);
     let (mut por_pruned, mut fp_pruned) = (0u64, 0u64);
     let mut truncated_runs = 0u64;
@@ -539,14 +545,14 @@ pub fn explore(spec: &ExploreSpec) -> Result<ExploreResult, ScenarioError> {
             exhausted = false;
             break;
         }
-        let (rec, outcomes) = run_one(spec, &path);
+        let (rec, outcomes) = run_one(spec, &path, clock.base());
         executions += 1;
         states_visited += rec.decisions.len() as u64;
         if rec.truncated {
             truncated_runs += 1;
         }
         if let SessionVerdict::Violation { what } = audit_session(&outcomes) {
-            violations.push(shrink_and_render(spec, &rec.taken, what));
+            violations.push(shrink_and_render(spec, &rec.taken, what, clock.base()));
             if violations.len() >= violation_cap {
                 exhausted = false;
                 break;
@@ -572,7 +578,7 @@ pub fn explore(spec: &ExploreSpec) -> Result<ExploreResult, ScenarioError> {
         }
     }
 
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = clock.elapsed_ms();
     Ok(ExploreResult {
         spec: spec.clone(),
         executions,
@@ -611,8 +617,12 @@ fn path_from(devs: &[(usize, Choice)]) -> Vec<Choice> {
     path
 }
 
-fn violates(spec: &ExploreSpec, devs: &[(usize, Choice)]) -> Option<(RunRecord, String)> {
-    let (rec, outcomes) = run_one(spec, &path_from(devs));
+fn violates(
+    spec: &ExploreSpec,
+    devs: &[(usize, Choice)],
+    base: std::time::Instant,
+) -> Option<(RunRecord, String)> {
+    let (rec, outcomes) = run_one(spec, &path_from(devs), base);
     match audit_session(&outcomes) {
         SessionVerdict::Violation { what } => Some((rec, what)),
         _ => None,
@@ -621,12 +631,16 @@ fn violates(spec: &ExploreSpec, devs: &[(usize, Choice)]) -> Option<(RunRecord, 
 
 /// Greedy single-deviation removal to fixpoint, then a ddmin pass for
 /// the chunk removals greedy misses. Every step re-runs and re-audits.
-fn shrink(spec: &ExploreSpec, mut devs: Vec<(usize, Choice)>) -> Vec<(usize, Choice)> {
+fn shrink(
+    spec: &ExploreSpec,
+    mut devs: Vec<(usize, Choice)>,
+    base: std::time::Instant,
+) -> Vec<(usize, Choice)> {
     'greedy: loop {
         for i in 0..devs.len() {
             let mut t = devs.clone();
             t.remove(i);
-            if violates(spec, &t).is_some() {
+            if violates(spec, &t, base).is_some() {
                 devs = t;
                 continue 'greedy;
             }
@@ -641,7 +655,7 @@ fn shrink(spec: &ExploreSpec, mut devs: Vec<(usize, Choice)>) -> Vec<(usize, Cho
         for start in (0..devs.len()).step_by(chunk) {
             let end = (start + chunk).min(devs.len());
             let t: Vec<_> = devs[..start].iter().chain(devs[end..].iter()).cloned().collect();
-            if violates(spec, &t).is_some() {
+            if violates(spec, &t, base).is_some() {
                 devs = t;
                 n = 2.max(n - 1);
                 reduced = true;
@@ -714,14 +728,19 @@ fn render_explanation(what: &str, deviations: usize, events: &[ExploreEvent]) ->
     out
 }
 
-fn shrink_and_render(spec: &ExploreSpec, taken: &[Choice], what: String) -> Counterexample {
-    let minimal = shrink(spec, deviations_of(taken));
+fn shrink_and_render(
+    spec: &ExploreSpec,
+    taken: &[Choice],
+    what: String,
+    base: std::time::Instant,
+) -> Counterexample {
+    let minimal = shrink(spec, deviations_of(taken), base);
     // Final run of the minimal schedule, with the telemetry trace on so
     // the counterexample ships machine-readable JSONL alongside the
     // frame-level rendering.
     thinair_net::telemetry::enable_trace(thinair_net::telemetry::DEFAULT_TRACE_CAPACITY);
-    let (rec, what) =
-        violates(spec, &minimal).unwrap_or_else(|| (run_one(spec, &path_from(&minimal)).0, what));
+    let (rec, what) = violates(spec, &minimal, base)
+        .unwrap_or_else(|| (run_one(spec, &path_from(&minimal), base).0, what));
     let trace_jsonl = thinair_net::telemetry::take_events()
         .iter()
         .map(|e| e.to_jsonl())
@@ -900,7 +919,7 @@ mod tests {
     #[test]
     fn default_schedule_completes_cleanly() {
         let spec = ExploreSpec::default();
-        let (rec, outcomes) = run_one(&spec, &[]);
+        let (rec, outcomes) = run_one(&spec, &[], std::time::Instant::now());
         assert!(!rec.truncated);
         assert!(rec.decisions.iter().all(|d| d.taken == DEFAULT_CHOICE));
         assert!(matches!(audit_session(&outcomes), SessionVerdict::Agreed { .. }));
@@ -910,8 +929,10 @@ mod tests {
     fn executions_replay_deterministically() {
         let spec = ExploreSpec::default();
         let path = [Choice::Deliver(0), Choice::Drop(0)];
-        let (a, outs_a) = run_one(&spec, &path);
-        let (b, outs_b) = run_one(&spec, &path);
+        // Different wall-clock bases on purpose: the record must not
+        // depend on the base instant.
+        let (a, outs_a) = run_one(&spec, &path, std::time::Instant::now());
+        let (b, outs_b) = run_one(&spec, &path, std::time::Instant::now());
         assert_eq!(a.taken, b.taken);
         assert_eq!(a.events, b.events);
         assert_eq!(a.fingerprint(&outs_a), b.fingerprint(&outs_b));

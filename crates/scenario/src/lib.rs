@@ -65,6 +65,7 @@ pub mod run;
 pub mod serve_bench;
 pub mod soak;
 pub mod spec;
+pub mod timing;
 pub mod trace_check;
 
 pub use explore::{

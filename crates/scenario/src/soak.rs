@@ -43,7 +43,6 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::time::Instant;
 
 use thinair_net::driver::drive_sim_chaos;
 use thinair_net::SessionOutcome;
@@ -156,7 +155,7 @@ pub fn run_soak(spec: &ScenarioSpec) -> Result<SoakResult, ScenarioError> {
     let cfg = spec.session_config();
     let sessions = spec.session_ids();
 
-    let started = Instant::now();
+    let clock = crate::timing::Stopwatch::start();
     let run = drive_sim_chaos(
         IidMedium::symmetric(spec.terminals as usize, 0.0, spec.seed),
         &cfg,
@@ -165,7 +164,7 @@ pub fn run_soak(spec: &ScenarioSpec) -> Result<SoakResult, ScenarioError> {
         spec.faults,
         spec.fault_seed(),
     )?;
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = clock.elapsed_ms();
 
     let mut verdicts = Vec::with_capacity(sessions.len());
     let (mut agreed, mut aborted, mut violations) = (0u32, 0u32, 0u32);

@@ -1,0 +1,62 @@
+//! The **one sanctioned wall-clock seam** for determinism-critical
+//! scenario code.
+//!
+//! `thinair-lint`'s `determinism` rule bans `Instant::now()` outright in
+//! `scenario::{explore,soak}` (and the chaos/fault modules): a schedule
+//! enumeration, verdict, or fingerprint must be a pure function of
+//! seeds and specs. But the *reports* those modules emit carry
+//! timing-class fields (`wall_ms`) that genuinely need the wall clock.
+//! Routing those reads through this module keeps the ban absolute where
+//! it matters — any `Instant::now` token appearing in a determinism
+//! file is a bug, full stop — while timing stays greppable in exactly
+//! one place.
+//!
+//! A [`Stopwatch`] also hands out its base [`Instant`] so
+//! `rt::block_on_virtual` callers can seed the virtual clock without a
+//! second wall read: every run in an explore batch shares the same
+//! base, which removes even the *base-instant* variation between runs.
+
+use std::time::Instant;
+
+/// A wall-clock stopwatch for timing-class report fields.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    base: Instant,
+}
+
+impl Stopwatch {
+    /// Reads the wall clock once and starts the stopwatch.
+    pub fn start() -> Stopwatch {
+        Stopwatch { base: Instant::now() }
+    }
+
+    /// The instant the stopwatch started — the virtual-clock seed for
+    /// `rt::block_on_virtual` (virtual time never reads the wall clock
+    /// again after this base).
+    pub fn base(&self) -> Instant {
+        self.base
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`], for `wall_ms`
+    /// report fields only. Never feed this into verdicts, fingerprints,
+    /// schedules, or wire traffic.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.base.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotone_and_base_stable() {
+        let sw = Stopwatch::start();
+        let base = sw.base();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert_eq!(sw.base(), base, "base never moves");
+    }
+}
